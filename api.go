@@ -1,0 +1,172 @@
+package htd
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+	"repro/internal/optimizer"
+	"repro/internal/weights"
+)
+
+// Re-exported types. The facade keeps one name per concept; the internal
+// packages carry the full API surface.
+type (
+	// Hypergraph is a hypergraph H = (var(H), edges(H)).
+	Hypergraph = hypergraph.Hypergraph
+	// Varset is a set of hypergraph variables.
+	Varset = hypergraph.Varset
+	// Decomposition is a hypertree decomposition ⟨T,χ,λ⟩.
+	Decomposition = hypertree.Decomposition
+	// Node is a vertex of a decomposition tree.
+	Node = hypertree.Node
+	// Query is a conjunctive query in datalog-rule form.
+	Query = cq.Query
+	// Atom is one body atom of a conjunctive query.
+	Atom = cq.Atom
+	// Relation is an in-memory relation.
+	Relation = db.Relation
+	// Catalog is a set of relations with ANALYZE statistics.
+	Catalog = db.Catalog
+	// TableStats is per-relation cardinality and selectivity data (Fig 5).
+	TableStats = db.TableStats
+	// Plan is a cost-k-decomp query plan.
+	Plan = cost.Plan
+	// NodeInfo is the weighting view of a decomposition vertex.
+	NodeInfo = weights.NodeInfo
+	// Metrics instruments plan execution.
+	Metrics = engine.Metrics
+	// Options tunes the decomposition algorithms.
+	Options = core.Options
+)
+
+// TAF is a tree aggregation function F(⊕,v,e) over weight type W.
+type TAF[W any] = weights.TAF[W]
+
+// ErrNoDecomposition is returned when no width-k NF decomposition exists.
+var ErrNoDecomposition = core.ErrNoDecomposition
+
+// ParseHypergraph reads the "name(V1,V2,...)"-per-line format.
+func ParseHypergraph(text string) (*Hypergraph, error) { return hypergraph.Parse(text) }
+
+// ParseQuery reads a conjunctive query in datalog rule syntax.
+func ParseQuery(text string) (*Query, error) { return cq.Parse(text) }
+
+// Decompose returns some width-≤k normal-form hypertree decomposition.
+func Decompose(h *Hypergraph, k int) (*Decomposition, error) {
+	return core.DecomposeK(h, k, core.Options{})
+}
+
+// HypertreeWidth computes hw(h) (searching k ≤ maxK) and an optimal
+// decomposition.
+func HypertreeWidth(h *Hypergraph, maxK int) (int, *Decomposition, error) {
+	return core.HypertreeWidth(h, maxK, core.Options{})
+}
+
+// Minimal computes an [taf, kNFD]-minimal hypertree decomposition and its
+// weight (algorithm minimal-k-decomp, Theorem 4.4).
+func Minimal[W any](h *Hypergraph, k int, taf TAF[W]) (*Decomposition, W, error) {
+	res, err := core.MinimalK(h, k, taf, core.Options{})
+	if err != nil {
+		var zero W
+		return nil, zero, err
+	}
+	return res.Decomp, res.Weight, nil
+}
+
+// MinimalSeeded is Minimal with seeded random tie-breaking (any minimal
+// decomposition can be returned).
+func MinimalSeeded[W any](h *Hypergraph, k int, taf TAF[W], seed int64) (*Decomposition, W, error) {
+	res, err := core.MinimalK(h, k, taf, core.Options{Rand: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		var zero W
+		return nil, zero, err
+	}
+	return res.Decomp, res.Weight, nil
+}
+
+// MinimalParallel is Minimal evaluated with a level-parallel worker pool
+// (Section 5's parallelizability, in practical form). The TAF's functions
+// must be safe for concurrent use. workers ≤ 0 uses GOMAXPROCS.
+func MinimalParallel[W any](h *Hypergraph, k int, taf TAF[W], workers int) (*Decomposition, W, error) {
+	res, err := core.ParallelMinimalK(h, k, taf, core.ParallelOptions{Workers: workers})
+	if err != nil {
+		var zero W
+		return nil, zero, err
+	}
+	return res.Decomp, res.Weight, nil
+}
+
+// Threshold decides whether some width-≤k NF decomposition has weight ≤ t.
+func Threshold[W any](h *Hypergraph, k int, taf TAF[W], t W) (bool, error) {
+	return core.Threshold(h, k, taf, t, core.Options{})
+}
+
+// Ready-made TAFs (Examples 3.1 and 4.2 of the paper).
+var (
+	// WidthTAF minimizes the decomposition width.
+	WidthTAF = weights.WidthTAF
+	// LexTAF minimizes the width-profile lexicographically.
+	LexTAF = weights.LexTAF
+	// MaxSeparatorTAF minimizes the largest χ-separator.
+	MaxSeparatorTAF = weights.MaxSeparatorTAF
+)
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return db.NewCatalog() }
+
+// NewRelation returns an empty relation with the given schema.
+func NewRelation(name string, attrs ...string) *Relation { return db.NewRelation(name, attrs...) }
+
+// PlanQuery runs cost-k-decomp: it computes the minimal weighted hypertree
+// decomposition of q under the cost TAF cost_H(Q) over cat's statistics —
+// an optimal width-≤k query plan (Section 6). Run cat.AnalyzeAll first.
+func PlanQuery(q *Query, cat *Catalog, k int) (*Plan, error) {
+	return cost.CostKDecomp(q, cat, k, core.Options{})
+}
+
+// ExecutePlan evaluates a cost-k-decomp plan with Yannakakis's algorithm.
+func ExecutePlan(p *Plan, cat *Catalog) (*Relation, error) {
+	return engine.EvalDecomposition(p.Decomp, p.Query, cat, nil)
+}
+
+// ExecutePlanMetered is ExecutePlan with instrumentation.
+func ExecutePlanMetered(p *Plan, cat *Catalog, m *Metrics) (*Relation, error) {
+	return engine.EvalDecomposition(p.Decomp, p.Query, cat, m)
+}
+
+// BaselinePlan runs the quantitative-only Selinger baseline ("CommDB") and
+// returns its left-deep join order and estimated cost.
+func BaselinePlan(q *Query, cat *Catalog) (engine.LeftDeepPlan, float64, error) {
+	return optimizer.Plan(q, cat)
+}
+
+// ExecuteBaseline evaluates a left-deep baseline plan.
+func ExecuteBaseline(p engine.LeftDeepPlan, q *Query, cat *Catalog, m *Metrics) (*Relation, error) {
+	return engine.EvalLeftDeep(p, q, cat, m)
+}
+
+// EvalNaive evaluates q by brute-force joins (test oracle; exponential).
+func EvalNaive(q *Query, cat *Catalog) (*Relation, error) { return engine.EvalNaive(q, cat) }
+
+// Answer interprets a Boolean query result.
+func Answer(r *Relation) bool { return engine.Answer(r) }
+
+// FormatLogicalPlan renders a complete decomposition as its logical query
+// plan (views, semijoin program, final joins).
+func FormatLogicalPlan(d *Decomposition, boolean bool) string {
+	return engine.FormatLogicalPlan(d, boolean)
+}
+
+// ReadCatalog parses relations from the line-oriented text format of
+// internal/db (see WriteCatalog).
+func ReadCatalog(r io.Reader) (*Catalog, error) { return db.ReadCatalog(r) }
+
+// WriteCatalog serializes every relation of the catalog.
+func WriteCatalog(w io.Writer, c *Catalog) error { return db.WriteCatalog(w, c) }

@@ -1,0 +1,158 @@
+package htd
+
+// Integration tests of the public facade: the end-to-end paths a downstream
+// user follows (parse → decompose → plan → execute).
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func triangleCatalog(rng *rand.Rand) *Catalog {
+	cat := NewCatalog()
+	for _, name := range []string{"r", "s", "t"} {
+		rel := NewRelation(name, "x", "y")
+		for i := 0; i < 40; i++ {
+			rel.MustAppend(int32(rng.Intn(6)), int32(rng.Intn(6)))
+		}
+		cat.Put(rel)
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+func TestFacadeHypergraphPath(t *testing.T) {
+	h, err := ParseHypergraph("e1(A,B)\ne2(B,C)\ne3(C,A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, d, err := HypertreeWidth(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("hw = %d, want 2", w)
+	}
+	if err := d.ValidateNF(); err != nil {
+		t.Error(err)
+	}
+	if _, err := Decompose(h, 1); !errors.Is(err, ErrNoDecomposition) {
+		t.Errorf("Decompose(triangle, 1) = %v, want ErrNoDecomposition", err)
+	}
+	d2, err := Decompose(h, 2)
+	if err != nil || d2.Width() != 2 {
+		t.Fatalf("Decompose: %v %v", d2, err)
+	}
+}
+
+func TestFacadeMinimalAndThreshold(t *testing.T) {
+	h, err := ParseHypergraph("e1(A,B)\ne2(B,C)\ne3(C,A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, w, err := Minimal(h, 2, LexTAF(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ValidateNF(); err != nil {
+		t.Error(err)
+	}
+	// Minimal lex decomposition of the triangle: one width-2 node.
+	if w[0] != 0 || w[1] != 1 {
+		t.Errorf("lex weight = %v, want [0 1]", w)
+	}
+	ok, err := Threshold(h, 2, WidthTAF(), 2)
+	if err != nil || !ok {
+		t.Errorf("Threshold(width ≤ 2) = %v, %v", ok, err)
+	}
+	ok, err = Threshold(h, 2, WidthTAF(), 1)
+	if err != nil || ok {
+		t.Errorf("Threshold(width ≤ 1) = %v, %v", ok, err)
+	}
+	// Seeded variant returns a minimal decomposition too.
+	d3, w3, err := MinimalSeeded(h, 2, LexTAF(2), 42)
+	if err != nil || d3 == nil {
+		t.Fatal(err)
+	}
+	if w3[1] != w[1] {
+		t.Errorf("seeded weight %v differs from deterministic %v", w3, w)
+	}
+}
+
+func TestFacadeQueryPlanningPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	q, err := ParseQuery("ans(A,C) :- r(A,B), s(B,C), t(C,A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := triangleCatalog(rng)
+	plan, err := PlanQuery(q, cat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EstimatedCost <= 0 {
+		t.Errorf("estimated cost %v", plan.EstimatedCost)
+	}
+	res, err := ExecutePlan(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EvalNaive(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(want) {
+		t.Error("plan result differs from naive evaluation")
+	}
+	// Metered execution agrees and reports work.
+	var m Metrics
+	res2, err := ExecutePlanMetered(plan, cat, &m)
+	if err != nil || !res2.Equal(res) {
+		t.Fatalf("metered execution: %v", err)
+	}
+	if m.Joins == 0 && m.Semijoins == 0 {
+		t.Error("metrics not collected")
+	}
+	// Baseline path.
+	lp, estCost, err := BaselinePlan(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estCost <= 0 {
+		t.Errorf("baseline cost %v", estCost)
+	}
+	resB, err := ExecuteBaseline(lp, q, cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resB.Equal(want) {
+		t.Error("baseline result differs from naive evaluation")
+	}
+}
+
+func TestFacadeBooleanAnswer(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	q, err := ParseQuery("ans :- r(A,B), s(B,C), t(C,A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := triangleCatalog(rng)
+	plan, err := PlanQuery(q, cat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExecutePlan(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := EvalNaive(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Answer(res) != (naive.Card() > 0) {
+		t.Error("Boolean answer mismatch")
+	}
+}

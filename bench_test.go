@@ -1,0 +1,234 @@
+package htd
+
+// One benchmark per table/figure of the paper's evaluation (DESIGN.md
+// experiment index), plus the candidate-graph ablation. Figure 8's timing
+// benches run at 1/10 of the paper's database scale so `go test -bench=.`
+// stays tractable; `cmd/benchrun -exp fig8a -scale 1` reproduces the
+// full-scale numbers (and EXPERIMENTS.md records them).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/hypergraph"
+	"repro/internal/optimizer"
+	"repro/internal/weights"
+)
+
+// BenchmarkFig5Generate regenerates Q1's database at the published
+// cardinalities and ANALYZEs it (experiment E4).
+func BenchmarkFig5Generate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.BuildQ1Catalog(rng, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig67PlanCost runs cost-k-decomp on Q1 over the published Fig 5
+// statistics, one sub-benchmark per k (experiments E5/E6: the Figs 6/7
+// $-numbers).
+func BenchmarkFig67PlanCost(b *testing.B) {
+	cat := bench.Fig5StatsCatalog()
+	q := cq.Q1()
+	for k := 2; k <= 5; k++ {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan, err := cost.CostKDecomp(q, cat, k, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = plan.EstimatedCost
+			}
+		})
+	}
+}
+
+// fig8aCatalog builds the Fig 8(A) database at 1/10 scale once per run.
+func fig8aCatalog(b *testing.B) *db.Catalog {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	cat, err := bench.BuildQ1Catalog(rng, 0.1*1500.0/3507.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+// BenchmarkFig8AStructural is the cost-k-decomp side of Fig 8(A):
+// plan + Yannakakis evaluation of Q1, per k.
+func BenchmarkFig8AStructural(b *testing.B) {
+	cat := fig8aCatalog(b)
+	q := cq.Q1()
+	for k := 2; k <= 5; k++ {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan, err := cost.CostKDecomp(q, cat, k, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := engine.EvalDecomposition(plan.Decomp, plan.Query, cat, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8ABaseline is the CommDB side of Fig 8(A): Selinger planning
+// plus left-deep evaluation of Q1.
+func BenchmarkFig8ABaseline(b *testing.B) {
+	cat := fig8aCatalog(b)
+	q := cq.Q1()
+	for i := 0; i < b.N; i++ {
+		plan, _, err := optimizer.Plan(q, cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.EvalLeftDeep(plan, q, cat, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8B runs the Q2/Q3 comparison of Fig 8(B) at 300-tuple scale,
+// one sub-benchmark per query per engine (experiment E8).
+func BenchmarkFig8B(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, wl := range []struct {
+		name  string
+		query *cq.Query
+		specs []db.Spec
+	}{
+		{"Q2", cq.Q2(), bench.Q2Specs(300)},
+		{"Q3", cq.Q3(), bench.Q3Specs(300)},
+	} {
+		cat, err := db.GenerateCatalog(rng, wl.specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(wl.name+"/structural", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan, err := cost.CostKDecomp(wl.query, cat, 3, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := engine.EvalDecomposition(plan.Decomp, plan.Query, cat, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(wl.name+"/baseline", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan, _, err := optimizer.Plan(wl.query, cat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := engine.EvalLeftDeep(plan, wl.query, cat, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCandidateGraph measures the decomposition search itself as the
+// candidate space Ψ grows with k (experiment E3, Theorem 4.5).
+func BenchmarkCandidateGraph(b *testing.B) {
+	h, err := cq.Q1().Hypergraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 2; k <= 5; k++ {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DecomposeK(h, k, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEdgeIndependentCache quantifies the per-subproblem
+// argmin cache that parent-independent edge functions enable (experiment
+// E13): the same TAF solved with and without the cache contract.
+func BenchmarkAblationEdgeIndependentCache(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	h := hypergraph.Random(rng, 9, 12, 3)
+	vertex := func(p weights.NodeInfo) float64 { return float64(len(p.Lambda)*5 + p.Chi.Count()) }
+	edge := func(_, child weights.NodeInfo) float64 { return float64(child.Chi.Count()) }
+	for _, cached := range []bool{true, false} {
+		name := "cached"
+		if !cached {
+			name = "uncached"
+		}
+		taf := weights.TAF[float64]{Semiring: weights.SumFloat{}, Vertex: vertex, Edge: edge,
+			EdgeParentIndependent: cached}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MinimalK(h, 3, taf, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSolver compares the sequential and level-parallel
+// candidate-graph evaluation on Q1's hypergraph with the cost TAF
+// (Section 5's parallelizability claim in practical form).
+func BenchmarkParallelSolver(b *testing.B) {
+	cat := bench.Fig5StatsCatalog()
+	fq := cq.Q1().WithFreshVariables()
+	model, err := cost.NewModel(fq, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := fq.Hypergraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MinimalK(h, 4, model.TAF(), core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.ParallelOptions{Workers: workers}
+				if _, err := core.ParallelMinimalK(h, 4, model.TAF(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkYannakakis isolates plan execution from planning: evaluating a
+// fixed complete decomposition of Q1.
+func BenchmarkYannakakis(b *testing.B) {
+	cat := fig8aCatalog(b)
+	q := cq.Q1()
+	plan, err := cost.CostKDecomp(q, cat, 4, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.EvalDecomposition(plan.Decomp, plan.Query, cat, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

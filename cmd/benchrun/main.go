@@ -1,0 +1,83 @@
+// benchrun regenerates the paper's experimental tables and figures
+// (DESIGN.md experiments E3–E8).
+//
+// Usage:
+//
+//	benchrun [-exp all|fig5|fig67|fig8a|fig8b|psi] [-seed n] [-repeats n] [-scale f]
+//
+// fig8a at -scale 1 uses ≈1500-tuple relations as in the paper and takes
+// a few minutes, dominated by the baseline's evaluation time (that is the
+// result). Lower -scale for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrun: ")
+	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods")
+	seed := flag.Int64("seed", 1, "random seed")
+	repeats := flag.Int("repeats", 1, "timing repetitions (minimum is reported)")
+	scale := flag.Float64("scale", 1.0, "relative database scale for fig8a/fig8b")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if run("fig5") {
+		fmt.Println("=== Fig 5: statistics of Q1's database (generated, then ANALYZEd) ===")
+		table, err := bench.RunFig5(rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(table)
+	}
+	if run("fig67") {
+		fmt.Println("=== Figs 6/7 & §6: cost-k-decomp on Q1 over the published Fig 5 statistics ===")
+		rows, err := bench.RunFig67()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatFig7(rows))
+		for _, r := range rows {
+			if r.K == 2 || r.K == 4 {
+				fmt.Printf("minimal decomposition for k=%d:\n%s\n", r.K, r.Decomp)
+			}
+		}
+	}
+	if run("fig8a") {
+		fmt.Printf("=== Fig 8(A): Q1 evaluation, CommDB-style baseline vs cost-k-decomp (scale %.2f) ===\n", *scale)
+		rows, err := bench.RunFig8AScaled(rng, *scale, *repeats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatFig8A(rows))
+	}
+	if run("fig8b") {
+		card := int(1500 * *scale)
+		if card < 10 {
+			card = 10
+		}
+		fmt.Printf("=== Fig 8(B): Q2 and Q3 at k=3, %d-tuple relations ===\n", card)
+		rows, err := bench.RunFig8BScaled(rng, card, *repeats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatFig8B(rows))
+	}
+	if run("psi") {
+		fmt.Println("=== Theorem 4.5 remark: candidate-space size Ψ vs the loose bound n^k ===")
+		fmt.Println(bench.FormatPsi(bench.RunPsiTable()))
+	}
+	if run("methods") {
+		fmt.Println("=== Section 1.1: structural method comparison (bicomp / treewidth / ghw / hw) ===")
+		fmt.Println(bench.FormatMethods(bench.RunMethodComparison()))
+	}
+}

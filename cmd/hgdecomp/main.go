@@ -1,0 +1,101 @@
+// hgdecomp decomposes a hypergraph read from a file (or stdin) and prints a
+// normal-form hypertree decomposition.
+//
+// Usage:
+//
+//	hgdecomp [-k width] [-min taf] [-width-search max] [file]
+//
+// Input format: one edge per line, "name(V1,V2,...)"; '#' comments.
+// With -min, a minimal decomposition w.r.t. the named TAF is computed:
+// "lex" (lexicographic width profile), "width", "sep" (largest separator),
+// or "nodes" (vertex count).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/weights"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hgdecomp: ")
+	k := flag.Int("k", 0, "width bound (0 = search for the hypertree width)")
+	maxK := flag.Int("width-search", 6, "maximum width to try when -k is 0")
+	min := flag.String("min", "", "minimize a TAF: lex | width | sep | nodes")
+	flag.Parse()
+
+	var (
+		text []byte
+		err  error
+	)
+	if flag.NArg() > 0 {
+		text, err = os.ReadFile(flag.Arg(0))
+	} else {
+		text, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := hypergraph.Parse(string(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hypergraph: %d edges, %d variables, acyclic=%v\n",
+		h.NumEdges(), h.NumVars(), h.IsAcyclic())
+
+	bound := *k
+	if bound == 0 {
+		w, d, err := core.HypertreeWidth(h, *maxK, core.Options{})
+		if err != nil {
+			log.Fatalf("no decomposition of width ≤ %d", *maxK)
+		}
+		fmt.Printf("hypertree width: %d\n", w)
+		if *min == "" {
+			fmt.Print(d)
+			return
+		}
+		bound = w
+	}
+
+	switch *min {
+	case "":
+		d, err := core.DecomposeK(h, bound, core.Options{})
+		if err != nil {
+			log.Fatalf("no decomposition of width ≤ %d", bound)
+		}
+		fmt.Print(d)
+	case "lex":
+		res, err := core.MinimalK(h, bound, weights.LexTAF(bound), core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("lex profile (count per width 1..%d): %v\n%s", bound, res.Weight, res.Decomp)
+	case "width":
+		res, err := core.MinimalK(h, bound, weights.WidthTAF(), core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("width: %v\n%s", res.Weight, res.Decomp)
+	case "sep":
+		res, err := core.MinimalK(h, bound, weights.MaxSeparatorTAF(), core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("largest separator: %v\n%s", res.Weight, res.Decomp)
+	case "nodes":
+		res, err := core.MinimalK(h, bound, weights.CountVerticesTAF(), core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("vertices: %v\n%s", res.Weight, res.Decomp)
+	default:
+		log.Fatalf("unknown TAF %q (want lex|width|sep|nodes)", *min)
+	}
+}

@@ -1,0 +1,37 @@
+// Package htd is a Go implementation of weighted hypertree decompositions
+// and decomposition-based query planning, reproducing
+//
+//	F. Scarcello, G. Greco, N. Leone,
+//	"Weighted hypertree decompositions and optimal query plans",
+//	PODS 2004 / Journal of Computer and System Sciences 73 (2007) 475–506.
+//
+// The package is a facade over the internal implementation:
+//
+//   - hypergraphs, [V]-components, α-acyclicity, join trees
+//     (internal/hypergraph);
+//   - hypertree decompositions, the normal form, completeness
+//     (internal/hypertree);
+//   - semirings, hypertree weighting functions, tree aggregation functions
+//     (internal/weights);
+//   - the candidate graph and minimal-k-decomp / k-decomp /
+//     threshold-k-decomp (internal/core);
+//   - conjunctive queries, H(Q), the fresh-variable trick (internal/cq);
+//   - relations, statistics, synthetic data (internal/db);
+//   - the cost model cost_H(Q) and cost-k-decomp (internal/cost);
+//   - Yannakakis evaluation and a left-deep baseline runtime
+//     (internal/engine);
+//   - a Selinger-style quantitative-only baseline optimizer
+//     (internal/optimizer);
+//   - the experiment harness regenerating the paper's tables and figures
+//     (internal/bench).
+//
+// Quick start:
+//
+//	h, _ := htd.ParseHypergraph("e1(A,B)\ne2(B,C)\ne3(C,A)\n")
+//	w, d, _ := htd.HypertreeWidth(h, 3)      // w == 2
+//	fmt.Print(d)                              // an NF decomposition
+//
+//	q, _ := htd.ParseQuery("ans(X) :- r(X,Y), s(Y,Z), t(Z,X)")
+//	plan, _ := htd.PlanQuery(q, cat, 2)       // cost-k-decomp
+//	res, _ := htd.ExecutePlan(plan, cat)      // Yannakakis
+package htd

@@ -1,0 +1,74 @@
+// Queryplan: the Section 6 pipeline end to end on the paper's query Q1 —
+// generate a database matching the Fig 5 statistics, run cost-k-decomp for
+// k = 2..5, print the estimated cost of each minimal plan (the Figs 6/7
+// $-numbers), execute the best plan with Yannakakis's algorithm, and
+// compare against the quantitative-only baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	htd "repro"
+	"repro/internal/bench"
+	"repro/internal/cq"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	q := cq.Q1()
+	fmt.Printf("query Q1: %s\n\n", q)
+
+	// A database matching Fig 5's statistics at 1/10 scale (fast to run;
+	// pass factor 1.0 for the paper's cardinalities).
+	cat, err := bench.BuildQ1Catalog(rng, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ANALYZE TABLE output (Fig 5, scaled):")
+	fmt.Println(cat.StatsTable())
+
+	// cost-k-decomp sweep.
+	var best *htd.Plan
+	bestK := 0
+	for k := 2; k <= 5; k++ {
+		plan, err := htd.PlanQuery(q, cat, k)
+		if err != nil {
+			log.Fatalf("k=%d: %v", k, err)
+		}
+		fmt.Printf("k=%d: estimated cost %.0f\n", k, plan.EstimatedCost)
+		if best == nil || plan.EstimatedCost < best.EstimatedCost {
+			best, bestK = plan, k
+		}
+	}
+	fmt.Printf("\nbest plan (k=%d):\n%s\n", bestK, best.Decomp)
+
+	// Execute the structural plan.
+	var m htd.Metrics
+	start := time.Now()
+	res, err := htd.ExecutePlanMetered(best, cat, &m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	structTime := time.Since(start)
+	fmt.Printf("Yannakakis evaluation: answer=%v in %v (%d joins, %d semijoins, %d intermediate tuples)\n",
+		htd.Answer(res), structTime, m.Joins, m.Semijoins, m.IntermediateTuples)
+
+	// Baseline: Selinger left-deep ("CommDB").
+	var mb htd.Metrics
+	start = time.Now()
+	lp, estCost, err := htd.BaselinePlan(q, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resB, err := htd.ExecuteBaseline(lp, q, cat, &mb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseTime := time.Since(start)
+	fmt.Printf("baseline evaluation:   answer=%v in %v (est. cost %.0f, %d intermediate tuples)\n",
+		htd.Answer(resB), baseTime, estCost, mb.IntermediateTuples)
+	fmt.Printf("speedup (baseline/structural): %.2fx\n", float64(baseTime)/float64(structTime))
+}

@@ -1,0 +1,66 @@
+// Quickstart: decompose the paper's running example Q0 (Introduction,
+// Fig 1), compare the lexicographically minimal decomposition with plain
+// width minimization, and verify the Example 3.1 arithmetic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	htd "repro"
+)
+
+func main() {
+	// H(Q0) from the paper's Introduction.
+	h, err := htd.ParseHypergraph(`
+		s1(A,B,D)
+		s2(B,C,D)
+		s3(B,E)
+		s4(D,G)
+		s5(E,F,G)
+		s6(E,H)
+		s7(F,I)
+		s8(G,J)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hypertree width: Q0 is cyclic with hw = 2.
+	w, d, err := htd.HypertreeWidth(h, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hypertree width of H(Q0): %d\n", w)
+	fmt.Printf("an optimal (width-%d) NF decomposition:\n%s\n", d.Width(), d)
+
+	// Example 3.1: minimize the width profile lexicographically — prefer
+	// decompositions with as few wide vertices as possible.
+	lex, weight, err := htd.Minimal(h, 2, htd.LexTAF(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lexicographically minimal decomposition (profile %v, i.e. %d vertices of width 1, %d of width 2):\n%s\n",
+		weight, weight[0], weight[1], lex)
+
+	// The decision variant (Theorem 5.1's problem): is there a width-2 NF
+	// decomposition with at most 6 vertices?
+	ok, err := htd.Threshold(h, 2, countVertices(), 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("∃ width-2 NF decomposition with ≤ 6 vertices: %v\n", ok)
+}
+
+// countVertices weighs every decomposition vertex 1 under ⊕ = +.
+func countVertices() htd.TAF[float64] {
+	taf := htd.WidthTAF()
+	taf.Vertex = func(htd.NodeInfo) float64 { return 1 }
+	taf.Semiring = sumSemiring{}
+	return taf
+}
+
+type sumSemiring struct{}
+
+func (sumSemiring) Combine(a, b float64) float64 { return a + b }
+func (sumSemiring) Less(a, b float64) bool       { return a < b }
+func (sumSemiring) Zero() float64                { return 0 }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/weights"
+)
+
+// The candidate graph (paper §4.2). Nodes in Nsub are subproblems: a
+// component C to decompose plus the interface I = var(edges(C)) ∩ var(R)
+// inherited from the parent's k-vertex R. Two subproblems with equal (C, I)
+// have identical candidate sets, so the graph is keyed on (C, I) — a
+// sound compression of the paper's (R, C) keying. Nodes in Nsol are
+// candidate solutions (S, C).
+//
+// Only nodes reachable from the root subproblem (var(H), ∅) are
+// materialized; unreachable nodes cannot occur in any decomposition
+// (Theorem 7.3 builds the tree top-down from the root), so this preserves
+// the algorithm's output space while keeping the graph small.
+
+// compEntry caches per-component data: the component C, edges(C), and
+// var(edges(C)).
+type compEntry struct {
+	id       int
+	vars     hypergraph.Varset // C
+	edgesOf  []int             // edges(C)
+	boundary hypergraph.Varset // var(edges(C))
+}
+
+// graph holds the shared (weight-independent) part of the candidate graph.
+type graph struct {
+	h      *hypergraph.Hypergraph
+	k      int
+	kverts []kvert
+	comps  map[string]*compEntry // keyed by C.Key()
+	nComps int
+}
+
+func newGraph(h *hypergraph.Hypergraph, k, limit int) (*graph, error) {
+	kv, err := enumerateKVertices(h, k, limit)
+	if err != nil {
+		return nil, err
+	}
+	return &graph{h: h, k: k, kverts: kv, comps: map[string]*compEntry{}}, nil
+}
+
+// comp interns a component varset.
+func (g *graph) comp(c hypergraph.Varset) *compEntry {
+	key := c.Key()
+	if e, ok := g.comps[key]; ok {
+		return e
+	}
+	e := &compEntry{
+		id:       g.nComps,
+		vars:     c,
+		edgesOf:  g.h.EdgesOf(c),
+		boundary: g.h.VarsOfEdgesOf(c),
+	}
+	g.nComps++
+	g.comps[key] = e
+	return e
+}
+
+// rootComp returns the whole-problem component var(H).
+func (g *graph) rootComp() *compEntry { return g.comp(g.h.AllVars().Clone()) }
+
+// candidateOK reports whether k-vertex s is a candidate solution for the
+// subproblem (c, iface): conditions C1 and C2 of Fig 4 —
+//
+//	C1: var(S) ∩ C ≠ ∅ and every h ∈ S meets var(edges(C));
+//	C2: var(edges(C)) ∩ var(R) ⊆ var(S), i.e. iface ⊆ var(S).
+func (g *graph) candidateOK(s kvert, c *compEntry, iface hypergraph.Varset) bool {
+	if !iface.SubsetOf(s.vars) {
+		return false
+	}
+	if !s.vars.Intersects(c.vars) {
+		return false
+	}
+	for _, e := range s.edges {
+		if !g.h.EdgeVars(e).Intersects(c.boundary) {
+			return false
+		}
+	}
+	return true
+}
+
+// chiOf returns χ(p) = var(edges(C)) ∩ var(S) for solution node (S, C).
+func (g *graph) chiOf(s kvert, c *compEntry) hypergraph.Varset {
+	return c.boundary.Intersect(s.vars)
+}
+
+// nodeInfo builds the weighting view of solution node (S, C).
+func (g *graph) nodeInfo(s kvert, c *compEntry) weights.NodeInfo {
+	return weights.NodeInfo{H: g.h, Lambda: s.edges, Chi: g.chiOf(s, c), Component: c.vars}
+}
+
+// childComps returns the [var(S)]-components contained in C — the
+// subproblems a solution (S, C) must solve — with their interfaces.
+func (g *graph) childComps(s kvert, c *compEntry) []*compEntry {
+	comps := g.h.ComponentsWithin(s.vars, c.vars)
+	out := make([]*compEntry, len(comps))
+	for i, cc := range comps {
+		out[i] = g.comp(cc)
+	}
+	return out
+}
+
+// ifaceFor returns the interface a child subproblem inherits from parent
+// k-vertex s: var(edges(C′)) ∩ var(S).
+func (g *graph) ifaceFor(s kvert, child *compEntry) hypergraph.Varset {
+	return child.boundary.Intersect(s.vars)
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+	"repro/internal/weights"
+)
+
+// EnumerateNF enumerates (up to limit > 0) all hypertree decompositions in
+// kNFD_H, calling visit for each; visit returning false stops enumeration
+// early. The enumeration realizes the full non-deterministic choice space of
+// k-decomp (Theorems 7.3 and 7.6: runs of k-decomp ↔ kNFD_H), so it is
+// exponential and intended as a brute-force test oracle on small inputs.
+// It returns the number of decompositions visited.
+func EnumerateNF(h *hypergraph.Hypergraph, k int, limit int, visit func(*hypertree.Decomposition) bool) (int, error) {
+	g, err := newGraph(h, k, 0)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	emit := func(root *hypertree.Node) bool {
+		d := &hypertree.Decomposition{H: h, Root: root}
+		d.Nodes()
+		count++
+		return visit(d) && (limit <= 0 || count < limit)
+	}
+	var enumSub func(c *compEntry, iface hypergraph.Varset, yield func(*hypertree.Node) bool) bool
+	enumSub = func(c *compEntry, iface hypergraph.Varset, yield func(*hypertree.Node) bool) bool {
+		for _, s := range g.kverts {
+			if !g.candidateOK(s, c, iface) {
+				continue
+			}
+			children := g.childComps(s, c)
+			// Enumerate the cartesian product of child subtree choices.
+			subtrees := make([]*hypertree.Node, len(children))
+			var product func(i int) bool
+			product = func(i int) bool {
+				if i == len(children) {
+					n := hypertree.NewNode(g.chiOf(s, c), s.edges)
+					for _, st := range subtrees {
+						n.AddChild(cloneNode(st))
+					}
+					return yield(n)
+				}
+				cc := children[i]
+				return enumSub(cc, g.ifaceFor(s, cc), func(st *hypertree.Node) bool {
+					subtrees[i] = st
+					return product(i + 1)
+				})
+			}
+			if !product(0) {
+				return false
+			}
+		}
+		return true
+	}
+	enumSub(g.rootComp(), h.NewVarset(), emit)
+	return count, nil
+}
+
+func cloneNode(n *hypertree.Node) *hypertree.Node {
+	m := &hypertree.Node{Chi: n.Chi.Clone(), Lambda: append([]int(nil), n.Lambda...)}
+	for _, c := range n.Children {
+		m.Children = append(m.Children, cloneNode(c))
+	}
+	return m
+}
+
+// MinWeightExhaustive computes min taf over kNFD_H by brute force; a test
+// oracle for MinimalK and MinWeight on small hypergraphs. ok is false when
+// kNFD_H is empty. limit caps the number of decompositions inspected
+// (0 = unlimited).
+func MinWeightExhaustive[W any](h *hypergraph.Hypergraph, k, limit int, taf weights.TAF[W]) (w W, ok bool, err error) {
+	var best W
+	found := false
+	_, err = EnumerateNF(h, k, limit, func(d *hypertree.Decomposition) bool {
+		v := taf.Evaluate(d)
+		if !found || taf.Semiring.Less(v, best) {
+			best, found = v, true
+		}
+		return true
+	})
+	return best, found, err
+}

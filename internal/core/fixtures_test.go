@@ -1,0 +1,35 @@
+package core
+
+import "repro/internal/hypergraph"
+
+// Q0 from the paper's introduction (hypertree width 2).
+func buildQ0() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.MustEdge("s1", "A", "B", "D")
+	b.MustEdge("s2", "B", "C", "D")
+	b.MustEdge("s3", "B", "E")
+	b.MustEdge("s4", "D", "G")
+	b.MustEdge("s5", "E", "F", "G")
+	b.MustEdge("s6", "E", "H")
+	b.MustEdge("s7", "F", "I")
+	b.MustEdge("s8", "G", "J")
+	return b.MustBuild()
+}
+
+// Q1 of Section 6 (hypertree width 2, 9 atoms):
+//
+//	ans ← a(S,X,X′,C,F) ∧ b(S,Y,Y′,C′,F′) ∧ c(C,C′,Z) ∧ d(X,Z)
+//	    ∧ e(Y,Z) ∧ f(F,F′,Z′) ∧ g(X′,Z′) ∧ h(Y′,Z′) ∧ j(J,X,Y,X′,Y′)
+func buildQ1() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.MustEdge("a", "S", "X", "X1", "C", "F")
+	b.MustEdge("b", "S", "Y", "Y1", "C1", "F1")
+	b.MustEdge("c", "C", "C1", "Z")
+	b.MustEdge("d", "X", "Z")
+	b.MustEdge("e", "Y", "Z")
+	b.MustEdge("f", "F", "F1", "Z1")
+	b.MustEdge("g", "X1", "Z1")
+	b.MustEdge("h", "Y1", "Z1")
+	b.MustEdge("j", "J", "X", "Y", "X1", "Y1")
+	return b.MustBuild()
+}

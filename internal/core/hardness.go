@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+)
+
+// Constructions behind the paper's hardness results. They are exercised by
+// tests (experiments E9, E10) to validate the reductions' correspondence on
+// concrete instances; they are not needed by the tractable algorithms.
+
+// ---------------------------------------------------------------------------
+// Theorem 3.3: minimizing a general HWF over join trees is NP-hard
+// (reduction from 3-colorability).
+// ---------------------------------------------------------------------------
+
+// Graph is a simple undirected graph for the 3-coloring reduction.
+type Graph struct {
+	N     int      // vertices 0..N-1
+	Edges [][2]int // undirected
+}
+
+// ThreeColoringInstance is the output of the Theorem 3.3 reduction: an
+// acyclic hypergraph H(G) and an HWF ω over its join trees such that the
+// minimal weight is 0 iff G is 3-colorable.
+type ThreeColoringInstance struct {
+	G Graph
+	H *hypergraph.Hypergraph
+
+	big    int   // index of the big hyperedge g = V̄ ∪ {C}
+	primed []int // primed[i] = index of hyperedge {V′_i, C}
+}
+
+// NewThreeColoringInstance builds H(G): variables V̄ ∪ V̄′ ∪ {C}; hyperedges
+// g = V̄ ∪ {C}, {V′_i, C} for every vertex, and {V_j, V_t} for every edge
+// of G.
+func NewThreeColoringInstance(g Graph) (*ThreeColoringInstance, error) {
+	b := hypergraph.NewBuilder()
+	vn := func(i int) string { return fmt.Sprintf("V%d", i) }
+	pn := func(i int) string { return fmt.Sprintf("V%d'", i) }
+	bigVars := make([]string, 0, g.N+1)
+	for i := 0; i < g.N; i++ {
+		bigVars = append(bigVars, vn(i))
+	}
+	bigVars = append(bigVars, "C")
+	if err := b.Edge("g", bigVars...); err != nil {
+		return nil, err
+	}
+	for i := 0; i < g.N; i++ {
+		if err := b.Edge(fmt.Sprintf("p%d", i), pn(i), "C"); err != nil {
+			return nil, err
+		}
+	}
+	for idx, e := range g.Edges {
+		if err := b.Edge(fmt.Sprintf("e%d", idx), vn(e[0]), vn(e[1])); err != nil {
+			return nil, err
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	inst := &ThreeColoringInstance{G: g, H: h, big: h.EdgeByName("g")}
+	inst.primed = make([]int, g.N)
+	for i := 0; i < g.N; i++ {
+		inst.primed[i] = h.EdgeByName(fmt.Sprintf("p%d", i))
+	}
+	return inst, nil
+}
+
+// Weight is the HWF ω_{H(G)} of the reduction: 0 if the join tree groups
+// the primed hyperedges {V′_i,C} into at most 3 subtrees under the vertex
+// covering g, with no subtree containing two primed hyperedges whose
+// G-vertices are adjacent; 1 otherwise. Only decompositions in J T_H (width
+// 1, complete) should be passed; anything else weighs 1.
+func (inst *ThreeColoringInstance) Weight(d *hypertree.Decomposition) float64 {
+	if d.Width() != 1 || !d.IsComplete() || d.Validate() != nil {
+		return 1
+	}
+	h := inst.H
+	// Locate the vertex r with χ(r) = V̄ ∪ {C} (covering g).
+	var r *hypertree.Node
+	d.Walk(func(n, _ *hypertree.Node) {
+		if len(n.Lambda) == 1 && n.Lambda[0] == inst.big && n.Chi.Equal(h.EdgeVars(inst.big)) {
+			r = n
+		}
+	})
+	if r == nil {
+		return 1
+	}
+	// Group primed hyperedges by the child subtree of r they appear in. The
+	// root side (above or at r) counts as an extra group which must be empty.
+	group := make(map[int]int) // vertex i of G -> child index of r
+	assigned := make([]bool, inst.G.N)
+	ok := true
+	for ci, c := range r.Children {
+		var mark func(n *hypertree.Node)
+		mark = func(n *hypertree.Node) {
+			for i, pe := range inst.primed {
+				if len(n.Lambda) == 1 && n.Lambda[0] == pe && h.EdgeVars(pe).SubsetOf(n.Chi) {
+					if assigned[i] && group[i] != ci {
+						ok = false
+					}
+					assigned[i] = true
+					group[i] = ci
+				}
+			}
+			for _, k := range n.Children {
+				mark(k)
+			}
+		}
+		mark(c)
+	}
+	if !ok {
+		return 1
+	}
+	for i := range assigned {
+		if !assigned[i] {
+			return 1 // some {V′_i,C} not inside a child subtree of r
+		}
+	}
+	// Condition (1): at most 3 distinct groups.
+	distinct := map[int]bool{}
+	for i := 0; i < inst.G.N; i++ {
+		distinct[group[i]] = true
+	}
+	if len(distinct) > 3 {
+		return 1
+	}
+	// Condition (2): no group contains two adjacent vertices of G.
+	for _, e := range inst.G.Edges {
+		if group[e[0]] == group[e[1]] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// WitnessJoinTree builds, from a legal 3-coloring col (values 0..2), the
+// weight-0 join tree of the "only if" direction of the proof: the root
+// covers g; up to three children collect the primed hyperedges by color;
+// the G-edge hyperedges {V_j,V_t} hang below the root.
+func (inst *ThreeColoringInstance) WitnessJoinTree(col []int) (*hypertree.Decomposition, error) {
+	if len(col) != inst.G.N {
+		return nil, fmt.Errorf("core: coloring has %d entries, want %d", len(col), inst.G.N)
+	}
+	for _, e := range inst.G.Edges {
+		if col[e[0]] == col[e[1]] {
+			return nil, fmt.Errorf("core: coloring is not legal on edge %v", e)
+		}
+	}
+	h := inst.H
+	root := hypertree.NewNode(h.EdgeVars(inst.big).Clone(), []int{inst.big})
+	// One chain per used color: primed hyperedges of that color share {C},
+	// so a chain satisfies connectedness.
+	var colorHead [3]*hypertree.Node
+	for i := 0; i < inst.G.N; i++ {
+		c := col[i]
+		if c < 0 || c > 2 {
+			return nil, fmt.Errorf("core: color %d out of range", c)
+		}
+		node := hypertree.NewNode(h.EdgeVars(inst.primed[i]).Clone(), []int{inst.primed[i]})
+		if colorHead[c] == nil {
+			root.AddChild(node)
+		} else {
+			colorHead[c].AddChild(node)
+		}
+		colorHead[c] = node
+	}
+	// Edge hyperedges of G hang directly below the root (their variables
+	// are all in χ(root)).
+	for idx := range inst.G.Edges {
+		e := h.EdgeByName(fmt.Sprintf("e%d", idx))
+		root.AddChild(hypertree.NewNode(h.EdgeVars(e).Clone(), []int{e}))
+	}
+	d := &hypertree.Decomposition{H: h, Root: root}
+	d.Nodes()
+	return d, nil
+}
+
+// ExtractColoring decodes a 3-coloring from a weight-0 join tree (the "if"
+// direction): vertices are colored by the subtree of the g-vertex their
+// primed hyperedge lies in.
+func (inst *ThreeColoringInstance) ExtractColoring(d *hypertree.Decomposition) ([]int, error) {
+	if inst.Weight(d) != 0 {
+		return nil, fmt.Errorf("core: decomposition has weight 1; no coloring encoded")
+	}
+	var r *hypertree.Node
+	d.Walk(func(n, _ *hypertree.Node) {
+		if len(n.Lambda) == 1 && n.Lambda[0] == inst.big {
+			r = n
+		}
+	})
+	col := make([]int, inst.G.N)
+	groupOf := map[int]int{} // child index -> color
+	next := 0
+	for ci, c := range r.Children {
+		var mark func(n *hypertree.Node)
+		mark = func(n *hypertree.Node) {
+			for i, pe := range inst.primed {
+				if len(n.Lambda) == 1 && n.Lambda[0] == pe {
+					g, ok := groupOf[ci]
+					if !ok {
+						g = next
+						next++
+						groupOf[ci] = g
+					}
+					col[i] = g
+				}
+			}
+			for _, k := range n.Children {
+				mark(k)
+			}
+		}
+		mark(c)
+	}
+	return col, nil
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// --- Theorem 3.3 (experiment E9) ---------------------------------------
+
+func TestTheorem33Construction(t *testing.T) {
+	g := Graph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}} // triangle
+	inst, err := NewThreeColoringInstance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H(G) is acyclic: the big hyperedge absorbs the cycles.
+	if !inst.H.IsAcyclic() {
+		t.Error("H(G) should be α-acyclic")
+	}
+	// |H| = 1 + N + |E|.
+	if inst.H.NumEdges() != 1+3+3 {
+		t.Errorf("H(G) has %d edges, want 7", inst.H.NumEdges())
+	}
+}
+
+func TestTheorem33WitnessDirection(t *testing.T) {
+	// Graphs with known legal 3-colorings.
+	cases := []struct {
+		name string
+		g    Graph
+		col  []int
+	}{
+		{"triangle", Graph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}}, []int{0, 1, 2}},
+		{"path4", Graph{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}}, []int{0, 1, 0, 1}},
+		{"cycle5", Graph{N: 5, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}}, []int{0, 1, 0, 1, 2}},
+	}
+	for _, c := range cases {
+		inst, err := NewThreeColoringInstance(c.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := inst.WitnessJoinTree(c.col)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: witness invalid: %v", c.name, err)
+		}
+		if d.Width() != 1 || !d.IsComplete() {
+			t.Fatalf("%s: witness not a join tree (width %d, complete %v)",
+				c.name, d.Width(), d.IsComplete())
+		}
+		if w := inst.Weight(d); w != 0 {
+			t.Errorf("%s: witness weight = %v, want 0", c.name, w)
+		}
+		// Decode and re-verify the coloring.
+		col, err := inst.ExtractColoring(d)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, e := range c.g.Edges {
+			if col[e[0]] == col[e[1]] {
+				t.Errorf("%s: extracted coloring illegal on %v", c.name, e)
+			}
+		}
+	}
+}
+
+func TestTheorem33IllegalColoringRejected(t *testing.T) {
+	g := Graph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}}
+	inst, err := NewThreeColoringInstance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.WitnessJoinTree([]int{0, 0, 1}); err == nil {
+		t.Error("illegal coloring should be rejected")
+	}
+	// A join tree built from an *illegal* grouping weighs 1: group all
+	// primed edges under one child.
+	d, err := inst.WitnessJoinTree([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: re-hang every primed subtree under the first child to force
+	// adjacent vertices into one group. Simpler: weight of a non-join-tree
+	// is 1 by definition.
+	d.Root.Children = d.Root.Children[:1]
+	if w := inst.Weight(d); w != 1 {
+		t.Errorf("broken tree weight = %v, want 1", w)
+	}
+}
+
+func TestTheorem33RandomColorableGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		// Generate a random 3-partite (hence 3-colorable) graph.
+		n := 4 + rng.Intn(5)
+		col := make([]int, n)
+		for i := range col {
+			col[i] = rng.Intn(3)
+		}
+		var g Graph
+		g.N = n
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if col[i] != col[j] && rng.Intn(2) == 0 {
+					g.Edges = append(g.Edges, [2]int{i, j})
+				}
+			}
+		}
+		if len(g.Edges) == 0 {
+			continue
+		}
+		inst, err := NewThreeColoringInstance(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := inst.WitnessJoinTree(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Weight(d) != 0 {
+			t.Fatalf("witness weight nonzero for colorable graph %+v", g)
+		}
+		got, err := inst.ExtractColoring(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Edges {
+			if got[e[0]] == got[e[1]] {
+				t.Fatalf("extracted coloring illegal")
+			}
+		}
+	}
+}
+
+// --- Theorem 5.1 (experiment E10) ---------------------------------------
+
+func TestTheorem51PaperExample(t *testing.T) {
+	// The query of Fig 3: Q: ans ← s1(A,B) ∧ s2(A,C) ∧ s3(B,D) ∧ s4(B,E).
+	atoms := []ACQAtom{
+		{Name: "s1", Vars: []string{"A", "B"}, Tuples: [][]int{{1, 1}, {1, 2}, {2, 2}}},
+		{Name: "s2", Vars: []string{"A", "C"}, Tuples: [][]int{{1, 5}, {3, 6}}},
+		{Name: "s3", Vars: []string{"B", "D"}, Tuples: [][]int{{2, 7}, {9, 8}}},
+		{Name: "s4", Vars: []string{"B", "E"}, Tuples: [][]int{{4, 1}, {2, 3}}},
+	}
+	inst, err := NewTheorem51Instance(atoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.H.IsAcyclic() {
+		t.Error("reduction hypergraph should be acyclic")
+	}
+	// |H| = m + |DB| = 4 + 9 = 13.
+	if inst.H.NumEdges() != 13 {
+		t.Errorf("|H| = %d, want 13", inst.H.NumEdges())
+	}
+	// ρ(s1)=T2=(1,2), ρ(s2)=(1,5), ρ(s3)=(2,7), ρ(s4)=(2,3) satisfies Q.
+	if !inst.Answer() {
+		t.Fatal("query should be true")
+	}
+	ok, err := inst.HoldsWithZeroWeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("reduction: true query should admit weight-0 NF decomposition")
+	}
+}
+
+func TestTheorem51FalseQuery(t *testing.T) {
+	// No tuple of s2 matches any tuple of s1 on A.
+	atoms := []ACQAtom{
+		{Name: "s1", Vars: []string{"A", "B"}, Tuples: [][]int{{1, 1}, {2, 2}}},
+		{Name: "s2", Vars: []string{"A", "C"}, Tuples: [][]int{{3, 5}, {4, 6}}},
+	}
+	inst, err := NewTheorem51Instance(atoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Answer() {
+		t.Fatal("query should be false")
+	}
+	ok, err := inst.HoldsWithZeroWeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("reduction: false query should have no weight-0 NF decomposition")
+	}
+}
+
+// Property: on random acyclic star queries with random small relations, the
+// reduction's zero-weight test agrees with naive evaluation.
+func TestTheorem51Reduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		// Star query: center atom s0(X1..Xc), leaves si(Xi, Yi) — acyclic
+		// and connected by construction.
+		c := 2 + rng.Intn(2)
+		atoms := make([]ACQAtom, 0, c+1)
+		centerVars := make([]string, c)
+		for i := range centerVars {
+			centerVars[i] = vstr(i)
+		}
+		dom := 2 + rng.Intn(2)
+		atoms = append(atoms, ACQAtom{Name: "s0", Vars: centerVars,
+			Tuples: randomTuples(rng, c, 1+rng.Intn(3), dom)})
+		for i := 0; i < c; i++ {
+			atoms = append(atoms, ACQAtom{
+				Name:   "s" + string(rune('a'+i)),
+				Vars:   []string{vstr(i), "Y" + string(rune('a'+i))},
+				Tuples: randomTuples(rng, 2, 1+rng.Intn(3), dom),
+			})
+		}
+		inst, err := NewTheorem51Instance(atoms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := inst.Answer()
+		got, err := inst.HoldsWithZeroWeight()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: reduction says %v, naive evaluation says %v\natoms: %+v",
+				trial, got, want, atoms)
+		}
+	}
+}
+
+func vstr(i int) string { return "X" + string(rune('0'+i)) }
+
+// randomTuples generates count distinct tuples of the given arity with
+// values in [0, dom).
+func randomTuples(rng *rand.Rand, arity, count, dom int) [][]int {
+	seen := map[string]bool{}
+	var out [][]int
+	for len(out) < count {
+		tup := make([]int, arity)
+		key := ""
+		for i := range tup {
+			tup[i] = rng.Intn(dom)
+			key += string(rune('0' + tup[i]))
+		}
+		if seen[key] {
+			// Domain may be too small for `count` distinct tuples; give up
+			// politely after the space is exhausted.
+			if len(seen) >= pow(dom, arity) {
+				break
+			}
+			continue
+		}
+		seen[key] = true
+		out = append(out, tup)
+	}
+	return out
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}

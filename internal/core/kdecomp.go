@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+	"repro/internal/weights"
+)
+
+// Unweighted decomposition (the paper's k-decomp, Definition 7.2): the
+// minimal-k-decomp machinery run with a trivial weight, so that any feasible
+// selection is minimal.
+
+// unit is the trivial weight: a one-element semiring.
+type unit struct{}
+
+type unitSemiring struct{}
+
+func (unitSemiring) Combine(unit, unit) unit { return unit{} }
+func (unitSemiring) Less(unit, unit) bool    { return false }
+func (unitSemiring) Zero() unit              { return unit{} }
+
+// unitTAF is the trivial TAF; every decomposition weighs the same.
+func unitTAF() weights.TAF[unit] {
+	return weights.TAF[unit]{Semiring: unitSemiring{}, EdgeParentIndependent: true}
+}
+
+// DecomposeK returns some width-≤k normal-form hypertree decomposition of
+// h, or ErrNoDecomposition. With Options.Rand set, ties are broken randomly
+// over the whole of kNFD_H (Theorem 7.3: every NF decomposition is a
+// possible output).
+func DecomposeK(h *hypergraph.Hypergraph, k int, opts Options) (*hypertree.Decomposition, error) {
+	res, err := MinimalK(h, k, unitTAF(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Decomp, nil
+}
+
+// HasWidthK decides whether hw(h) ≤ k (LOGCFL in the paper; here the
+// deterministic polynomial simulation).
+func HasWidthK(h *hypergraph.Hypergraph, k int, opts Options) (bool, error) {
+	_, err := DecomposeK(h, k, opts)
+	if errors.Is(err, ErrNoDecomposition) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// HypertreeWidth computes hw(h) by searching k = 1, 2, ..., maxK, returning
+// the smallest k admitting a decomposition together with an optimal (i.e.
+// minimum-width) decomposition. If hw(h) > maxK it returns
+// ErrNoDecomposition.
+func HypertreeWidth(h *hypergraph.Hypergraph, maxK int, opts Options) (int, *hypertree.Decomposition, error) {
+	for k := 1; k <= maxK; k++ {
+		d, err := DecomposeK(h, k, opts)
+		if errors.Is(err, ErrNoDecomposition) {
+			continue
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		return k, d, nil
+	}
+	return 0, nil, ErrNoDecomposition
+}

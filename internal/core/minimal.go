@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+	"repro/internal/weights"
+)
+
+// ErrNoDecomposition is returned when kNFD_H is empty, i.e. the hypergraph
+// has no normal-form hypertree decomposition of width at most k (the
+// algorithm's "failure" output).
+var ErrNoDecomposition = errors.New("core: no width-k hypertree decomposition exists")
+
+// Options tunes the decomposition algorithms.
+type Options struct {
+	// Rand, when non-nil, breaks ties among equally minimal choices
+	// randomly, realizing the non-deterministic (* select *) steps of the
+	// paper's algorithm; nil selects the first minimum deterministically.
+	Rand *rand.Rand
+	// MaxKVertices aborts with an error if Ψ = Σ C(n,i) exceeds the bound
+	// (0 = unlimited). A guard against accidentally exponential calls.
+	MaxKVertices int
+}
+
+// Result carries a minimal decomposition and its weight. NodeWeights maps
+// every node of Decomp to the weight of its subtree (the paper's Figs 6/7
+// annotate decomposition vertices with exactly these "$" values: for a
+// leaf, the cost of E(p); for the root, the whole plan cost).
+type Result[W any] struct {
+	Decomp      *hypertree.Decomposition
+	Weight      W
+	NodeWeights map[*hypertree.Node]W
+}
+
+// solNode is a candidate-graph solution node (S, C) with its memoized
+// subtree weight.
+type solNode[W any] struct {
+	s        kvert
+	comp     *compEntry
+	info     weights.NodeInfo
+	children []*subNode[W] // one per [var(S)]-component inside C
+	weight   W
+	feasible bool
+	state    uint8 // 0 = unsolved, 1 = solving, 2 = solved
+}
+
+// subNode is a subproblem node (C, I) with its surviving candidates.
+type subNode[W any] struct {
+	comp   *compEntry
+	iface  hypergraph.Varset
+	cands  []*solNode[W] // feasible candidates after solving
+	solved bool
+	// bestCached holds min over cands of weight ⊕ e(·, cand) when the TAF's
+	// edge function is parent-independent (ablation E13).
+	bestCached     []*solNode[W]
+	bestCachedW    W
+	bestCacheValid bool
+}
+
+// solver runs minimal-k-decomp for one TAF.
+type solver[W any] struct {
+	g    *graph
+	taf  weights.TAF[W]
+	opts Options
+	sols map[[2]int]*solNode[W] // (kvert idx, comp id)
+	subs map[string]*subNode[W] // comp key + "|" + iface key
+}
+
+// MinimalK computes an [F,kNFD_H]-minimal hypertree decomposition of h
+// (Theorem 4.4). It returns ErrNoDecomposition if kNFD_H = ∅. The returned
+// decomposition is in normal form, has width ≤ k, and minimizes taf over
+// kNFD_H; its weight is returned alongside.
+func MinimalK[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts Options) (*Result[W], error) {
+	s, err := newSolver(h, k, taf, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+func newSolver[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts Options) (*solver[W], error) {
+	if taf.Semiring == nil {
+		return nil, fmt.Errorf("core: TAF has nil semiring")
+	}
+	g, err := newGraph(h, k, opts.MaxKVertices)
+	if err != nil {
+		return nil, err
+	}
+	return &solver[W]{
+		g:    g,
+		taf:  taf,
+		opts: opts,
+		sols: map[[2]int]*solNode[W]{},
+		subs: map[string]*subNode[W]{},
+	}, nil
+}
+
+func (sv *solver[W]) run() (*Result[W], error) {
+	root := sv.subproblem(sv.g.rootComp(), sv.g.h.NewVarset())
+	sv.solveSub(root)
+	if len(root.cands) == 0 {
+		return nil, ErrNoDecomposition
+	}
+	// Pick a minimum-weighted root candidate; there is no parent, so the
+	// edge function does not apply at the top level.
+	var best []*solNode[W]
+	var bestW W
+	for _, cand := range root.cands {
+		switch {
+		case len(best) == 0, sv.taf.Semiring.Less(cand.weight, bestW):
+			best = []*solNode[W]{cand}
+			bestW = cand.weight
+		case !sv.taf.Semiring.Less(bestW, cand.weight):
+			best = append(best, cand)
+		}
+	}
+	chosen := sv.pick(best)
+	nodeWeights := map[*hypertree.Node]W{}
+	d := &hypertree.Decomposition{H: sv.g.h, Root: sv.extract(chosen, nodeWeights)}
+	d.Nodes()
+	return &Result[W]{Decomp: d, Weight: chosen.weight, NodeWeights: nodeWeights}, nil
+}
+
+// subproblem interns the (C, I) subproblem node.
+func (sv *solver[W]) subproblem(c *compEntry, iface hypergraph.Varset) *subNode[W] {
+	key := c.vars.Key() + "|" + iface.Key()
+	if q, ok := sv.subs[key]; ok {
+		return q
+	}
+	q := &subNode[W]{comp: c, iface: iface}
+	sv.subs[key] = q
+	return q
+}
+
+// solution interns the (S, C) solution node.
+func (sv *solver[W]) solution(s kvert, c *compEntry) *solNode[W] {
+	key := [2]int{s.idx, c.id}
+	if p, ok := sv.sols[key]; ok {
+		return p
+	}
+	p := &solNode[W]{s: s, comp: c, info: sv.g.nodeInfo(s, c)}
+	sv.sols[key] = p
+	return p
+}
+
+// solveSub fills q.cands with the feasible candidate solutions of q, each
+// with its memoized subtree weight. Components strictly shrink along the
+// recursion (var(S) ∩ C ≠ ∅), so it terminates.
+func (sv *solver[W]) solveSub(q *subNode[W]) {
+	if q.solved {
+		return
+	}
+	q.solved = true
+	for _, s := range sv.g.kverts {
+		if !sv.g.candidateOK(s, q.comp, q.iface) {
+			continue
+		}
+		p := sv.solution(s, q.comp)
+		sv.solveSol(p)
+		if p.feasible {
+			q.cands = append(q.cands, p)
+		}
+	}
+}
+
+// solveSol computes the minimal subtree weight of solution node p = (S, C):
+//
+//	weight(p) = v(p) ⊕ ⊕_{q child subproblem} min_{p′ ∈ cands(q)} (weight(p′) ⊕ e(p, p′))
+//
+// (Lemma 7.7). p is infeasible iff some child subproblem has no feasible
+// candidate.
+func (sv *solver[W]) solveSol(p *solNode[W]) {
+	if p.state == 2 {
+		return
+	}
+	// state 1 (solving) is impossible: children have strictly smaller
+	// components, so the recursion cannot revisit p. Assert anyway.
+	if p.state == 1 {
+		panic("core: cyclic candidate-graph recursion")
+	}
+	p.state = 1
+	w := sv.taf.VertexWeight(p.info)
+	feasible := true
+	for _, cc := range sv.g.childComps(p.s, p.comp) {
+		q := sv.subproblem(cc, sv.g.ifaceFor(p.s, cc))
+		sv.solveSub(q)
+		if len(q.cands) == 0 {
+			feasible = false
+			break
+		}
+		p.children = append(p.children, q)
+		_, bw := sv.bestChoice(p, q)
+		w = sv.taf.Semiring.Combine(w, bw)
+	}
+	p.weight = w
+	p.feasible = feasible
+	p.state = 2
+}
+
+// bestChoice returns the argmin set and min value of
+// weight(p′) ⊕ e(parent, p′) over p′ ∈ cands(q). When the TAF's edge
+// function is parent-independent the result is cached on q.
+func (sv *solver[W]) bestChoice(parent *solNode[W], q *subNode[W]) ([]*solNode[W], W) {
+	if sv.taf.EdgeParentIndependent && q.bestCacheValid {
+		return q.bestCached, q.bestCachedW
+	}
+	var best []*solNode[W]
+	var bestW W
+	for _, cand := range q.cands {
+		w := sv.taf.Semiring.Combine(cand.weight, sv.taf.EdgeWeight(parent.info, cand.info))
+		switch {
+		case len(best) == 0, sv.taf.Semiring.Less(w, bestW):
+			best = []*solNode[W]{cand}
+			bestW = w
+		case !sv.taf.Semiring.Less(bestW, w):
+			best = append(best, cand)
+		}
+	}
+	if sv.taf.EdgeParentIndependent {
+		q.bestCached, q.bestCachedW, q.bestCacheValid = best, bestW, true
+	}
+	return best, bestW
+}
+
+// pick implements the (* select *) steps: deterministic first minimum, or a
+// uniformly random minimum when Options.Rand is set.
+func (sv *solver[W]) pick(best []*solNode[W]) *solNode[W] {
+	if sv.opts.Rand != nil && len(best) > 1 {
+		return best[sv.opts.Rand.Intn(len(best))]
+	}
+	return best[0]
+}
+
+// extract materializes the hypertree below the chosen solution node
+// (procedure Select-hypertree), recording subtree weights.
+func (sv *solver[W]) extract(p *solNode[W], nodeWeights map[*hypertree.Node]W) *hypertree.Node {
+	n := hypertree.NewNode(sv.g.chiOf(p.s, p.comp), p.s.edges)
+	nodeWeights[n] = p.weight
+	for _, q := range p.children {
+		cands, _ := sv.bestChoice(p, q)
+		child := sv.pick(cands)
+		n.AddChild(sv.extract(child, nodeWeights))
+	}
+	return n
+}
+
+// Stats reports the size of the candidate graph explored by a solver run,
+// for the complexity experiments (Theorem 4.5, experiment E3).
+type Stats struct {
+	KVertices   int // Ψ, number of k-vertices enumerated
+	Components  int // distinct components interned
+	Solutions   int // solution nodes materialized
+	Subproblems int // subproblem nodes materialized
+}
+
+// MinimalKWithStats is MinimalK but also reports candidate-graph statistics.
+func MinimalKWithStats[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts Options) (*Result[W], Stats, error) {
+	sv, err := newSolver(h, k, taf, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, err := sv.run()
+	st := Stats{
+		KVertices:   len(sv.g.kverts),
+		Components:  sv.g.nComps,
+		Solutions:   len(sv.sols),
+		Subproblems: len(sv.subs),
+	}
+	return res, st, err
+}

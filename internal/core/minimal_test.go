@@ -1,0 +1,385 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+	"repro/internal/weights"
+)
+
+func TestHypertreeWidthKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+		want int
+	}{
+		{"path5", hypergraph.Path(5), 1},
+		{"triangle", hypergraph.Cycle(3), 2},
+		{"cycle4", hypergraph.Cycle(4), 2},
+		{"cycle8", hypergraph.Cycle(8), 2},
+		{"Q0", buildQ0(), 2},
+		{"Q1", buildQ1(), 2},
+		{"grid3x3", hypergraph.Grid(3, 3), 2},
+	}
+	for _, c := range cases {
+		w, d, err := HypertreeWidth(c.h, 4, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if w != c.want {
+			t.Errorf("%s: hw = %d, want %d", c.name, w, c.want)
+		}
+		if err := d.ValidateNF(); err != nil {
+			t.Errorf("%s: output not a valid NF decomposition: %v", c.name, err)
+		}
+		if d.Width() > w {
+			t.Errorf("%s: output width %d exceeds hw %d", c.name, d.Width(), w)
+		}
+	}
+}
+
+func TestAcyclicHasWidthOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		h := hypergraph.RandomAcyclic(rng, 2+rng.Intn(8), 4)
+		ok, err := HasWidthK(h, 1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("acyclic hypergraph reported hw > 1:\n%s", h)
+		}
+	}
+}
+
+func TestDecomposeKFailsBelowWidth(t *testing.T) {
+	_, err := DecomposeK(hypergraph.Cycle(5), 1, Options{})
+	if !errors.Is(err, ErrNoDecomposition) {
+		t.Errorf("cycle with k=1 should fail, got %v", err)
+	}
+	ok, err := HasWidthK(hypergraph.Cycle(5), 1, Options{})
+	if err != nil || ok {
+		t.Errorf("HasWidthK(cycle,1) = %v, %v", ok, err)
+	}
+}
+
+func TestMinimalOutputsAreValidNF(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(5), 4+rng.Intn(6), 3)
+		for k := 1; k <= 3; k++ {
+			res, err := MinimalK(h, k, weights.CountVerticesTAF(), Options{})
+			if errors.Is(err, ErrNoDecomposition) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Decomp.ValidateNF(); err != nil {
+				t.Fatalf("k=%d output invalid: %v\n%s\n%s", k, err, h, res.Decomp)
+			}
+			if res.Decomp.Width() > k {
+				t.Fatalf("width %d > k %d", res.Decomp.Width(), k)
+			}
+		}
+	}
+}
+
+// Thm 4.4 soundness: the weight reported by MinimalK equals the TAF
+// evaluated on the returned decomposition, and equals the exhaustive
+// minimum over kNFD_H.
+func TestMinimalMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tafs := map[string]weights.TAF[float64]{
+		"count": weights.CountVerticesTAF(),
+		"width": weights.WidthTAF(),
+		"maxsep": weights.MaxSeparatorTAF(),
+		"mixed": {
+			Semiring: weights.SumFloat{},
+			Vertex: func(p weights.NodeInfo) float64 {
+				return float64(3*len(p.Lambda) + p.Chi.Count())
+			},
+			Edge: func(parent, child weights.NodeInfo) float64 {
+				return float64(parent.Chi.Intersect(child.Chi).Count() * 2)
+			},
+		},
+	}
+	for trial := 0; trial < 12; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(3), 4+rng.Intn(4), 3)
+		for name, taf := range tafs {
+			k := 2
+			res, err := MinimalK(h, k, taf, Options{})
+			noDecomp := errors.Is(err, ErrNoDecomposition)
+			if err != nil && !noDecomp {
+				t.Fatal(err)
+			}
+			exW, exOK, err := MinWeightExhaustive(h, k, 0, taf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if noDecomp != !exOK {
+				t.Fatalf("%s: feasibility disagrees (minimal=%v exhaustive=%v)\n%s",
+					name, !noDecomp, exOK, h)
+			}
+			if noDecomp {
+				continue
+			}
+			if res.Weight != exW {
+				t.Fatalf("%s: MinimalK weight %v != exhaustive %v\n%s\n%s",
+					name, res.Weight, exW, h, res.Decomp)
+			}
+			if got := taf.Evaluate(res.Decomp); got != res.Weight {
+				t.Fatalf("%s: Evaluate(decomp) = %v != reported %v", name, got, res.Weight)
+			}
+		}
+	}
+}
+
+// Cross-check: the independent threshold-style recursion agrees with the
+// candidate-graph solver on minimal weights.
+func TestMinWeightAgreesWithMinimalK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	taf := weights.TAF[float64]{
+		Semiring: weights.SumFloat{},
+		Vertex:   func(p weights.NodeInfo) float64 { return float64(len(p.Lambda)*5 + p.Chi.Count()) },
+		Edge: func(parent, child weights.NodeInfo) float64 {
+			return float64(parent.Chi.Intersect(child.Chi).Count())
+		},
+	}
+	for trial := 0; trial < 25; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(5), 4+rng.Intn(6), 3)
+		for k := 1; k <= 3; k++ {
+			res, err := MinimalK(h, k, taf, Options{})
+			noDecomp := errors.Is(err, ErrNoDecomposition)
+			if err != nil && !noDecomp {
+				t.Fatal(err)
+			}
+			mw, ok, err := MinWeight(h, k, taf, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok == noDecomp {
+				t.Fatalf("k=%d feasibility disagrees\n%s", k, h)
+			}
+			if !ok {
+				continue
+			}
+			if mw != res.Weight {
+				t.Fatalf("k=%d: MinWeight %v != MinimalK %v\n%s", k, mw, res.Weight, h)
+			}
+		}
+	}
+}
+
+func TestThresholdDecision(t *testing.T) {
+	h := buildQ0()
+	taf := weights.CountVerticesTAF()
+	res, err := MinimalK(h, 2, taf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := res.Weight
+	for _, tc := range []struct {
+		t    float64
+		want bool
+	}{{min, true}, {min + 1, true}, {min - 0.5, false}, {0, false}} {
+		got, err := Threshold(h, 2, taf, tc.t, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Threshold(t=%v) = %v, want %v (min=%v)", tc.t, got, tc.want, min)
+		}
+	}
+	// Infeasible class: k = 1 for a cyclic hypergraph.
+	got, err := Threshold(h, 1, taf, 1e18, Options{})
+	if err != nil || got {
+		t.Errorf("Threshold with empty kNFD should be false, got %v, %v", got, err)
+	}
+}
+
+// Lexicographically minimal decompositions of Q0 (Example 3.1). The paper
+// presents HD″ (profile 6×w1 + 1×w2, ω_lex = 15) as minimal among the
+// complete decompositions of Fig 1; over the full class kNFD the minimum is
+// in fact the 5-vertex decomposition rooted at {s1,s5} with profile
+// 4×w1 + 1×w2 (ω_lex = 13), which is not complete. We assert the exhaustive
+// kNFD minimum and that it beats both Fig 1 profiles.
+func TestQ0LexMinimal(t *testing.T) {
+	h := buildQ0()
+	taf := weights.LexTAF(2)
+	res, err := MinimalK(h, 2, taf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Decomp.ValidateNF(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight[0] != 4 || res.Weight[1] != 1 {
+		t.Errorf("lex-minimal profile = %v, want [4 1]", res.Weight)
+	}
+	got := res.Weight.Radix(int64(h.NumEdges()) + 1)
+	if got != 13 {
+		t.Errorf("ω_lex = %d, want 13", got)
+	}
+	if got >= 15 {
+		t.Errorf("minimal ω_lex %d should beat HD″'s 15", got)
+	}
+	exW, ok, err := MinWeightExhaustive(h, 2, 0, taf)
+	if err != nil || !ok {
+		t.Fatalf("exhaustive failed: %v %v", ok, err)
+	}
+	if taf.Semiring.Less(exW, res.Weight) || taf.Semiring.Less(res.Weight, exW) {
+		t.Errorf("exhaustive minimum %v != algorithm %v", exW, res.Weight)
+	}
+}
+
+// Thm 4.4 completeness (E12): with random tie-breaking, the algorithm can
+// output every minimal decomposition. On the triangle with the trivial
+// count TAF, enumerate the distinct minimal outputs over many seeded runs
+// and compare with the exhaustive minima.
+func TestRandomTieBreakingReachesAllMinima(t *testing.T) {
+	h := hypergraph.Cycle(3)
+	taf := weights.CountVerticesTAF()
+	res, err := MinimalK(h, 2, taf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minW := res.Weight
+	want := map[string]bool{}
+	_, err = EnumerateNF(h, 2, 0, func(d *hypertree.Decomposition) bool {
+		if taf.Evaluate(d) == minW {
+			want[d.String()] = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 2 {
+		t.Fatalf("test needs ≥ 2 minima to be meaningful, found %d", len(want))
+	}
+	got := map[string]bool{}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 400 && len(got) < len(want); i++ {
+		r, err := MinimalK(h, 2, taf, Options{Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Weight != minW {
+			t.Fatalf("random run returned non-minimal weight %v", r.Weight)
+		}
+		s := r.Decomp.String()
+		if !want[s] {
+			t.Fatalf("random run produced a non-minimal or unknown decomposition:\n%s", s)
+		}
+		got[s] = true
+	}
+	if len(got) != len(want) {
+		t.Errorf("random tie-breaking reached %d of %d minimal decompositions", len(got), len(want))
+	}
+}
+
+func TestEnumerateCountsTriangle(t *testing.T) {
+	h := hypergraph.Cycle(3)
+	n, err := EnumerateNF(h, 2, 0, func(*hypertree.Decomposition) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("triangle should have width-2 NF decompositions")
+	}
+	// Every enumerated decomposition is a valid NF decomposition.
+	valid := 0
+	_, err = EnumerateNF(h, 2, 0, func(d *hypertree.Decomposition) bool {
+		if err := d.ValidateNF(); err != nil {
+			t.Fatalf("enumerated decomposition invalid: %v\n%s", err, d)
+		}
+		valid++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != n {
+		t.Errorf("second enumeration count %d != first %d", valid, n)
+	}
+	// Limit is honored.
+	m, err := EnumerateNF(h, 2, 3, func(*hypertree.Decomposition) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 3 {
+		t.Errorf("limit=3 visited %d", m)
+	}
+}
+
+func TestPsiValues(t *testing.T) {
+	// Theorem 4.5 remark: k=3, n=5 → Ψ=25; k=4, n=10 → Ψ=385.
+	if got := Psi(5, 3); got != 25 {
+		t.Errorf("Ψ(5,3) = %d, want 25", got)
+	}
+	if got := Psi(10, 4); got != 385 {
+		t.Errorf("Ψ(10,4) = %d, want 385", got)
+	}
+	if got := Psi(3, 5); got != 7 { // k > n: all non-empty subsets
+		t.Errorf("Ψ(3,5) = %d, want 7", got)
+	}
+}
+
+func TestMaxKVerticesGuard(t *testing.T) {
+	h := hypergraph.Clique(6) // 15 edges
+	_, err := MinimalK(h, 3, weights.CountVerticesTAF(), Options{MaxKVertices: 10})
+	if err == nil || errors.Is(err, ErrNoDecomposition) {
+		t.Errorf("expected guard error, got %v", err)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	h := buildQ0()
+	if _, err := MinimalK(h, 0, weights.CountVerticesTAF(), Options{}); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := MinimalK(h, 2, weights.TAF[float64]{}, Options{}); err == nil {
+		t.Error("nil semiring should error")
+	}
+}
+
+func TestStatsReported(t *testing.T) {
+	h := buildQ0()
+	res, st, err := MinimalKWithStats(h, 2, weights.CountVerticesTAF(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || st.KVertices != int(Psi(8, 2)) {
+		t.Errorf("stats KVertices = %d, want Ψ(8,2) = %d", st.KVertices, Psi(8, 2))
+	}
+	if st.Solutions == 0 || st.Subproblems == 0 || st.Components == 0 {
+		t.Errorf("stats should be nonzero: %+v", st)
+	}
+}
+
+// The edge-independent cache must not change results (ablation E13 safety).
+func TestEdgeIndependentCacheConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vertex := func(p weights.NodeInfo) float64 { return float64(len(p.Lambda)*7 + p.Chi.Count()) }
+	edge := func(_, child weights.NodeInfo) float64 { return float64(child.Chi.Count()) }
+	withCache := weights.TAF[float64]{Semiring: weights.SumFloat{}, Vertex: vertex, Edge: edge, EdgeParentIndependent: true}
+	without := weights.TAF[float64]{Semiring: weights.SumFloat{}, Vertex: vertex, Edge: edge}
+	for trial := 0; trial < 20; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(5), 5+rng.Intn(5), 3)
+		a, errA := MinimalK(h, 2, withCache, Options{})
+		b, errB := MinimalK(h, 2, without, Options{})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("feasibility differs with cache\n%s", h)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.Weight != b.Weight {
+			t.Fatalf("cache changed weight: %v vs %v\n%s", a.Weight, b.Weight, h)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+	"repro/internal/weights"
+)
+
+// NodeWeights invariants: the root carries the total weight, every node
+// carries the TAF value of its own subtree, and leaves carry exactly their
+// vertex weight.
+func TestNodeWeightsSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	taf := weights.TAF[float64]{
+		Semiring: weights.SumFloat{},
+		Vertex:   func(p weights.NodeInfo) float64 { return float64(len(p.Lambda)*3 + p.Chi.Count()) },
+		Edge: func(parent, child weights.NodeInfo) float64 {
+			return float64(parent.Chi.Intersect(child.Chi).Count())
+		},
+	}
+	for trial := 0; trial < 15; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(4), 5+rng.Intn(5), 3)
+		res, err := MinimalK(h, 2, taf, Options{})
+		if err != nil {
+			continue
+		}
+		if got := res.NodeWeights[res.Decomp.Root]; got != res.Weight {
+			t.Fatalf("root node weight %v != total %v", got, res.Weight)
+		}
+		res.Decomp.Walk(func(n, _ *hypertree.Node) {
+			w, ok := res.NodeWeights[n]
+			if !ok {
+				t.Fatalf("node %d missing from NodeWeights", n.ID)
+			}
+			// Re-evaluate the TAF on the subtree rooted at n.
+			sub := &hypertree.Decomposition{H: h, Root: n}
+			if got := taf.Evaluate(sub); got != w {
+				t.Fatalf("node %d: recorded %v, subtree evaluates to %v", n.ID, w, got)
+			}
+			if len(n.Children) == 0 {
+				info := weights.NodeInfo{H: h, Lambda: n.Lambda, Chi: n.Chi}
+				if w != taf.Vertex(info) {
+					t.Fatalf("leaf weight %v != vertex weight %v", w, taf.Vertex(info))
+				}
+			}
+		})
+	}
+}
+
+// Decompositions produced by the algorithms are winning marshal strategies
+// (the game characterization of reference [19]).
+func TestOutputsAreWinningStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 15; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(5), 5+rng.Intn(5), 3)
+		d, err := DecomposeK(h, 3, Options{})
+		if err != nil {
+			continue
+		}
+		if !d.MarshalsWin() {
+			t.Fatalf("algorithm output is not a winning strategy:\n%s\n%s", h, d)
+		}
+		steps, err := d.PlayGame(nil)
+		if err != nil {
+			t.Fatalf("game failed: %v", err)
+		}
+		if !steps[len(steps)-1].Component.Empty() {
+			t.Fatal("robber not captured")
+		}
+	}
+}

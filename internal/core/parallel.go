@@ -1,0 +1,171 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+	"repro/internal/weights"
+)
+
+// Parallel minimal-k-decomp. Section 5 shows that for smooth TAFs the
+// decision problem is LOGCFL-complete and hence highly parallelizable; this
+// is the practical counterpart: a level-synchronized parallel evaluation of
+// the candidate graph. Solution-node weights at component size s depend
+// only on nodes with strictly smaller components, so nodes are processed in
+// waves of equal component size, each wave fanned out over a worker pool.
+//
+// The vertex and edge functions of the TAF must be safe for concurrent use
+// (the cost model in internal/cost is; pure functions trivially are).
+
+// ParallelOptions tunes ParallelMinimalK.
+type ParallelOptions struct {
+	Options
+	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+// ParallelMinimalK computes the same result as MinimalK (identical weight;
+// with deterministic tie-breaking, the identical decomposition) using a
+// level-parallel evaluation of the candidate graph.
+func ParallelMinimalK[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts ParallelOptions) (*Result[W], error) {
+	sv, err := newSolver(h, k, taf, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Phase 1: sequential structural discovery of all reachable nodes
+	// (no TAF evaluation), recording candidates and children.
+	root := sv.subproblem(sv.g.rootComp(), h.NewVarset())
+	sv.discover(root)
+
+	// Phase 2: level-parallel weight evaluation, ascending component size.
+	var sols []*solNode[W]
+	for _, p := range sv.sols {
+		sols = append(sols, p)
+	}
+	sort.Slice(sols, func(i, j int) bool {
+		a, b := sols[i], sols[j]
+		if ca, cb := a.comp.vars.Count(), b.comp.vars.Count(); ca != cb {
+			return ca < cb
+		}
+		// Stable total order inside a level for determinism of iteration.
+		if a.comp.id != b.comp.id {
+			return a.comp.id < b.comp.id
+		}
+		return a.s.idx < b.s.idx
+	})
+	for lo := 0; lo < len(sols); {
+		hi := lo
+		size := sols[lo].comp.vars.Count()
+		for hi < len(sols) && sols[hi].comp.vars.Count() == size {
+			hi++
+		}
+		level := sols[lo:hi]
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for _, p := range level {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(p *solNode[W]) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				sv.weigh(p)
+			}(p)
+		}
+		wg.Wait()
+		lo = hi
+	}
+
+	// Phase 3: sequential feasibility filter + extraction (cheap).
+	for _, q := range sv.subs {
+		var feas []*solNode[W]
+		for _, cand := range q.cands {
+			if cand.feasible {
+				feas = append(feas, cand)
+			}
+		}
+		q.cands = feas
+	}
+	if len(feasibleCands(root)) == 0 {
+		return nil, ErrNoDecomposition
+	}
+	var best []*solNode[W]
+	var bestW W
+	for _, cand := range root.cands {
+		switch {
+		case len(best) == 0, sv.taf.Semiring.Less(cand.weight, bestW):
+			best = []*solNode[W]{cand}
+			bestW = cand.weight
+		case !sv.taf.Semiring.Less(bestW, cand.weight):
+			best = append(best, cand)
+		}
+	}
+	chosen := sv.pick(best)
+	nodeWeights := map[*hypertree.Node]W{}
+	d := &hypertree.Decomposition{H: sv.g.h, Root: sv.extract(chosen, nodeWeights)}
+	d.Nodes()
+	return &Result[W]{Decomp: d, Weight: chosen.weight, NodeWeights: nodeWeights}, nil
+}
+
+func feasibleCands[W any](q *subNode[W]) []*solNode[W] { return q.cands }
+
+// discover walks the reachable candidate graph without evaluating the TAF:
+// it fills q.cands with all structural candidates (feasibility is decided
+// later) and p.children with the child subproblems.
+func (sv *solver[W]) discover(q *subNode[W]) {
+	if q.solved {
+		return
+	}
+	q.solved = true
+	for _, s := range sv.g.kverts {
+		if !sv.g.candidateOK(s, q.comp, q.iface) {
+			continue
+		}
+		p := sv.solution(s, q.comp)
+		if p.state == 0 {
+			p.state = 1
+			for _, cc := range sv.g.childComps(p.s, p.comp) {
+				child := sv.subproblem(cc, sv.g.ifaceFor(p.s, cc))
+				p.children = append(p.children, child)
+				sv.discover(child)
+			}
+		}
+		q.cands = append(q.cands, p)
+	}
+}
+
+// weigh computes p's weight assuming all strictly-smaller nodes are done.
+// It mirrors solveSol's weight recurrence, filtering for feasibility
+// inline (children's cands still contain infeasible entries at this point).
+func (sv *solver[W]) weigh(p *solNode[W]) {
+	w := sv.taf.VertexWeight(p.info)
+	feasible := true
+	for _, q := range p.children {
+		var best W
+		found := false
+		for _, cand := range q.cands {
+			if !cand.feasible {
+				continue
+			}
+			cw := sv.taf.Semiring.Combine(cand.weight, sv.taf.EdgeWeight(p.info, cand.info))
+			if !found || sv.taf.Semiring.Less(cw, best) {
+				best, found = cw, true
+			}
+		}
+		if !found {
+			feasible = false
+			break
+		}
+		w = sv.taf.Semiring.Combine(w, best)
+	}
+	p.weight = w
+	p.feasible = feasible
+	p.state = 2
+}

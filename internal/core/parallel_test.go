@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/weights"
+)
+
+// The parallel solver computes exactly the sequential minimum on random
+// hypergraphs across TAF shapes and worker counts.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	tafs := map[string]weights.TAF[float64]{
+		"count": weights.CountVerticesTAF(),
+		"mixed": {
+			Semiring: weights.SumFloat{},
+			Vertex: func(p weights.NodeInfo) float64 {
+				return float64(2*len(p.Lambda) + p.Chi.Count())
+			},
+			Edge: func(parent, child weights.NodeInfo) float64 {
+				return float64(parent.Chi.Intersect(child.Chi).Count())
+			},
+		},
+	}
+	for trial := 0; trial < 20; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(5), 4+rng.Intn(6), 3)
+		for name, taf := range tafs {
+			for _, workers := range []int{1, 4} {
+				seq, errS := MinimalK(h, 2, taf, Options{})
+				par, errP := ParallelMinimalK(h, 2, taf, ParallelOptions{Workers: workers})
+				if (errS == nil) != (errP == nil) {
+					t.Fatalf("%s workers=%d: feasibility disagrees: %v vs %v\n%s",
+						name, workers, errS, errP, h)
+				}
+				if errS != nil {
+					if !errors.Is(errS, ErrNoDecomposition) {
+						t.Fatal(errS)
+					}
+					continue
+				}
+				if seq.Weight != par.Weight {
+					t.Fatalf("%s workers=%d: weights differ: %v vs %v\n%s",
+						name, workers, seq.Weight, par.Weight, h)
+				}
+				if err := par.Decomp.ValidateNF(); err != nil {
+					t.Fatalf("%s: parallel output invalid: %v", name, err)
+				}
+				if got := taf.Evaluate(par.Decomp); got != par.Weight {
+					t.Fatalf("%s: parallel weight %v != evaluated %v", name, par.Weight, got)
+				}
+			}
+		}
+	}
+}
+
+// With deterministic tie-breaking the parallel solver returns the identical
+// decomposition, not merely an equally-weighted one.
+func TestParallelDeterministic(t *testing.T) {
+	h := buildQ1()
+	taf := weights.LexTAF(3)
+	seq, err := MinimalK(h, 3, taf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelMinimalK(h, 3, taf, ParallelOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Decomp.String() != par.Decomp.String() {
+		t.Errorf("decompositions differ:\nseq:\n%s\npar:\n%s", seq.Decomp, par.Decomp)
+	}
+}
+
+func TestParallelInfeasible(t *testing.T) {
+	_, err := ParallelMinimalK(hypergraph.Cycle(5), 1, weights.CountVerticesTAF(),
+		ParallelOptions{Workers: 4})
+	if !errors.Is(err, ErrNoDecomposition) {
+		t.Errorf("expected ErrNoDecomposition, got %v", err)
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	h := hypergraph.Cycle(4)
+	res, err := ParallelMinimalK(h, 2, weights.CountVerticesTAF(), ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Decomp.ValidateNF(); err != nil {
+		t.Error(err)
+	}
+}

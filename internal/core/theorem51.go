@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/weights"
+)
+
+// Theorem 5.1's LOGCFL-hardness reduction: from an acyclic Boolean
+// conjunctive query Q over a database DB, build a hypergraph H and a smooth
+// TAF F(+,v,e) such that the answer of Q on DB is true iff some
+// HD ∈ kNFD_H has F(HD) = 0. Exercised by tests (experiment E10) by
+// comparing against naive query evaluation.
+
+// ACQAtom is one atom of an acyclic Boolean conjunctive query together with
+// its relation: Vars are the atom's variables (the paper assumes distinct
+// variable sets per atom), Tuples the relation's rows (values aligned with
+// Vars, duplicates not allowed).
+type ACQAtom struct {
+	Name   string
+	Vars   []string
+	Tuples [][]int
+}
+
+// Theorem51Instance is the reduction output.
+type Theorem51Instance struct {
+	Atoms []ACQAtom
+	H     *hypergraph.Hypergraph
+	TAF   weights.TAF[float64]
+
+	// edgeKind[e]: atom index i for h_i edges; tupleOf[e] ≥ 0 with atomOf[e]
+	// for h_ij edges (tuple j of atom i); -1 otherwise.
+	atomOf  []int
+	tupleOf []int
+}
+
+// NewTheorem51Instance builds H = (X̄ ∪ T̄, {h_i} ∪ {h_ij}) with
+// h_i = X̄_i ∪ R_i (all tuple variables of atom i's relation) and
+// h_ij = X̄_i ∪ {T_j} for each tuple, plus the smooth TAF of the proof:
+//
+//	v(p) = max(|λ(p)|−1, |var(λ(p)) − χ(p)|)
+//	e(r,s) = 0 if r is an h_ij node and s is an h_ab node with matching
+//	         tuples, or r is an h_ij node and s is the h_i node; else 1.
+func NewTheorem51Instance(atoms []ACQAtom) (*Theorem51Instance, error) {
+	b := hypergraph.NewBuilder()
+	tupleName := func(i, j int) string { return fmt.Sprintf("T_%s_%d", atoms[i].Name, j) }
+	// h_i edges first, then h_ij edges, so indices are computable.
+	for i, a := range atoms {
+		vars := append([]string(nil), a.Vars...)
+		for j := range a.Tuples {
+			vars = append(vars, tupleName(i, j))
+		}
+		if err := b.Edge("h_"+a.Name, vars...); err != nil {
+			return nil, err
+		}
+	}
+	inst := &Theorem51Instance{Atoms: atoms}
+	for i, a := range atoms {
+		for j, tup := range a.Tuples {
+			if len(tup) != len(a.Vars) {
+				return nil, fmt.Errorf("core: atom %s tuple %d has arity %d, want %d",
+					a.Name, j, len(tup), len(a.Vars))
+			}
+			vars := append(append([]string(nil), a.Vars...), tupleName(i, j))
+			if err := b.Edge(fmt.Sprintf("h_%s_%d", a.Name, j), vars...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	inst.H = h
+	inst.atomOf = make([]int, h.NumEdges())
+	inst.tupleOf = make([]int, h.NumEdges())
+	for e := range inst.atomOf {
+		inst.atomOf[e], inst.tupleOf[e] = -1, -1
+	}
+	for i, a := range atoms {
+		inst.atomOf[h.EdgeByName("h_"+a.Name)] = i
+		for j := range a.Tuples {
+			e := h.EdgeByName(fmt.Sprintf("h_%s_%d", a.Name, j))
+			inst.atomOf[e] = i
+			inst.tupleOf[e] = j
+		}
+	}
+	inst.TAF = weights.TAF[float64]{
+		Semiring: weights.SumFloat{},
+		Vertex: func(p weights.NodeInfo) float64 {
+			excess := float64(len(p.Lambda) - 1)
+			hidden := float64(p.LambdaVars().Subtract(p.Chi).Count())
+			if hidden > excess {
+				return hidden
+			}
+			return excess
+		},
+		Edge: inst.edgeWeight,
+	}
+	return inst, nil
+}
+
+// kind reports the reduction role of a decomposition node: an h_ij node
+// (atom i, tuple j), an h_i node (atom i, tuple -1), or neither (-1, -1).
+// A node qualifies only when its λ is the single corresponding hyperedge
+// and its χ equals the hyperedge (the proof's weight-0 shape).
+func (inst *Theorem51Instance) kind(p weights.NodeInfo) (atom, tuple int) {
+	if len(p.Lambda) != 1 {
+		return -1, -1
+	}
+	e := p.Lambda[0]
+	if !p.Chi.Equal(inst.H.EdgeVars(e)) {
+		return -1, -1
+	}
+	return inst.atomOf[e], inst.tupleOf[e]
+}
+
+// matches reports whether tuple j of atom i agrees with tuple b of atom a
+// on the variables the two atoms share.
+func (inst *Theorem51Instance) matches(i, j, a, b int) bool {
+	ai, aa := inst.Atoms[i], inst.Atoms[a]
+	for vi, v := range ai.Vars {
+		for va, w := range aa.Vars {
+			if v == w && ai.Tuples[j][vi] != aa.Tuples[b][va] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (inst *Theorem51Instance) edgeWeight(r, s weights.NodeInfo) float64 {
+	ri, rj := inst.kind(r)
+	si, sj := inst.kind(s)
+	if ri >= 0 && rj >= 0 { // r is an h_ij node
+		if si >= 0 && sj >= 0 && inst.matches(ri, rj, si, sj) {
+			return 0
+		}
+		if si == ri && sj == -1 { // s is the h_i node of the same atom
+			return 0
+		}
+	}
+	return 1
+}
+
+// Answer evaluates the Boolean conjunctive query naively (backtracking over
+// tuple assignments), the oracle for the reduction tests.
+func (inst *Theorem51Instance) Answer() bool {
+	assign := make(map[string]int)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(inst.Atoms) {
+			return true
+		}
+		a := inst.Atoms[i]
+	tuples:
+		for _, tup := range a.Tuples {
+			bound := map[string]int{}
+			for vi, v := range a.Vars {
+				if prev, ok := assign[v]; ok {
+					if prev != tup[vi] {
+						continue tuples
+					}
+				} else if b, ok := bound[v]; ok {
+					if b != tup[vi] {
+						continue tuples
+					}
+				} else {
+					bound[v] = tup[vi]
+				}
+			}
+			for v, val := range bound {
+				assign[v] = val
+			}
+			if rec(i + 1) {
+				return true
+			}
+			for v := range bound {
+				delete(assign, v)
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// HoldsWithZeroWeight decides whether some HD ∈ kNFD_H has F(HD) ≤ 0 using
+// the threshold machinery with k = 1 (the reduction's target problem).
+func (inst *Theorem51Instance) HoldsWithZeroWeight() (bool, error) {
+	return Threshold(inst.H, 1, inst.TAF, 0, Options{})
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/hypergraph"
+	"repro/internal/weights"
+)
+
+// threshold-k-decomp (Fig 4). The paper's algorithm guesses k-vertices and
+// per-component budgets on an alternating logspace Turing machine; the
+// deterministic simulation below replaces the budget guesses by computing
+// the minimum weight of each subproblem bottom-up — an existentially
+// quantified budget split is satisfiable iff the minima fit. The recursion
+// mirrors Fig 4's decomposable_k (conditions C1 and C2) and is implemented
+// independently of the candidate-graph solver so the two can cross-check
+// each other.
+
+type thresholdSolver[W any] struct {
+	g    *graph
+	taf  weights.TAF[W]
+	memo map[string]*thresholdEntry[W]
+}
+
+type thresholdEntry[W any] struct {
+	ok bool
+	w  W
+}
+
+// Threshold decides whether some HD ∈ kNFD_H has taf(HD) ≤ t
+// (Theorem 5.1's decision problem; LOGCFL for smooth TAFs).
+func Threshold[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], t W, opts Options) (bool, error) {
+	w, ok, err := MinWeight(h, k, taf, opts)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	return !taf.Semiring.Less(t, w), nil
+}
+
+// MinWeight computes min_{HD ∈ kNFD_H} taf(HD) via the Fig 4 recursion.
+// ok is false when kNFD_H = ∅.
+func MinWeight[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts Options) (w W, ok bool, err error) {
+	g, err := newGraph(h, k, opts.MaxKVertices)
+	if err != nil {
+		return w, false, err
+	}
+	ts := &thresholdSolver[W]{g: g, taf: taf, memo: map[string]*thresholdEntry[W]{}}
+	root := g.rootComp()
+	var best W
+	found := false
+	// Root level: no incoming edge weight; minimize over root k-vertices.
+	for _, s := range g.kverts {
+		if !g.candidateOK(s, root, h.NewVarset()) {
+			continue
+		}
+		sw, sOK := ts.subtree(s, root)
+		if !sOK {
+			continue
+		}
+		if !found || taf.Semiring.Less(sw, best) {
+			best, found = sw, true
+		}
+	}
+	return best, found, nil
+}
+
+// subtree returns the minimal weight of an NF subtree rooted at solution
+// node (S, C): v(S,C) ⊕ Σ over child components of min over child choices
+// of (child subtree weight ⊕ e((S,C), child)).
+func (ts *thresholdSolver[W]) subtree(s kvert, c *compEntry) (W, bool) {
+	key := strconv.Itoa(s.idx) + "|" + strconv.Itoa(c.id)
+	if e, hit := ts.memo[key]; hit {
+		return e.w, e.ok
+	}
+	// Mark in-progress entries as failures to be safe; the recursion cannot
+	// cycle (components strictly shrink), so this is never observed.
+	entry := &thresholdEntry[W]{}
+	ts.memo[key] = entry
+
+	info := ts.g.nodeInfo(s, c)
+	w := ts.taf.VertexWeight(info)
+	ok := true
+	for _, cc := range ts.g.childComps(s, c) {
+		iface := ts.g.ifaceFor(s, cc)
+		var best W
+		found := false
+		for _, s2 := range ts.g.kverts {
+			if !ts.g.candidateOK(s2, cc, iface) {
+				continue
+			}
+			sw, sOK := ts.subtree(s2, cc)
+			if !sOK {
+				continue
+			}
+			cw := ts.taf.Semiring.Combine(sw, ts.taf.EdgeWeight(info, ts.g.nodeInfo(s2, cc)))
+			if !found || ts.taf.Semiring.Less(cw, best) {
+				best, found = cw, true
+			}
+		}
+		if !found {
+			ok = false
+			break
+		}
+		w = ts.taf.Semiring.Combine(w, best)
+	}
+	entry.w, entry.ok = w, ok
+	return w, ok
+}

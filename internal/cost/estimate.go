@@ -1,0 +1,172 @@
+// Package cost implements the quantitative half of Section 6: textbook
+// cardinality estimation over relation statistics (Garcia-Molina, Ullman,
+// Widom; Ioannidis — the paper's refs [12,25]), hash-join/semijoin cost
+// estimates, and the tree aggregation function cost_H(Q) = F(+,v*,e*) of
+// Example 4.3 whose minimal decompositions are optimal query plans.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/db"
+)
+
+// Est summarizes the estimated statistics of a relational expression: its
+// cardinality and the estimated number of distinct values per attribute.
+type Est struct {
+	Card float64
+	V    map[string]float64
+}
+
+// FromStats converts ANALYZE statistics to an Est, renaming attributes via
+// mapping (relation column → query variable). Attributes missing a distinct
+// count default to the cardinality (key-like).
+func FromStats(st *db.TableStats, attrs []string, mapping map[string]string) Est {
+	e := Est{Card: float64(st.Card), V: map[string]float64{}}
+	for _, a := range attrs {
+		name := a
+		if m, ok := mapping[a]; ok {
+			name = m
+		}
+		d, ok := st.Distinct[a]
+		if !ok || d <= 0 {
+			d = st.Card
+		}
+		v := float64(d)
+		if v < 1 {
+			v = 1
+		}
+		e.V[name] = v
+	}
+	return e
+}
+
+// Attrs returns the attribute names in sorted order (deterministic
+// iteration for caching and rendering).
+func (e Est) Attrs() []string {
+	out := make([]string, 0, len(e.V))
+	for a := range e.V {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clampV caps every distinct estimate at the cardinality and floors at 1.
+func (e Est) clampV() Est {
+	for a, v := range e.V {
+		if v > e.Card && e.Card >= 1 {
+			e.V[a] = e.Card
+		} else if v < 1 {
+			e.V[a] = 1
+		}
+	}
+	return e
+}
+
+// Join estimates a ⋈ b with the classic formula
+//
+//	|a ⋈ b| = |a|·|b| / Π_{A shared} max(V(a,A), V(b,A))
+//
+// and V(out, A) = min over the inputs containing A, capped at the output
+// cardinality. With no shared attribute it degenerates to the cross
+// product.
+func Join(a, b Est) Est {
+	card := a.Card * b.Card
+	for attr, va := range a.V {
+		if vb, ok := b.V[attr]; ok {
+			card /= math.Max(va, vb)
+		}
+	}
+	if card < 0 {
+		card = 0
+	}
+	out := Est{Card: card, V: map[string]float64{}}
+	for attr, va := range a.V {
+		out.V[attr] = va
+		if vb, ok := b.V[attr]; ok && vb < va {
+			out.V[attr] = vb
+		}
+	}
+	for attr, vb := range b.V {
+		if _, ok := out.V[attr]; !ok {
+			out.V[attr] = vb
+		}
+	}
+	return out.clampV()
+}
+
+// Project estimates the deduplicating projection π_keep(a): the output
+// cardinality is min(|a|, Π V(A)) under attribute independence.
+func Project(a Est, keep []string) Est {
+	prod := 1.0
+	out := Est{V: map[string]float64{}}
+	for _, attr := range keep {
+		v, ok := a.V[attr]
+		if !ok {
+			v = 1
+		}
+		out.V[attr] = v
+		if prod < 1e18 { // avoid overflow on wide schemas
+			prod *= v
+		}
+	}
+	out.Card = math.Min(a.Card, prod)
+	return out.clampV()
+}
+
+// Semijoin estimates a ⋉ b: |a| scaled by the probability a tuple of a has
+// a partner in b, approximated per shared attribute by
+// min(1, V(b,A)/V(a,A)).
+func Semijoin(a, b Est) Est {
+	frac := 1.0
+	for attr, va := range a.V {
+		if vb, ok := b.V[attr]; ok && va > 0 {
+			frac *= math.Min(1, vb/va)
+		}
+	}
+	out := Est{Card: a.Card * frac, V: map[string]float64{}}
+	for attr, va := range a.V {
+		out.V[attr] = va
+	}
+	return out.clampV()
+}
+
+// JoinCost is the estimated execution cost of a hash join: read both
+// inputs, write the output.
+func JoinCost(a, b Est) float64 { return a.Card + b.Card + Join(a, b).Card }
+
+// SemijoinCost is the estimated execution cost of a hash semijoin: read
+// both inputs (the output is at most |a| and is absorbed in the constant).
+func SemijoinCost(a, b Est) float64 { return a.Card + b.Card }
+
+// ChainJoin estimates joining a set of expressions with a greedy
+// minimum-output order, returning the final Est and the accumulated
+// execution cost (Σ per-step JoinCost). A single input costs one scan.
+func ChainJoin(inputs []Est) (Est, float64, error) {
+	if len(inputs) == 0 {
+		return Est{}, 0, fmt.Errorf("cost: empty join chain")
+	}
+	work := append([]Est(nil), inputs...)
+	if len(work) == 1 {
+		return work[0], work[0].Card, nil
+	}
+	total := 0.0
+	for len(work) > 1 {
+		bi, bj, bCard := 0, 1, math.Inf(1)
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				if c := Join(work[i], work[j]).Card; c < bCard {
+					bi, bj, bCard = i, j, c
+				}
+			}
+		}
+		total += JoinCost(work[bi], work[bj])
+		joined := Join(work[bi], work[bj])
+		work[bi] = joined
+		work = append(work[:bj], work[bj+1:]...)
+	}
+	return work[0], total, nil
+}

@@ -1,0 +1,143 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/db"
+)
+
+func est(card float64, v map[string]float64) Est {
+	return Est{Card: card, V: v}
+}
+
+func TestFromStats(t *testing.T) {
+	st := &db.TableStats{Card: 100, Distinct: map[string]int{"c0": 10, "c1": 5}}
+	e := FromStats(st, []string{"c0", "c1"}, map[string]string{"c0": "X", "c1": "Y"})
+	if e.Card != 100 || e.V["X"] != 10 || e.V["Y"] != 5 {
+		t.Errorf("FromStats = %+v", e)
+	}
+	// Missing distinct defaults to card.
+	e2 := FromStats(&db.TableStats{Card: 50, Distinct: map[string]int{}}, []string{"A"}, nil)
+	if e2.V["A"] != 50 {
+		t.Errorf("default selectivity = %v, want 50", e2.V["A"])
+	}
+}
+
+func TestJoinFormula(t *testing.T) {
+	a := est(1000, map[string]float64{"X": 10, "Y": 20})
+	b := est(500, map[string]float64{"Y": 50, "Z": 5})
+	j := Join(a, b)
+	// |a⋈b| = 1000·500 / max(20,50) = 10000.
+	if j.Card != 10000 {
+		t.Errorf("join card = %v, want 10000", j.Card)
+	}
+	if j.V["Y"] != 20 { // min of the two
+		t.Errorf("V(Y) = %v, want 20", j.V["Y"])
+	}
+	if j.V["X"] != 10 || j.V["Z"] != 5 {
+		t.Errorf("inherited V wrong: %+v", j.V)
+	}
+}
+
+func TestJoinCrossProduct(t *testing.T) {
+	a := est(10, map[string]float64{"X": 10})
+	b := est(20, map[string]float64{"Y": 4})
+	j := Join(a, b)
+	if j.Card != 200 {
+		t.Errorf("cross card = %v, want 200", j.Card)
+	}
+}
+
+func TestJoinVClamping(t *testing.T) {
+	a := est(4, map[string]float64{"X": 4, "Y": 4})
+	b := est(4, map[string]float64{"Y": 4, "Z": 4})
+	j := Join(a, b) // card 4
+	for attr, v := range j.V {
+		if v > j.Card {
+			t.Errorf("V(%s) = %v exceeds card %v", attr, v, j.Card)
+		}
+	}
+}
+
+func TestProjectEstimate(t *testing.T) {
+	a := est(1000, map[string]float64{"X": 10, "Y": 20, "Z": 30})
+	p := Project(a, []string{"X", "Y"})
+	// min(1000, 10·20) = 200.
+	if p.Card != 200 {
+		t.Errorf("project card = %v, want 200", p.Card)
+	}
+	if _, ok := p.V["Z"]; ok {
+		t.Error("projected-out attribute retained")
+	}
+	// Projection never exceeds input cardinality.
+	p2 := Project(a, []string{"X", "Y", "Z"})
+	if p2.Card > a.Card {
+		t.Errorf("projection grew: %v > %v", p2.Card, a.Card)
+	}
+}
+
+func TestSemijoinEstimate(t *testing.T) {
+	a := est(1000, map[string]float64{"X": 100})
+	b := est(50, map[string]float64{"X": 10})
+	sj := Semijoin(a, b)
+	// fraction = min(1, 10/100) = 0.1 → 100 tuples.
+	if sj.Card != 100 {
+		t.Errorf("semijoin card = %v, want 100", sj.Card)
+	}
+	// Semijoin by a superset domain keeps everything.
+	sj2 := Semijoin(b, a)
+	if sj2.Card != 50 {
+		t.Errorf("semijoin card = %v, want 50", sj2.Card)
+	}
+}
+
+func TestCosts(t *testing.T) {
+	a := est(100, map[string]float64{"X": 10})
+	b := est(200, map[string]float64{"X": 20})
+	if got := SemijoinCost(a, b); got != 300 {
+		t.Errorf("semijoin cost = %v, want 300", got)
+	}
+	jc := JoinCost(a, b)
+	if jc != 100+200+Join(a, b).Card {
+		t.Errorf("join cost = %v", jc)
+	}
+}
+
+func TestChainJoin(t *testing.T) {
+	if _, _, err := ChainJoin(nil); err == nil {
+		t.Error("empty chain should fail")
+	}
+	single := est(42, map[string]float64{"X": 10})
+	e, c, err := ChainJoin([]Est{single})
+	if err != nil || e.Card != 42 || c != 42 {
+		t.Errorf("single chain: %v %v %v", e, c, err)
+	}
+	// Three-way chain: greedy order is deterministic; final Est is
+	// independent of order for these formulas.
+	a := est(100, map[string]float64{"X": 10, "Y": 10})
+	b := est(100, map[string]float64{"Y": 10, "Z": 10})
+	cc := est(100, map[string]float64{"Z": 10, "W": 10})
+	e1, cost1, err := ChainJoin([]Est{a, b, cc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, cost2, err := ChainJoin([]Est{cc, a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e1.Card-e2.Card) > 1e-9 {
+		t.Errorf("final card depends on input order: %v vs %v", e1.Card, e2.Card)
+	}
+	if cost1 <= 0 || cost2 <= 0 {
+		t.Error("chain costs should be positive")
+	}
+}
+
+func TestEstAttrsSorted(t *testing.T) {
+	e := est(1, map[string]float64{"B": 1, "A": 1, "C": 1})
+	attrs := e.Attrs()
+	if len(attrs) != 3 || attrs[0] != "A" || attrs[2] != "C" {
+		t.Errorf("Attrs = %v", attrs)
+	}
+}

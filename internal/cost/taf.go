@@ -1,0 +1,157 @@
+package cost
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/weights"
+)
+
+// Model builds the cost TAF cost_H(Q) = F(+,v*,e*) of Example 4.3 for a
+// query and its catalog statistics:
+//
+//	v*(p) = estimated cost of evaluating E(p) = π_χ(p)(⋈_{h∈λ(p)} rel(h))
+//	e*(p,p′) = estimated cost of the semijoin E(p) ⋉ E(p′)
+//
+// The model caches E(p) estimates per (λ, χ) label. It is safe for
+// concurrent use (core.ParallelMinimalK evaluates the TAF from many
+// goroutines).
+type Model struct {
+	query   *cq.Query
+	edgeEst map[string]Est // per predicate: atom relation stats as query vars
+
+	mu    sync.RWMutex
+	cache map[string]nodeEst
+}
+
+type nodeEst struct {
+	est  Est
+	cost float64
+}
+
+// NewModel prepares a cost model for q over analyzed statistics in cat.
+// Atoms whose last variable is fresh (cq.WithFreshVariables) get a
+// synthetic key attribute with selectivity = cardinality, matching the
+// row-id realization in the engine.
+func NewModel(q *cq.Query, cat *db.Catalog) (*Model, error) {
+	m := &Model{query: q, edgeEst: map[string]Est{}, cache: map[string]nodeEst{}}
+	for _, a := range q.Atoms {
+		st := cat.Stats(a.Predicate)
+		if st == nil {
+			return nil, fmt.Errorf("cost: relation %s not analyzed", a.Predicate)
+		}
+		rel := cat.Get(a.Predicate)
+		vars := a.Vars
+		fresh := len(vars) > 0 && cq.IsFreshVariable(vars[len(vars)-1])
+		baseVars := vars
+		if fresh {
+			baseVars = vars[:len(vars)-1]
+		}
+		var attrs []string
+		mapping := map[string]string{}
+		switch {
+		case rel != nil && len(rel.Attrs) == len(baseVars):
+			attrs = rel.Attrs
+			for i, col := range rel.Attrs {
+				mapping[col] = baseVars[i]
+			}
+		default:
+			// Stats-only catalogs (e.g. the published Fig 5 numbers) keyed
+			// directly by query variable names.
+			attrs = baseVars
+		}
+		e := FromStats(st, attrs, mapping)
+		if fresh {
+			e.V[vars[len(vars)-1]] = e.Card
+		}
+		m.edgeEst[a.Predicate] = e
+	}
+	return m, nil
+}
+
+// estOf returns the estimate and evaluation cost of E(p) for a
+// decomposition node, memoized on its (λ, χ) labels.
+func (m *Model) estOf(p weights.NodeInfo) (nodeEst, error) {
+	key := nodeKey(p)
+	m.mu.RLock()
+	ne, ok := m.cache[key]
+	m.mu.RUnlock()
+	if ok {
+		return ne, nil
+	}
+	inputs := make([]Est, 0, len(p.Lambda))
+	for _, e := range p.Lambda {
+		pred := p.H.EdgeName(e)
+		est, ok := m.edgeEst[pred]
+		if !ok {
+			return nodeEst{}, fmt.Errorf("cost: no estimate for predicate %s", pred)
+		}
+		inputs = append(inputs, est)
+	}
+	joined, joinCost, err := ChainJoin(inputs)
+	if err != nil {
+		return nodeEst{}, err
+	}
+	var chiNames []string
+	p.Chi.ForEach(func(v int) { chiNames = append(chiNames, p.H.VarName(v)) })
+	projected := Project(joined, chiNames)
+	// ChainJoin's cost already accounts for reading the inputs and writing
+	// the join output; projecting onto χ(p) happens while writing it.
+	ne = nodeEst{est: projected, cost: joinCost}
+	m.mu.Lock()
+	m.cache[key] = ne
+	m.mu.Unlock()
+	return ne, nil
+}
+
+func nodeKey(p weights.NodeInfo) string {
+	var b strings.Builder
+	for _, e := range p.Lambda {
+		b.WriteString(strconv.Itoa(e))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(p.Chi.Key())
+	return b.String()
+}
+
+// Vertex is v*(p): the estimated cost of computing E(p).
+func (m *Model) Vertex(p weights.NodeInfo) float64 {
+	ne, err := m.estOf(p)
+	if err != nil {
+		// TAFs are total functions; unknown predicates make the node
+		// prohibitively expensive rather than failing mid-algorithm.
+		return 1e30
+	}
+	return ne.cost
+}
+
+// Edge is e*(p,p′): the estimated cost of the semijoin E(p) ⋉ E(p′).
+func (m *Model) Edge(parent, child weights.NodeInfo) float64 {
+	pe, err1 := m.estOf(parent)
+	ce, err2 := m.estOf(child)
+	if err1 != nil || err2 != nil {
+		return 1e30
+	}
+	return SemijoinCost(pe.est, ce.est)
+}
+
+// TAF returns cost_H(Q) as a weights.TAF ready for core.MinimalK.
+func (m *Model) TAF() weights.TAF[float64] {
+	return weights.TAF[float64]{
+		Semiring: weights.SumFloat{},
+		Vertex:   m.Vertex,
+		Edge:     m.Edge,
+	}
+}
+
+// EstimateOf exposes the estimated statistics of E(p) (used by reports and
+// examples to annotate plans with the $-costs of Figs 6 and 7).
+func (m *Model) EstimateOf(p weights.NodeInfo) (Est, float64, error) {
+	ne, err := m.estOf(p)
+	return ne.est, ne.cost, err
+}

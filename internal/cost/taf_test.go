@@ -1,0 +1,165 @@
+package cost_test
+
+// External test package: exercises the cost TAF and cost-k-decomp through
+// the bench workloads (Fig 5 statistics) without an import cycle.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/weights"
+)
+
+func TestModelRequiresAnalyzedStats(t *testing.T) {
+	q := cq.MustParse("ans :- r(A,B)")
+	cat := db.NewCatalog()
+	r := db.NewRelation("r", "x", "y")
+	cat.Put(r)
+	if _, err := cost.NewModel(q, cat); err == nil {
+		t.Error("unanalyzed catalog should fail")
+	}
+}
+
+func TestModelVertexAndEdge(t *testing.T) {
+	q := cq.MustParse("ans :- r(A,B), s(B,C)")
+	cat := db.NewCatalog()
+	rng := rand.New(rand.NewSource(71))
+	cat.Put(db.MustGenerate(rng, db.Spec{Name: "r", Attrs: []string{"x", "y"}, Card: 100,
+		Distinct: map[string]int{"x": 10, "y": 10}}))
+	cat.Put(db.MustGenerate(rng, db.Spec{Name: "s", Attrs: []string{"x", "y"}, Card: 200,
+		Distinct: map[string]int{"x": 10, "y": 20}}))
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cost.NewModel(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node with λ={r}, χ={A,B}: v* = scan cost = 100.
+	chi := h.NewVarset()
+	chi.Set(h.VarByName("A"))
+	chi.Set(h.VarByName("B"))
+	p := weights.NodeInfo{H: h, Lambda: []int{h.EdgeByName("r")}, Chi: chi}
+	if v := m.Vertex(p); v != 100 {
+		t.Errorf("v*(scan r) = %v, want 100", v)
+	}
+	// Node with λ={s}, χ={B,C}.
+	chi2 := h.NewVarset()
+	chi2.Set(h.VarByName("B"))
+	chi2.Set(h.VarByName("C"))
+	p2 := weights.NodeInfo{H: h, Lambda: []int{h.EdgeByName("s")}, Chi: chi2}
+	// e*(p,p2) = |E(p)| + |E(p2)| = 100 + 200.
+	if e := m.Edge(p, p2); e != 300 {
+		t.Errorf("e* = %v, want 300", e)
+	}
+	est, c, err := m.EstimateOf(p)
+	if err != nil || est.Card != 100 || c != 100 {
+		t.Errorf("EstimateOf = %+v %v %v", est, c, err)
+	}
+}
+
+func TestCostKDecompProducesExecutablePlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	cat, err := bench.BuildQ1Catalog(rng, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cq.Q1()
+	plan, err := cost.CostKDecomp(q, cat, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Decomp.IsComplete() {
+		t.Fatal("plan decomposition must be complete")
+	}
+	if plan.EstimatedCost <= 0 {
+		t.Errorf("estimated cost = %v", plan.EstimatedCost)
+	}
+	res, err := engine.EvalDecomposition(plan.Decomp, plan.Query, cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.EvalNaive(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.Answer(res) != (want.Card() > 0) {
+		t.Error("plan answer differs from naive answer")
+	}
+}
+
+func TestCostKDecompInfeasibleWidth(t *testing.T) {
+	// The fresh-augmented triangle still has width 2; k=1 must fail.
+	rng := rand.New(rand.NewSource(73))
+	q := cq.MustParse("ans :- r(A,B), s(B,C), t(C,A)")
+	cat := db.NewCatalog()
+	for _, a := range q.Atoms {
+		cat.Put(db.MustGenerate(rng, db.Spec{Name: a.Predicate, Attrs: []string{"x", "y"},
+			Card: 10, Distinct: map[string]int{"x": 3, "y": 3}}))
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cost.CostKDecomp(q, cat, 1, core.Options{})
+	if !errors.Is(err, core.ErrNoDecomposition) {
+		t.Errorf("expected ErrNoDecomposition, got %v", err)
+	}
+}
+
+// Sweep on the published Fig 5 statistics: larger k never yields a worse
+// plan (the search space only grows), matching the Section 6 narrative.
+func TestSweepMonotone(t *testing.T) {
+	cat := bench.Fig5StatsCatalog()
+	entries, err := cost.Sweep(cq.Q1(), cat, 2, 5, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, e := range entries {
+		if !e.Feasible {
+			t.Fatalf("k=%d infeasible", e.K)
+		}
+		if i > 0 && e.EstimatedCost > prev+1e-9 {
+			t.Errorf("cost increased from k=%d (%v) to k=%d (%v)",
+				entries[i-1].K, prev, e.K, e.EstimatedCost)
+		}
+		prev = e.EstimatedCost
+	}
+}
+
+// The TAF's reported weight equals re-evaluating the TAF on the returned
+// decomposition (consistency of cost accounting end to end).
+func TestCostWeightConsistent(t *testing.T) {
+	cat := bench.Fig5StatsCatalog()
+	q := cq.Q1().WithFreshVariables()
+	m, err := cost.NewModel(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.MinimalK(h, 3, m.TAF(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fold order differs between the solver and Evaluate, so compare with a
+	// relative tolerance (float addition is not associative).
+	got := m.TAF().Evaluate(res.Decomp)
+	if diff := math.Abs(got - res.Weight); diff > 1e-9*math.Max(got, res.Weight) {
+		t.Errorf("Evaluate = %v, reported = %v", got, res.Weight)
+	}
+}

@@ -1,0 +1,116 @@
+// Package cq implements conjunctive queries in datalog-rule form:
+//
+//	ans(X, Y) :- r(X, Z), s(Z, Y).
+//
+// with a lexer, parser, the query hypergraph H(Q) of the paper's
+// Introduction, the fresh-variable augmentation used by cost-k-decomp to
+// force complete decompositions (Section 6), and the paper's benchmark
+// queries Q0–Q3.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Atom is a query atom: a predicate over variables.
+type Atom struct {
+	Predicate string
+	Vars      []string
+}
+
+// String renders the atom as predicate(v1,...,vn).
+func (a Atom) String() string {
+	return a.Predicate + "(" + strings.Join(a.Vars, ",") + ")"
+}
+
+// Query is a conjunctive query: head output variables and body atoms. A
+// Boolean query has no output variables.
+type Query struct {
+	Head  string   // head predicate name, usually "ans"
+	Out   []string // output (head) variables
+	Atoms []Atom
+}
+
+// String renders the query in parseable rule syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString(q.Head)
+	b.WriteByte('(')
+	b.WriteString(strings.Join(q.Out, ","))
+	b.WriteString(") :- ")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// IsBoolean reports whether the query has no output variables.
+func (q *Query) IsBoolean() bool { return len(q.Out) == 0 }
+
+// Variables returns all distinct body variables in first-appearance order.
+func (q *Query) Variables() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks basic well-formedness: at least one atom, non-empty
+// atoms, distinct predicate names (the paper assumes one relation per
+// atom), and head variables appearing in the body (safety).
+func (q *Query) Validate() error {
+	if len(q.Atoms) == 0 {
+		return fmt.Errorf("cq: query has no atoms")
+	}
+	preds := map[string]bool{}
+	for _, a := range q.Atoms {
+		if len(a.Vars) == 0 {
+			return fmt.Errorf("cq: atom %s has no variables", a.Predicate)
+		}
+		if preds[a.Predicate] {
+			return fmt.Errorf("cq: duplicate predicate %s (self-joins need aliased relations)", a.Predicate)
+		}
+		preds[a.Predicate] = true
+	}
+	body := map[string]bool{}
+	for _, v := range q.Variables() {
+		body[v] = true
+	}
+	for _, v := range q.Out {
+		if !body[v] {
+			return fmt.Errorf("cq: head variable %s does not occur in the body", v)
+		}
+	}
+	return nil
+}
+
+// AtomByPredicate returns the atom with the given predicate, or nil.
+func (q *Query) AtomByPredicate(p string) *Atom {
+	for i := range q.Atoms {
+		if q.Atoms[i].Predicate == p {
+			return &q.Atoms[i]
+		}
+	}
+	return nil
+}
+
+// SortedVars returns an atom's variables sorted (convenience for stable
+// schema ordering).
+func SortedVars(a Atom) []string {
+	out := append([]string(nil), a.Vars...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,199 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse("ans(X,Y) :- r(X,Z), s(Z,Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Head != "ans" || len(q.Out) != 2 || len(q.Atoms) != 2 {
+		t.Fatalf("parsed wrong shape: %+v", q)
+	}
+	if q.Atoms[0].Predicate != "r" || q.Atoms[1].Vars[1] != "Y" {
+		t.Errorf("atoms wrong: %+v", q.Atoms)
+	}
+	if q.IsBoolean() {
+		t.Error("query with outputs reported Boolean")
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	for _, text := range []string{
+		"ans :- r(X,Z), s(Z,Y)",
+		"ans() <- r(X,Z), s(Z,Y).",
+		"ans ← r(X,Z) ∧ s(Z,Y)",
+	} {
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if !q.IsBoolean() || len(q.Atoms) != 2 {
+			t.Errorf("%q: wrong shape %+v", text, q)
+		}
+	}
+}
+
+func TestParsePrimedVariables(t *testing.T) {
+	q, err := Parse("ans :- a(X,X'), b(X',Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Atoms[0].Vars[1] != "X'" {
+		t.Errorf("primed variable lost: %+v", q.Atoms[0])
+	}
+	vars := q.Variables()
+	if len(vars) != 3 {
+		t.Errorf("Variables = %v, want 3 distinct", vars)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, text := range []string{
+		"",
+		"ans",
+		"ans :-",
+		"ans :- r()",
+		"ans :- r(X,Y) s(Y,Z)",   // missing comma
+		"ans(W) :- r(X,Y)",       // unsafe head
+		"ans :- r(X), r(Y)",      // duplicate predicate
+		"ans :- r(X,Y) , ",       // dangling comma
+		"ans :- r(X,Y). trailer", // trailing input
+		"ans : r(X)",             // bad arrow
+		"ans :- r(X,!)",          // bad char
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("%q: expected parse error", text)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	q := MustParse("ans(X) :- r(X,Z), s(Z,Y).")
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("round trip: %v (text %q)", err, q.String())
+	}
+	if q2.String() != q.String() {
+		t.Errorf("round trip changed query: %q vs %q", q2.String(), q.String())
+	}
+}
+
+func TestHypergraphOfQ0(t *testing.T) {
+	h, err := Q0().Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 8 || h.NumVars() != 10 {
+		t.Fatalf("H(Q0): %d edges %d vars, want 8/10", h.NumEdges(), h.NumVars())
+	}
+	w, _, err := core.HypertreeWidth(h, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("hw(H(Q0)) = %d, want 2", w)
+	}
+}
+
+func TestPaperQueriesShape(t *testing.T) {
+	q1 := Q1()
+	if len(q1.Atoms) != 9 || len(q1.Variables()) != 12 || !q1.IsBoolean() {
+		t.Errorf("Q1 shape wrong: %d atoms, %d vars", len(q1.Atoms), len(q1.Variables()))
+	}
+	q2 := Q2()
+	if len(q2.Atoms) != 8 || len(q2.Variables()) != 9 || !q2.IsBoolean() {
+		t.Errorf("Q2 shape wrong: %d atoms, %d vars", len(q2.Atoms), len(q2.Variables()))
+	}
+	q3 := Q3()
+	if len(q3.Atoms) != 9 || len(q3.Variables()) != 12 || len(q3.Out) != 4 {
+		t.Errorf("Q3 shape wrong: %d atoms, %d vars, %d out",
+			len(q3.Atoms), len(q3.Variables()), len(q3.Out))
+	}
+}
+
+// The paper's queries all have hypertree width 2.
+func TestPaperQueriesWidth(t *testing.T) {
+	for name, q := range map[string]*Query{"Q1": Q1(), "Q2": Q2(), "Q3": Q3()} {
+		h, err := q.Hypergraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, d, err := core.HypertreeWidth(h, 3, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w != 2 {
+			t.Errorf("hw(H(%s)) = %d, want 2", name, w)
+		}
+		if err := d.ValidateNF(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestWithFreshVariables(t *testing.T) {
+	q := Q0()
+	f := q.WithFreshVariables()
+	if len(f.Atoms) != len(q.Atoms) {
+		t.Fatal("atom count changed")
+	}
+	for i, a := range f.Atoms {
+		if len(a.Vars) != len(q.Atoms[i].Vars)+1 {
+			t.Errorf("atom %s should gain exactly one variable", a.Predicate)
+		}
+		last := a.Vars[len(a.Vars)-1]
+		if !IsFreshVariable(last) {
+			t.Errorf("last variable %q not recognized as fresh", last)
+		}
+	}
+	// Original untouched.
+	if IsFreshVariable(q.Atoms[0].Vars[len(q.Atoms[0].Vars)-1]) {
+		t.Error("WithFreshVariables mutated original")
+	}
+	// The augmented hypergraph still builds.
+	if _, err := f.Hypergraph(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fresh variables force completeness (E11): in every NF decomposition of
+// the augmented hypergraph, every edge is strongly covered, because each
+// atom's private variable can only be covered by its own hyperedge.
+func TestFreshVariableTrick(t *testing.T) {
+	q := MustParse("ans :- r(A,B), s(B,C), t(C,A)") // triangle, hw 2
+	f := q.WithFreshVariables()
+	h, err := f.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.DecomposeK(h, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsComplete() {
+		t.Errorf("decomposition of fresh-augmented query not complete:\n%s", d)
+	}
+}
+
+func TestAtomByPredicate(t *testing.T) {
+	q := Q0()
+	if a := q.AtomByPredicate("s5"); a == nil || len(a.Vars) != 3 {
+		t.Error("AtomByPredicate failed")
+	}
+	if q.AtomByPredicate("nope") != nil {
+		t.Error("missing predicate should return nil")
+	}
+}
+
+func TestQueryStringBoolean(t *testing.T) {
+	s := Q0().String()
+	if !strings.HasPrefix(s, "ans() :- s1(A,B,D)") {
+		t.Errorf("unexpected rendering: %q", s)
+	}
+}

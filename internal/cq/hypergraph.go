@@ -1,0 +1,42 @@
+package cq
+
+import (
+	"repro/internal/hypergraph"
+)
+
+// Hypergraph builds H(Q): one vertex per body variable, one hyperedge per
+// atom, named by the atom's predicate (Introduction of the paper).
+func (q *Query) Hypergraph() (*hypergraph.Hypergraph, error) {
+	b := hypergraph.NewBuilder()
+	for _, a := range q.Atoms {
+		if err := b.Edge(a.Predicate, a.Vars...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// FreshSuffix is appended to an atom's predicate to name its fresh variable
+// in WithFreshVariables.
+const FreshSuffix = "$fresh"
+
+// WithFreshVariables returns a copy of the query where every atom gets one
+// fresh private variable (Section 6): with fresh variables, every NF
+// decomposition of the augmented hypergraph strongly covers every atom, so
+// minimal decompositions translate directly to complete query plans. The
+// fresh variable of atom p is named p + FreshSuffix.
+func (q *Query) WithFreshVariables() *Query {
+	out := &Query{Head: q.Head, Out: append([]string(nil), q.Out...)}
+	for _, a := range q.Atoms {
+		vars := append([]string(nil), a.Vars...)
+		vars = append(vars, a.Predicate+FreshSuffix)
+		out.Atoms = append(out.Atoms, Atom{Predicate: a.Predicate, Vars: vars})
+	}
+	return out
+}
+
+// IsFreshVariable reports whether the variable name was introduced by
+// WithFreshVariables.
+func IsFreshVariable(name string) bool {
+	return len(name) > len(FreshSuffix) && name[len(name)-len(FreshSuffix):] == FreshSuffix
+}

@@ -1,0 +1,209 @@
+package cq
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Parse reads a conjunctive query in datalog rule syntax:
+//
+//	ans(X,Y) :- r(X,Z), s(Z,Y).
+//
+// Accepted variations: "<-" for ":-", "∧" or "," between atoms, an optional
+// trailing period, and a variable-free head "ans" or "ans()" for Boolean
+// queries. Identifiers are letters, digits, '_' and '\''; variables and
+// predicates are distinguished by position, not case.
+func Parse(text string) (*Query, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; intended for fixtures.
+func MustParse(text string) *Query {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokLParen
+	tokRParen
+	tokComma
+	tokArrow // :- or <-
+	tokDot
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(text string) ([]token, error) {
+	var toks []token
+	i := 0
+	rs := []rune(text)
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case r == ',' || r == '∧':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case r == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case r == ':' || r == '<':
+			if i+1 < len(rs) && rs[i+1] == '-' {
+				toks = append(toks, token{tokArrow, string(rs[i : i+2]), i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("cq: position %d: expected '-' after %q", i, r)
+			}
+		case r == '←':
+			toks = append(toks, token{tokArrow, "←", i})
+			i++
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_' || rs[j] == '\'') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, string(rs[i:j]), i})
+			i = j
+		default:
+			return nil, fmt.Errorf("cq: position %d: unexpected character %q", i, r)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(rs)})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("cq: position %d: expected %s, got %q", t.pos, what, t.text)
+	}
+	return t, nil
+}
+
+// query := ident [ '(' vars ')' ] arrow atom (',' atom)* ['.']
+func (p *parser) query() (*Query, error) {
+	head, err := p.expect(tokIdent, "head predicate")
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Head: head.text}
+	if p.peek().kind == tokLParen {
+		p.next()
+		vars, err := p.varList()
+		if err != nil {
+			return nil, err
+		}
+		q.Out = vars
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokArrow, "':-' or '<-'"); err != nil {
+		return nil, err
+	}
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, a)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek().kind == tokDot {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("cq: position %d: trailing input %q", t.pos, t.text)
+	}
+	return q, nil
+}
+
+func (p *parser) atom() (Atom, error) {
+	name, err := p.expect(tokIdent, "predicate")
+	if err != nil {
+		return Atom{}, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return Atom{}, err
+	}
+	vars, err := p.varList()
+	if err != nil {
+		return Atom{}, err
+	}
+	if len(vars) == 0 {
+		return Atom{}, fmt.Errorf("cq: atom %s has no variables", name.text)
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return Atom{}, err
+	}
+	return Atom{Predicate: name.text, Vars: vars}, nil
+}
+
+// varList := [ ident (',' ident)* ]
+func (p *parser) varList() ([]string, error) {
+	var out []string
+	if p.peek().kind != tokIdent {
+		return out, nil
+	}
+	for {
+		v, err := p.expect(tokIdent, "variable")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v.text)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		return out, nil
+	}
+}

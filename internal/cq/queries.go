@@ -1,0 +1,38 @@
+package cq
+
+// The paper's benchmark queries. Primed variables (X′ etc.) are written
+// with a trailing apostrophe, which the lexer accepts in identifiers.
+
+// Q0 is the Introduction's running example (hypertree width 2, 8 atoms).
+func Q0() *Query {
+	return MustParse(`ans :- s1(A,B,D), s2(B,C,D), s3(B,E), s4(D,G),
+		s5(E,F,G), s6(E,H), s7(F,I), s8(G,J).`)
+}
+
+// Q1 is the Section 6 query used for Figs 5–8(A) (hypertree width 2,
+// 9 atoms, 12 variables, Boolean):
+//
+//	ans ← a(S,X,X′,C,F) ∧ b(S,Y,Y′,C′,F′) ∧ c(C,C′,Z) ∧ d(X,Z)
+//	    ∧ e(Y,Z) ∧ f(F,F′,Z′) ∧ g(X′,Z′) ∧ h(Y′,Z′) ∧ j(J,X,Y,X′,Y′)
+func Q1() *Query {
+	return MustParse(`ans :- a(S,X,X',C,F), b(S,Y,Y',C',F'), c(C,C',Z), d(X,Z),
+		e(Y,Z), f(F,F',Z'), g(X',Z'), h(Y',Z'), j(J,X,Y,X',Y')`)
+}
+
+// Q2 matches the paper's description for Fig 8(B): 8 atoms, 9 distinct
+// variables, Boolean, hypertree width 2. The paper does not print its text;
+// this instance is a width-2 cyclic query with the stated signature (two
+// interlocking cycles closed by binary atoms).
+func Q2() *Query {
+	return MustParse(`ans :- r1(A,B,C), r2(C,D,E), r3(E,F,G), r4(G,H,A),
+		r5(B,F), r6(D,H), r7(A,E,I), r8(C,G,I)`)
+}
+
+// Q3 matches the paper's description for Fig 8(B): 9 atoms, 12 distinct
+// variables, 4 output variables, hypertree width 2. As with Q2 the text is
+// not printed in the paper; this instance is structurally isomorphic to Q1
+// (whose shape the paper documents in full) with four output variables.
+func Q3() *Query {
+	return MustParse(`ans(A,Z,W,K) :- t1(A,X,P,C,F), t2(A,Y,Q,D,G), t3(C,D,Z), t4(X,Z),
+		t5(Y,Z), t6(F,G,W), t7(P,W), t8(Q,W), t9(K,X,Y,P,Q)`)
+}

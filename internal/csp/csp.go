@@ -1,0 +1,245 @@
+// Package csp implements constraint satisfaction over extensional
+// constraints — the paper's second framing of the same problem (Section
+// 1.1: "conjunctive query evaluation is essentially the same problem as
+// constraint satisfaction"). It provides the CSP representation, a
+// conversion to conjunctive queries over a relational catalog (so bounded
+// hypertree width instances solve polynomially through the decomposition
+// engine), and a classical backtracking solver with forward checking as
+// the search-based baseline.
+package csp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// Constraint is an extensional constraint: a scope of variables and the
+// list of allowed value combinations.
+type Constraint struct {
+	Name    string
+	Scope   []string
+	Allowed [][]int32
+}
+
+// Problem is a CSP instance. Variable domains are implicit: the values
+// occurring for the variable in its constraints.
+type Problem struct {
+	Constraints []Constraint
+}
+
+// Validate checks basic well-formedness.
+func (p *Problem) Validate() error {
+	if len(p.Constraints) == 0 {
+		return fmt.Errorf("csp: no constraints")
+	}
+	seen := map[string]bool{}
+	for _, c := range p.Constraints {
+		if len(c.Scope) == 0 {
+			return fmt.Errorf("csp: constraint %s has empty scope", c.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("csp: duplicate constraint name %s", c.Name)
+		}
+		seen[c.Name] = true
+		for _, t := range c.Allowed {
+			if len(t) != len(c.Scope) {
+				return fmt.Errorf("csp: constraint %s has tuple of arity %d, want %d",
+					c.Name, len(t), len(c.Scope))
+			}
+		}
+	}
+	return nil
+}
+
+// Variables returns all variables in first-appearance order.
+func (p *Problem) Variables() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range p.Constraints {
+		for _, v := range c.Scope {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// AsQuery converts the CSP into a conjunctive query plus the catalog of
+// constraint relations: solutions of the CSP = answers of the query. If
+// project is nil all variables are output (enumerate all solutions); pass
+// an empty non-nil slice for satisfiability only.
+func (p *Problem) AsQuery(project []string) (*cq.Query, *db.Catalog, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	out := project
+	if out == nil {
+		out = p.Variables()
+	}
+	q := &cq.Query{Head: "sol", Out: out}
+	cat := db.NewCatalog()
+	for _, c := range p.Constraints {
+		q.Atoms = append(q.Atoms, cq.Atom{Predicate: c.Name, Vars: c.Scope})
+		attrs := make([]string, len(c.Scope))
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("c%d", i)
+		}
+		r := db.NewRelation(c.Name, attrs...)
+		for _, t := range c.Allowed {
+			if err := r.Append(t...); err != nil {
+				return nil, nil, err
+			}
+		}
+		cat.Put(r)
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		return nil, nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return q, cat, nil
+}
+
+// Solution maps variables to values.
+type Solution map[string]int32
+
+// Check reports whether the assignment satisfies every constraint (total
+// assignments only).
+func (p *Problem) Check(s Solution) bool {
+	for _, c := range p.Constraints {
+		ok := false
+		for _, t := range c.Allowed {
+			match := true
+			for i, v := range c.Scope {
+				val, bound := s[v]
+				if !bound || val != t[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// domains computes the candidate values per variable: the intersection of
+// the value sets the variable takes in each constraint containing it.
+func (p *Problem) domains() map[string][]int32 {
+	dom := map[string]map[int32]bool{}
+	for _, c := range p.Constraints {
+		for i, v := range c.Scope {
+			vals := map[int32]bool{}
+			for _, t := range c.Allowed {
+				vals[t[i]] = true
+			}
+			if cur, ok := dom[v]; !ok {
+				dom[v] = vals
+			} else {
+				for x := range cur {
+					if !vals[x] {
+						delete(cur, x)
+					}
+				}
+			}
+		}
+	}
+	out := map[string][]int32{}
+	for v, vals := range dom {
+		var list []int32
+		for x := range vals {
+			list = append(list, x)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out[v] = list
+	}
+	return out
+}
+
+// BacktrackStats instruments the search baseline.
+type BacktrackStats struct {
+	Assignments int64 // variable-value assignments tried
+	Checks      int64 // constraint consistency checks
+}
+
+// SolveBacktracking is the search baseline: chronological backtracking with
+// minimum-remaining-values ordering and constraint checking on every
+// partial assignment. Returns one solution or nil. Exponential in general —
+// that is the point of the comparison.
+func (p *Problem) SolveBacktracking(stats *BacktrackStats) Solution {
+	if err := p.Validate(); err != nil {
+		return nil
+	}
+	vars := p.Variables()
+	dom := p.domains()
+	// MRV static ordering.
+	sort.SliceStable(vars, func(i, j int) bool { return len(dom[vars[i]]) < len(dom[vars[j]]) })
+	assign := Solution{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vars) {
+			return true
+		}
+		v := vars[i]
+		for _, val := range dom[v] {
+			assign[v] = val
+			if stats != nil {
+				stats.Assignments++
+			}
+			if p.consistent(assign, stats) && rec(i+1) {
+				return true
+			}
+			delete(assign, v)
+		}
+		return false
+	}
+	if rec(0) {
+		out := Solution{}
+		for k, v := range assign {
+			out[k] = v
+		}
+		return out
+	}
+	return nil
+}
+
+// consistent reports whether the partial assignment can still satisfy
+// every constraint: each constraint must have an allowed tuple compatible
+// with the bound variables of its scope.
+func (p *Problem) consistent(s Solution, stats *BacktrackStats) bool {
+	for _, c := range p.Constraints {
+		if stats != nil {
+			stats.Checks++
+		}
+		ok := false
+		for _, t := range c.Allowed {
+			match := true
+			for i, v := range c.Scope {
+				if val, bound := s[v]; bound && val != t[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

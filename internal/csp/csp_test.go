@@ -1,0 +1,170 @@
+package csp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/engine"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (&Problem{}).Validate(); err == nil {
+		t.Error("empty problem should fail")
+	}
+	p := &Problem{Constraints: []Constraint{
+		{Name: "c", Scope: []string{"X"}, Allowed: [][]int32{{1, 2}}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	p2 := &Problem{Constraints: []Constraint{
+		{Name: "c", Scope: []string{"X"}, Allowed: [][]int32{{1}}},
+		{Name: "c", Scope: []string{"Y"}, Allowed: [][]int32{{1}}},
+	}}
+	if err := p2.Validate(); err == nil {
+		t.Error("duplicate names should fail")
+	}
+}
+
+func TestGraphColoringTriangle(t *testing.T) {
+	p := GraphColoring([][2]int{{0, 1}, {1, 2}, {2, 0}}, 3)
+	sol := p.SolveBacktracking(nil)
+	if sol == nil {
+		t.Fatal("triangle is 3-colorable")
+	}
+	if !p.Check(sol) {
+		t.Fatal("solution does not check")
+	}
+	// 2 colors are not enough.
+	p2 := GraphColoring([][2]int{{0, 1}, {1, 2}, {2, 0}}, 2)
+	if p2.SolveBacktracking(nil) != nil {
+		t.Error("triangle should not be 2-colorable")
+	}
+}
+
+func TestCheckRejectsBad(t *testing.T) {
+	p := GraphColoring([][2]int{{0, 1}}, 3)
+	if p.Check(Solution{"X0": 1, "X1": 1}) {
+		t.Error("same colors on an edge should fail Check")
+	}
+	if !p.Check(Solution{"X0": 1, "X1": 2}) {
+		t.Error("different colors should pass Check")
+	}
+}
+
+func TestAsQueryShapes(t *testing.T) {
+	p := GraphColoring(CycleEdges(5), 3)
+	q, cat, err := p.AsQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 5 || len(q.Out) != 5 {
+		t.Fatalf("query shape: %d atoms %d out", len(q.Atoms), len(q.Out))
+	}
+	if cat.Get("ne0") == nil || cat.Stats("ne0") == nil {
+		t.Fatal("catalog incomplete")
+	}
+	// Satisfiability projection.
+	qb, _, err := p.AsQuery([]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qb.IsBoolean() {
+		t.Error("empty projection should give a Boolean query")
+	}
+}
+
+// Decomposition-based solving agrees with backtracking on satisfiability,
+// across random bounded-width CSPs.
+func TestStructuralAgreesWithBacktracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 25; trial++ {
+		edges := CycleEdges(4 + rng.Intn(4))
+		p := RandomBinary(rng, edges, 3, 0.25+rng.Float64()*0.3)
+		q, cat, err := p.AsQuery([]string{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := cost.CostKDecomp(q, cat, 2, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.EvalDecomposition(plan.Decomp, plan.Query, cat, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		structural := engine.Answer(res)
+		search := p.SolveBacktracking(nil) != nil
+		if structural != search {
+			t.Fatalf("trial %d: structural=%v backtracking=%v", trial, structural, search)
+		}
+	}
+}
+
+// Solutions found by backtracking always check, and every solution
+// enumerated structurally checks too.
+func TestSolutionEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	p := RandomBinary(rng, GridEdges(2, 3), 3, 0.5)
+	q, cat, err := p.AsQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cost.CostKDecomp(q, cat, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.EvalDecomposition(plan.Decomp, plan.Query, cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range res.Tuples {
+		s := Solution{}
+		for i, v := range res.Attrs {
+			s[v] = tup[i]
+		}
+		if !p.Check(s) {
+			t.Fatalf("structural solution %v fails Check", s)
+		}
+	}
+	// Count agrees with naive evaluation.
+	naive, err := engine.EvalNaive(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Card() != naive.Card() {
+		t.Errorf("structural found %d solutions, naive %d", res.Card(), naive.Card())
+	}
+	if sol := p.SolveBacktracking(nil); (sol != nil) != (res.Card() > 0) {
+		t.Error("backtracking disagrees on satisfiability")
+	}
+}
+
+func TestBacktrackStats(t *testing.T) {
+	p := GraphColoring(CycleEdges(6), 3)
+	var st BacktrackStats
+	if sol := p.SolveBacktracking(&st); sol == nil {
+		t.Fatal("even cycle is 3-colorable")
+	}
+	if st.Assignments == 0 || st.Checks == 0 {
+		t.Errorf("stats not collected: %+v", st)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if len(CycleEdges(5)) != 5 {
+		t.Error("CycleEdges wrong")
+	}
+	if len(GridEdges(2, 3)) != 7 {
+		t.Error("GridEdges wrong")
+	}
+	rng := rand.New(rand.NewSource(1))
+	p := RandomBinary(rng, CycleEdges(4), 3, 0.0)
+	for _, c := range p.Constraints {
+		if len(c.Allowed) == 0 {
+			t.Error("RandomBinary left an empty constraint")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package csp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators of CSP families used in tests and the CSP example.
+
+// GraphColoring builds the coloring CSP of a graph: one disequality
+// constraint per edge over a palette of colors colors.
+func GraphColoring(edges [][2]int, colors int) *Problem {
+	p := &Problem{}
+	for idx, e := range edges {
+		c := Constraint{
+			Name:  fmt.Sprintf("ne%d", idx),
+			Scope: []string{fmt.Sprintf("X%d", e[0]), fmt.Sprintf("X%d", e[1])},
+		}
+		for a := int32(0); a < int32(colors); a++ {
+			for b := int32(0); b < int32(colors); b++ {
+				if a != b {
+					c.Allowed = append(c.Allowed, []int32{a, b})
+				}
+			}
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+// RandomBinary generates a random binary CSP in the classic (n, d, p2)
+// model restricted to a given constraint graph: for each edge, each value
+// pair is allowed with probability keep. Each constraint keeps at least one
+// tuple so domains stay non-empty.
+func RandomBinary(rng *rand.Rand, edges [][2]int, domain int, keep float64) *Problem {
+	p := &Problem{}
+	for idx, e := range edges {
+		c := Constraint{
+			Name:  fmt.Sprintf("c%d", idx),
+			Scope: []string{fmt.Sprintf("X%d", e[0]), fmt.Sprintf("X%d", e[1])},
+		}
+		for a := int32(0); a < int32(domain); a++ {
+			for b := int32(0); b < int32(domain); b++ {
+				if rng.Float64() < keep {
+					c.Allowed = append(c.Allowed, []int32{a, b})
+				}
+			}
+		}
+		if len(c.Allowed) == 0 {
+			c.Allowed = append(c.Allowed, []int32{0, 0})
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+// CycleEdges returns the edges of an n-cycle.
+func CycleEdges(n int) [][2]int {
+	out := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = [2]int{i, (i + 1) % n}
+	}
+	return out
+}
+
+// GridEdges returns the edges of an r×c grid.
+func GridEdges(r, c int) [][2]int {
+	var out [][2]int
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				out = append(out, [2]int{id(i, j), id(i, j+1)})
+			}
+			if i+1 < r {
+				out = append(out, [2]int{id(i, j), id(i+1, j)})
+			}
+		}
+	}
+	return out
+}

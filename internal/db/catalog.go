@@ -1,0 +1,109 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TableStats holds ANALYZE output for one relation: cardinality and
+// per-attribute selectivity (number of distinct values), exactly the
+// quantitative information of Fig 5.
+type TableStats struct {
+	Card     int
+	Distinct map[string]int
+}
+
+// Catalog is a named collection of relations with their statistics.
+type Catalog struct {
+	rels  map[string]*Relation
+	stats map[string]*TableStats
+	order []string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: map[string]*Relation{}, stats: map[string]*TableStats{}}
+}
+
+// Put stores (or replaces) a relation; statistics are invalidated until the
+// next Analyze.
+func (c *Catalog) Put(r *Relation) {
+	if _, exists := c.rels[r.Name]; !exists {
+		c.order = append(c.order, r.Name)
+	}
+	c.rels[r.Name] = r
+	delete(c.stats, r.Name)
+}
+
+// Get returns the named relation, or nil.
+func (c *Catalog) Get(name string) *Relation { return c.rels[name] }
+
+// Names lists relation names in insertion order.
+func (c *Catalog) Names() []string { return append([]string(nil), c.order...) }
+
+// Analyze computes statistics for the named relation (the paper's ANALYZE
+// TABLE). It is idempotent and cached until the relation is replaced.
+func (c *Catalog) Analyze(name string) (*TableStats, error) {
+	if st, ok := c.stats[name]; ok {
+		return st, nil
+	}
+	r, ok := c.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown relation %q", name)
+	}
+	st := &TableStats{Card: r.Card(), Distinct: map[string]int{}}
+	for _, a := range r.Attrs {
+		st.Distinct[a] = r.DistinctCount(a)
+	}
+	c.stats[name] = st
+	return st, nil
+}
+
+// AnalyzeAll runs Analyze on every relation.
+func (c *Catalog) AnalyzeAll() error {
+	for _, n := range c.order {
+		if _, err := c.Analyze(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns cached statistics (nil if not analyzed).
+func (c *Catalog) Stats(name string) *TableStats { return c.stats[name] }
+
+// SetStats installs statistics directly, bypassing Analyze. Used to run the
+// cost model with the paper's published Fig 5 numbers independent of the
+// generated data.
+func (c *Catalog) SetStats(name string, st *TableStats) {
+	if _, exists := c.rels[name]; !exists && c.Get(name) == nil {
+		// Allow stats-only entries: register the name for ordering.
+		if _, seen := c.stats[name]; !seen {
+			c.order = append(c.order, name)
+		}
+	}
+	c.stats[name] = st
+}
+
+// StatsTable renders statistics in the layout of Fig 5, one block per
+// relation in insertion order: cardinality then attribute selectivities
+// (attributes sorted for determinism).
+func (c *Catalog) StatsTable() string {
+	out := ""
+	for _, n := range c.order {
+		st := c.stats[n]
+		if st == nil {
+			continue
+		}
+		out += fmt.Sprintf("atom %s, |%s| = %d\n", n, n, st.Card)
+		attrs := make([]string, 0, len(st.Distinct))
+		for a := range st.Distinct {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			out += fmt.Sprintf("  SELECTIVITY %-4s = %d\n", a, st.Distinct[a])
+		}
+	}
+	return out
+}

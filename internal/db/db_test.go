@@ -1,0 +1,225 @@
+package db
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation("r", "A", "B")
+	if r.Arity() != 2 || r.Card() != 0 {
+		t.Fatal("empty relation wrong shape")
+	}
+	r.MustAppend(1, 2)
+	r.MustAppend(1, 3)
+	if r.Card() != 2 {
+		t.Fatal("Card wrong")
+	}
+	if err := r.Append(1); err == nil {
+		t.Error("arity mismatch not rejected")
+	}
+	if r.AttrIndex("B") != 1 || r.AttrIndex("C") != -1 {
+		t.Error("AttrIndex wrong")
+	}
+	if !r.HasAttr("A") || r.HasAttr("Z") {
+		t.Error("HasAttr wrong")
+	}
+	if r.DistinctCount("A") != 1 || r.DistinctCount("B") != 2 {
+		t.Error("DistinctCount wrong")
+	}
+	if r.DistinctCount("Z") != 0 {
+		t.Error("DistinctCount of missing attr should be 0")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	r := NewRelation("r", "A", "B")
+	r.MustAppend(1, 2)
+	r.MustAppend(3, 4)
+	s := r.Clone()
+	if !r.Equal(s) {
+		t.Fatal("clone not equal")
+	}
+	s.Tuples[0][0] = 9
+	if r.Tuples[0][0] == 9 {
+		t.Fatal("clone aliases tuples")
+	}
+	if r.Equal(s) {
+		t.Fatal("Equal missed difference")
+	}
+	// Order-insensitivity.
+	u := NewRelation("r", "A", "B")
+	u.MustAppend(3, 4)
+	u.MustAppend(1, 2)
+	if !r.Equal(u) {
+		t.Error("Equal should be order-insensitive")
+	}
+	// Multiset semantics.
+	v := NewRelation("r", "A", "B")
+	v.MustAppend(1, 2)
+	v.MustAppend(1, 2)
+	w := NewRelation("r", "A", "B")
+	w.MustAppend(1, 2)
+	w.MustAppend(3, 4)
+	if v.Equal(w) {
+		t.Error("Equal should respect multiplicity")
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := NewRelation("r", "c1", "c2")
+	r.MustAppend(1, 2)
+	s := r.Rename("rr", map[string]string{"c1": "X"})
+	if s.Attrs[0] != "X" || s.Attrs[1] != "c2" || s.Name != "rr" {
+		t.Errorf("Rename wrong: %+v", s.Attrs)
+	}
+	if r.Attrs[0] != "c1" {
+		t.Error("Rename mutated original")
+	}
+}
+
+func TestWithRowID(t *testing.T) {
+	r := NewRelation("r", "A")
+	r.MustAppend(7)
+	r.MustAppend(7)
+	s := r.WithRowID("rid")
+	if s.Arity() != 2 || s.DistinctCount("rid") != 2 {
+		t.Errorf("WithRowID: %v", s)
+	}
+	if s.Tuples[0][1] != 0 || s.Tuples[1][1] != 1 {
+		t.Error("row ids not sequential")
+	}
+}
+
+func TestSortTuples(t *testing.T) {
+	r := NewRelation("r", "A", "B")
+	r.MustAppend(2, 1)
+	r.MustAppend(1, 9)
+	r.MustAppend(1, 2)
+	r.SortTuples()
+	if r.Tuples[0][0] != 1 || r.Tuples[0][1] != 2 || r.Tuples[2][0] != 2 {
+		t.Errorf("sort wrong: %v", r.Tuples)
+	}
+}
+
+func TestCatalogAnalyze(t *testing.T) {
+	c := NewCatalog()
+	r := NewRelation("r", "A", "B")
+	r.MustAppend(1, 1)
+	r.MustAppend(2, 1)
+	c.Put(r)
+	st, err := c.Analyze("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Card != 2 || st.Distinct["A"] != 2 || st.Distinct["B"] != 1 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if _, err := c.Analyze("missing"); err == nil {
+		t.Error("Analyze of missing relation should fail")
+	}
+	// Replacing invalidates stats.
+	r2 := NewRelation("r", "A", "B")
+	r2.MustAppend(5, 5)
+	c.Put(r2)
+	if c.Stats("r") != nil {
+		t.Error("Put should invalidate stats")
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats("r").Card != 1 {
+		t.Error("re-analyze wrong")
+	}
+}
+
+func TestStatsTableRendering(t *testing.T) {
+	c := NewCatalog()
+	r := NewRelation("a", "S", "X")
+	r.MustAppend(1, 2)
+	c.Put(r)
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	tbl := c.StatsTable()
+	if !strings.Contains(tbl, "atom a, |a| = 1") || !strings.Contains(tbl, "SELECTIVITY S") {
+		t.Errorf("StatsTable rendering: %q", tbl)
+	}
+}
+
+func TestGenerateMatchesSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	spec := Spec{
+		Name:     "a",
+		Attrs:    []string{"S", "X", "C"},
+		Card:     4606,
+		Distinct: map[string]int{"S": 14, "X": 24, "C": 21},
+	}
+	r, err := Generate(rng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Card() != 4606 {
+		t.Fatalf("card = %d", r.Card())
+	}
+	for a, want := range spec.Distinct {
+		if got := r.DistinctCount(a); got != want {
+			t.Errorf("distinct(%s) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(rng, Spec{Name: "x", Attrs: []string{"A"}, Card: 5,
+		Distinct: map[string]int{}}); err == nil {
+		t.Error("missing distinct should fail")
+	}
+	if _, err := Generate(rng, Spec{Name: "x", Attrs: []string{"A"}, Card: 5,
+		Distinct: map[string]int{"A": 9}}); err == nil {
+		t.Error("distinct > card should fail")
+	}
+	if _, err := Generate(rng, Spec{Name: "x", Attrs: []string{"A"}, Card: 5,
+		Distinct: map[string]int{"A": 0}}); err == nil {
+		t.Error("distinct 0 should fail")
+	}
+}
+
+// Property: generated relations always match their spec exactly.
+func TestGenerateQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(cardRaw, dRaw uint16) bool {
+		card := int(cardRaw%500) + 1
+		d := int(dRaw)%card + 1
+		r, err := Generate(rng, Spec{
+			Name: "q", Attrs: []string{"A", "B"}, Card: card,
+			Distinct: map[string]int{"A": d, "B": card},
+		})
+		if err != nil {
+			return false
+		}
+		return r.Card() == card && r.DistinctCount("A") == d && r.DistinctCount("B") == card
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateCatalog(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c, err := GenerateCatalog(rng, []Spec{
+		{Name: "r", Attrs: []string{"A"}, Card: 10, Distinct: map[string]int{"A": 5}},
+		{Name: "s", Attrs: []string{"A", "B"}, Card: 20, Distinct: map[string]int{"A": 5, "B": 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Names()) != 2 || c.Stats("s") == nil {
+		t.Error("catalog incomplete")
+	}
+	if c.Stats("s").Distinct["A"] != 5 {
+		t.Error("stats wrong")
+	}
+}

@@ -1,0 +1,88 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Spec describes a synthetic relation: its schema, cardinality, and target
+// per-attribute distinct-value counts (the paper's selectivities, Fig 5).
+type Spec struct {
+	Name     string
+	Attrs    []string
+	Card     int
+	Distinct map[string]int // target; must be ≤ Card and ≥ 1
+}
+
+// Generate builds a relation matching the spec: attribute i takes values in
+// [0, Distinct[i]), and when Card ≥ Distinct every value occurs at least
+// once, so ANALYZE reproduces the spec exactly. Values of shared variables
+// across relations are drawn from prefixes [0, d) of a common integer
+// domain, giving the value-set containment that textbook join estimation
+// assumes.
+func Generate(rng *rand.Rand, spec Spec) (*Relation, error) {
+	r := NewRelation(spec.Name, spec.Attrs...)
+	if spec.Card < 0 {
+		return nil, fmt.Errorf("db: negative cardinality for %s", spec.Name)
+	}
+	for _, a := range spec.Attrs {
+		d, ok := spec.Distinct[a]
+		if !ok {
+			return nil, fmt.Errorf("db: no distinct count for %s.%s", spec.Name, a)
+		}
+		if d < 1 || d > spec.Card {
+			return nil, fmt.Errorf("db: distinct %d for %s.%s out of range [1,%d]",
+				d, spec.Name, a, spec.Card)
+		}
+	}
+	// Column-wise generation: first d rows get values 0..d-1 (guaranteeing
+	// the exact distinct count), remaining rows draw uniformly; each column
+	// is then shuffled independently to avoid correlated prefixes.
+	cols := make([][]Value, len(spec.Attrs))
+	for ai, a := range spec.Attrs {
+		d := spec.Distinct[a]
+		col := make([]Value, spec.Card)
+		for i := 0; i < d; i++ {
+			col[i] = Value(i)
+		}
+		for i := d; i < spec.Card; i++ {
+			col[i] = Value(rng.Intn(d))
+		}
+		rng.Shuffle(len(col), func(i, j int) { col[i], col[j] = col[j], col[i] })
+		cols[ai] = col
+	}
+	r.Tuples = make([][]Value, spec.Card)
+	for i := 0; i < spec.Card; i++ {
+		t := make([]Value, len(spec.Attrs))
+		for ai := range spec.Attrs {
+			t[ai] = cols[ai][i]
+		}
+		r.Tuples[i] = t
+	}
+	return r, nil
+}
+
+// MustGenerate is Generate but panics on error; intended for fixtures.
+func MustGenerate(rng *rand.Rand, spec Spec) *Relation {
+	r, err := Generate(rng, spec)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// GenerateCatalog generates all specs into a fresh analyzed catalog.
+func GenerateCatalog(rng *rand.Rand, specs []Spec) (*Catalog, error) {
+	c := NewCatalog()
+	for _, s := range specs {
+		r, err := Generate(rng, s)
+		if err != nil {
+			return nil, err
+		}
+		c.Put(r)
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,120 @@
+package db
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text serialization for relations and catalogs, used by the command-line
+// tools. The format is line-oriented:
+//
+//	relation <name> (<attr1>,<attr2>,...)
+//	1,2,3
+//	4,5,6
+//	end
+//
+// Blank lines and '#' comments are ignored between relations.
+
+// WriteRelation serializes r.
+func WriteRelation(w io.Writer, r *Relation) error {
+	if _, err := fmt.Fprintf(w, "relation %s (%s)\n", r.Name, strings.Join(r.Attrs, ",")); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(strconv.Itoa(int(v)))
+		}
+		bw.WriteByte('\n')
+	}
+	bw.WriteString("end\n")
+	return bw.Flush()
+}
+
+// WriteCatalog serializes every relation in insertion order.
+func WriteCatalog(w io.Writer, c *Catalog) error {
+	for _, name := range c.Names() {
+		r := c.Get(name)
+		if r == nil {
+			continue
+		}
+		if err := WriteRelation(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCatalog parses a stream of serialized relations into a new catalog
+// (not analyzed; call AnalyzeAll before using statistics).
+func ReadCatalog(r io.Reader) (*Catalog, error) {
+	cat := NewCatalog()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur *Relation
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "relation "):
+			if cur != nil {
+				return nil, fmt.Errorf("db: line %d: relation %s not terminated by 'end'", lineNo, cur.Name)
+			}
+			rest := strings.TrimPrefix(line, "relation ")
+			open := strings.IndexByte(rest, '(')
+			closeIdx := strings.LastIndexByte(rest, ')')
+			if open < 0 || closeIdx < open {
+				return nil, fmt.Errorf("db: line %d: malformed relation header", lineNo)
+			}
+			name := strings.TrimSpace(rest[:open])
+			var attrs []string
+			for _, a := range strings.Split(rest[open+1:closeIdx], ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					return nil, fmt.Errorf("db: line %d: empty attribute", lineNo)
+				}
+				attrs = append(attrs, a)
+			}
+			cur = NewRelation(name, attrs...)
+		case line == "end":
+			if cur == nil {
+				return nil, fmt.Errorf("db: line %d: 'end' outside relation", lineNo)
+			}
+			cat.Put(cur)
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("db: line %d: tuple outside relation", lineNo)
+			}
+			fields := strings.Split(line, ",")
+			tup := make([]Value, len(fields))
+			for i, f := range fields {
+				v, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return nil, fmt.Errorf("db: line %d: bad value %q", lineNo, f)
+				}
+				tup[i] = Value(v)
+			}
+			if err := cur.Append(tup...); err != nil {
+				return nil, fmt.Errorf("db: line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("db: relation %s not terminated by 'end'", cur.Name)
+	}
+	return cat, nil
+}

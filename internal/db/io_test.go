@@ -1,0 +1,79 @@
+package db
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCatalogRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	cat, err := GenerateCatalog(rng, []Spec{
+		{Name: "r", Attrs: []string{"A", "B"}, Card: 25, Distinct: map[string]int{"A": 5, "B": 7}},
+		{Name: "s", Attrs: []string{"B", "C", "D"}, Card: 40, Distinct: map[string]int{"B": 7, "C": 3, "D": 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteCatalog(&buf, cat); err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := ReadCatalog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("%v\ninput:\n%s", err, buf.String())
+	}
+	for _, name := range cat.Names() {
+		a, b := cat.Get(name), cat2.Get(name)
+		if b == nil {
+			t.Fatalf("relation %s lost", name)
+		}
+		if !a.Equal(b) {
+			t.Errorf("relation %s changed in round trip", name)
+		}
+	}
+	if len(cat2.Names()) != len(cat.Names()) {
+		t.Error("relation count changed")
+	}
+}
+
+func TestReadCatalogNegativeValues(t *testing.T) {
+	in := "relation r (A)\n-5\n7\nend\n"
+	cat, err := ReadCatalog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cat.Get("r")
+	if r.Card() != 2 || r.Tuples[0][0] != -5 {
+		t.Errorf("parsed %v", r.Tuples)
+	}
+}
+
+func TestReadCatalogCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nrelation r (A,B)\n1,2\n# inline comment\n3,4\nend\n\n"
+	cat, err := ReadCatalog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Get("r").Card() != 2 {
+		t.Error("comment handling wrong")
+	}
+}
+
+func TestReadCatalogErrors(t *testing.T) {
+	cases := []string{
+		"relation r (A)\n1\n",                      // missing end
+		"end\n",                                    // stray end
+		"1,2\n",                                    // tuple outside relation
+		"relation r A\n1\nend\n",                   // malformed header
+		"relation r (A)\nx\nend\n",                 // bad value
+		"relation r (A)\n1,2\nend\n",               // arity mismatch
+		"relation r ()\nend\n",                     // empty attribute
+		"relation r (A)\nrelation s (B)\nend\nend", // nested
+	}
+	for _, in := range cases {
+		if _, err := ReadCatalog(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}

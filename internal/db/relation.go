@@ -1,0 +1,167 @@
+// Package db implements the relational substrate for the query-planning
+// experiments of Section 6: in-memory relations over int32-encoded values,
+// a catalog with ANALYZE-style statistics (cardinality and per-attribute
+// selectivity, Fig 5), and a synthetic data generator that reproduces
+// target statistics.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a dictionary-encoded attribute value. The experiments only need
+// equality, so values are opaque integers.
+type Value = int32
+
+// Relation is an in-memory relation: a schema of named attributes and a
+// slice of rows aligned with it.
+type Relation struct {
+	Name   string
+	Attrs  []string
+	Tuples [][]Value
+}
+
+// NewRelation returns an empty relation with the given schema.
+func NewRelation(name string, attrs ...string) *Relation {
+	return &Relation{Name: name, Attrs: append([]string(nil), attrs...)}
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// Card returns the number of tuples.
+func (r *Relation) Card() int { return len(r.Tuples) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasAttr reports whether the relation has the named attribute.
+func (r *Relation) HasAttr(name string) bool { return r.AttrIndex(name) >= 0 }
+
+// Append adds a tuple; its length must match the arity.
+func (r *Relation) Append(tuple ...Value) error {
+	if len(tuple) != len(r.Attrs) {
+		return fmt.Errorf("db: tuple arity %d != schema arity %d of %s",
+			len(tuple), len(r.Attrs), r.Name)
+	}
+	r.Tuples = append(r.Tuples, append([]Value(nil), tuple...))
+	return nil
+}
+
+// MustAppend is Append but panics on error; intended for fixtures.
+func (r *Relation) MustAppend(tuple ...Value) {
+	if err := r.Append(tuple...); err != nil {
+		panic(err)
+	}
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Name, r.Attrs...)
+	out.Tuples = make([][]Value, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out.Tuples[i] = append([]Value(nil), t...)
+	}
+	return out
+}
+
+// Rename returns a shallow-tuple copy with attributes renamed via the map
+// (attributes absent from the map keep their names). Used to map relation
+// columns to query variables.
+func (r *Relation) Rename(name string, mapping map[string]string) *Relation {
+	attrs := make([]string, len(r.Attrs))
+	for i, a := range r.Attrs {
+		if n, ok := mapping[a]; ok {
+			attrs[i] = n
+		} else {
+			attrs[i] = a
+		}
+	}
+	return &Relation{Name: name, Attrs: attrs, Tuples: r.Tuples}
+}
+
+// WithRowID returns a copy with an extra attribute whose value is the row
+// index — the physical realization of the fresh-variable trick (Section 6):
+// the fresh variable behaves as a key with selectivity = cardinality.
+func (r *Relation) WithRowID(attr string) *Relation {
+	out := NewRelation(r.Name, append(append([]string(nil), r.Attrs...), attr)...)
+	out.Tuples = make([][]Value, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out.Tuples[i] = append(append([]Value(nil), t...), Value(i))
+	}
+	return out
+}
+
+// DistinctCount returns the number of distinct values of the named
+// attribute (the paper's "selectivity", Fig 5), or 0 if absent.
+func (r *Relation) DistinctCount(attr string) int {
+	i := r.AttrIndex(attr)
+	if i < 0 {
+		return 0
+	}
+	seen := make(map[Value]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		seen[t[i]] = struct{}{}
+	}
+	return len(seen)
+}
+
+// SortTuples orders tuples lexicographically in place (deterministic
+// comparisons in tests and stable output).
+func (r *Relation) SortTuples() {
+	sort.Slice(r.Tuples, func(i, j int) bool {
+		a, b := r.Tuples[i], r.Tuples[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// Equal reports whether two relations have identical schema and the same
+// multiset of tuples (order-insensitive).
+func (r *Relation) Equal(s *Relation) bool {
+	if len(r.Attrs) != len(s.Attrs) || len(r.Tuples) != len(s.Tuples) {
+		return false
+	}
+	for i := range r.Attrs {
+		if r.Attrs[i] != s.Attrs[i] {
+			return false
+		}
+	}
+	count := map[string]int{}
+	for _, t := range r.Tuples {
+		count[tupleKey(t)]++
+	}
+	for _, t := range s.Tuples {
+		count[tupleKey(t)]--
+		if count[tupleKey(t)] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func tupleKey(t []Value) string {
+	var b strings.Builder
+	for _, v := range t {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// String renders a short description (not the tuples).
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s(%s)[%d tuples]", r.Name, strings.Join(r.Attrs, ","), len(r.Tuples))
+}

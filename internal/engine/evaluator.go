@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/hypertree"
+)
+
+// Metrics instruments an evaluation: operator counts and the total number
+// of intermediate tuples materialized (a machine-independent work measure
+// reported alongside wall-clock times in the experiments).
+type Metrics struct {
+	Joins              int
+	Semijoins          int
+	IntermediateTuples int64
+}
+
+func (m *Metrics) note(r *db.Relation) *db.Relation {
+	if m != nil {
+		m.IntermediateTuples += int64(r.Card())
+	}
+	return r
+}
+
+func (m *Metrics) join(r, s *db.Relation) *db.Relation {
+	if m != nil {
+		m.Joins++
+	}
+	return m.note(NaturalJoin(r, s))
+}
+
+func (m *Metrics) semijoin(r, s *db.Relation) *db.Relation {
+	if m != nil {
+		m.Semijoins++
+	}
+	return m.note(Semijoin(r, s))
+}
+
+// BindAtoms maps every atom of q to its catalog relation with columns
+// renamed to the atom's variables (positional correspondence). Atoms whose
+// final variable is fresh (cq.WithFreshVariables) bind to the relation
+// extended with a row-id column realizing the fresh variable.
+func BindAtoms(q *cq.Query, cat *db.Catalog) (map[string]*db.Relation, error) {
+	out := make(map[string]*db.Relation, len(q.Atoms))
+	for _, a := range q.Atoms {
+		rel := cat.Get(a.Predicate)
+		if rel == nil {
+			return nil, fmt.Errorf("engine: no relation for atom %s", a.Predicate)
+		}
+		vars := a.Vars
+		if n := len(vars); n > 0 && cq.IsFreshVariable(vars[n-1]) {
+			rel = rel.WithRowID("__rowid")
+		}
+		if len(rel.Attrs) != len(vars) {
+			return nil, fmt.Errorf("engine: atom %s has arity %d but relation has %d columns",
+				a.Predicate, len(vars), len(rel.Attrs))
+		}
+		mapping := make(map[string]string, len(vars))
+		for i, attr := range rel.Attrs {
+			mapping[attr] = vars[i]
+		}
+		out[a.Predicate] = rel.Rename(a.Predicate, mapping)
+	}
+	return out, nil
+}
+
+// EvalNaive evaluates q by joining all atoms left to right and projecting
+// onto the output variables — the brute-force oracle.
+func EvalNaive(q *cq.Query, cat *db.Catalog) (*db.Relation, error) {
+	bound, err := BindAtoms(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	cur := bound[q.Atoms[0].Predicate]
+	for _, a := range q.Atoms[1:] {
+		cur = NaturalJoin(cur, bound[a.Predicate])
+	}
+	return Project(cur, q.Out)
+}
+
+// LeftDeepPlan is a join order over atom indices of a query — the plan
+// shape commercial optimizers search (Section 1.2).
+type LeftDeepPlan struct {
+	Order []int
+}
+
+// EvalLeftDeep executes a left-deep plan: hash joins in order, keeping all
+// columns (no projection pushing, no semijoin reduction — the structural
+// information the baseline does not use), with a final projection.
+func EvalLeftDeep(plan LeftDeepPlan, q *cq.Query, cat *db.Catalog, m *Metrics) (*db.Relation, error) {
+	if len(plan.Order) != len(q.Atoms) {
+		return nil, fmt.Errorf("engine: plan covers %d of %d atoms", len(plan.Order), len(q.Atoms))
+	}
+	bound, err := BindAtoms(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	seen := make([]bool, len(q.Atoms))
+	var cur *db.Relation
+	for _, ai := range plan.Order {
+		if ai < 0 || ai >= len(q.Atoms) || seen[ai] {
+			return nil, fmt.Errorf("engine: invalid or duplicate atom index %d in plan", ai)
+		}
+		seen[ai] = true
+		r := bound[q.Atoms[ai].Predicate]
+		if cur == nil {
+			cur = m.note(r)
+			continue
+		}
+		cur = m.join(cur, r)
+	}
+	return Project(cur, q.Out)
+}
+
+// EvalDecomposition runs Yannakakis's algorithm over a complete hypertree
+// decomposition of (the hypergraph of) q: per-vertex joins E(p) =
+// π_χ(p)(⋈_{h∈λ(p)} rel(h)), a bottom-up semijoin pass, a top-down semijoin
+// pass (full reduction), and a final bottom-up join projected onto the
+// output variables. For Boolean queries the top-down pass and final join
+// are skipped: the answer is "root non-empty after reduction".
+//
+// The decomposition must be complete (every atom strongly covered); use
+// Decomposition.Complete or the fresh-variable trick to ensure this.
+func EvalDecomposition(d *hypertree.Decomposition, q *cq.Query, cat *db.Catalog, m *Metrics) (*db.Relation, error) {
+	if !d.IsComplete() {
+		return nil, fmt.Errorf("engine: decomposition is not complete")
+	}
+	bound, err := BindAtoms(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	h := d.H
+	chiNames := func(n *hypertree.Node) []string {
+		var names []string
+		n.Chi.ForEach(func(v int) { names = append(names, h.VarName(v)) })
+		return names
+	}
+
+	// Per-vertex expressions E(p).
+	expr := map[*hypertree.Node]*db.Relation{}
+	var evalErr error
+	d.Walk(func(n, _ *hypertree.Node) {
+		if evalErr != nil {
+			return
+		}
+		var cur *db.Relation
+		for _, e := range n.Lambda {
+			rel, ok := bound[h.EdgeName(e)]
+			if !ok {
+				evalErr = fmt.Errorf("engine: edge %s has no bound relation", h.EdgeName(e))
+				return
+			}
+			if cur == nil {
+				cur = rel
+			} else {
+				cur = m.join(cur, rel)
+			}
+		}
+		p, err := Project(cur, chiNames(n))
+		if err != nil {
+			evalErr = err
+			return
+		}
+		expr[n] = m.note(p)
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	// Bottom-up semijoin pass (the Boolean half of Yannakakis).
+	var up func(n *hypertree.Node)
+	up = func(n *hypertree.Node) {
+		for _, c := range n.Children {
+			up(c)
+			expr[n] = m.semijoin(expr[n], expr[c])
+		}
+	}
+	up(d.Root)
+
+	if q.IsBoolean() {
+		out := db.NewRelation("ans")
+		if expr[d.Root].Card() > 0 {
+			out.Tuples = append(out.Tuples, []db.Value{})
+		}
+		return out, nil
+	}
+
+	// Top-down semijoin pass: full reduction.
+	var down func(n *hypertree.Node)
+	down = func(n *hypertree.Node) {
+		for _, c := range n.Children {
+			expr[c] = m.semijoin(expr[c], expr[n])
+			down(c)
+		}
+	}
+	down(d.Root)
+
+	// Final bottom-up join, projecting each intermediate onto χ(p) plus the
+	// output variables already collected in the subtree.
+	outSet := map[string]bool{}
+	for _, v := range q.Out {
+		outSet[v] = true
+	}
+	var collect func(n *hypertree.Node) (*db.Relation, error)
+	collect = func(n *hypertree.Node) (*db.Relation, error) {
+		cur := expr[n]
+		for _, c := range n.Children {
+			sub, err := collect(c)
+			if err != nil {
+				return nil, err
+			}
+			cur = m.join(cur, sub)
+		}
+		keep := chiNames(n)
+		for _, a := range cur.Attrs {
+			if outSet[a] && !containsStr(keep, a) {
+				keep = append(keep, a)
+			}
+		}
+		return Project(cur, intersectAttrs(keep, cur))
+	}
+	res, err := collect(d.Root)
+	if err != nil {
+		return nil, err
+	}
+	return Project(res, q.Out)
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func intersectAttrs(names []string, r *db.Relation) []string {
+	var out []string
+	for _, n := range names {
+		if r.HasAttr(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Answer interprets a Boolean query result.
+func Answer(r *db.Relation) bool { return r.Card() > 0 }

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// smallCatalog builds relations for a triangle query r(A,B), s(B,C), t(C,A).
+func smallCatalog() *db.Catalog {
+	cat := db.NewCatalog()
+	r := db.NewRelation("r", "c0", "c1")
+	r.MustAppend(1, 2)
+	r.MustAppend(1, 3)
+	r.MustAppend(4, 5)
+	s := db.NewRelation("s", "c0", "c1")
+	s.MustAppend(2, 7)
+	s.MustAppend(3, 8)
+	tt := db.NewRelation("t", "c0", "c1")
+	tt.MustAppend(7, 1)
+	tt.MustAppend(9, 4)
+	cat.Put(r)
+	cat.Put(s)
+	cat.Put(tt)
+	return cat
+}
+
+func TestEvalNaiveTriangle(t *testing.T) {
+	q := cq.MustParse("ans(A,B,C) :- r(A,B), s(B,C), t(C,A)")
+	res, err := EvalNaive(q, smallCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only A=1,B=2,C=7 closes the triangle.
+	if res.Card() != 1 || res.Tuples[0][0] != 1 || res.Tuples[0][1] != 2 || res.Tuples[0][2] != 7 {
+		t.Errorf("result = %v", res.Tuples)
+	}
+}
+
+func TestBindAtomsErrors(t *testing.T) {
+	q := cq.MustParse("ans :- missing(A,B)")
+	if _, err := BindAtoms(q, smallCatalog()); err == nil {
+		t.Error("missing relation should fail")
+	}
+	q2 := cq.MustParse("ans :- r(A,B,C)") // arity mismatch
+	if _, err := BindAtoms(q2, smallCatalog()); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestEvalLeftDeep(t *testing.T) {
+	q := cq.MustParse("ans(A,B,C) :- r(A,B), s(B,C), t(C,A)")
+	cat := smallCatalog()
+	var m Metrics
+	res, err := EvalLeftDeep(LeftDeepPlan{Order: []int{2, 0, 1}}, q, cat, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, _ := EvalNaive(q, cat)
+	if !res.Equal(naive) {
+		t.Errorf("left-deep disagrees with naive: %v vs %v", res.Tuples, naive.Tuples)
+	}
+	if m.Joins != 2 || m.IntermediateTuples == 0 {
+		t.Errorf("metrics wrong: %+v", m)
+	}
+	// Bad plans rejected.
+	if _, err := EvalLeftDeep(LeftDeepPlan{Order: []int{0, 0, 1}}, q, cat, nil); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	if _, err := EvalLeftDeep(LeftDeepPlan{Order: []int{0}}, q, cat, nil); err == nil {
+		t.Error("short plan should fail")
+	}
+}
+
+// Decomposition-based evaluation agrees with naive evaluation, Boolean and
+// non-Boolean, across random queries, databases, and decompositions.
+func TestEvalDecompositionAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	queries := []string{
+		"ans(A,B,C) :- r(A,B), s(B,C), t(C,A)",
+		"ans :- r(A,B), s(B,C), t(C,A)",
+		"ans(A,D) :- r(A,B), s(B,C), t(C,D), u(D,A)",
+		"ans(B) :- r(A,B), s(B,C), t(C,D), u(D,A), v(A,C)",
+		"ans :- r(A,B), s(B,C), t(C,D), u(B,D)",
+	}
+	for _, qs := range queries {
+		q := cq.MustParse(qs)
+		for trial := 0; trial < 8; trial++ {
+			cat := db.NewCatalog()
+			for _, a := range q.Atoms {
+				attrs := make([]string, len(a.Vars))
+				dist := map[string]int{}
+				card := 5 + rng.Intn(25)
+				for i := range attrs {
+					attrs[i] = "c" + string(rune('0'+i))
+					dist[attrs[i]] = 1 + rng.Intn(4)
+				}
+				cat.Put(db.MustGenerate(rng, db.Spec{
+					Name: a.Predicate, Attrs: attrs, Card: card, Distinct: dist,
+				}))
+			}
+			h, err := q.Hypergraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, d, err := core.HypertreeWidth(h, 3, core.Options{Rand: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd := d.Complete()
+			var m Metrics
+			got, err := EvalDecomposition(cd, q, cat, &m)
+			if err != nil {
+				t.Fatalf("%s: %v", qs, err)
+			}
+			want, err := EvalNaive(q, cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.IsBoolean() {
+				if Answer(got) != (want.Card() > 0) {
+					t.Fatalf("%s: boolean answer %v, want %v", qs, Answer(got), want.Card() > 0)
+				}
+			} else if !got.Equal(want) {
+				t.Fatalf("%s: decomposition eval %v != naive %v", qs, got.Tuples, want.Tuples)
+			}
+		}
+	}
+}
+
+func TestEvalDecompositionRequiresComplete(t *testing.T) {
+	q := cq.MustParse("ans :- r(A,B), s(B,C), t(C,A)")
+	h, _ := q.Hypergraph()
+	d, err := core.DecomposeK(h, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.IsComplete() {
+		t.Skip("decomposition happens to be complete; nothing to test")
+	}
+	if _, err := EvalDecomposition(d, q, smallCatalog(), nil); err == nil {
+		t.Error("incomplete decomposition should be rejected")
+	}
+}
+
+// The fresh-variable route: augment the query, decompose (always complete),
+// evaluate, and compare with the naive answer on the original query.
+func TestEvalWithFreshVariables(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := cq.MustParse("ans(A,C) :- r(A,B), s(B,C), t(C,A)")
+	cat := db.NewCatalog()
+	for _, a := range q.Atoms {
+		cat.Put(db.MustGenerate(rng, db.Spec{
+			Name: a.Predicate, Attrs: []string{"x", "y"}, Card: 30,
+			Distinct: map[string]int{"x": 4, "y": 4},
+		}))
+	}
+	fq := q.WithFreshVariables()
+	h, err := fq.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.DecomposeK(h, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsComplete() {
+		t.Fatal("fresh-augmented decomposition should be complete")
+	}
+	got, err := EvalDecomposition(d, fq, cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EvalNaive(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("fresh-variable eval %v != naive %v", got.Tuples, want.Tuples)
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	q := cq.MustParse("ans(A,B,C) :- r(A,B), s(B,C), t(C,A)")
+	if _, err := EvalLeftDeep(LeftDeepPlan{Order: []int{0, 1, 2}}, q, smallCatalog(), nil); err != nil {
+		t.Fatal(err)
+	}
+}

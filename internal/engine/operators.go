@@ -1,0 +1,155 @@
+// Package engine implements physical query evaluation: hash joins,
+// semijoins, deduplicating projections, Yannakakis's algorithm over
+// complete hypertree decompositions (the structural plan of Section 6), a
+// left-deep plan executor (the quantitative baseline's runtime), and a
+// naive evaluator used as a test oracle.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/db"
+)
+
+// sharedAttrs returns the positions of the attributes r and s have in
+// common: pairs (ri, si).
+func sharedAttrs(r, s *db.Relation) (ri, si []int) {
+	for i, a := range r.Attrs {
+		if j := s.AttrIndex(a); j >= 0 {
+			ri = append(ri, i)
+			si = append(si, j)
+		}
+	}
+	return ri, si
+}
+
+// joinKey serializes the values of a tuple at the given positions.
+func joinKey(t []db.Value, pos []int) string {
+	var b strings.Builder
+	b.Grow(len(pos) * 8)
+	for _, p := range pos {
+		v := t[p]
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+	}
+	return b.String()
+}
+
+// NaturalJoin computes r ⋈ s with a hash join (build on the smaller input).
+// The output schema is r.Attrs followed by s's non-shared attributes. With
+// no shared attributes it degenerates to the cross product.
+func NaturalJoin(r, s *db.Relation) *db.Relation {
+	ri, si := sharedAttrs(r, s)
+	// Output schema.
+	outAttrs := append([]string(nil), r.Attrs...)
+	var sExtra []int
+	for j, a := range s.Attrs {
+		if r.AttrIndex(a) < 0 {
+			outAttrs = append(outAttrs, a)
+			sExtra = append(sExtra, j)
+		}
+	}
+	out := db.NewRelation(fmt.Sprintf("(%s⋈%s)", r.Name, s.Name), outAttrs...)
+	// Build side: smaller relation.
+	build, probe := s, r
+	bPos, pPos := si, ri
+	swapped := false
+	if r.Card() < s.Card() {
+		build, probe = r, s
+		bPos, pPos = ri, si
+		swapped = true
+	}
+	ht := make(map[string][][]db.Value, build.Card())
+	for _, t := range build.Tuples {
+		k := joinKey(t, bPos)
+		ht[k] = append(ht[k], t)
+	}
+	emit := func(rt, st []db.Value) {
+		tup := make([]db.Value, 0, len(outAttrs))
+		tup = append(tup, rt...)
+		for _, j := range sExtra {
+			tup = append(tup, st[j])
+		}
+		out.Tuples = append(out.Tuples, tup)
+	}
+	for _, pt := range probe.Tuples {
+		for _, bt := range ht[joinKey(pt, pPos)] {
+			if swapped {
+				emit(bt, pt) // build side is r
+			} else {
+				emit(pt, bt)
+			}
+		}
+	}
+	return out
+}
+
+// Semijoin computes r ⋉ s: the tuples of r that join with some tuple of s.
+// The schema is r's.
+func Semijoin(r, s *db.Relation) *db.Relation {
+	ri, si := sharedAttrs(r, s)
+	out := db.NewRelation(fmt.Sprintf("(%s⋉%s)", r.Name, s.Name), r.Attrs...)
+	if len(ri) == 0 {
+		// No shared attributes: r ⋉ s is r if s non-empty, else empty.
+		if s.Card() > 0 {
+			out.Tuples = append(out.Tuples, r.Tuples...)
+		}
+		return out
+	}
+	keys := make(map[string]struct{}, s.Card())
+	for _, t := range s.Tuples {
+		keys[joinKey(t, si)] = struct{}{}
+	}
+	for _, t := range r.Tuples {
+		if _, ok := keys[joinKey(t, ri)]; ok {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// Project computes π_attrs(r) with duplicate elimination. Attributes absent
+// from r are rejected.
+func Project(r *db.Relation, attrs []string) (*db.Relation, error) {
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := r.AttrIndex(a)
+		if p < 0 {
+			return nil, fmt.Errorf("engine: projection attribute %q not in %s", a, r.Name)
+		}
+		pos[i] = p
+	}
+	out := db.NewRelation(fmt.Sprintf("π(%s)", r.Name), attrs...)
+	seen := make(map[string]struct{}, r.Card())
+	for _, t := range r.Tuples {
+		tup := make([]db.Value, len(pos))
+		for i, p := range pos {
+			tup[i] = t[p]
+		}
+		k := joinKey(tup, idPositions(len(tup)))
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Tuples = append(out.Tuples, tup)
+	}
+	return out, nil
+}
+
+func idPositions(n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	return pos
+}
+
+// Distinct removes duplicate tuples, keeping first occurrences.
+func Distinct(r *db.Relation) *db.Relation {
+	out, _ := Project(r, r.Attrs)
+	out.Name = r.Name
+	return out
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/db"
+)
+
+func rel(name string, attrs []string, rows ...[]db.Value) *db.Relation {
+	r := db.NewRelation(name, attrs...)
+	for _, row := range rows {
+		r.MustAppend(row...)
+	}
+	return r
+}
+
+func TestNaturalJoinBasic(t *testing.T) {
+	r := rel("r", []string{"A", "B"}, []db.Value{1, 2}, []db.Value{1, 3}, []db.Value{2, 4})
+	s := rel("s", []string{"B", "C"}, []db.Value{2, 10}, []db.Value{3, 11}, []db.Value{9, 12})
+	j := NaturalJoin(r, s)
+	want := rel("w", []string{"A", "B", "C"},
+		[]db.Value{1, 2, 10}, []db.Value{1, 3, 11})
+	if !j.Equal(want) {
+		t.Errorf("join = %v %v, want %v", j.Attrs, j.Tuples, want.Tuples)
+	}
+}
+
+func TestNaturalJoinBuildSideSwap(t *testing.T) {
+	// Exercise both build-side choices: r smaller, then s smaller.
+	small := rel("small", []string{"A"}, []db.Value{1})
+	big := rel("big", []string{"A", "B"}, []db.Value{1, 1}, []db.Value{1, 2}, []db.Value{2, 3})
+	j1 := NaturalJoin(small, big)
+	j2 := NaturalJoin(big, small)
+	if j1.Card() != 2 || j2.Card() != 2 {
+		t.Errorf("cards: %d, %d, want 2, 2", j1.Card(), j2.Card())
+	}
+	// Schema order differs but the A/B values must agree as sets.
+	p1, _ := Project(j1, []string{"A", "B"})
+	p2, _ := Project(j2, []string{"A", "B"})
+	if !p1.Equal(p2) {
+		t.Error("join results disagree across build sides")
+	}
+}
+
+func TestNaturalJoinCrossProduct(t *testing.T) {
+	r := rel("r", []string{"A"}, []db.Value{1}, []db.Value{2})
+	s := rel("s", []string{"B"}, []db.Value{7}, []db.Value{8}, []db.Value{9})
+	j := NaturalJoin(r, s)
+	if j.Card() != 6 {
+		t.Errorf("cross product card = %d, want 6", j.Card())
+	}
+}
+
+func TestNaturalJoinMultiAttr(t *testing.T) {
+	r := rel("r", []string{"A", "B", "C"}, []db.Value{1, 2, 3}, []db.Value{1, 2, 4})
+	s := rel("s", []string{"B", "A", "D"}, []db.Value{2, 1, 9}, []db.Value{2, 5, 9})
+	j := NaturalJoin(r, s)
+	if j.Card() != 2 { // both r tuples match (2,1,9) on A=1,B=2
+		t.Errorf("card = %d, want 2", j.Card())
+	}
+	for _, tup := range j.Tuples {
+		if tup[j.AttrIndex("D")] != 9 {
+			t.Error("D should be 9")
+		}
+	}
+}
+
+func TestSemijoin(t *testing.T) {
+	r := rel("r", []string{"A", "B"}, []db.Value{1, 2}, []db.Value{3, 4}, []db.Value{5, 6})
+	s := rel("s", []string{"B"}, []db.Value{2}, []db.Value{6})
+	sj := Semijoin(r, s)
+	want := rel("w", []string{"A", "B"}, []db.Value{1, 2}, []db.Value{5, 6})
+	if !sj.Equal(want) {
+		t.Errorf("semijoin = %v, want %v", sj.Tuples, want.Tuples)
+	}
+}
+
+func TestSemijoinNoSharedAttrs(t *testing.T) {
+	r := rel("r", []string{"A"}, []db.Value{1}, []db.Value{2})
+	sEmpty := rel("s", []string{"B"})
+	sFull := rel("s", []string{"B"}, []db.Value{9})
+	if got := Semijoin(r, sEmpty); got.Card() != 0 {
+		t.Error("semijoin with empty unrelated relation should be empty")
+	}
+	if got := Semijoin(r, sFull); got.Card() != 2 {
+		t.Error("semijoin with non-empty unrelated relation should be r")
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := rel("r", []string{"A", "B", "C"},
+		[]db.Value{1, 2, 3}, []db.Value{1, 2, 4}, []db.Value{5, 2, 3})
+	p, err := Project(r, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rel("w", []string{"A", "B"}, []db.Value{1, 2}, []db.Value{5, 2})
+	if !p.Equal(want) {
+		t.Errorf("project = %v, want %v", p.Tuples, want.Tuples)
+	}
+	if _, err := Project(r, []string{"Z"}); err == nil {
+		t.Error("projection onto missing attr should fail")
+	}
+	// Projection onto zero attributes: Boolean semantics.
+	b, err := Project(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Card() != 1 || b.Arity() != 0 {
+		t.Errorf("empty projection: card %d arity %d", b.Card(), b.Arity())
+	}
+	empty := rel("e", []string{"A"})
+	b2, _ := Project(empty, nil)
+	if b2.Card() != 0 {
+		t.Error("empty projection of empty relation should be empty")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	r := rel("r", []string{"A"}, []db.Value{1}, []db.Value{1}, []db.Value{2})
+	d := Distinct(r)
+	if d.Card() != 2 || d.Name != "r" {
+		t.Errorf("distinct = %v", d)
+	}
+}
+
+// Join with negative-looking values exercises the byte-packing in joinKey.
+func TestJoinKeyValueRanges(t *testing.T) {
+	big := db.Value(1<<30 + 12345)
+	r := rel("r", []string{"A"}, []db.Value{big}, []db.Value{-big})
+	s := rel("s", []string{"A"}, []db.Value{big})
+	j := NaturalJoin(r, s)
+	if j.Card() != 1 {
+		t.Errorf("card = %d, want 1", j.Card())
+	}
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hypertree"
+)
+
+// FormatLogicalPlan renders a complete decomposition as the logical query
+// plan it denotes (Section 6's "translation in terms of views"): one view
+// definition E(p) per vertex, the semijoin reduction program in execution
+// order, and the final join program for non-Boolean queries. Variable and
+// relation names come from the decomposition's hypergraph.
+func FormatLogicalPlan(d *hypertree.Decomposition, boolean bool) string {
+	h := d.H
+	var b strings.Builder
+	names := map[*hypertree.Node]string{}
+	i := 0
+	d.Walk(func(n, _ *hypertree.Node) {
+		names[n] = fmt.Sprintf("E%d", i)
+		i++
+	})
+
+	b.WriteString("-- views (one per decomposition vertex)\n")
+	d.Walk(func(n, _ *hypertree.Node) {
+		var rels []string
+		for _, e := range n.Lambda {
+			rels = append(rels, h.EdgeName(e))
+		}
+		fmt.Fprintf(&b, "%s := π_%s(%s)\n", names[n], h.VarsetNames(n.Chi),
+			strings.Join(rels, " ⋈ "))
+	})
+
+	b.WriteString("-- bottom-up semijoin reduction\n")
+	var up func(n *hypertree.Node)
+	up = func(n *hypertree.Node) {
+		for _, c := range n.Children {
+			up(c)
+			fmt.Fprintf(&b, "%s := %s ⋉ %s\n", names[n], names[n], names[c])
+		}
+	}
+	up(d.Root)
+
+	if boolean {
+		fmt.Fprintf(&b, "-- answer: %s ≠ ∅\n", names[d.Root])
+		return b.String()
+	}
+
+	b.WriteString("-- top-down semijoin reduction\n")
+	var down func(n *hypertree.Node)
+	down = func(n *hypertree.Node) {
+		for _, c := range n.Children {
+			fmt.Fprintf(&b, "%s := %s ⋉ %s\n", names[c], names[c], names[n])
+			down(c)
+		}
+	}
+	down(d.Root)
+
+	b.WriteString("-- bottom-up join (project onto output variables as they complete)\n")
+	var join func(n *hypertree.Node)
+	join = func(n *hypertree.Node) {
+		for _, c := range n.Children {
+			join(c)
+			fmt.Fprintf(&b, "%s := %s ⋈ %s\n", names[n], names[n], names[c])
+		}
+	}
+	join(d.Root)
+	fmt.Fprintf(&b, "-- answer: π_out(%s)\n", names[d.Root])
+	return b.String()
+}

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+)
+
+func TestFormatLogicalPlan(t *testing.T) {
+	q := cq.MustParse("ans(A) :- r(A,B), s(B,C), t(C,A)")
+	h, err := q.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.DecomposeK(h, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := d.Complete()
+
+	plan := FormatLogicalPlan(cd, false)
+	for _, frag := range []string{"-- views", "⋉", "⋈", "π_out", "-- top-down"} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, plan)
+		}
+	}
+	boolPlan := FormatLogicalPlan(cd, true)
+	if !strings.Contains(boolPlan, "≠ ∅") {
+		t.Errorf("boolean plan missing emptiness check:\n%s", boolPlan)
+	}
+	if strings.Contains(boolPlan, "top-down") {
+		t.Error("boolean plan should stop after the bottom-up pass")
+	}
+	// One view per decomposition vertex.
+	if got := strings.Count(plan, ":= π_"); got != cd.NumNodes() {
+		t.Errorf("views = %d, want %d", got, cd.NumNodes())
+	}
+}

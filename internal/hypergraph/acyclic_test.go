@@ -1,0 +1,117 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAcyclicBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *Hypergraph
+		want bool
+	}{
+		{"path5", Path(5), true},
+		{"triangle", buildTriangle(), false},
+		{"cycle4", Cycle(4), false},
+		{"cycle7", Cycle(7), false},
+		{"grid3x3", Grid(3, 3), false},
+		{"Q0", buildQ0(), false},
+	}
+	for _, c := range cases {
+		if got := c.h.IsAcyclic(); got != c.want {
+			t.Errorf("%s: IsAcyclic = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAcyclicBigEdgeAbsorbsCycle(t *testing.T) {
+	// Triangle plus an edge covering all three vertices is α-acyclic
+	// (α-acyclicity is not closed under subhypergraphs — the classic quirk).
+	b := NewBuilder()
+	b.MustEdge("e1", "X", "Y")
+	b.MustEdge("e2", "Y", "Z")
+	b.MustEdge("e3", "Z", "X")
+	b.MustEdge("big", "X", "Y", "Z")
+	if !b.MustBuild().IsAcyclic() {
+		t.Error("triangle+cover should be α-acyclic")
+	}
+}
+
+func TestJoinTreeStructure(t *testing.T) {
+	h := Path(6) // 5 edges, acyclic
+	jt, ok := h.JoinTree()
+	if !ok {
+		t.Fatal("path should have a join tree")
+	}
+	if len(jt.Parent) != h.NumEdges() {
+		t.Fatalf("parent array size %d, want %d", len(jt.Parent), h.NumEdges())
+	}
+	// Exactly one root; every edge reaches the root.
+	roots := 0
+	for e := 0; e < h.NumEdges(); e++ {
+		if jt.Parent[e] == -1 {
+			roots++
+			if e != jt.Root {
+				t.Error("root mismatch")
+			}
+		}
+		seen := map[int]bool{}
+		for cur := e; cur != -1; cur = jt.Parent[cur] {
+			if seen[cur] {
+				t.Fatal("parent cycle")
+			}
+			seen[cur] = true
+		}
+		if !seen[jt.Root] {
+			t.Errorf("edge %d does not reach root", e)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d roots, want 1", roots)
+	}
+	if !h.checkJoinTree(jt) {
+		t.Error("join tree violates connectedness")
+	}
+}
+
+func TestRandomAcyclicAreAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		h := RandomAcyclic(rng, 2+rng.Intn(12), 2+rng.Intn(4))
+		jt, ok := h.JoinTree()
+		if !ok {
+			t.Fatalf("RandomAcyclic produced cyclic hypergraph:\n%s", h)
+		}
+		if !h.checkJoinTree(jt) {
+			t.Fatalf("join tree fails connectedness:\n%s", h)
+		}
+		if !h.IsConnected() {
+			t.Fatal("RandomAcyclic produced disconnected hypergraph")
+		}
+	}
+}
+
+func TestGeneratorsShape(t *testing.T) {
+	if Cycle(5).NumEdges() != 5 || Cycle(5).NumVars() != 5 {
+		t.Error("Cycle shape wrong")
+	}
+	if Path(5).NumEdges() != 4 || Path(5).NumVars() != 5 {
+		t.Error("Path shape wrong")
+	}
+	g := Grid(2, 3)
+	if g.NumVars() != 6 || g.NumEdges() != 7 { // 2*2 horizontals + 3 verticals
+		t.Errorf("Grid(2,3): %d vars %d edges", g.NumVars(), g.NumEdges())
+	}
+	c := Clique(5)
+	if c.NumEdges() != 10 || c.NumVars() != 5 {
+		t.Error("Clique shape wrong")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		h := Random(rng, 5, 8, 4)
+		if !h.IsConnected() {
+			t.Fatal("Random produced disconnected hypergraph")
+		}
+	}
+}

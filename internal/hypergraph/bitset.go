@@ -1,0 +1,188 @@
+package hypergraph
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Varset is a fixed-capacity bitset over variable indices. The zero value is
+// an empty set of capacity zero; use NewVarset to allocate capacity. All
+// binary operations require operands created with the same capacity.
+type Varset struct {
+	words []uint64
+}
+
+// NewVarset returns an empty Varset able to hold variables 0..n-1.
+func NewVarset(n int) Varset {
+	return Varset{words: make([]uint64, (n+63)/64)}
+}
+
+// Clone returns an independent copy of s.
+func (s Varset) Clone() Varset {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Varset{words: w}
+}
+
+// Set adds variable v to the set.
+func (s Varset) Set(v int) { s.words[v/64] |= 1 << (uint(v) % 64) }
+
+// Clear removes variable v from the set.
+func (s Varset) Clear(v int) { s.words[v/64] &^= 1 << (uint(v) % 64) }
+
+// Has reports whether v is in the set.
+func (s Varset) Has(v int) bool {
+	w := v / 64
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<(uint(v)%64)) != 0
+}
+
+// Empty reports whether the set has no elements.
+func (s Varset) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of elements.
+func (s Varset) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// UnionWith adds all elements of t to s in place.
+func (s Varset) UnionWith(t Varset) {
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// IntersectWith removes from s all elements not in t, in place.
+func (s Varset) IntersectWith(t Varset) {
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// SubtractWith removes all elements of t from s in place.
+func (s Varset) SubtractWith(t Varset) {
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Union returns s ∪ t as a new set.
+func (s Varset) Union(t Varset) Varset {
+	r := s.Clone()
+	r.UnionWith(t)
+	return r
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s Varset) Intersect(t Varset) Varset {
+	r := s.Clone()
+	r.IntersectWith(t)
+	return r
+}
+
+// Subtract returns s − t as a new set.
+func (s Varset) Subtract(t Varset) Varset {
+	r := s.Clone()
+	r.SubtractWith(t)
+	return r
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s Varset) SubsetOf(t Varset) bool {
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s Varset) Intersects(t Varset) bool {
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s Varset) Equal(t Varset) bool {
+	if len(s.words) != len(t.words) {
+		return s.Count() == 0 && t.Count() == 0
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Elements returns the members of s in increasing order.
+func (s Varset) Elements() []int {
+	out := make([]int, 0, s.Count())
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls f for each member of s in increasing order.
+func (s Varset) ForEach(f func(v int)) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(i*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Key returns a canonical string key for use in maps. Two sets with equal
+// elements and capacity have equal keys.
+func (s Varset) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.words) * 17)
+	for _, w := range s.words {
+		b.WriteString(strconv.FormatUint(w, 16))
+		b.WriteByte('.')
+	}
+	return b.String()
+}
+
+// String renders the set as {0,3,7} using raw indices (for debugging;
+// hypergraphs render with names).
+func (s Varset) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(v int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(v))
+	})
+	b.WriteByte('}')
+	return b.String()
+}

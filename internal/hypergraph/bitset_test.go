@@ -1,0 +1,178 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func setOf(n int, elems ...int) Varset {
+	s := NewVarset(n)
+	for _, e := range elems {
+		s.Set(e)
+	}
+	return s
+}
+
+func TestVarsetBasics(t *testing.T) {
+	s := NewVarset(130)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	for _, v := range []int{0, 64, 129} {
+		if !s.Has(v) {
+			t.Errorf("Has(%d) = false", v)
+		}
+	}
+	if s.Has(1) || s.Has(63) || s.Has(128) {
+		t.Error("Has reports absent element")
+	}
+	s.Clear(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Error("Clear failed")
+	}
+	got := s.Elements()
+	want := []int{0, 129}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Elements = %v, want %v", got, want)
+	}
+}
+
+func TestVarsetHasOutOfRange(t *testing.T) {
+	s := NewVarset(10)
+	if s.Has(1000) {
+		t.Error("Has(1000) on capacity-10 set should be false")
+	}
+}
+
+func TestVarsetOps(t *testing.T) {
+	a := setOf(100, 1, 2, 3, 70)
+	b := setOf(100, 3, 70, 99)
+	u := a.Union(b)
+	if u.Count() != 5 || !u.Has(1) || !u.Has(99) {
+		t.Errorf("Union wrong: %v", u.Elements())
+	}
+	i := a.Intersect(b)
+	if i.Count() != 2 || !i.Has(3) || !i.Has(70) {
+		t.Errorf("Intersect wrong: %v", i.Elements())
+	}
+	d := a.Subtract(b)
+	if d.Count() != 2 || !d.Has(1) || !d.Has(2) {
+		t.Errorf("Subtract wrong: %v", d.Elements())
+	}
+	if !i.SubsetOf(a) || !i.SubsetOf(b) || a.SubsetOf(b) {
+		t.Error("SubsetOf wrong")
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects wrong")
+	}
+	if a.Intersects(setOf(100, 50)) {
+		t.Error("Intersects false positive")
+	}
+	// Originals untouched by the non-destructive ops.
+	if a.Count() != 4 || b.Count() != 3 {
+		t.Error("operands mutated")
+	}
+}
+
+func TestVarsetEqualKey(t *testing.T) {
+	a := setOf(100, 5, 50)
+	b := setOf(100, 50, 5)
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Error("equal sets differ in Equal/Key")
+	}
+	c := setOf(100, 5, 51)
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Error("distinct sets compare equal")
+	}
+}
+
+func TestVarsetCloneIndependent(t *testing.T) {
+	a := setOf(64, 1, 2)
+	b := a.Clone()
+	b.Set(3)
+	if a.Has(3) {
+		t.Error("Clone aliases storage")
+	}
+}
+
+// Property: Union/Intersect/Subtract agree with map-based model.
+func TestVarsetQuickModel(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a, b := NewVarset(n), NewVarset(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for _, x := range xs {
+			a.Set(int(x))
+			ma[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+			mb[int(y)] = true
+		}
+		union := map[int]bool{}
+		inter := map[int]bool{}
+		diff := map[int]bool{}
+		for k := range ma {
+			union[k] = true
+			if mb[k] {
+				inter[k] = true
+			} else {
+				diff[k] = true
+			}
+		}
+		for k := range mb {
+			union[k] = true
+		}
+		eq := func(s Varset, m map[int]bool) bool {
+			if s.Count() != len(m) {
+				return false
+			}
+			for k := range m {
+				if !s.Has(k) {
+					return false
+				}
+			}
+			return true
+		}
+		return eq(a.Union(b), union) && eq(a.Intersect(b), inter) && eq(a.Subtract(b), diff)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Elements is sorted and consistent with ForEach and Count.
+func TestVarsetElementsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		s := NewVarset(300)
+		for i := 0; i < 40; i++ {
+			s.Set(rng.Intn(300))
+		}
+		els := s.Elements()
+		if !sort.IntsAreSorted(els) {
+			t.Fatalf("Elements not sorted: %v", els)
+		}
+		if len(els) != s.Count() {
+			t.Fatalf("len(Elements)=%d Count=%d", len(els), s.Count())
+		}
+		var fe []int
+		s.ForEach(func(v int) { fe = append(fe, v) })
+		if len(fe) != len(els) {
+			t.Fatal("ForEach disagrees with Elements")
+		}
+		for i := range fe {
+			if fe[i] != els[i] {
+				t.Fatal("ForEach order differs from Elements")
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package hypergraph
+
+// This file implements [V]-connectivity (Section 2.2 of the paper):
+//
+//   X is [V]-adjacent to Y if some edge h has {X,Y} ⊆ h−V.
+//   A [V]-component is a maximal [V]-connected non-empty subset of var(H)−V.
+//   For a component C, edges(C) = {h ∈ edges(H) | h ∩ C ≠ ∅}.
+
+// Components returns the [V]-components of the hypergraph, each as a Varset,
+// in a deterministic order (by smallest contained variable index).
+func (h *Hypergraph) Components(v Varset) []Varset {
+	seen := h.NewVarset()
+	seen.UnionWith(v)
+	var comps []Varset
+	for start := 0; start < len(h.varNames); start++ {
+		if seen.Has(start) || !h.allVars.Has(start) {
+			continue
+		}
+		comp := h.componentFrom(start, v)
+		seen.UnionWith(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// componentFrom grows the [v]-component containing start (start ∉ v) by BFS
+// over edges: from a variable X, all variables of every edge containing X,
+// minus v, are [v]-reachable.
+func (h *Hypergraph) componentFrom(start int, v Varset) Varset {
+	comp := h.NewVarset()
+	comp.Set(start)
+	queue := []int{start}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, e := range h.varEdges[x] {
+			h.edgeVars[e].ForEach(func(y int) {
+				if !v.Has(y) && !comp.Has(y) {
+					comp.Set(y)
+					queue = append(queue, y)
+				}
+			})
+		}
+	}
+	return comp
+}
+
+// ComponentsWithin returns the [V]-components that are subsets of the set
+// within. This is the restriction used by the candidate graph: for a
+// solution node (S, C), the subproblems are the [var(S)]-components C′ ⊆ C.
+func (h *Hypergraph) ComponentsWithin(v, within Varset) []Varset {
+	all := h.Components(v)
+	var out []Varset
+	for _, c := range all {
+		if c.SubsetOf(within) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// EdgesOf returns edges(C) = {h | h ∩ C ≠ ∅}, ascending.
+func (h *Hypergraph) EdgesOf(c Varset) []int {
+	var out []int
+	for e := range h.edgeNames {
+		if h.edgeVars[e].Intersects(c) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// VarsOfEdgesOf returns var(edges(C)), the variables of all edges meeting C.
+func (h *Hypergraph) VarsOfEdgesOf(c Varset) Varset {
+	s := h.NewVarset()
+	for e := range h.edgeNames {
+		if h.edgeVars[e].Intersects(c) {
+			s.UnionWith(h.edgeVars[e])
+		}
+	}
+	return s
+}
+
+// HasVPath reports whether there is a [V]-path from x to y (both ∉ V).
+func (h *Hypergraph) HasVPath(x, y int, v Varset) bool {
+	if v.Has(x) || v.Has(y) {
+		return false
+	}
+	if x == y {
+		return true
+	}
+	return h.componentFrom(x, v).Has(y)
+}

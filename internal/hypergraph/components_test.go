@@ -1,0 +1,161 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComponentsEmptySeparator(t *testing.T) {
+	h := buildQ0()
+	comps := h.Components(h.NewVarset())
+	if len(comps) != 1 {
+		t.Fatalf("connected hypergraph has %d [∅]-components, want 1", len(comps))
+	}
+	if !comps[0].Equal(h.AllVars()) {
+		t.Error("[∅]-component should equal var(H)")
+	}
+}
+
+// Paper example: removing var({s1,s5}) = {A,B,D,E,F,G} from Q0 leaves
+// components {C}, {H}, {I}, {J}.
+func TestComponentsQ0Separator(t *testing.T) {
+	h := buildQ0()
+	v := h.Vars([]int{h.EdgeByName("s1"), h.EdgeByName("s5")})
+	comps := h.Components(v)
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	singletons := map[string]bool{}
+	for _, c := range comps {
+		if c.Count() != 1 {
+			t.Fatalf("component %s not a singleton", h.VarsetNames(c))
+		}
+		singletons[h.VarsetNames(c)] = true
+	}
+	for _, w := range []string{"{C}", "{H}", "{I}", "{J}"} {
+		if !singletons[w] {
+			t.Errorf("missing component %s", w)
+		}
+	}
+}
+
+func TestComponentsTriangle(t *testing.T) {
+	h := buildTriangle()
+	// Removing {Y} leaves {X,Z} connected via edge e3.
+	v := h.NewVarset()
+	v.Set(h.VarByName("Y"))
+	comps := h.Components(v)
+	if len(comps) != 1 || comps[0].Count() != 2 {
+		t.Fatalf("[Y]-components wrong: %d comps", len(comps))
+	}
+}
+
+func TestEdgesOfAndBoundary(t *testing.T) {
+	h := buildQ0()
+	v := h.Vars([]int{h.EdgeByName("s1"), h.EdgeByName("s5")})
+	comps := h.Components(v)
+	for _, c := range comps {
+		es := h.EdgesOf(c)
+		if len(es) != 1 {
+			t.Errorf("edges(%s) has %d edges, want 1", h.VarsetNames(c), len(es))
+		}
+		vc := h.VarsOfEdgesOf(c)
+		if !c.SubsetOf(vc) {
+			t.Error("C should be a subset of var(edges(C))")
+		}
+	}
+}
+
+func TestHasVPath(t *testing.T) {
+	h := buildQ0()
+	sep := h.NewVarset()
+	sep.Set(h.VarByName("E"))
+	sep.Set(h.VarByName("G"))
+	// With {E,G} removed, H is cut off from F? H-E are adjacent only via s6
+	// which contains E; F connects to I via s7. H should not reach F.
+	hIdx, fIdx := h.VarByName("H"), h.VarByName("F")
+	if h.HasVPath(hIdx, fIdx, sep) {
+		t.Error("H should not reach F with {E,G} removed")
+	}
+	// A reaches C with {E,G} removed (via s1, s2).
+	if !h.HasVPath(h.VarByName("A"), h.VarByName("C"), sep) {
+		t.Error("A should reach C with {E,G} removed")
+	}
+	// Separator members have no paths.
+	if h.HasVPath(h.VarByName("E"), fIdx, sep) {
+		t.Error("path from separator member should be false")
+	}
+	if !h.HasVPath(fIdx, fIdx, sep) {
+		t.Error("trivial path x→x should hold")
+	}
+}
+
+func TestComponentsWithin(t *testing.T) {
+	h := buildQ0()
+	sepOuter := h.Vars([]int{h.EdgeByName("s1")}) // {A,B,D}
+	compsOuter := h.Components(sepOuter)
+	if len(compsOuter) != 2 { // {C} and {E,F,G,H,I,J}
+		t.Fatalf("[s1]-components = %d, want 2", len(compsOuter))
+	}
+	var big Varset
+	for _, c := range compsOuter {
+		if c.Count() > 1 {
+			big = c
+		}
+	}
+	// Inner separator var({s5}) = {E,F,G}: components within big.
+	sepInner := h.Vars([]int{h.EdgeByName("s5")})
+	inner := h.ComponentsWithin(sepInner, big)
+	for _, c := range inner {
+		if !c.SubsetOf(big) {
+			t.Error("ComponentsWithin returned component outside region")
+		}
+	}
+	// {H},{I},{J} are inside big; {C} is not.
+	if len(inner) != 3 {
+		t.Fatalf("inner components = %d, want 3", len(inner))
+	}
+}
+
+// Property: components partition var(H)−V, and are pairwise [V]-disconnected.
+func TestComponentsPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		h := Random(rng, 3+rng.Intn(8), 4+rng.Intn(10), 4)
+		v := h.NewVarset()
+		for i := 0; i < h.NumVars()/3; i++ {
+			v.Set(rng.Intn(h.NumVars()))
+		}
+		comps := h.Components(v)
+		union := h.NewVarset()
+		for i, c := range comps {
+			if c.Empty() {
+				t.Fatal("empty component")
+			}
+			if c.Intersects(v) {
+				t.Fatal("component intersects separator")
+			}
+			if c.Intersects(union) {
+				t.Fatal("components overlap")
+			}
+			union.UnionWith(c)
+			// Maximality: every element of c is [V]-reachable from the first.
+			els := c.Elements()
+			for _, y := range els[1:] {
+				if !h.HasVPath(els[0], y, v) {
+					t.Fatal("component not connected")
+				}
+			}
+			// Disconnected from other components.
+			for j := 0; j < i; j++ {
+				if h.HasVPath(els[0], comps[j].Elements()[0], v) {
+					t.Fatal("distinct components connected")
+				}
+			}
+		}
+		rest := h.AllVars().Subtract(v)
+		if !union.Equal(rest) {
+			t.Fatalf("components cover %v, want %v", union.Elements(), rest.Elements())
+		}
+	}
+}

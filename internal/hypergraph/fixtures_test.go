@@ -1,0 +1,27 @@
+package hypergraph
+
+// Shared fixtures. Q0 is the running example of the paper's introduction:
+//
+//	ans ← s1(A,B,D) ∧ s2(B,C,D) ∧ s3(B,E) ∧ s4(D,G) ∧ s5(E,F,G)
+//	      ∧ s6(E,H) ∧ s7(F,I) ∧ s8(G,J)
+func buildQ0() *Hypergraph {
+	b := NewBuilder()
+	b.MustEdge("s1", "A", "B", "D")
+	b.MustEdge("s2", "B", "C", "D")
+	b.MustEdge("s3", "B", "E")
+	b.MustEdge("s4", "D", "G")
+	b.MustEdge("s5", "E", "F", "G")
+	b.MustEdge("s6", "E", "H")
+	b.MustEdge("s7", "F", "I")
+	b.MustEdge("s8", "G", "J")
+	return b.MustBuild()
+}
+
+// triangle is the 3-cycle, the smallest cyclic graph (hypertree width 2).
+func buildTriangle() *Hypergraph {
+	b := NewBuilder()
+	b.MustEdge("e1", "X", "Y")
+	b.MustEdge("e2", "Y", "Z")
+	b.MustEdge("e3", "Z", "X")
+	return b.MustBuild()
+}

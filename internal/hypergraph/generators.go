@@ -1,0 +1,151 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators of structured and random hypergraphs, used by tests, property
+// tests, and ablation benchmarks.
+
+// Cycle returns the n-cycle graph as a hypergraph: edges {X_i, X_{i+1 mod n}}.
+// For n ≥ 4 it has hypertree width 2.
+func Cycle(n int) *Hypergraph {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.MustEdge(fmt.Sprintf("e%d", i), fmt.Sprintf("X%d", i), fmt.Sprintf("X%d", (i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// Path returns the n-vertex path graph (acyclic, width 1).
+func Path(n int) *Hypergraph {
+	b := NewBuilder()
+	for i := 0; i+1 < n; i++ {
+		b.MustEdge(fmt.Sprintf("e%d", i), fmt.Sprintf("X%d", i), fmt.Sprintf("X%d", i+1))
+	}
+	return b.MustBuild()
+}
+
+// Grid returns the r×c grid graph as binary edges; grids have hypertree
+// width that grows with min(r,c).
+func Grid(r, c int) *Hypergraph {
+	b := NewBuilder()
+	name := func(i, j int) string { return fmt.Sprintf("X%d_%d", i, j) }
+	k := 0
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				b.MustEdge(fmt.Sprintf("h%d", k), name(i, j), name(i, j+1))
+				k++
+			}
+			if i+1 < r {
+				b.MustEdge(fmt.Sprintf("v%d", k), name(i, j), name(i+1, j))
+				k++
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Clique returns the n-clique as binary edges (width ⌈n/2⌉ hypertree width
+// for the graph version is Θ(n); used as a hard instance).
+func Clique(n int) *Hypergraph {
+	b := NewBuilder()
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.MustEdge(fmt.Sprintf("e%d", k), fmt.Sprintf("X%d", i), fmt.Sprintf("X%d", j))
+			k++
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomAcyclic returns a connected α-acyclic hypergraph with n edges of
+// arity up to maxArity, built top-down from a random tree so that a join
+// tree exists by construction.
+func RandomAcyclic(rng *rand.Rand, n, maxArity int) *Hypergraph {
+	if maxArity < 2 {
+		maxArity = 2
+	}
+	b := NewBuilder()
+	nextVar := 0
+	fresh := func() string { v := fmt.Sprintf("V%d", nextVar); nextVar++; return v }
+	edgeVars := make([][]string, n)
+	for e := 0; e < n; e++ {
+		arity := 2 + rng.Intn(maxArity-1)
+		var vs []string
+		if e == 0 {
+			for i := 0; i < arity; i++ {
+				vs = append(vs, fresh())
+			}
+		} else {
+			// Share a random non-empty subset of a random earlier edge
+			// (tree parent), then add fresh variables.
+			p := edgeVars[rng.Intn(e)]
+			share := 1 + rng.Intn(len(p))
+			perm := rng.Perm(len(p))
+			for i := 0; i < share && len(vs) < arity; i++ {
+				vs = append(vs, p[perm[i]])
+			}
+			for len(vs) < arity {
+				vs = append(vs, fresh())
+			}
+		}
+		edgeVars[e] = vs
+		b.MustEdge(fmt.Sprintf("e%d", e), vs...)
+	}
+	return b.MustBuild()
+}
+
+// Random returns a connected random hypergraph with n edges of arity in
+// [2,maxArity] over a pool of nv variables. Connectivity is forced by making
+// each edge after the first share at least one variable with an earlier edge.
+func Random(rng *rand.Rand, n, nv, maxArity int) *Hypergraph {
+	if maxArity < 2 {
+		maxArity = 2
+	}
+	if nv < maxArity {
+		nv = maxArity
+	}
+	b := NewBuilder()
+	used := []string{}
+	pool := make([]string, nv)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("V%d", i)
+	}
+	for e := 0; e < n; e++ {
+		arity := 2 + rng.Intn(maxArity-1)
+		seen := map[string]bool{}
+		var vs []string
+		if e > 0 {
+			anchor := used[rng.Intn(len(used))]
+			vs = append(vs, anchor)
+			seen[anchor] = true
+		}
+		for len(vs) < arity {
+			v := pool[rng.Intn(nv)]
+			if !seen[v] {
+				seen[v] = true
+				vs = append(vs, v)
+			}
+		}
+		for _, v := range vs {
+			if !contains(used, v) {
+				used = append(used, v)
+			}
+		}
+		b.MustEdge(fmt.Sprintf("e%d", e), vs...)
+	}
+	return b.MustBuild()
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,255 @@
+// Package hypergraph implements hypergraphs as used by (weighted) hypertree
+// decompositions: variables, hyperedges, [V]-components and [V]-paths,
+// induced sub-hypergraphs, the primal (Gaifman) graph, GYO reduction and
+// α-acyclicity, join trees, generators, and a small text format.
+//
+// Terminology follows Scarcello, Greco, Leone, "Weighted hypertree
+// decompositions and optimal query plans" (JCSS 73, 2007), Section 2:
+// a hypergraph H is a pair (V, H) of variables and hyperedges; var(S)
+// denotes the variables occurring in a set S of hyperedges.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hypergraph is an immutable hypergraph. Variables and edges are identified
+// by dense indices; names are kept for rendering and parsing. Construct with
+// a Builder or with Parse; after construction treat as read-only.
+type Hypergraph struct {
+	varNames  []string
+	edgeNames []string
+	varIndex  map[string]int
+	edgeIndex map[string]int
+
+	edgeVars []Varset // per edge: its set of variables
+	varEdges [][]int  // per variable: edges containing it (sorted)
+
+	allVars Varset // cached set of all variables
+}
+
+// Builder incrementally assembles a Hypergraph.
+type Builder struct {
+	varNames  []string
+	varIndex  map[string]int
+	edgeNames []string
+	edgeIndex map[string]int
+	edges     [][]int // variable indices per edge
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		varIndex:  make(map[string]int),
+		edgeIndex: make(map[string]int),
+	}
+}
+
+// Var interns a variable name and returns its index.
+func (b *Builder) Var(name string) int {
+	if i, ok := b.varIndex[name]; ok {
+		return i
+	}
+	i := len(b.varNames)
+	b.varNames = append(b.varNames, name)
+	b.varIndex[name] = i
+	return i
+}
+
+// Edge adds a hyperedge with the given name over the given variable names.
+// Duplicate variables within an edge are collapsed. Adding a second edge
+// with an existing name is an error.
+func (b *Builder) Edge(name string, vars ...string) error {
+	if _, dup := b.edgeIndex[name]; dup {
+		return fmt.Errorf("hypergraph: duplicate edge name %q", name)
+	}
+	if len(vars) == 0 {
+		return fmt.Errorf("hypergraph: edge %q has no variables", name)
+	}
+	seen := make(map[int]bool, len(vars))
+	var vs []int
+	for _, v := range vars {
+		i := b.Var(v)
+		if !seen[i] {
+			seen[i] = true
+			vs = append(vs, i)
+		}
+	}
+	sort.Ints(vs)
+	b.edgeIndex[name] = len(b.edgeNames)
+	b.edgeNames = append(b.edgeNames, name)
+	b.edges = append(b.edges, vs)
+	return nil
+}
+
+// MustEdge is Edge but panics on error; intended for tests and fixtures.
+func (b *Builder) MustEdge(name string, vars ...string) {
+	if err := b.Edge(name, vars...); err != nil {
+		panic(err)
+	}
+}
+
+// Build finalizes the hypergraph.
+func (b *Builder) Build() (*Hypergraph, error) {
+	if len(b.edges) == 0 {
+		return nil, fmt.Errorf("hypergraph: no edges")
+	}
+	h := &Hypergraph{
+		varNames:  append([]string(nil), b.varNames...),
+		edgeNames: append([]string(nil), b.edgeNames...),
+		varIndex:  make(map[string]int, len(b.varNames)),
+		edgeIndex: make(map[string]int, len(b.edgeNames)),
+		varEdges:  make([][]int, len(b.varNames)),
+	}
+	for i, n := range h.varNames {
+		h.varIndex[n] = i
+	}
+	for i, n := range h.edgeNames {
+		h.edgeIndex[n] = i
+	}
+	h.allVars = NewVarset(len(h.varNames))
+	h.edgeVars = make([]Varset, len(b.edges))
+	for e, vs := range b.edges {
+		set := NewVarset(len(h.varNames))
+		for _, v := range vs {
+			set.Set(v)
+			h.varEdges[v] = append(h.varEdges[v], e)
+			h.allVars.Set(v)
+		}
+		h.edgeVars[e] = set
+	}
+	return h, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and fixtures.
+func (b *Builder) MustBuild() *Hypergraph {
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// NumVars returns |var(H)|.
+func (h *Hypergraph) NumVars() int { return len(h.varNames) }
+
+// NumEdges returns |edges(H)|.
+func (h *Hypergraph) NumEdges() int { return len(h.edgeNames) }
+
+// VarName returns the name of variable v.
+func (h *Hypergraph) VarName(v int) string { return h.varNames[v] }
+
+// EdgeName returns the name of edge e.
+func (h *Hypergraph) EdgeName(e int) string { return h.edgeNames[e] }
+
+// VarByName returns the index of the named variable, or -1.
+func (h *Hypergraph) VarByName(name string) int {
+	if i, ok := h.varIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// EdgeByName returns the index of the named edge, or -1.
+func (h *Hypergraph) EdgeByName(name string) int {
+	if i, ok := h.edgeIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// EdgeVars returns the variable set of edge e. The result is shared; do not
+// mutate it.
+func (h *Hypergraph) EdgeVars(e int) Varset { return h.edgeVars[e] }
+
+// VarEdges returns the indices of edges containing variable v, ascending.
+// The result is shared; do not mutate it.
+func (h *Hypergraph) VarEdges(v int) []int { return h.varEdges[v] }
+
+// AllVars returns var(H). The result is shared; do not mutate it.
+func (h *Hypergraph) AllVars() Varset { return h.allVars }
+
+// NewVarset returns an empty variable set sized for this hypergraph.
+func (h *Hypergraph) NewVarset() Varset { return NewVarset(len(h.varNames)) }
+
+// Vars returns var(S) = ∪_{e∈S} e for a set S of edge indices.
+func (h *Hypergraph) Vars(edges []int) Varset {
+	s := h.NewVarset()
+	for _, e := range edges {
+		s.UnionWith(h.edgeVars[e])
+	}
+	return s
+}
+
+// VarsetNames renders a variable set with variable names, sorted by name.
+func (h *Hypergraph) VarsetNames(s Varset) string {
+	names := make([]string, 0, s.Count())
+	s.ForEach(func(v int) { names = append(names, h.varNames[v]) })
+	sort.Strings(names)
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+// EdgesNames renders a set of edge indices with edge names, in given order.
+func (h *Hypergraph) EdgesNames(edges []int) string {
+	names := make([]string, len(edges))
+	for i, e := range edges {
+		names[i] = h.edgeNames[e]
+	}
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+// String renders the hypergraph in the text format accepted by Parse.
+func (h *Hypergraph) String() string {
+	var b strings.Builder
+	for e := range h.edgeNames {
+		b.WriteString(h.edgeNames[e])
+		b.WriteByte('(')
+		vs := h.edgeVars[e].Elements()
+		for i, v := range vs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(h.varNames[v])
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}
+
+// IsConnected reports whether the hypergraph is [∅]-connected, i.e., has a
+// single [∅]-component covering all variables.
+func (h *Hypergraph) IsConnected() bool {
+	comps := h.Components(h.NewVarset())
+	return len(comps) == 1 && comps[0].Equal(h.allVars)
+}
+
+// InducedByVars returns the sub-hypergraph H[W] containing exactly the edges
+// all of whose variables lie in W, together with the mapping from new edge
+// indices to original ones. Variables keep their original indices and names
+// so varsets remain compatible; edges are renumbered.
+func (h *Hypergraph) InducedByVars(w Varset) (*Hypergraph, []int) {
+	sub := &Hypergraph{
+		varNames:  h.varNames,
+		varIndex:  h.varIndex,
+		edgeIndex: make(map[string]int),
+		varEdges:  make([][]int, len(h.varNames)),
+		allVars:   NewVarset(len(h.varNames)),
+	}
+	var origIdx []int
+	for e := range h.edgeNames {
+		if h.edgeVars[e].SubsetOf(w) {
+			ne := len(sub.edgeNames)
+			sub.edgeNames = append(sub.edgeNames, h.edgeNames[e])
+			sub.edgeIndex[h.edgeNames[e]] = ne
+			sub.edgeVars = append(sub.edgeVars, h.edgeVars[e])
+			origIdx = append(origIdx, e)
+			h.edgeVars[e].ForEach(func(v int) {
+				sub.varEdges[v] = append(sub.varEdges[v], ne)
+				sub.allVars.Set(v)
+			})
+		}
+	}
+	return sub, origIdx
+}

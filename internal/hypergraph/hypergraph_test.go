@@ -1,0 +1,194 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderAndAccessors(t *testing.T) {
+	h := buildQ0()
+	if h.NumEdges() != 8 {
+		t.Fatalf("NumEdges = %d, want 8", h.NumEdges())
+	}
+	if h.NumVars() != 10 { // A..J
+		t.Fatalf("NumVars = %d, want 10", h.NumVars())
+	}
+	e := h.EdgeByName("s5")
+	if e < 0 {
+		t.Fatal("s5 not found")
+	}
+	vs := h.EdgeVars(e)
+	for _, name := range []string{"E", "F", "G"} {
+		if v := h.VarByName(name); v < 0 || !vs.Has(v) {
+			t.Errorf("s5 should contain %s", name)
+		}
+	}
+	if h.EdgeByName("nope") != -1 || h.VarByName("nope") != -1 {
+		t.Error("lookup of missing name should return -1")
+	}
+	b := h.VarByName("B")
+	es := h.VarEdges(b)
+	if len(es) != 3 { // s1, s2, s3
+		t.Errorf("B occurs in %d edges, want 3", len(es))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	if err := b.Edge("e", "X"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Edge("e", "Y"); err == nil {
+		t.Error("duplicate edge name not rejected")
+	}
+	if err := b.Edge("f"); err == nil {
+		t.Error("empty edge not rejected")
+	}
+	empty := NewBuilder()
+	if _, err := empty.Build(); err == nil {
+		t.Error("empty hypergraph not rejected")
+	}
+}
+
+func TestBuilderDedupsVarsWithinEdge(t *testing.T) {
+	b := NewBuilder()
+	b.MustEdge("e", "X", "X", "Y")
+	h := b.MustBuild()
+	if h.EdgeVars(0).Count() != 2 {
+		t.Errorf("edge vars = %v, want 2 distinct", h.EdgeVars(0).Elements())
+	}
+}
+
+func TestVarsOfEdgeSet(t *testing.T) {
+	h := buildQ0()
+	s1, s2 := h.EdgeByName("s1"), h.EdgeByName("s2")
+	vars := h.Vars([]int{s1, s2})
+	want := []string{"A", "B", "C", "D"}
+	if vars.Count() != len(want) {
+		t.Fatalf("var(s1,s2) has %d vars, want %d", vars.Count(), len(want))
+	}
+	for _, n := range want {
+		if !vars.Has(h.VarByName(n)) {
+			t.Errorf("missing %s", n)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	h := buildQ0()
+	h2, err := Parse(h.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumEdges() != h.NumEdges() || h2.NumVars() != h.NumVars() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			h2.NumEdges(), h2.NumVars(), h.NumEdges(), h.NumVars())
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		name := h.EdgeName(e)
+		e2 := h2.EdgeByName(name)
+		if e2 < 0 {
+			t.Fatalf("edge %s lost", name)
+		}
+		v1 := h.EdgeVars(e).Elements()
+		v2 := h2.EdgeVars(e2).Elements()
+		if len(v1) != len(v2) {
+			t.Fatalf("edge %s arity changed", name)
+		}
+		for i := range v1 {
+			if h.VarName(v1[i]) != h2.VarName(v2[i]) {
+				t.Fatalf("edge %s vars changed", name)
+			}
+		}
+	}
+}
+
+func TestParseErrorsAndComments(t *testing.T) {
+	if _, err := Parse("foo"); err == nil {
+		t.Error("missing parens not rejected")
+	}
+	if _, err := Parse("e(,)"); err == nil {
+		t.Error("empty variable not rejected")
+	}
+	h, err := Parse("# comment\n\n% other comment\n(A,B)\n(B,C)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", h.NumEdges())
+	}
+	if h.EdgeByName("e0") < 0 || h.EdgeByName("e1") < 0 {
+		t.Error("auto-naming failed")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	h := buildTriangle()
+	s := h.String()
+	if !strings.Contains(s, "e1(X,Y)") && !strings.Contains(s, "e1(Y,X)") {
+		t.Errorf("String missing e1: %q", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 3 {
+		t.Errorf("String should have 3 lines: %q", s)
+	}
+}
+
+func TestInducedByVars(t *testing.T) {
+	h := buildQ0()
+	// W = {E,F,G,H,I,J} contains s5,s6,s7,s8 entirely.
+	w := h.NewVarset()
+	for _, n := range []string{"E", "F", "G", "H", "I", "J"} {
+		w.Set(h.VarByName(n))
+	}
+	sub, orig := h.InducedByVars(w)
+	if sub.NumEdges() != 4 {
+		t.Fatalf("induced has %d edges, want 4", sub.NumEdges())
+	}
+	for i, oe := range orig {
+		if sub.EdgeName(i) != h.EdgeName(oe) {
+			t.Errorf("edge mapping wrong at %d", i)
+		}
+	}
+	if sub.EdgeByName("s1") != -1 {
+		t.Error("s1 should not survive induction")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !buildQ0().IsConnected() {
+		t.Error("Q0 should be connected")
+	}
+	b := NewBuilder()
+	b.MustEdge("e1", "A", "B")
+	b.MustEdge("e2", "C", "D")
+	if b.MustBuild().IsConnected() {
+		t.Error("disjoint edges reported connected")
+	}
+}
+
+func TestPrimalGraph(t *testing.T) {
+	h := buildTriangle()
+	adj := h.PrimalGraph()
+	for v := 0; v < 3; v++ {
+		if len(adj[v]) != 2 {
+			t.Errorf("triangle primal degree of %s = %d, want 2", h.VarName(v), len(adj[v]))
+		}
+	}
+	q0 := buildQ0()
+	adj = q0.PrimalGraph()
+	bIdx := q0.VarByName("B")
+	// B co-occurs with A, D (s1), C (s2), E (s3).
+	if len(adj[bIdx]) != 4 {
+		t.Errorf("B primal degree = %d, want 4", len(adj[bIdx]))
+	}
+}
+
+func TestDegreeMaxArity(t *testing.T) {
+	h := buildQ0()
+	if h.Degree(h.VarByName("E")) != 3 { // s3, s5, s6
+		t.Errorf("deg(E) = %d, want 3", h.Degree(h.VarByName("E")))
+	}
+	if h.MaxArity() != 3 {
+		t.Errorf("MaxArity = %d, want 3", h.MaxArity())
+	}
+}

@@ -1,0 +1,56 @@
+package hypergraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a hypergraph from a simple text format: one edge per line,
+//
+//	name(V1,V2,...)
+//
+// Blank lines and lines starting with '#' or '%' are ignored. Edge names may
+// be omitted ("(A,B)"), in which case edges are named e0, e1, ...
+func Parse(text string) (*Hypergraph, error) {
+	b := NewBuilder()
+	lineNo := 0
+	auto := 0
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		open := strings.IndexByte(line, '(')
+		closeIdx := strings.LastIndexByte(line, ')')
+		if open < 0 || closeIdx < open {
+			return nil, fmt.Errorf("hypergraph: line %d: expected name(vars...)", lineNo)
+		}
+		name := strings.TrimSpace(line[:open])
+		if name == "" {
+			name = fmt.Sprintf("e%d", auto)
+			auto++
+		}
+		var vars []string
+		for _, f := range strings.Split(line[open+1:closeIdx], ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				return nil, fmt.Errorf("hypergraph: line %d: empty variable", lineNo)
+			}
+			vars = append(vars, f)
+		}
+		if err := b.Edge(name, vars...); err != nil {
+			return nil, fmt.Errorf("hypergraph: line %d: %w", lineNo, err)
+		}
+	}
+	return b.Build()
+}
+
+// MustParse is Parse but panics on error; intended for fixtures.
+func MustParse(text string) *Hypergraph {
+	h, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,40 @@
+package hypergraph
+
+// PrimalGraph returns the primal (Gaifman) graph of the hypergraph as an
+// adjacency list over variable indices: two variables are adjacent iff they
+// occur together in some hyperedge. Self-loops are omitted.
+func (h *Hypergraph) PrimalGraph() [][]int {
+	adjSet := make([]Varset, h.NumVars())
+	for v := range adjSet {
+		adjSet[v] = h.NewVarset()
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		vs := h.edgeVars[e].Elements()
+		for _, x := range vs {
+			for _, y := range vs {
+				if x != y {
+					adjSet[x].Set(y)
+				}
+			}
+		}
+	}
+	adj := make([][]int, h.NumVars())
+	for v := range adj {
+		adj[v] = adjSet[v].Elements()
+	}
+	return adj
+}
+
+// Degree returns the number of edges containing variable v.
+func (h *Hypergraph) Degree(v int) int { return len(h.varEdges[v]) }
+
+// MaxArity returns the size of the largest hyperedge.
+func (h *Hypergraph) MaxArity() int {
+	m := 0
+	for e := 0; e < h.NumEdges(); e++ {
+		if c := h.edgeVars[e].Count(); c > m {
+			m = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,110 @@
+package hypertree
+
+import (
+	"repro/internal/hypergraph"
+)
+
+// Complete returns a complete hypertree decomposition of the same width
+// derived from d (Section 6 remark): for each edge h covered by some vertex
+// r but not strongly covered anywhere, a child s of r is added with
+// λ(s) = {h} and χ(s) = var(h). The input is not modified.
+//
+// The result is generally NOT in normal form (the new leaves satisfy
+// χ(s) ⊆ χ(r)), but it is a valid decomposition (Definition 2.1) and is
+// complete, which is what query evaluation needs.
+func (d *Decomposition) Complete() *Decomposition {
+	out := d.Clone()
+	h := out.H
+	strongly := make([]bool, h.NumEdges())
+	out.Walk(func(n, _ *Node) {
+		for _, e := range n.Lambda {
+			if h.EdgeVars(e).SubsetOf(n.Chi) {
+				strongly[e] = true
+			}
+		}
+	})
+	for e := 0; e < h.NumEdges(); e++ {
+		if strongly[e] {
+			continue
+		}
+		// Find a covering vertex; Validate guarantees one exists for valid
+		// decompositions. Attach the strong-cover leaf under the first found.
+		var host *Node
+		out.Walk(func(n, _ *Node) {
+			if host == nil && h.EdgeVars(e).SubsetOf(n.Chi) {
+				host = n
+			}
+		})
+		if host == nil {
+			continue // invalid decomposition; leave as is, Validate will flag
+		}
+		leaf := NewNode(h.EdgeVars(e).Clone(), []int{e})
+		host.AddChild(leaf)
+	}
+	out.Nodes() // renumber
+	return out
+}
+
+// FromJoinTree converts a join tree of an acyclic hypergraph into the
+// corresponding width-1 complete hypertree decomposition: one node per edge
+// h with λ = {h}, χ = var(h), connected as in the join tree.
+func FromJoinTree(h *hypergraph.Hypergraph, jt hypergraph.JoinTree) *Decomposition {
+	nodes := make([]*Node, h.NumEdges())
+	for e := 0; e < h.NumEdges(); e++ {
+		nodes[e] = NewNode(h.EdgeVars(e).Clone(), []int{e})
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		for _, k := range jt.Kids[e] {
+			nodes[e].AddChild(nodes[k])
+		}
+	}
+	d := &Decomposition{H: h, Root: nodes[jt.Root]}
+	d.Nodes()
+	return d
+}
+
+// ToJoinTree converts a width-1 complete decomposition into a join tree.
+// It returns false if the decomposition has width > 1 or is not complete.
+func (d *Decomposition) ToJoinTree() (hypergraph.JoinTree, bool) {
+	if d.Width() != 1 || !d.IsComplete() {
+		return hypergraph.JoinTree{}, false
+	}
+	h := d.H
+	parent := make([]int, h.NumEdges())
+	for i := range parent {
+		parent[i] = -1
+	}
+	kids := make([][]int, h.NumEdges())
+	// Map each decomposition node to its λ edge; then project the node tree
+	// onto edges. Multiple nodes may carry the same edge (duplicates); we use
+	// the first occurrence as the representative and splice the rest out.
+	rep := make(map[int]*Node)
+	d.Walk(func(n, _ *Node) {
+		e := n.Lambda[0]
+		if _, ok := rep[e]; !ok {
+			rep[e] = n
+		}
+	})
+	root := -1
+	var rec func(n *Node, parentEdge int)
+	rec = func(n *Node, parentEdge int) {
+		e := n.Lambda[0]
+		if rep[e] == n {
+			if parentEdge == -1 {
+				root = e
+			} else if e != parentEdge {
+				parent[e] = parentEdge
+				kids[parentEdge] = append(kids[parentEdge], e)
+			}
+			parentEdge = e
+		}
+		for _, c := range n.Children {
+			rec(c, parentEdge)
+		}
+	}
+	rec(d.Root, -1)
+	if root == -1 {
+		return hypergraph.JoinTree{}, false
+	}
+	return hypergraph.JoinTree{Root: root, Parent: parent, Kids: kids}, true
+}

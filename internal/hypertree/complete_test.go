@@ -1,0 +1,120 @@
+package hypertree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func TestCompleteAddsStrongCovers(t *testing.T) {
+	h := buildQ0()
+	// An incomplete width-2 decomposition: s3 and s4 are covered by the
+	// root's χ but never appear in a λ with full χ coverage.
+	root := NewNode(chi(h, "B", "D", "E", "G"), lam(h, "s3", "s4"))
+	root.Chi = chi(h, "B", "D", "E", "G")
+	root.AddChild(NewNode(chi(h, "A", "B", "D"), lam(h, "s1")))
+	root.AddChild(NewNode(chi(h, "B", "C", "D"), lam(h, "s2")))
+	c3 := root.AddChild(NewNode(chi(h, "E", "F", "G"), lam(h, "s5")))
+	root.AddChild(NewNode(chi(h, "E", "H"), lam(h, "s6")))
+	root.AddChild(NewNode(chi(h, "G", "J"), lam(h, "s8")))
+	c3.AddChild(NewNode(chi(h, "F", "I"), lam(h, "s7")))
+	// Make it incomplete: replace root λ by {s3,s4} but shrink χ of the s5
+	// node so s5 is still strongly covered; drop strong cover of s4 by
+	// removing it from root λ and covering {D,G} via χ only... Simpler: use
+	// a fresh decomposition where root λ={s1,s5} covers s3,s4 by χ alone.
+	root2 := NewNode(chi(h, "A", "B", "D", "E", "F", "G"), lam(h, "s1", "s5"))
+	root2.AddChild(NewNode(chi(h, "B", "C", "D"), lam(h, "s2")))
+	root2.AddChild(NewNode(chi(h, "E", "H"), lam(h, "s6")))
+	root2.AddChild(NewNode(chi(h, "F", "I"), lam(h, "s7")))
+	root2.AddChild(NewNode(chi(h, "G", "J"), lam(h, "s8")))
+	d := &Decomposition{H: h, Root: root2}
+	d.Nodes()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	if d.IsComplete() {
+		t.Fatal("fixture should be incomplete (s3, s4 not strongly covered)")
+	}
+	cd := d.Complete()
+	if err := cd.Validate(); err != nil {
+		t.Fatalf("completed decomposition invalid: %v", err)
+	}
+	if !cd.IsComplete() {
+		t.Fatal("Complete() did not produce a complete decomposition")
+	}
+	if cd.Width() != d.Width() {
+		t.Errorf("completion changed width: %d -> %d", d.Width(), cd.Width())
+	}
+	// Original untouched.
+	if d.IsComplete() {
+		t.Error("Complete() mutated its receiver")
+	}
+	// Exactly two leaves added (for s3 and s4).
+	if cd.NumNodes() != d.NumNodes()+2 {
+		t.Errorf("completed has %d nodes, want %d", cd.NumNodes(), d.NumNodes()+2)
+	}
+}
+
+func TestFromJoinTreeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		h := hypergraph.RandomAcyclic(rng, 2+rng.Intn(10), 4)
+		jt, ok := h.JoinTree()
+		if !ok {
+			t.Fatal("acyclic hypergraph without join tree")
+		}
+		d := FromJoinTree(h, jt)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("join-tree decomposition invalid: %v\n%s", err, h)
+		}
+		if d.Width() != 1 {
+			t.Fatalf("join-tree decomposition width %d", d.Width())
+		}
+		if !d.IsComplete() {
+			t.Fatal("join-tree decomposition should be complete")
+		}
+		jt2, ok := d.ToJoinTree()
+		if !ok {
+			t.Fatal("ToJoinTree failed on width-1 complete decomposition")
+		}
+		if jt2.Root != jt.Root {
+			t.Errorf("round trip changed root: %d -> %d", jt.Root, jt2.Root)
+		}
+		for e := range jt.Parent {
+			if jt.Parent[e] != jt2.Parent[e] {
+				t.Errorf("round trip changed parent of %d", e)
+			}
+		}
+	}
+}
+
+func TestToJoinTreeRejectsWide(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	if _, ok := d.ToJoinTree(); ok {
+		t.Error("ToJoinTree should reject width-2 decompositions")
+	}
+}
+
+func TestTreeCompRoot(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	tc, err := d.TreeComp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc[d.Root].Equal(h.AllVars()) {
+		t.Error("treecomp(root) should be var(H)")
+	}
+	// For the s5 child: its component is {F,I}.
+	var s5Node *Node
+	d.Walk(func(n, _ *Node) {
+		if len(n.Lambda) == 1 && h.EdgeName(n.Lambda[0]) == "s5" {
+			s5Node = n
+		}
+	})
+	if got := h.VarsetNames(tc[s5Node]); got != "{F,I}" {
+		t.Errorf("treecomp(s5 node) = %s, want {F,I}", got)
+	}
+}

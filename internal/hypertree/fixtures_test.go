@@ -1,0 +1,71 @@
+package hypertree
+
+import "repro/internal/hypergraph"
+
+// Q0 is the paper's running example (Introduction):
+//
+//	ans ← s1(A,B,D) ∧ s2(B,C,D) ∧ s3(B,E) ∧ s4(D,G) ∧ s5(E,F,G)
+//	      ∧ s6(E,H) ∧ s7(F,I) ∧ s8(G,J)
+func buildQ0() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.MustEdge("s1", "A", "B", "D")
+	b.MustEdge("s2", "B", "C", "D")
+	b.MustEdge("s3", "B", "E")
+	b.MustEdge("s4", "D", "G")
+	b.MustEdge("s5", "E", "F", "G")
+	b.MustEdge("s6", "E", "H")
+	b.MustEdge("s7", "F", "I")
+	b.MustEdge("s8", "G", "J")
+	return b.MustBuild()
+}
+
+// chi builds a Varset from variable names.
+func chi(h *hypergraph.Hypergraph, names ...string) hypergraph.Varset {
+	s := h.NewVarset()
+	for _, n := range names {
+		s.Set(h.VarByName(n))
+	}
+	return s
+}
+
+// lam converts edge names to indices.
+func lam(h *hypergraph.Hypergraph, names ...string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = h.EdgeByName(n)
+	}
+	return out
+}
+
+// buildHDPrime is a width-2 decomposition of Q0 in the spirit of Fig 1's
+// HD′: seven vertices, three of width 2 and four of width 1, so that
+// ω_lex(HD′) = 4·9⁰ + 3·9¹ as in Example 3.1. It is a valid decomposition
+// but not in normal form (it contains redundant strong-cover children).
+func buildHDPrime(h *hypergraph.Hypergraph) *Decomposition {
+	root := NewNode(chi(h, "A", "B", "C", "D"), lam(h, "s1", "s2"))
+	c := root.AddChild(NewNode(chi(h, "B", "D", "E", "G"), lam(h, "s3", "s4")))
+	d1 := c.AddChild(NewNode(chi(h, "E", "F", "G", "I"), lam(h, "s5", "s7")))
+	c.AddChild(NewNode(chi(h, "E", "H"), lam(h, "s6")))
+	c.AddChild(NewNode(chi(h, "G", "J"), lam(h, "s8")))
+	d1.AddChild(NewNode(chi(h, "F", "I"), lam(h, "s7")))
+	root.AddChild(NewNode(chi(h, "A", "B", "D"), lam(h, "s1")))
+	d := &Decomposition{H: h, Root: root}
+	d.Nodes()
+	return d
+}
+
+// buildHDSecond is the width-2 NF decomposition matching Fig 1's HD″:
+// seven vertices, one of width 2 and six of width 1, so that
+// ω_lex(HD″) = 6·9⁰ + 1·9¹.
+func buildHDSecond(h *hypergraph.Hypergraph) *Decomposition {
+	root := NewNode(chi(h, "B", "D", "E", "G"), lam(h, "s3", "s4"))
+	root.AddChild(NewNode(chi(h, "A", "B", "D"), lam(h, "s1")))
+	root.AddChild(NewNode(chi(h, "B", "C", "D"), lam(h, "s2")))
+	c3 := root.AddChild(NewNode(chi(h, "E", "F", "G"), lam(h, "s5")))
+	root.AddChild(NewNode(chi(h, "E", "H"), lam(h, "s6")))
+	root.AddChild(NewNode(chi(h, "G", "J"), lam(h, "s8")))
+	c3.AddChild(NewNode(chi(h, "F", "I"), lam(h, "s7")))
+	d := &Decomposition{H: h, Root: root}
+	d.Nodes()
+	return d
+}

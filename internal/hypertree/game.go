@@ -1,0 +1,122 @@
+package hypertree
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// The robber-and-marshals game (Gottlob, Leone, Scarcello, "Robbers,
+// marshals, and guards", JCSS 2003 — the paper's reference [19], used in
+// the Theorem 2.3 proof to argue monotone shrinkage of components). k
+// marshals occupy up to k hyperedges; the robber stands on a variable and
+// may run along paths of variables not blocked by the marshals. A width-k
+// NF hypertree decomposition is exactly a monotone winning strategy for k
+// marshals: play λ(root), then descend into the child whose component
+// contains the robber.
+
+// GameStep records one move of a played game.
+type GameStep struct {
+	Marshals  []int             // hyperedges occupied (λ of the current node)
+	Component hypergraph.Varset // robber's escape space after the move
+}
+
+// MarshalsWin verifies that the decomposition encodes a winning marshal
+// strategy: for every reachable (node, component) state, every robber
+// escape component is covered by some child. For valid NF decompositions
+// this always holds; it returns false (with no error) when the hypertree
+// has a hole a robber can exploit.
+func (d *Decomposition) MarshalsWin() bool {
+	h := d.H
+	var win func(n *Node, space hypergraph.Varset) bool
+	win = func(n *Node, space hypergraph.Varset) bool {
+		lv := h.Vars(n.Lambda)
+		// Robber options: [var(λ(n))]-components inside the current space.
+		for _, c := range h.ComponentsWithin(lv, space) {
+			caught := false
+			for _, child := range n.Children {
+				sub := ChiOfSubtree(h, child)
+				if c.SubsetOf(sub) && win(child, c) {
+					caught = true
+					break
+				}
+			}
+			if !caught {
+				return false
+			}
+		}
+		return true
+	}
+	if d.Root == nil {
+		return false
+	}
+	return win(d.Root, h.AllVars().Clone())
+}
+
+// Robber picks the robber's next escape component among the non-empty
+// options (indices into comps). LargestComponent is the default adversary.
+type Robber func(comps []hypergraph.Varset) int
+
+// LargestComponent is the greedy adversary: always flee into the biggest
+// remaining escape space.
+func LargestComponent(comps []hypergraph.Varset) int {
+	best, bestSize := 0, -1
+	for i, c := range comps {
+		if n := c.Count(); n > bestSize {
+			best, bestSize = i, n
+		}
+	}
+	return best
+}
+
+// PlayGame simulates the marshal strategy encoded by the decomposition
+// against the given robber (nil = LargestComponent). The robber is tracked
+// as its escape component — the set of positions it could occupy. It
+// returns the marshal moves until capture (final step has an empty
+// component), or an error if the robber escapes, which indicates an
+// invalid decomposition.
+func (d *Decomposition) PlayGame(robber Robber) ([]GameStep, error) {
+	if robber == nil {
+		robber = LargestComponent
+	}
+	h := d.H
+	var steps []GameStep
+	node := d.Root
+	space := h.AllVars().Clone()
+	for guard := 0; ; guard++ {
+		if guard > d.NumNodes()+1 {
+			return nil, fmt.Errorf("hypertree: game did not terminate (invalid decomposition)")
+		}
+		lv := h.Vars(node.Lambda)
+		comps := h.ComponentsWithin(lv, space)
+		if len(comps) == 0 {
+			// The marshals block every remaining position: captured.
+			steps = append(steps, GameStep{Marshals: node.Lambda, Component: h.NewVarset()})
+			return steps, nil
+		}
+		choice := robber(comps)
+		if choice < 0 || choice >= len(comps) {
+			return nil, fmt.Errorf("hypertree: robber chose component %d of %d", choice, len(comps))
+		}
+		cur := comps[choice]
+		steps = append(steps, GameStep{Marshals: node.Lambda, Component: cur})
+		// Marshals descend into the child whose subtree covers the
+		// robber's component.
+		var next *Node
+		for _, child := range node.Children {
+			if cur.SubsetOf(ChiOfSubtree(h, child)) {
+				next = child
+				break
+			}
+		}
+		if next == nil {
+			return nil, fmt.Errorf("hypertree: robber escapes at node %d (invalid decomposition)", node.ID)
+		}
+		node = next
+		space = cur
+	}
+}
+
+// GameWidth returns the number of marshals the strategy uses: the width of
+// the decomposition.
+func (d *Decomposition) GameWidth() int { return d.Width() }

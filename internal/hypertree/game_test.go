@@ -1,0 +1,98 @@
+package hypertree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func TestMarshalsWinOnFig1(t *testing.T) {
+	h := buildQ0()
+	for _, d := range []*Decomposition{buildHDSecond(h), buildHDPrime(h)} {
+		if !d.MarshalsWin() {
+			t.Errorf("marshals should win with a valid decomposition:\n%s", d)
+		}
+	}
+}
+
+func TestMarshalsLoseWithHole(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	// Remove the s7 subtree: the robber escapes into {I}.
+	var s5 *Node
+	d.Walk(func(n, _ *Node) {
+		if len(n.Lambda) == 1 && h.EdgeName(n.Lambda[0]) == "s5" {
+			s5 = n
+		}
+	})
+	s5.Children = nil
+	if d.MarshalsWin() {
+		t.Error("marshals should lose after removing a subtree")
+	}
+	if _, err := d.PlayGame(nil); err == nil {
+		t.Error("PlayGame should report the robber escaping")
+	}
+}
+
+func TestPlayGameCaptures(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	steps, err := d.PlayGame(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	last := steps[len(steps)-1]
+	if !last.Component.Empty() {
+		t.Error("final step should have an empty escape component")
+	}
+	// Monotonicity: escape components strictly shrink.
+	for i := 1; i < len(steps); i++ {
+		prev, cur := steps[i-1].Component, steps[i].Component
+		if prev.Empty() {
+			break
+		}
+		if !cur.SubsetOf(prev) || cur.Equal(prev) {
+			t.Errorf("step %d: component did not strictly shrink", i)
+		}
+	}
+	// Width bound: never more than width(d) marshals.
+	for _, s := range steps {
+		if len(s.Marshals) > d.Width() {
+			t.Errorf("used %d marshals, width is %d", len(s.Marshals), d.Width())
+		}
+	}
+}
+
+// Every robber strategy loses against a valid decomposition: exercise all
+// single-choice adversaries via random play.
+func TestPlayGameRandomRobbers(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		robber := func(comps []hypergraph.Varset) int { return rng.Intn(len(comps)) }
+		steps, err := d.PlayGame(robber)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !steps[len(steps)-1].Component.Empty() {
+			t.Fatal("robber not captured")
+		}
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	h := buildQ0()
+	a := h.NewVarset()
+	a.Set(0)
+	b := h.NewVarset()
+	b.Set(1)
+	b.Set(2)
+	if LargestComponent([]hypergraph.Varset{a, b}) != 1 {
+		t.Error("should pick the larger component")
+	}
+}

@@ -1,0 +1,143 @@
+// Package hypertree implements hypertrees and hypertree decompositions
+// ⟨T,χ,λ⟩ (Definition 2.1 of the paper), the normal form of Definition 2.2,
+// widths, strong covers and complete decompositions, the completion
+// transform of Section 6, and interop with join trees of acyclic
+// hypergraphs.
+package hypertree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hypergraph"
+)
+
+// Node is a vertex of a hypertree: χ (variables) and λ (edge indices into
+// the source hypergraph), plus children. Lambda is kept sorted.
+type Node struct {
+	ID       int
+	Chi      hypergraph.Varset
+	Lambda   []int
+	Children []*Node
+}
+
+// Decomposition is a rooted hypertree for a hypergraph.
+type Decomposition struct {
+	H    *hypergraph.Hypergraph
+	Root *Node
+}
+
+// NewNode returns a node with the given labels; Lambda is copied and sorted.
+func NewNode(chi hypergraph.Varset, lambda []int) *Node {
+	l := append([]int(nil), lambda...)
+	sort.Ints(l)
+	return &Node{Chi: chi, Lambda: l}
+}
+
+// AddChild appends c to n's children and returns c.
+func (n *Node) AddChild(c *Node) *Node {
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Walk calls f on every node in pre-order.
+func (d *Decomposition) Walk(f func(n *Node, parent *Node)) {
+	var rec func(n, p *Node)
+	rec = func(n, p *Node) {
+		f(n, p)
+		for _, c := range n.Children {
+			rec(c, n)
+		}
+	}
+	if d.Root != nil {
+		rec(d.Root, nil)
+	}
+}
+
+// Nodes returns all nodes in pre-order and assigns sequential IDs.
+func (d *Decomposition) Nodes() []*Node {
+	var out []*Node
+	d.Walk(func(n, _ *Node) {
+		n.ID = len(out)
+		out = append(out, n)
+	})
+	return out
+}
+
+// NumNodes returns the number of vertices of the decomposition tree.
+func (d *Decomposition) NumNodes() int {
+	n := 0
+	d.Walk(func(*Node, *Node) { n++ })
+	return n
+}
+
+// Width returns max_p |λ(p)|.
+func (d *Decomposition) Width() int {
+	w := 0
+	d.Walk(func(n, _ *Node) {
+		if len(n.Lambda) > w {
+			w = len(n.Lambda)
+		}
+	})
+	return w
+}
+
+// ChiOfSubtree returns χ(T_n) = ∪ over the subtree rooted at n.
+func ChiOfSubtree(h *hypergraph.Hypergraph, n *Node) hypergraph.Varset {
+	s := h.NewVarset()
+	var rec func(m *Node)
+	rec = func(m *Node) {
+		s.UnionWith(m.Chi)
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return s
+}
+
+// Separator returns sep(p,q) = χ(p) ∩ χ(q) (Example 4.2).
+func Separator(p, q *Node) hypergraph.Varset {
+	return p.Chi.Intersect(q.Chi)
+}
+
+// LambdaVars returns var(λ(n)).
+func (d *Decomposition) LambdaVars(n *Node) hypergraph.Varset {
+	return d.H.Vars(n.Lambda)
+}
+
+// Clone returns a deep copy of the decomposition (sharing the hypergraph).
+func (d *Decomposition) Clone() *Decomposition {
+	var rec func(n *Node) *Node
+	rec = func(n *Node) *Node {
+		m := &Node{ID: n.ID, Chi: n.Chi.Clone(), Lambda: append([]int(nil), n.Lambda...)}
+		for _, c := range n.Children {
+			m.Children = append(m.Children, rec(c))
+		}
+		return m
+	}
+	out := &Decomposition{H: d.H}
+	if d.Root != nil {
+		out.Root = rec(d.Root)
+	}
+	return out
+}
+
+// String renders the decomposition tree, one node per line, indented, with
+// λ and χ labels using hypergraph names.
+func (d *Decomposition) String() string {
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "λ=%s χ=%s\n", d.H.EdgesNames(n.Lambda), d.H.VarsetNames(n.Chi))
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	if d.Root != nil {
+		rec(d.Root, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package hypertree
+
+// Reduce removes redundant vertices, in the spirit of the reduced normal
+// form of Harvey and Ghose (the paper's reference [24], discussed at the
+// end of Section 5): a vertex whose χ label is contained in its parent's χ
+// contributes nothing to coverage that the parent does not already provide,
+// so it is spliced out and its children are re-attached to the parent.
+// Leaves added by Complete for strong covering are exactly of this kind, so
+// Reduce(Complete(d)) == d-shaped trees; call it only when completeness is
+// not required downstream.
+//
+// The input is not modified; the result is a valid decomposition whenever
+// the input is (coverage only moves up to a superset χ; connectedness is
+// preserved because the parent's χ contains the removed vertex's χ).
+func (d *Decomposition) Reduce() *Decomposition {
+	out := d.Clone()
+	changed := true
+	for changed {
+		changed = false
+		var rec func(n *Node)
+		rec = func(n *Node) {
+			var kept []*Node
+			for _, c := range n.Children {
+				if c.Chi.SubsetOf(n.Chi) {
+					// Splice: adopt the grandchildren.
+					kept = append(kept, c.Children...)
+					changed = true
+				} else {
+					kept = append(kept, c)
+				}
+			}
+			n.Children = kept
+			for _, c := range n.Children {
+				rec(c)
+			}
+		}
+		rec(out.Root)
+	}
+	// Root-direction reduction: if the root's χ is contained in its only
+	// child's χ, the child can become the root.
+	for len(out.Root.Children) == 1 && out.Root.Chi.SubsetOf(out.Root.Children[0].Chi) {
+		out.Root = out.Root.Children[0]
+	}
+	out.Nodes()
+	return out
+}
+
+// IsReduced reports whether no vertex's χ is contained in its parent's χ
+// (and, symmetrically for the root, in its single child's χ).
+func (d *Decomposition) IsReduced() bool {
+	ok := true
+	d.Walk(func(n, parent *Node) {
+		if parent != nil && n.Chi.SubsetOf(parent.Chi) {
+			ok = false
+		}
+	})
+	if len(d.Root.Children) == 1 && d.Root.Chi.SubsetOf(d.Root.Children[0].Chi) {
+		ok = false
+	}
+	return ok
+}

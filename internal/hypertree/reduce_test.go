@@ -1,0 +1,108 @@
+package hypertree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func TestReduceRemovesRedundantLeaves(t *testing.T) {
+	h := buildQ0()
+	d := buildHDPrime(h) // has two redundant strong-cover leaves
+	if d.IsReduced() {
+		t.Fatal("HD′ should not be reduced")
+	}
+	r := d.Reduce()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("reduced decomposition invalid: %v", err)
+	}
+	if !r.IsReduced() {
+		t.Errorf("Reduce did not reach a reduced tree:\n%s", r)
+	}
+	if r.NumNodes() != d.NumNodes()-2 {
+		t.Errorf("reduced to %d nodes, want %d", r.NumNodes(), d.NumNodes()-2)
+	}
+	if r.Width() > d.Width() {
+		t.Error("Reduce increased width")
+	}
+	// Original untouched.
+	if d.NumNodes() != 7 {
+		t.Error("Reduce mutated its receiver")
+	}
+}
+
+func TestReduceIdempotent(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	r1 := d.Reduce()
+	r2 := r1.Reduce()
+	if r1.NumNodes() != r2.NumNodes() {
+		t.Error("Reduce not idempotent")
+	}
+}
+
+func TestReduceUndoesCompletion(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	cd := d.Complete()
+	if cd.NumNodes() < d.NumNodes() {
+		t.Skip("completion added nothing")
+	}
+	r := cd.Reduce()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumNodes() > d.NumNodes() {
+		t.Errorf("Reduce(Complete(d)) has %d nodes, original %d", r.NumNodes(), d.NumNodes())
+	}
+}
+
+func TestReduceRootSwap(t *testing.T) {
+	h := buildQ0()
+	// Root χ={B,E} under a child with χ={B,D,E,G}: root is redundant.
+	root := NewNode(chi(h, "B", "E"), lam(h, "s3"))
+	c := root.AddChild(NewNode(chi(h, "B", "D", "E", "G"), lam(h, "s3", "s4")))
+	c.AddChild(NewNode(chi(h, "A", "B", "D"), lam(h, "s1")))
+	c.AddChild(NewNode(chi(h, "B", "C", "D"), lam(h, "s2")))
+	c5 := c.AddChild(NewNode(chi(h, "E", "F", "G"), lam(h, "s5")))
+	c.AddChild(NewNode(chi(h, "E", "H"), lam(h, "s6")))
+	c.AddChild(NewNode(chi(h, "G", "J"), lam(h, "s8")))
+	c5.AddChild(NewNode(chi(h, "F", "I"), lam(h, "s7")))
+	d := &Decomposition{H: h, Root: root}
+	d.Nodes()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	r := d.Reduce()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Root.Lambda) != 2 {
+		t.Errorf("root should be the {s3,s4} node after reduction:\n%s", r)
+	}
+}
+
+// Property: on random valid width-1 decompositions (join trees of random
+// acyclic hypergraphs), Reduce preserves validity and never grows.
+func TestReduceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 30; trial++ {
+		h := hypergraph.RandomAcyclic(rng, 2+rng.Intn(10), 4)
+		jt, ok := h.JoinTree()
+		if !ok {
+			t.Fatal("acyclic without join tree")
+		}
+		d := FromJoinTree(h, jt)
+		r := d.Reduce()
+		if err := r.Validate(); err != nil {
+			t.Fatalf("reduced invalid: %v\n%s", err, h)
+		}
+		if r.NumNodes() > d.NumNodes() {
+			t.Error("Reduce grew the tree")
+		}
+		if !r.IsReduced() {
+			t.Error("not reduced after Reduce")
+		}
+	}
+}

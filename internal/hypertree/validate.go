@@ -1,0 +1,199 @@
+package hypertree
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// Validate checks the four conditions of Definition 2.1 and returns a
+// descriptive error naming the first violated condition, or nil if the
+// hypertree is a hypertree decomposition of d.H.
+func (d *Decomposition) Validate() error {
+	h := d.H
+	if d.Root == nil {
+		return fmt.Errorf("hypertree: empty decomposition")
+	}
+	nodes := d.Nodes()
+
+	// Condition (1): every edge is covered by some χ(p).
+	for e := 0; e < h.NumEdges(); e++ {
+		covered := false
+		for _, n := range nodes {
+			if h.EdgeVars(e).SubsetOf(n.Chi) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("hypertree: condition 1: edge %s covered by no χ label", h.EdgeName(e))
+		}
+	}
+
+	// Condition (2): for each variable, the nodes whose χ contains it induce
+	// a connected subtree (checked top-down: once a variable disappears on a
+	// root-to-leaf path it may not reappear, and it must not appear in two
+	// disjoint subtrees unless present in their common ancestor).
+	if err := d.checkConnectedness(); err != nil {
+		return err
+	}
+
+	// Condition (3): χ(p) ⊆ var(λ(p)).
+	for _, n := range nodes {
+		if !n.Chi.SubsetOf(h.Vars(n.Lambda)) {
+			return fmt.Errorf("hypertree: condition 3: node %d has χ ⊄ var(λ)", n.ID)
+		}
+	}
+
+	// Condition (4): var(λ(p)) ∩ χ(T_p) ⊆ χ(p).
+	for _, n := range nodes {
+		sub := ChiOfSubtree(h, n)
+		lv := h.Vars(n.Lambda)
+		lv.IntersectWith(sub)
+		if !lv.SubsetOf(n.Chi) {
+			return fmt.Errorf("hypertree: condition 4: node %d has var(λ)∩χ(T_p) ⊄ χ(p)", n.ID)
+		}
+	}
+	return nil
+}
+
+// checkConnectedness verifies condition (2) of Definition 2.1 for every
+// variable: {p | Y ∈ χ(p)} induces a connected subtree.
+func (d *Decomposition) checkConnectedness() error {
+	h := d.H
+	// A single DFS counts, per variable, the maximal χ-containing subtree
+	// roots: nodes containing the variable whose parent does not. The
+	// variable's occurrence set is connected iff there is exactly one.
+	roots := make([]int, h.NumVars()) // number of "appearance roots" per var
+	var rec func(n *Node, above hypergraph.Varset)
+	rec = func(n *Node, above hypergraph.Varset) {
+		n.Chi.ForEach(func(v int) {
+			if !above.Has(v) {
+				roots[v]++
+			}
+		})
+		for _, c := range n.Children {
+			rec(c, n.Chi)
+		}
+	}
+	rec(d.Root, h.NewVarset())
+	for v := 0; v < h.NumVars(); v++ {
+		if roots[v] > 1 {
+			return fmt.Errorf("hypertree: condition 2: variable %s appears in %d disconnected subtrees",
+				h.VarName(v), roots[v])
+		}
+	}
+	return nil
+}
+
+// StronglyCovers reports whether node p strongly covers edge e:
+// var(e) ⊆ χ(p) and e ∈ λ(p).
+func (d *Decomposition) StronglyCovers(p *Node, e int) bool {
+	if !d.H.EdgeVars(e).SubsetOf(p.Chi) {
+		return false
+	}
+	for _, le := range p.Lambda {
+		if le == e {
+			return true
+		}
+	}
+	return false
+}
+
+// IsComplete reports whether every edge of H is strongly covered in d.
+func (d *Decomposition) IsComplete() bool {
+	covered := make([]bool, d.H.NumEdges())
+	d.Walk(func(n, _ *Node) {
+		for _, e := range n.Lambda {
+			if d.H.EdgeVars(e).SubsetOf(n.Chi) {
+				covered[e] = true
+			}
+		}
+	})
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// TreeComp computes treecomp(s) for every node (Section 7): var(H) for the
+// root; for a child s of r, the unique [r]-component C_r with
+// χ(T_s) = C_r ∪ (χ(s) ∩ χ(r)). Returns a map from node to component, or an
+// error if some child has no unique such component (i.e., the decomposition
+// violates NF condition (1)).
+func (d *Decomposition) TreeComp() (map[*Node]hypergraph.Varset, error) {
+	h := d.H
+	out := make(map[*Node]hypergraph.Varset)
+	out[d.Root] = h.AllVars().Clone()
+	var err error
+	d.Walk(func(n, parent *Node) {
+		if parent == nil || err != nil {
+			return
+		}
+		sub := ChiOfSubtree(h, n)
+		want := sub.Subtract(n.Chi.Intersect(parent.Chi))
+		comps := h.Components(parent.Chi)
+		var found hypergraph.Varset
+		matches := 0
+		for _, c := range comps {
+			if c.Union(n.Chi.Intersect(parent.Chi)).Equal(sub) {
+				found = c
+				matches++
+			}
+		}
+		if matches != 1 {
+			err = fmt.Errorf("hypertree: NF condition 1: node %d has %d matching [parent]-components (χ(T_s)−sep = %s)",
+				n.ID, matches, h.VarsetNames(want))
+			return
+		}
+		out[n] = found
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ValidateNF checks the four normal-form conditions of Definition 2.2 (on
+// top of Validate). Returns nil iff d is an NF hypertree decomposition.
+func (d *Decomposition) ValidateNF() error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	h := d.H
+	tc, err := d.TreeComp()
+	if err != nil {
+		return err
+	}
+	var vErr error
+	d.Walk(func(s, r *Node) {
+		if r == nil || vErr != nil {
+			return
+		}
+		cr := tc[s] // the [r]-component satisfying condition (1)
+		// Condition (2): χ(s) ∩ C_r ≠ ∅.
+		if !s.Chi.Intersects(cr) {
+			vErr = fmt.Errorf("hypertree: NF condition 2: node %d has χ(s)∩C_r = ∅", s.ID)
+			return
+		}
+		// Condition (3): every h ∈ λ(s) meets var(edges(C_r)).
+		bound := h.VarsOfEdgesOf(cr)
+		for _, e := range s.Lambda {
+			if !h.EdgeVars(e).Intersects(bound) {
+				vErr = fmt.Errorf("hypertree: NF condition 3: node %d has useless λ edge %s",
+					s.ID, h.EdgeName(e))
+				return
+			}
+		}
+		// Condition (4): χ(s) = var(edges(C_r)) ∩ var(λ(s)).
+		want := bound.Intersect(h.Vars(s.Lambda))
+		if !s.Chi.Equal(want) {
+			vErr = fmt.Errorf("hypertree: NF condition 4: node %d has χ = %s, want %s",
+				s.ID, h.VarsetNames(s.Chi), h.VarsetNames(want))
+			return
+		}
+	})
+	return vErr
+}

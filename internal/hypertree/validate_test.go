@@ -1,0 +1,195 @@
+package hypertree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1HDPrime(t *testing.T) {
+	h := buildQ0()
+	d := buildHDPrime(h)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("HD′ invalid: %v", err)
+	}
+	if w := d.Width(); w != 2 {
+		t.Errorf("width(HD′) = %d, want 2", w)
+	}
+	if n := d.NumNodes(); n != 7 {
+		t.Errorf("|HD′| = %d, want 7", n)
+	}
+	if !d.IsComplete() {
+		t.Error("HD′ should be complete")
+	}
+	if err := d.ValidateNF(); err == nil {
+		t.Error("HD′ should NOT be in normal form (contains redundant vertices)")
+	}
+	// Profile: 3 nodes of width 2, 4 of width 1 (Example 3.1).
+	counts := map[int]int{}
+	d.Walk(func(n, _ *Node) { counts[len(n.Lambda)]++ })
+	if counts[2] != 3 || counts[1] != 4 {
+		t.Errorf("HD′ profile = %v, want 4×w1, 3×w2", counts)
+	}
+}
+
+func TestFig1HDSecond(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("HD″ invalid: %v", err)
+	}
+	if w := d.Width(); w != 2 {
+		t.Errorf("width(HD″) = %d, want 2", w)
+	}
+	if n := d.NumNodes(); n != 7 {
+		t.Errorf("|HD″| = %d, want 7", n)
+	}
+	if !d.IsComplete() {
+		t.Error("HD″ should be complete")
+	}
+	if err := d.ValidateNF(); err != nil {
+		t.Errorf("HD″ should be in normal form: %v", err)
+	}
+	counts := map[int]int{}
+	d.Walk(func(n, _ *Node) { counts[len(n.Lambda)]++ })
+	if counts[2] != 1 || counts[1] != 6 {
+		t.Errorf("HD″ profile = %v, want 6×w1, 1×w2", counts)
+	}
+}
+
+func TestValidateCatchesCondition1(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	// Remove the s7 leaf: edge s7 = {F,I} is no longer covered.
+	d.Walk(func(n, _ *Node) {
+		var kept []*Node
+		for _, c := range n.Children {
+			if len(c.Lambda) != 1 || h.EdgeName(c.Lambda[0]) != "s7" {
+				kept = append(kept, c)
+			}
+		}
+		n.Children = kept
+	})
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "condition 1") {
+		t.Errorf("expected condition 1 violation, got %v", err)
+	}
+}
+
+func TestValidateCatchesCondition2(t *testing.T) {
+	h := buildQ0()
+	// Start from the valid HD″ and move the s2 node (χ={B,C,D}) under the
+	// s5 node (χ={E,F,G}): B and D then occur in two disconnected subtrees.
+	// All χ labels are unchanged, so condition 1 still holds.
+	d := buildHDSecond(h)
+	var s2Node, s5Node *Node
+	d.Walk(func(n, _ *Node) {
+		if len(n.Lambda) != 1 {
+			return
+		}
+		switch h.EdgeName(n.Lambda[0]) {
+		case "s2":
+			s2Node = n
+		case "s5":
+			s5Node = n
+		}
+	})
+	var kept []*Node
+	for _, c := range d.Root.Children {
+		if c != s2Node {
+			kept = append(kept, c)
+		}
+	}
+	d.Root.Children = kept
+	s5Node.AddChild(s2Node)
+	d.Nodes()
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "condition 2") {
+		t.Errorf("expected condition 2 violation, got %v", err)
+	}
+}
+
+func TestValidateCatchesCondition3(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	// Add a variable to root's χ that is not in var(λ(root)).
+	d.Root.Chi = d.Root.Chi.Clone()
+	d.Root.Chi.Set(h.VarByName("A"))
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "condition 3") {
+		t.Errorf("expected condition 3 violation, got %v", err)
+	}
+}
+
+func TestValidateCatchesCondition4(t *testing.T) {
+	h := buildQ0()
+	// Start from HD″ and add s7 to the λ of the s5 node while keeping its
+	// χ = {E,F,G}: then var(λ) ∩ χ(T_p) contains I (from the {F,I} child)
+	// but χ(p) does not, violating condition 4. Coverage and connectedness
+	// are unchanged.
+	d := buildHDSecond(h)
+	d.Walk(func(n, _ *Node) {
+		if len(n.Lambda) == 1 && h.EdgeName(n.Lambda[0]) == "s5" {
+			n.Lambda = lam(h, "s5", "s7")
+		}
+	})
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "condition 4") {
+		t.Errorf("expected condition 4 violation, got %v", err)
+	}
+}
+
+func TestWidthAndNodes(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	nodes := d.Nodes()
+	if len(nodes) != 7 {
+		t.Fatalf("Nodes returned %d, want 7", len(nodes))
+	}
+	for i, n := range nodes {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	c := d.Clone()
+	c.Root.Chi.Clear(h.VarByName("B"))
+	c.Root.Lambda = c.Root.Lambda[:1]
+	if d.Root.Chi.Count() != 4 || len(d.Root.Lambda) != 2 {
+		t.Error("Clone aliases original")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("original damaged by clone mutation: %v", err)
+	}
+}
+
+func TestSeparator(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	root := d.Root
+	var s5Node *Node
+	d.Walk(func(n, _ *Node) {
+		if len(n.Lambda) == 1 && h.EdgeName(n.Lambda[0]) == "s5" {
+			s5Node = n
+		}
+	})
+	sep := Separator(root, s5Node)
+	if h.VarsetNames(sep) != "{E,G}" {
+		t.Errorf("sep(root, s5) = %s, want {E,G}", h.VarsetNames(sep))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	s := d.String()
+	if !strings.Contains(s, "λ={s3,s4}") {
+		t.Errorf("String missing root λ: %q", s)
+	}
+	if !strings.Contains(s, "χ={B,D,E,G}") {
+		t.Errorf("String missing root χ: %q", s)
+	}
+}

@@ -1,0 +1,126 @@
+// Package optimizer implements the quantitative-only baseline of the
+// paper's experiments ("CommDB"): a Selinger/System-R dynamic program over
+// left-deep join orders driven by the same statistics and estimation module
+// as cost-k-decomp, but blind to query structure — no semijoin reduction,
+// no projection pushing (Section 1.2's description of commercial
+// optimizers).
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/engine"
+)
+
+// Plan searches all left-deep join orders (avoiding cross products unless
+// unavoidable) and returns the cheapest under the textbook cost model,
+// together with its estimated cost.
+func Plan(q *cq.Query, cat *db.Catalog) (engine.LeftDeepPlan, float64, error) {
+	n := len(q.Atoms)
+	if n == 0 {
+		return engine.LeftDeepPlan{}, 0, fmt.Errorf("optimizer: empty query")
+	}
+	if n > 20 {
+		return engine.LeftDeepPlan{}, 0, fmt.Errorf("optimizer: %d atoms exceeds the 20-atom DP limit", n)
+	}
+	ests := make([]cost.Est, n)
+	for i, a := range q.Atoms {
+		st := cat.Stats(a.Predicate)
+		if st == nil {
+			return engine.LeftDeepPlan{}, 0, fmt.Errorf("optimizer: relation %s not analyzed", a.Predicate)
+		}
+		rel := cat.Get(a.Predicate)
+		mapping := map[string]string{}
+		attrs := a.Vars
+		if rel != nil && len(rel.Attrs) == len(a.Vars) {
+			attrs = rel.Attrs
+			for i2, col := range rel.Attrs {
+				mapping[col] = a.Vars[i2]
+			}
+		}
+		ests[i] = cost.FromStats(st, attrs, mapping)
+	}
+	// connected[i][j]: atoms i and j share a variable.
+	connected := make([][]bool, n)
+	for i := range connected {
+		connected[i] = make([]bool, n)
+		for j := range connected[i] {
+			connected[i][j] = i != j && sharesVar(q.Atoms[i], q.Atoms[j])
+		}
+	}
+	type state struct {
+		cost  float64
+		est   cost.Est
+		order []int
+	}
+	best := make(map[uint32]*state, 1<<uint(n))
+	for i := 0; i < n; i++ {
+		best[1<<uint(i)] = &state{cost: ests[i].Card, est: ests[i], order: []int{i}}
+	}
+	// Enumerate masks in increasing popcount order by plain numeric order
+	// (any submask is numerically smaller, so predecessors are ready).
+	full := uint32(1)<<uint(n) - 1
+	for mask := uint32(1); mask <= full; mask++ {
+		st, ok := best[mask]
+		if !ok {
+			continue
+		}
+		// Does any unjoined atom connect to the current prefix?
+		anyConnected := false
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				continue
+			}
+			for _, i := range st.order {
+				if connected[i][j] {
+					anyConnected = true
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				continue
+			}
+			if anyConnected && !connectsTo(connected, st.order, j) {
+				continue // defer cross products while joins are available
+			}
+			nm := mask | 1<<uint(j)
+			nc := st.cost + cost.JoinCost(st.est, ests[j])
+			if prev, ok := best[nm]; !ok || nc < prev.cost {
+				order := make([]int, len(st.order)+1)
+				copy(order, st.order)
+				order[len(st.order)] = j
+				best[nm] = &state{cost: nc, est: cost.Join(st.est, ests[j]), order: order}
+			}
+		}
+	}
+	final, ok := best[full]
+	if !ok || math.IsInf(final.cost, 0) {
+		return engine.LeftDeepPlan{}, 0, fmt.Errorf("optimizer: no plan found")
+	}
+	return engine.LeftDeepPlan{Order: final.order}, final.cost, nil
+}
+
+func sharesVar(a, b cq.Atom) bool {
+	for _, v := range a.Vars {
+		for _, w := range b.Vars {
+			if v == w {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func connectsTo(connected [][]bool, order []int, j int) bool {
+	for _, i := range order {
+		if connected[i][j] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/engine"
+)
+
+func analyzedCatalog(t *testing.T, rng *rand.Rand, q *cq.Query, card int) *db.Catalog {
+	t.Helper()
+	cat := db.NewCatalog()
+	for _, a := range q.Atoms {
+		attrs := make([]string, len(a.Vars))
+		dist := map[string]int{}
+		for i := range attrs {
+			attrs[i] = "c" + string(rune('0'+i))
+			dist[attrs[i]] = 1 + rng.Intn(8)
+		}
+		cat.Put(db.MustGenerate(rng, db.Spec{Name: a.Predicate, Attrs: attrs, Card: card, Distinct: dist}))
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestPlanCoversAllAtomsOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	q := cq.Q1()
+	cat := analyzedCatalog(t, rng, q, 50)
+	plan, c, err := Plan(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Order) != len(q.Atoms) {
+		t.Fatalf("plan length %d, want %d", len(plan.Order), len(q.Atoms))
+	}
+	seen := map[int]bool{}
+	for _, i := range plan.Order {
+		if seen[i] {
+			t.Fatalf("atom %d repeated", i)
+		}
+		seen[i] = true
+	}
+	if c <= 0 {
+		t.Errorf("cost = %v, want positive", c)
+	}
+}
+
+func TestPlanAvoidsCrossProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	q := cq.MustParse("ans :- r(A,B), s(B,C), t(C,D), u(D,E)")
+	cat := analyzedCatalog(t, rng, q, 40)
+	plan, _, err := Plan(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every prefix after the first atom must connect to the prefix vars.
+	have := map[string]bool{}
+	for pos, ai := range plan.Order {
+		a := q.Atoms[ai]
+		if pos > 0 {
+			connected := false
+			for _, v := range a.Vars {
+				if have[v] {
+					connected = true
+				}
+			}
+			if !connected {
+				t.Fatalf("cross product at position %d of %v", pos, plan.Order)
+			}
+		}
+		for _, v := range a.Vars {
+			have[v] = true
+		}
+	}
+}
+
+func TestPlanExecutesCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	q := cq.MustParse("ans(A,C) :- r(A,B), s(B,C), t(C,A)")
+	cat := analyzedCatalog(t, rng, q, 30)
+	plan, _, err := Plan(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.EvalLeftDeep(plan, q, cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.EvalNaive(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("optimized plan result differs from naive")
+	}
+}
+
+// The DP must pick a better-or-equal order than the worst order, and for a
+// chain query with one huge relation it should not start with it.
+func TestPlanPrefersSelectiveStart(t *testing.T) {
+	q := cq.MustParse("ans :- small(A,B), huge(B,C)")
+	cat := db.NewCatalog()
+	rng := rand.New(rand.NewSource(44))
+	cat.Put(db.MustGenerate(rng, db.Spec{Name: "small", Attrs: []string{"x", "y"}, Card: 5,
+		Distinct: map[string]int{"x": 5, "y": 3}}))
+	cat.Put(db.MustGenerate(rng, db.Spec{Name: "huge", Attrs: []string{"x", "y"}, Card: 5000,
+		Distinct: map[string]int{"x": 3, "y": 50}}))
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	plan, _, err := Plan(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Atoms[plan.Order[0]].Predicate != "small" {
+		t.Errorf("plan starts with %s, want small", q.Atoms[plan.Order[0]].Predicate)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	q := cq.MustParse("ans :- r(A,B)")
+	cat := db.NewCatalog()
+	r := db.NewRelation("r", "x", "y")
+	cat.Put(r) // not analyzed
+	if _, _, err := Plan(q, cat); err == nil {
+		t.Error("unanalyzed catalog should fail")
+	}
+}

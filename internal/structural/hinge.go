@@ -1,0 +1,235 @@
+package structural
+
+import (
+	"sort"
+
+	"repro/internal/hypergraph"
+)
+
+// Hinge decompositions (Gyssens, Jeavons, Cohen — the paper's reference
+// [23], the third structural method of the Section 1.1 comparison). A
+// hinge tree partitions the hyperedges into overlapping blocks ("hinges")
+// such that adjacent blocks share the variables of a single connecting
+// edge; the method's width is the largest block size. Hypertree width
+// generalizes it: hw(H) ≤ hinge-width(H) for every hypergraph.
+
+// HingeTree is a tree of edge blocks. Parent[i] = -1 for the root.
+type HingeTree struct {
+	Blocks [][]int // hyperedge indices per block, sorted
+	Parent []int
+}
+
+// Width returns the size of the largest block (the hinge width bound).
+func (ht *HingeTree) Width() int {
+	w := 0
+	for _, b := range ht.Blocks {
+		if len(b) > w {
+			w = len(b)
+		}
+	}
+	return w
+}
+
+// HingeDecomposition computes the (unique, minimal) hinge tree by
+// repeatedly splitting blocks: a block K splits at an edge e ∈ K when the
+// edges of K−{e} fall into ≥2 groups connected via variables outside
+// var(e); each group keeps a copy of e as the connector.
+func HingeDecomposition(h *hypergraph.Hypergraph) *HingeTree {
+	all := make([]int, h.NumEdges())
+	for i := range all {
+		all[i] = i
+	}
+	ht := &HingeTree{Blocks: [][]int{all}, Parent: []int{-1}}
+	for {
+		split := false
+		for bi := 0; bi < len(ht.Blocks) && !split; bi++ {
+			block := ht.Blocks[bi]
+			if len(block) < 2 {
+				continue
+			}
+			for _, e := range block {
+				groups := splitAt(h, block, e)
+				if len(groups) < 2 {
+					continue
+				}
+				// Build the fragments {e} ∪ G_i. The fragment that keeps
+				// bi's index (and hence its link to bi's parent) must be
+				// one containing an edge shared with that parent; e itself
+				// is in every fragment, so when the connector is e any
+				// fragment qualifies.
+				frags := make([][]int, len(groups))
+				for gi, g := range groups {
+					f := append([]int{e}, g...)
+					sort.Ints(f)
+					frags[gi] = f
+				}
+				keep := 0
+				if p := ht.Parent[bi]; p != -1 {
+					for gi, f := range frags {
+						if len(intersectInts(f, ht.Blocks[p])) > 0 {
+							keep = gi
+							break
+						}
+					}
+				}
+				newIdx := []int{bi}
+				ht.Blocks[bi] = frags[keep]
+				for gi, f := range frags {
+					if gi == keep {
+						continue
+					}
+					newIdx = append(newIdx, len(ht.Blocks))
+					ht.Blocks = append(ht.Blocks, f)
+					ht.Parent = append(ht.Parent, bi)
+				}
+				// Re-attach bi's previous children to whichever fragment
+				// holds their connector edges (e itself lives in every
+				// fragment, so any fragment sharing an edge works).
+				for j := range ht.Parent {
+					if j == bi || ht.Parent[j] != bi || containsInt(newIdx, j) {
+						continue
+					}
+					for _, ni := range newIdx {
+						if len(intersectInts(ht.Blocks[j], ht.Blocks[ni])) > 0 {
+							ht.Parent[j] = ni
+							break
+						}
+					}
+				}
+				split = true
+				break
+			}
+		}
+		if !split {
+			return ht
+		}
+	}
+}
+
+// splitAt groups block−{e} by connectivity through variables not in
+// var(e): two edges are together when they share such a variable,
+// transitively.
+func splitAt(h *hypergraph.Hypergraph, block []int, e int) [][]int {
+	ev := h.EdgeVars(e)
+	var rest []int
+	for _, f := range block {
+		if f != e {
+			rest = append(rest, f)
+		}
+	}
+	// Union-find over rest.
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, f := range rest {
+		parent[f] = f
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < len(rest); i++ {
+		for j := i + 1; j < len(rest); j++ {
+			shared := h.EdgeVars(rest[i]).Intersect(h.EdgeVars(rest[j]))
+			shared.SubtractWith(ev)
+			if !shared.Empty() {
+				union(rest[i], rest[j])
+			}
+		}
+	}
+	byRoot := map[int][]int{}
+	for _, f := range rest {
+		r := find(f)
+		byRoot[r] = append(byRoot[r], f)
+	}
+	var roots []int
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	var out [][]int
+	for _, r := range roots {
+		g := byRoot[r]
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	return out
+}
+
+// Validate checks the hinge-tree invariants: every hyperedge occurs in
+// some block, adjacent blocks share exactly the edges... in the minimal
+// tree, a child shares its connector edge with the parent, and every
+// variable shared between a child's subtree and the rest is covered by the
+// connector.
+func (ht *HingeTree) Validate(h *hypergraph.Hypergraph) bool {
+	covered := make([]bool, h.NumEdges())
+	for _, b := range ht.Blocks {
+		for _, e := range b {
+			covered[e] = true
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	// Each non-root block shares at least one edge with its parent, and
+	// the shared edges' variables separate the block from the parent side.
+	for i, p := range ht.Parent {
+		if p == -1 {
+			continue
+		}
+		shared := intersectInts(ht.Blocks[i], ht.Blocks[p])
+		if len(shared) == 0 {
+			return false
+		}
+		sepVars := h.NewVarset()
+		for _, e := range shared {
+			sepVars.UnionWith(h.EdgeVars(e))
+		}
+		// Vars of the block's exclusive edges that also occur in the
+		// parent's exclusive edges must lie in the connector.
+		blockVars := h.NewVarset()
+		for _, e := range ht.Blocks[i] {
+			if !containsInt(shared, e) {
+				blockVars.UnionWith(h.EdgeVars(e))
+			}
+		}
+		parentVars := h.NewVarset()
+		for _, e := range ht.Blocks[p] {
+			if !containsInt(shared, e) {
+				parentVars.UnionWith(h.EdgeVars(e))
+			}
+		}
+		cross := blockVars.Intersect(parentVars)
+		if !cross.SubsetOf(sepVars) {
+			return false
+		}
+	}
+	return true
+}
+
+func intersectInts(a, b []int) []int {
+	in := map[int]bool{}
+	for _, x := range a {
+		in[x] = true
+	}
+	var out []int
+	for _, y := range b {
+		if in[y] {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+func containsInt(a []int, x int) bool {
+	for _, y := range a {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package structural
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+)
+
+func TestHingePath(t *testing.T) {
+	h := hypergraph.Path(6) // chain of 5 binary edges
+	ht := HingeDecomposition(h)
+	if !ht.Validate(h) {
+		t.Fatal("invalid hinge tree")
+	}
+	// A chain splits down to blocks of two adjacent edges.
+	if got := ht.Width(); got != 2 {
+		t.Errorf("hinge width of path = %d, want 2", got)
+	}
+}
+
+func TestHingeCycleIsOneBlock(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		h := hypergraph.Cycle(n)
+		ht := HingeDecomposition(h)
+		if !ht.Validate(h) {
+			t.Fatal("invalid hinge tree")
+		}
+		if len(ht.Blocks) != 1 || ht.Width() != n {
+			t.Errorf("cycle %d: %d blocks width %d, want 1 block width %d",
+				n, len(ht.Blocks), ht.Width(), n)
+		}
+	}
+}
+
+func TestHingeSeparatesFromHypertreeWidth(t *testing.T) {
+	// Cycles: hinge width n, hypertree width 2 — the unbounded gap the
+	// paper cites when claiming HYPERTREE strongly generalizes HINGE.
+	h := hypergraph.Cycle(9)
+	ht := HingeDecomposition(h)
+	hw, _, err := core.HypertreeWidth(h, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.Width() != 9 || hw != 2 {
+		t.Errorf("cycle9: hinge %d vs hw %d, want 9 vs 2", ht.Width(), hw)
+	}
+}
+
+func TestHingeTwoTriangles(t *testing.T) {
+	// Two triangles sharing one edge split into two 3-blocks.
+	b := hypergraph.NewBuilder()
+	b.MustEdge("e1", "A", "B")
+	b.MustEdge("e2", "B", "C")
+	b.MustEdge("e3", "C", "A")
+	b.MustEdge("e4", "A", "D")
+	b.MustEdge("e5", "D", "B")
+	h := b.MustBuild()
+	ht := HingeDecomposition(h)
+	if !ht.Validate(h) {
+		t.Fatal("invalid hinge tree")
+	}
+	if ht.Width() != 3 || len(ht.Blocks) != 2 {
+		t.Errorf("got %d blocks, width %d; want 2 blocks of width 3 (blocks %v)",
+			len(ht.Blocks), ht.Width(), ht.Blocks)
+	}
+}
+
+// Property: hinge trees are valid and hw ≤ hinge width (with a small search
+// cap) on random hypergraphs.
+func TestHingeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 30; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(6), 5+rng.Intn(6), 3)
+		ht := HingeDecomposition(h)
+		if !ht.Validate(h) {
+			t.Fatalf("invalid hinge tree for\n%s", h)
+		}
+		cap := ht.Width()
+		if cap > 4 {
+			cap = 4
+		}
+		hw, _, err := core.HypertreeWidth(h, cap, core.Options{})
+		if err != nil {
+			// hw > cap ≤ hinge width is impossible: hw ≤ hinge width always.
+			if cap == ht.Width() {
+				t.Fatalf("hw > hinge width on\n%s", h)
+			}
+			continue
+		}
+		if hw > ht.Width() {
+			t.Fatalf("hw %d > hinge width %d on\n%s", hw, ht.Width(), h)
+		}
+	}
+}

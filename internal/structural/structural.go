@@ -1,0 +1,320 @@
+// Package structural implements the competing structural decomposition
+// methods the paper positions HYPERTREE against (Section 1.1): tree
+// decompositions of the primal graph (Robertson–Seymour treewidth, here via
+// the min-fill heuristic) and Freuder's biconnected-components method. They
+// exist to reproduce the paper's comparison claims — e.g., that hypertree
+// width strongly generalizes both: hw(H) ≤ tw(H)+1 always, while tw is
+// unbounded on acyclic hypergraphs with large hyperedges where hw = 1.
+package structural
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hypergraph"
+)
+
+// TreeDecomposition is a tree decomposition of the primal graph: bags of
+// variables arranged in a tree (parent index per bag, -1 for the root).
+type TreeDecomposition struct {
+	Bags   []hypergraph.Varset
+	Parent []int
+}
+
+// Width returns max |bag| − 1.
+func (td *TreeDecomposition) Width() int {
+	w := 0
+	for _, b := range td.Bags {
+		if c := b.Count(); c > w {
+			w = c
+		}
+	}
+	return w - 1
+}
+
+// Validate checks the three tree-decomposition conditions against the
+// hypergraph's primal graph: every vertex in some bag, every primal edge
+// inside some bag, and connectedness of each vertex's bag set.
+func (td *TreeDecomposition) Validate(h *hypergraph.Hypergraph) error {
+	if len(td.Bags) == 0 || len(td.Bags) != len(td.Parent) {
+		return fmt.Errorf("structural: malformed tree decomposition")
+	}
+	// Vertex coverage.
+	all := h.NewVarset()
+	for _, b := range td.Bags {
+		all.UnionWith(b)
+	}
+	if !h.AllVars().SubsetOf(all) {
+		return fmt.Errorf("structural: some variable is in no bag")
+	}
+	// Edge coverage: every pair of co-occurring variables shares a bag.
+	for e := 0; e < h.NumEdges(); e++ {
+		vs := h.EdgeVars(e).Elements()
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				found := false
+				for _, b := range td.Bags {
+					if b.Has(vs[i]) && b.Has(vs[j]) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("structural: primal edge {%s,%s} in no bag",
+						h.VarName(vs[i]), h.VarName(vs[j]))
+				}
+			}
+		}
+	}
+	// Connectedness per variable.
+	kids := make([][]int, len(td.Bags))
+	root := -1
+	for i, p := range td.Parent {
+		if p == -1 {
+			root = i
+		} else {
+			kids[p] = append(kids[p], i)
+		}
+	}
+	if root == -1 {
+		return fmt.Errorf("structural: no root bag")
+	}
+	for v := 0; v < h.NumVars(); v++ {
+		if !h.AllVars().Has(v) {
+			continue
+		}
+		roots := 0
+		var rec func(i int, above bool)
+		rec = func(i int, above bool) {
+			has := td.Bags[i].Has(v)
+			if has && !above {
+				roots++
+			}
+			for _, k := range kids[i] {
+				rec(k, has)
+			}
+		}
+		rec(root, false)
+		if roots != 1 {
+			return fmt.Errorf("structural: variable %s occurs in %d disconnected bag subtrees",
+				h.VarName(v), roots)
+		}
+	}
+	return nil
+}
+
+// TreewidthMinFill computes a tree decomposition of the primal graph with
+// the classic min-fill elimination heuristic (an upper bound on treewidth;
+// exact on chordal graphs).
+func TreewidthMinFill(h *hypergraph.Hypergraph) *TreeDecomposition {
+	n := h.NumVars()
+	// Adjacency as varsets, mutated during elimination.
+	adj := make([]hypergraph.Varset, n)
+	for v := 0; v < n; v++ {
+		adj[v] = h.NewVarset()
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		vs := h.EdgeVars(e).Elements()
+		for _, x := range vs {
+			for _, y := range vs {
+				if x != y {
+					adj[x].Set(y)
+				}
+			}
+		}
+	}
+	alive := h.AllVars().Clone()
+	type elim struct {
+		v   int
+		bag hypergraph.Varset
+	}
+	var order []elim
+	for !alive.Empty() {
+		// Pick the vertex whose elimination adds the fewest fill edges.
+		best, bestFill, bestDeg := -1, 1<<30, 1<<30
+		alive.ForEach(func(v int) {
+			nbrs := adj[v].Intersect(alive)
+			fill := 0
+			els := nbrs.Elements()
+			for i := 0; i < len(els); i++ {
+				for j := i + 1; j < len(els); j++ {
+					if !adj[els[i]].Has(els[j]) {
+						fill++
+					}
+				}
+			}
+			deg := len(els)
+			if fill < bestFill || (fill == bestFill && deg < bestDeg) {
+				best, bestFill, bestDeg = v, fill, deg
+			}
+		})
+		nbrs := adj[best].Intersect(alive)
+		// Fill: connect the neighborhood into a clique.
+		els := nbrs.Elements()
+		for i := 0; i < len(els); i++ {
+			for j := 0; j < len(els); j++ {
+				if i != j {
+					adj[els[i]].Set(els[j])
+				}
+			}
+		}
+		bag := nbrs.Clone()
+		bag.Set(best)
+		order = append(order, elim{v: best, bag: bag})
+		alive.Clear(best)
+	}
+	// Build the tree: bag i's parent is the bag of the first vertex of
+	// bag_i − {v_i} eliminated after v_i (standard construction).
+	pos := make([]int, n)
+	for i, e := range order {
+		pos[e.v] = i
+	}
+	td := &TreeDecomposition{Parent: make([]int, len(order))}
+	for i, e := range order {
+		td.Bags = append(td.Bags, e.bag)
+		parent := -1
+		bestPos := 1 << 30
+		e.bag.ForEach(func(u int) {
+			if u != e.v && pos[u] > i && pos[u] < bestPos {
+				bestPos = pos[u]
+				parent = pos[u]
+			}
+		})
+		td.Parent[i] = parent
+	}
+	// Multiple roots can remain (disconnected primal graph or the last
+	// elimination); chain extra roots under the final bag.
+	last := len(order) - 1
+	for i := range td.Parent {
+		if td.Parent[i] == -1 && i != last {
+			td.Parent[i] = last
+		}
+	}
+	return td
+}
+
+// BicompWidth computes the width of Freuder's biconnected-components
+// method: the size of the largest biconnected component (block) of the
+// primal graph. Queries are tractable when this is bounded; it is the
+// weakest of the structural methods compared in the paper.
+func BicompWidth(h *hypergraph.Hypergraph) int {
+	n := h.NumVars()
+	adj := h.PrimalGraph()
+	// Hopcroft–Tarjan block decomposition via DFS with an edge stack.
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	type edge struct{ u, v int }
+	var stack []edge
+	timer := 0
+	maxBlock := 0
+	measure := func(top int) {
+		// Pop edges up to and including the marker; count distinct vertices.
+		seen := map[int]bool{}
+		for len(stack) > top {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			seen[e.u] = true
+			seen[e.v] = true
+		}
+		if len(seen) > maxBlock {
+			maxBlock = len(seen)
+		}
+	}
+	var dfs func(u, parent int)
+	dfs = func(u, parent int) {
+		disc[u] = timer
+		low[u] = timer
+		timer++
+		for _, v := range adj[u] {
+			if v == parent {
+				continue
+			}
+			if disc[v] == -1 {
+				top := len(stack)
+				stack = append(stack, edge{u, v})
+				dfs(v, u)
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+				if low[v] >= disc[u] {
+					measure(top)
+				}
+			} else if disc[v] < disc[u] {
+				stack = append(stack, edge{u, v})
+				if disc[v] < low[u] {
+					low[u] = disc[v]
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if disc[v] == -1 && h.AllVars().Has(v) {
+			dfs(v, -1)
+			measure(0)
+		}
+	}
+	if maxBlock == 0 && n > 0 {
+		maxBlock = 1 // isolated vertices
+	}
+	return maxBlock
+}
+
+// CoverNumber returns the minimum number of hyperedges needed to cover the
+// variable set s (exact by branch and bound; s is small — a bag). It is
+// how a tree decomposition converts into a hypertree decomposition bound:
+// hw(H) ≤ max over bags of CoverNumber(bag).
+func CoverNumber(h *hypergraph.Hypergraph, s hypergraph.Varset) int {
+	// Candidate edges: those intersecting s, deduplicated by footprint.
+	var cands []hypergraph.Varset
+	seen := map[string]bool{}
+	for e := 0; e < h.NumEdges(); e++ {
+		fp := h.EdgeVars(e).Intersect(s)
+		if fp.Empty() {
+			continue
+		}
+		if key := fp.Key(); !seen[key] {
+			seen[key] = true
+			cands = append(cands, fp)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Count() > cands[j].Count() })
+	best := len(cands) + 1
+	var rec func(rem hypergraph.Varset, used, from int)
+	rec = func(rem hypergraph.Varset, used, from int) {
+		if used >= best {
+			return
+		}
+		if rem.Empty() {
+			best = used
+			return
+		}
+		// Branch on the first uncovered variable.
+		v := rem.Elements()[0]
+		for i := from; i < len(cands); i++ {
+			if cands[i].Has(v) {
+				rec(rem.Subtract(cands[i]), used+1, 0)
+			}
+		}
+	}
+	rec(s.Clone(), 0, 0)
+	if best > len(cands) {
+		return -1 // uncoverable (variable in no edge; cannot happen for bags)
+	}
+	return best
+}
+
+// GeneralizedHypertreeWidthFromTD converts a tree decomposition into a
+// (generalized) hypertree width upper bound: the maximum cover number over
+// bags. This realizes the textbook inequality hw ≤ ghw ≤ tw+1.
+func GeneralizedHypertreeWidthFromTD(h *hypergraph.Hypergraph, td *TreeDecomposition) int {
+	w := 0
+	for _, b := range td.Bags {
+		if c := CoverNumber(h, b); c > w {
+			w = c
+		}
+	}
+	return w
+}

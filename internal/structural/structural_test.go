@@ -1,0 +1,140 @@
+package structural
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+)
+
+func TestTreewidthKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+		want int // min-fill is exact on these families
+	}{
+		{"path5", hypergraph.Path(5), 1},
+		{"cycle4", hypergraph.Cycle(4), 2},
+		{"cycle9", hypergraph.Cycle(9), 2},
+		{"clique5", hypergraph.Clique(5), 4},
+		{"grid3x3", hypergraph.Grid(3, 3), 3},
+	}
+	for _, c := range cases {
+		td := TreewidthMinFill(c.h)
+		if err := td.Validate(c.h); err != nil {
+			t.Fatalf("%s: invalid tree decomposition: %v", c.name, err)
+		}
+		if got := td.Width(); got != c.want {
+			t.Errorf("%s: treewidth = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTreewidthValidOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(8), 5+rng.Intn(8), 4)
+		td := TreewidthMinFill(h)
+		if err := td.Validate(h); err != nil {
+			t.Fatalf("invalid tree decomposition: %v\n%s", err, h)
+		}
+	}
+}
+
+func TestBicompWidthKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+		want int
+	}{
+		{"path5", hypergraph.Path(5), 2},     // every block is one edge
+		{"cycle6", hypergraph.Cycle(6), 6},   // the cycle is one block
+		{"clique4", hypergraph.Clique(4), 4}, // the clique is one block
+	}
+	for _, c := range cases {
+		if got := BicompWidth(c.h); got != c.want {
+			t.Errorf("%s: bicomp width = %d, want %d", c.name, got, c.want)
+		}
+	}
+	// Two triangles sharing a cut vertex: blocks of size 3.
+	b := hypergraph.NewBuilder()
+	b.MustEdge("e1", "A", "B")
+	b.MustEdge("e2", "B", "C")
+	b.MustEdge("e3", "C", "A")
+	b.MustEdge("e4", "C", "D")
+	b.MustEdge("e5", "D", "E")
+	b.MustEdge("e6", "E", "C")
+	if got := BicompWidth(b.MustBuild()); got != 3 {
+		t.Errorf("two triangles: bicomp width = %d, want 3", got)
+	}
+}
+
+func TestCoverNumber(t *testing.T) {
+	h := hypergraph.Cycle(4) // binary edges X0X1, X1X2, X2X3, X3X0
+	all := h.AllVars().Clone()
+	if got := CoverNumber(h, all); got != 2 {
+		t.Errorf("cover of all 4 cycle vars = %d, want 2", got)
+	}
+	single := h.NewVarset()
+	single.Set(0)
+	if got := CoverNumber(h, single); got != 1 {
+		t.Errorf("cover of one var = %d, want 1", got)
+	}
+	empty := h.NewVarset()
+	if got := CoverNumber(h, empty); got != 0 {
+		t.Errorf("cover of ∅ = %d, want 0", got)
+	}
+}
+
+// The paper's comparison claims (Section 1.1): hw ≤ ghw-from-td ≤ tw+1 on
+// every instance, and acyclic hypergraphs with large hyperedges separate
+// the methods (hw = 1, tw = arity−1).
+func TestMethodHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 20; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(4), 5+rng.Intn(4), 3)
+		td := TreewidthMinFill(h)
+		ghw := GeneralizedHypertreeWidthFromTD(h, td)
+		if ghw > td.Width()+1 {
+			t.Errorf("ghw %d > tw+1 %d", ghw, td.Width()+1)
+		}
+		hw, _, err := core.HypertreeWidth(h, 5, core.Options{})
+		if err != nil {
+			continue // width > 5; skip the expensive confirmation
+		}
+		if hw > ghw {
+			t.Errorf("hw %d > ghw-from-td %d\n%s", hw, ghw, h)
+		}
+	}
+}
+
+func TestHypertreeStronglyGeneralizesTreewidth(t *testing.T) {
+	// One big hyperedge over n variables: acyclic (hw = 1) but the primal
+	// graph is a clique (tw = n−1). The gap is unbounded.
+	for _, n := range []int{5, 8, 12} {
+		b := hypergraph.NewBuilder()
+		vars := make([]string, n)
+		for i := range vars {
+			vars[i] = fmt.Sprintf("X%d", i)
+		}
+		b.MustEdge("big", vars...)
+		b.MustEdge("side", vars[0], vars[1])
+		h := b.MustBuild()
+		hw, _, err := core.HypertreeWidth(h, 2, core.Options{})
+		if err != nil || hw != 1 {
+			t.Fatalf("n=%d: hw = %d (%v), want 1", n, hw, err)
+		}
+		td := TreewidthMinFill(h)
+		if td.Width() != n-1 {
+			t.Errorf("n=%d: tw = %d, want %d", n, td.Width(), n-1)
+		}
+		if ghw := GeneralizedHypertreeWidthFromTD(h, td); ghw != 1 {
+			t.Errorf("n=%d: ghw from td = %d, want 1", n, ghw)
+		}
+		if bw := BicompWidth(h); bw != n {
+			t.Errorf("n=%d: bicomp width = %d, want %d", n, bw, n)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package weights_test
+
+// Integration of the TAF library with the solver (external test package to
+// use core without an import cycle): each library TAF drives minimal-k-
+// decomp to the value the exhaustive enumeration predicts.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/weights"
+)
+
+func buildQ0() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.MustEdge("s1", "A", "B", "D")
+	b.MustEdge("s2", "B", "C", "D")
+	b.MustEdge("s3", "B", "E")
+	b.MustEdge("s4", "D", "G")
+	b.MustEdge("s5", "E", "F", "G")
+	b.MustEdge("s6", "E", "H")
+	b.MustEdge("s7", "F", "I")
+	b.MustEdge("s8", "G", "J")
+	return b.MustBuild()
+}
+
+func TestWidthTAFFindsHypertreeWidth(t *testing.T) {
+	h := buildQ0()
+	res, err := core.MinimalK(h, 4, weights.WidthTAF(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimal width over kNFD with k=4 is hw(Q0) = 2.
+	if res.Weight != 2 {
+		t.Errorf("minimal width = %v, want 2", res.Weight)
+	}
+	if res.Decomp.Width() != 2 {
+		t.Errorf("returned decomposition has width %d", res.Decomp.Width())
+	}
+}
+
+func TestMaxSeparatorMinimal(t *testing.T) {
+	h := buildQ0()
+	res, err := core.MinimalK(h, 2, weights.MaxSeparatorTAF(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok, err := core.MinWeightExhaustive(h, 2, 0, weights.MaxSeparatorTAF())
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if res.Weight != ex {
+		t.Errorf("minimal max separator = %v, exhaustive %v", res.Weight, ex)
+	}
+}
+
+func TestLexSeparatorMinimalAgrees(t *testing.T) {
+	h := hypergraph.Cycle(5)
+	taf := weights.LexSeparatorTAF(4)
+	res, err := core.MinimalK(h, 2, taf, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok, err := core.MinWeightExhaustive(h, 2, 0, taf)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if taf.Semiring.Less(res.Weight, ex) || taf.Semiring.Less(ex, res.Weight) {
+		t.Errorf("lexsep minimal %v != exhaustive %v", res.Weight, ex)
+	}
+}
+
+// The HWF view of a TAF agrees with the TAF on algorithm outputs.
+func TestHWFAgreesWithTAF(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(4), 5, 3)
+		d, err := core.DecomposeK(h, 2, core.Options{})
+		if err != nil {
+			continue
+		}
+		if weights.OmegaW(d) != weights.WidthTAF().Evaluate(d) {
+			t.Error("OmegaW disagrees with WidthTAF")
+		}
+		lexHWF := weights.OmegaLex(d)
+		lexDirect := float64(weights.LexWeight(d))
+		if lexHWF != lexDirect {
+			t.Error("OmegaLex disagrees with LexWeight")
+		}
+	}
+}
+
+// Threshold and Minimal agree across library TAFs on the triangle.
+func TestThresholdAgreesAcrossLibrary(t *testing.T) {
+	h := hypergraph.Cycle(3)
+	tafs := map[string]weights.TAF[float64]{
+		"width":  weights.WidthTAF(),
+		"count":  weights.CountVerticesTAF(),
+		"maxsep": weights.MaxSeparatorTAF(),
+	}
+	for name, taf := range tafs {
+		res, err := core.MinimalK(h, 2, taf, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := core.Threshold(h, 2, taf, res.Weight, core.Options{})
+		if err != nil || !ok {
+			t.Errorf("%s: threshold at the minimum should hold (%v, %v)", name, ok, err)
+		}
+	}
+}

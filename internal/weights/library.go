@@ -1,0 +1,114 @@
+package weights
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+)
+
+// The TAF library: the weighting functions used as examples in the paper.
+
+// WidthTAF is F(max, v^w, ⊥) with v^w(p) = |λ(p)| (Example 4.2): its value
+// on a decomposition is the width, so minimal decompositions are the
+// minimum-width ones (the function ω_w of Section 3).
+func WidthTAF() TAF[float64] {
+	return TAF[float64]{
+		Semiring:              MaxFloat{},
+		Vertex:                func(p NodeInfo) float64 { return float64(len(p.Lambda)) },
+		EdgeParentIndependent: true,
+	}
+}
+
+// LexTAF is the lexicographic HWF ω_lex of Example 3.1 as a TAF over
+// LexVec: vertex p contributes a unit at index |λ(p)|−1; vectors add and
+// compare lexicographically (most significant = largest width). k bounds
+// the width of weighted decompositions.
+func LexTAF(k int) TAF[LexVec] {
+	s := LexSemiring{Width: k}
+	return TAF[LexVec]{
+		Semiring: s,
+		Vertex: func(p NodeInfo) LexVec {
+			v := make(LexVec, k)
+			if len(p.Lambda) >= 1 && len(p.Lambda) <= k {
+				v[len(p.Lambda)-1] = 1
+			}
+			return v
+		},
+		EdgeParentIndependent: true,
+	}
+}
+
+// LexWeight computes ω_lex(HD) as the paper's radix-B number with
+// B = |edges(H)| + 1, for display and for the Example 3.1 check.
+func LexWeight(d *hypertree.Decomposition) int64 {
+	k := d.Width()
+	v := LexTAF(k).Evaluate(d)
+	return v.Radix(int64(d.H.NumEdges()) + 1)
+}
+
+// MaxSeparatorTAF is F(max, ⊥, e^sep) with e^sep(p,q) = |sep(p,q)| =
+// |χ(p) ∩ χ(q)| (Example 4.2): its minimal decompositions minimize the
+// largest vertex separator.
+func MaxSeparatorTAF() TAF[float64] {
+	return TAF[float64]{
+		Semiring: MaxFloat{},
+		Edge: func(parent, child NodeInfo) float64 {
+			return float64(parent.Chi.Intersect(child.Chi).Count())
+		},
+	}
+}
+
+// LexSeparatorTAF is F(+, ⊥, e^lsep) of Example 4.2: separators of size s
+// contribute a unit at vector index s−1, aggregated by element-wise sum and
+// compared lexicographically, refining MaxSeparatorTAF the way LexTAF
+// refines WidthTAF. maxSep bounds the separator size (use the hypergraph's
+// variable count when unsure).
+func LexSeparatorTAF(maxSep int) TAF[LexVec] {
+	s := LexSemiring{Width: maxSep + 1}
+	return TAF[LexVec]{
+		Semiring: s,
+		Edge: func(parent, child NodeInfo) LexVec {
+			v := make(LexVec, maxSep+1)
+			sz := parent.Chi.Intersect(child.Chi).Count()
+			if sz > maxSep {
+				sz = maxSep
+			}
+			v[sz] = 1
+			return v
+		},
+	}
+}
+
+// CountVerticesTAF weights every vertex 1 under (+): minimal decompositions
+// have the fewest vertices. Useful as a simple smooth TAF in tests.
+func CountVerticesTAF() TAF[float64] {
+	return TAF[float64]{
+		Semiring:              SumFloat{},
+		Vertex:                func(NodeInfo) float64 { return 1 },
+		EdgeParentIndependent: true,
+	}
+}
+
+// OmegaW is the simple HWF ω_w(HD) = max_p |λ(p)| of Section 3.
+func OmegaW(d *hypertree.Decomposition) float64 { return float64(d.Width()) }
+
+// OmegaLex is ω_lex as an HWF (Example 3.1), returning the radix-B value.
+func OmegaLex(d *hypertree.Decomposition) float64 { return float64(LexWeight(d)) }
+
+// HQueryDeviationVertex is the vertex evaluation function of Theorem 3.4's
+// reduction: v(p) = max(|var(λ(p)) − χ(p)|, |λ(p)| − 4). Its vertex
+// aggregation is 0 exactly on decompositions corresponding to width-≤4
+// H-QUERY decompositions.
+func HQueryDeviationVertex(p NodeInfo) float64 {
+	dev := p.LambdaVars().Subtract(p.Chi).Count()
+	excess := len(p.Lambda) - 4
+	if dev >= excess {
+		return float64(dev)
+	}
+	return float64(excess)
+}
+
+// SeparatorSet returns sep(p,q) for two hypertree nodes (convenience used
+// by examples and tests).
+func SeparatorSet(p, q *hypertree.Node) hypergraph.Varset {
+	return hypertree.Separator(p, q)
+}

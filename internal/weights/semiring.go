@@ -1,0 +1,112 @@
+// Package weights implements the weighting framework of Sections 3–4 of the
+// paper: hypertree weighting functions (HWFs), vertex aggregation functions,
+// and tree aggregation functions (TAFs) defined over semirings
+// ⟨R⁺, ⊕, min, ⊥, ∞⟩. Weights are generic: any type W with a commutative,
+// associative, closed Combine (⊕) whose minimum distributes over it can be
+// plugged in, matching the paper's footnote that all results generalize to
+// arbitrary semirings.
+package weights
+
+// Semiring describes ⟨R⁺,⊕,min,⊥,∞⟩ for a weight type W: Combine is ⊕
+// (commutative, associative, closed), Zero is ⊥ (the neuter of ⊕ and
+// absorbing element of min), and Less induces min (total order; min
+// distributes over ⊕).
+type Semiring[W any] interface {
+	// Combine returns a ⊕ b.
+	Combine(a, b W) W
+	// Less reports a < b in the order inducing min.
+	Less(a, b W) bool
+	// Zero returns ⊥, the neuter element of ⊕.
+	Zero() W
+}
+
+// SumFloat is the semiring ⟨R⁺, +, min, 0, ∞⟩ used by the cost TAF and by
+// vertex aggregation functions.
+type SumFloat struct{}
+
+// Combine returns a + b.
+func (SumFloat) Combine(a, b float64) float64 { return a + b }
+
+// Less reports a < b.
+func (SumFloat) Less(a, b float64) bool { return a < b }
+
+// Zero returns 0.
+func (SumFloat) Zero() float64 { return 0 }
+
+// MaxFloat is the semiring ⟨R⁺, max, min, 0, ∞⟩: min distributes over max,
+// so bottleneck-style TAFs (width, largest separator) fit the framework.
+type MaxFloat struct{}
+
+// Combine returns max(a, b).
+func (MaxFloat) Combine(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Less reports a < b.
+func (MaxFloat) Less(a, b float64) bool { return a < b }
+
+// Zero returns 0, the neuter of max on R⁺.
+func (MaxFloat) Zero() float64 { return 0 }
+
+// LexVec is a weight for lexicographic TAFs (Example 3.1): index i holds the
+// number of decomposition vertices with |λ| = i+1 (or, for separator
+// variants, |sep| = i+1). Vectors combine by element-wise addition and
+// compare lexicographically from the highest index down, which is exactly
+// comparing the radix-B numbers Σ count_i · B^{i-1} of the paper without
+// overflow for any B larger than every count.
+type LexVec []int64
+
+// LexSemiring is ⟨LexVec, +elementwise, lex-min, 0, ∞⟩. Width is the fixed
+// vector length (the bound k of the decomposition class).
+type LexSemiring struct{ Width int }
+
+// Combine adds vectors element-wise.
+func (s LexSemiring) Combine(a, b LexVec) LexVec {
+	out := make(LexVec, s.Width)
+	for i := 0; i < s.Width; i++ {
+		var x, y int64
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		out[i] = x + y
+	}
+	return out
+}
+
+// Less compares lexicographically, most significant (largest width) first.
+func (s LexSemiring) Less(a, b LexVec) bool {
+	for i := s.Width - 1; i >= 0; i-- {
+		var x, y int64
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		if x != y {
+			return x < y
+		}
+	}
+	return false
+}
+
+// Zero returns the zero vector.
+func (s LexSemiring) Zero() LexVec { return make(LexVec, s.Width) }
+
+// Radix evaluates the vector as the paper's radix-B number Σ v_i · B^i.
+// It is only used for display and for checking Example 3.1's arithmetic;
+// callers must ensure no overflow (fine for the small examples).
+func (v LexVec) Radix(b int64) int64 {
+	var out, pow int64 = 0, 1
+	for i := 0; i < len(v); i++ {
+		out += v[i] * pow
+		pow *= b
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package weights
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+)
+
+// NodeInfo is the view of a decomposition vertex that vertex and edge
+// evaluation functions see: its λ (edge indices), χ (variables), and — when
+// produced by the candidate-graph algorithms — the component it decomposes.
+// Component may be the zero Varset when weighting a free-standing hypertree.
+type NodeInfo struct {
+	H         *hypergraph.Hypergraph
+	Lambda    []int
+	Chi       hypergraph.Varset
+	Component hypergraph.Varset
+}
+
+// LambdaVars returns var(λ(p)).
+func (n NodeInfo) LambdaVars() hypergraph.Varset { return n.H.Vars(n.Lambda) }
+
+// TAF is a tree aggregation function F(⊕,v,e) (Definition 4.1):
+//
+//	F(HD) = ⊕_{p∈N} ( v(p) ⊕ ⊕_{(p,p′)∈E} e(p,p′) )
+//
+// Vertex evaluates decomposition vertices; Edge evaluates tree edges, with
+// the parent first. Either may be nil, meaning the constant ⊥.
+//
+// EdgeParentIndependent declares that Edge(p, c) does not depend on p. The
+// minimal-k-decomp implementation uses this to cache per-subproblem minima
+// (the ablation of experiment E13); it is an optimization contract only and
+// must be set honestly.
+type TAF[W any] struct {
+	Semiring              Semiring[W]
+	Vertex                func(p NodeInfo) W
+	Edge                  func(parent, child NodeInfo) W
+	EdgeParentIndependent bool
+}
+
+// VertexWeight returns v(p), treating a nil Vertex as the constant ⊥.
+func (t TAF[W]) VertexWeight(p NodeInfo) W {
+	if t.Vertex == nil {
+		return t.Semiring.Zero()
+	}
+	return t.Vertex(p)
+}
+
+// EdgeWeight returns e(parent, child), treating a nil Edge as the constant ⊥.
+func (t TAF[W]) EdgeWeight(parent, child NodeInfo) W {
+	if t.Edge == nil {
+		return t.Semiring.Zero()
+	}
+	return t.Edge(parent, child)
+}
+
+// nodeInfo builds the NodeInfo for a hypertree node (no component).
+func nodeInfo(h *hypergraph.Hypergraph, n *hypertree.Node) NodeInfo {
+	return NodeInfo{H: h, Lambda: n.Lambda, Chi: n.Chi}
+}
+
+// Evaluate computes F(⊕,v,e)(d) on a whole decomposition, folding v over
+// all vertices and e over all tree edges with ⊕.
+func (t TAF[W]) Evaluate(d *hypertree.Decomposition) W {
+	acc := t.Semiring.Zero()
+	d.Walk(func(n, parent *hypertree.Node) {
+		acc = t.Semiring.Combine(acc, t.VertexWeight(nodeInfo(d.H, n)))
+		if parent != nil {
+			acc = t.Semiring.Combine(acc,
+				t.EdgeWeight(nodeInfo(d.H, parent), nodeInfo(d.H, n)))
+		}
+	})
+	return acc
+}
+
+// HWF is a general hypertree weighting function: any polynomial-time map
+// from decompositions to R (Section 3). Every TAF induces one via Evaluate;
+// arbitrary HWFs (e.g. the NP-hardness constructions of Theorem 3.3) do not
+// factor through vertices and edges.
+type HWF func(d *hypertree.Decomposition) float64
+
+// VertexAggregation lifts a per-vertex function v into the HWF
+// Λv(HD) = Σ_p v(p) (Section 3.1). It is the TAF (+, v, ⊥) as an HWF.
+func VertexAggregation(v func(p NodeInfo) float64) HWF {
+	t := TAF[float64]{Semiring: SumFloat{}, Vertex: v, EdgeParentIndependent: true}
+	return t.Evaluate
+}

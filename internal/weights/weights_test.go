@@ -1,0 +1,259 @@
+package weights
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+)
+
+func buildQ0() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder()
+	b.MustEdge("s1", "A", "B", "D")
+	b.MustEdge("s2", "B", "C", "D")
+	b.MustEdge("s3", "B", "E")
+	b.MustEdge("s4", "D", "G")
+	b.MustEdge("s5", "E", "F", "G")
+	b.MustEdge("s6", "E", "H")
+	b.MustEdge("s7", "F", "I")
+	b.MustEdge("s8", "G", "J")
+	return b.MustBuild()
+}
+
+func chi(h *hypergraph.Hypergraph, names ...string) hypergraph.Varset {
+	s := h.NewVarset()
+	for _, n := range names {
+		s.Set(h.VarByName(n))
+	}
+	return s
+}
+
+func lam(h *hypergraph.Hypergraph, names ...string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = h.EdgeByName(n)
+	}
+	return out
+}
+
+// buildHDPrime and buildHDSecond mirror the Fig 1 fixtures (profiles
+// 4×w1+3×w2 and 6×w1+1×w2 respectively).
+func buildHDPrime(h *hypergraph.Hypergraph) *hypertree.Decomposition {
+	root := hypertree.NewNode(chi(h, "A", "B", "C", "D"), lam(h, "s1", "s2"))
+	c := root.AddChild(hypertree.NewNode(chi(h, "B", "D", "E", "G"), lam(h, "s3", "s4")))
+	d1 := c.AddChild(hypertree.NewNode(chi(h, "E", "F", "G", "I"), lam(h, "s5", "s7")))
+	c.AddChild(hypertree.NewNode(chi(h, "E", "H"), lam(h, "s6")))
+	c.AddChild(hypertree.NewNode(chi(h, "G", "J"), lam(h, "s8")))
+	d1.AddChild(hypertree.NewNode(chi(h, "F", "I"), lam(h, "s7")))
+	root.AddChild(hypertree.NewNode(chi(h, "A", "B", "D"), lam(h, "s1")))
+	d := &hypertree.Decomposition{H: h, Root: root}
+	d.Nodes()
+	return d
+}
+
+func buildHDSecond(h *hypergraph.Hypergraph) *hypertree.Decomposition {
+	root := hypertree.NewNode(chi(h, "B", "D", "E", "G"), lam(h, "s3", "s4"))
+	root.AddChild(hypertree.NewNode(chi(h, "A", "B", "D"), lam(h, "s1")))
+	root.AddChild(hypertree.NewNode(chi(h, "B", "C", "D"), lam(h, "s2")))
+	c3 := root.AddChild(hypertree.NewNode(chi(h, "E", "F", "G"), lam(h, "s5")))
+	root.AddChild(hypertree.NewNode(chi(h, "E", "H"), lam(h, "s6")))
+	root.AddChild(hypertree.NewNode(chi(h, "G", "J"), lam(h, "s8")))
+	c3.AddChild(hypertree.NewNode(chi(h, "F", "I"), lam(h, "s7")))
+	d := &hypertree.Decomposition{H: h, Root: root}
+	d.Nodes()
+	return d
+}
+
+// Example 3.1: ω_lex(HD′) = 4·9⁰ + 3·9¹ = 31, ω_lex(HD″) = 6·9⁰ + 1·9¹ = 15,
+// with B = |edges(H)| + 1 = 9.
+func TestExample31Lex(t *testing.T) {
+	h := buildQ0()
+	hd1, hd2 := buildHDPrime(h), buildHDSecond(h)
+	if w := LexWeight(hd1); w != 4+3*9 {
+		t.Errorf("ω_lex(HD′) = %d, want %d", w, 4+3*9)
+	}
+	if w := LexWeight(hd2); w != 6+1*9 {
+		t.Errorf("ω_lex(HD″) = %d, want %d", w, 6+1*9)
+	}
+	// HD″ is better than HD′ w.r.t. the lexicographic order.
+	taf := LexTAF(2)
+	v1, v2 := taf.Evaluate(hd1), taf.Evaluate(hd2)
+	if !taf.Semiring.Less(v2, v1) {
+		t.Errorf("LexTAF should prefer HD″: %v vs %v", v2, v1)
+	}
+}
+
+func TestWidthTAF(t *testing.T) {
+	h := buildQ0()
+	taf := WidthTAF()
+	for _, d := range []*hypertree.Decomposition{buildHDPrime(h), buildHDSecond(h)} {
+		if got := taf.Evaluate(d); got != 2 {
+			t.Errorf("WidthTAF = %v, want 2", got)
+		}
+		if OmegaW(d) != 2 {
+			t.Errorf("OmegaW = %v, want 2", OmegaW(d))
+		}
+	}
+}
+
+func TestMaxSeparatorTAF(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	// Separators of HD″: children of root share 2 vars ({B,D} for s1/s2,
+	// {E,G} for s5, {E} for s6, {G} for s8), and the s7 leaf shares {F}.
+	if got := MaxSeparatorTAF().Evaluate(d); got != 2 {
+		t.Errorf("max separator = %v, want 2", got)
+	}
+}
+
+func TestLexSeparatorTAF(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	taf := LexSeparatorTAF(4)
+	v := taf.Evaluate(d)
+	// Six tree edges: sizes 2 ({B,D}), 2 ({E,G})... recount: s1:{B,D}=2,
+	// s2:{B,D}=2, s5:{E,G}=2, s6:{E}=1, s8:{G}=1, s7 under s5:{F}=1.
+	want := LexVec{0, 3, 3, 0, 0}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("lexsep = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestCountVerticesTAF(t *testing.T) {
+	h := buildQ0()
+	if got := CountVerticesTAF().Evaluate(buildHDSecond(h)); got != 7 {
+		t.Errorf("vertex count = %v, want 7", got)
+	}
+}
+
+func TestVertexAggregation(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	// Λv with v(p) = |λ(p)| sums to 6·1 + 1·2 = 8.
+	hwf := VertexAggregation(func(p NodeInfo) float64 { return float64(len(p.Lambda)) })
+	if got := hwf(d); got != 8 {
+		t.Errorf("Λ|λ| = %v, want 8", got)
+	}
+}
+
+func TestHQueryDeviationVertex(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	// Every node of HD″ has χ = var(λ), widths ≤ 4, so deviation is 0.
+	d.Walk(func(n, _ *hypertree.Node) {
+		ni := NodeInfo{H: h, Lambda: n.Lambda, Chi: n.Chi}
+		if HQueryDeviationVertex(ni) != 0 {
+			t.Errorf("node %d deviation nonzero", n.ID)
+		}
+	})
+	// A node with a hidden variable deviates.
+	ni := NodeInfo{H: h, Lambda: lam(h, "s1"), Chi: chi(h, "A", "B")}
+	if HQueryDeviationVertex(ni) != 1 { // D hidden
+		t.Error("deviation should count hidden vars")
+	}
+}
+
+func TestLexSemiringProperties(t *testing.T) {
+	s := LexSemiring{Width: 3}
+	a, b, c := LexVec{1, 0, 2}, LexVec{0, 3, 1}, LexVec{2, 2, 0}
+	// Commutativity and associativity of ⊕.
+	ab, ba := s.Combine(a, b), s.Combine(b, a)
+	for i := range ab {
+		if ab[i] != ba[i] {
+			t.Fatal("⊕ not commutative")
+		}
+	}
+	l := s.Combine(s.Combine(a, b), c)
+	r := s.Combine(a, s.Combine(b, c))
+	for i := range l {
+		if l[i] != r[i] {
+			t.Fatal("⊕ not associative")
+		}
+	}
+	// Zero is neuter.
+	z := s.Combine(a, s.Zero())
+	for i := range z {
+		if z[i] != a[i] {
+			t.Fatal("⊥ not neuter")
+		}
+	}
+	// Lexicographic order: highest index dominates.
+	if !s.Less(LexVec{100, 100, 1}, LexVec{0, 0, 2}) {
+		t.Error("lex order wrong")
+	}
+	if s.Less(a, a) {
+		t.Error("Less not strict")
+	}
+}
+
+// Property: min distributes over ⊕ for the lex semiring (the key semiring
+// law the algorithm's correctness relies on): min(a⊕c, b⊕c) = min(a,b)⊕c.
+func TestLexMinDistributesOverPlus(t *testing.T) {
+	s := LexSemiring{Width: 4}
+	rng := rand.New(rand.NewSource(5))
+	vec := func() LexVec {
+		v := make(LexVec, 4)
+		for i := range v {
+			v[i] = int64(rng.Intn(10))
+		}
+		return v
+	}
+	min := func(a, b LexVec) LexVec {
+		if s.Less(b, a) {
+			return b
+		}
+		return a
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := vec(), vec(), vec()
+		l := min(s.Combine(a, c), s.Combine(b, c))
+		r := s.Combine(min(a, b), c)
+		for i := range l {
+			if l[i] != r[i] {
+				t.Fatalf("distributivity fails: a=%v b=%v c=%v", a, b, c)
+			}
+		}
+	}
+}
+
+// Property (quick): SumFloat and MaxFloat semiring laws on random inputs.
+func TestFloatSemiringLaws(t *testing.T) {
+	check := func(s Semiring[float64]) func(x, y, z uint16) bool {
+		return func(x, y, z uint16) bool {
+			a, b, c := float64(x), float64(y), float64(z)
+			if s.Combine(a, b) != s.Combine(b, a) {
+				return false
+			}
+			if s.Combine(s.Combine(a, b), c) != s.Combine(a, s.Combine(b, c)) {
+				return false
+			}
+			return s.Combine(a, s.Zero()) == a
+		}
+	}
+	if err := quick.Check(check(SumFloat{}), nil); err != nil {
+		t.Errorf("SumFloat: %v", err)
+	}
+	if err := quick.Check(check(MaxFloat{}), nil); err != nil {
+		t.Errorf("MaxFloat: %v", err)
+	}
+}
+
+func TestRadix(t *testing.T) {
+	v := LexVec{4, 3}
+	if v.Radix(9) != 31 {
+		t.Errorf("Radix = %d, want 31", v.Radix(9))
+	}
+}
+
+func TestNilVertexAndEdgeAreZero(t *testing.T) {
+	h := buildQ0()
+	d := buildHDSecond(h)
+	taf := TAF[float64]{Semiring: SumFloat{}}
+	if got := taf.Evaluate(d); got != 0 {
+		t.Errorf("empty TAF should evaluate to 0, got %v", got)
+	}
+}
