@@ -4,6 +4,7 @@ import (
 	"io"
 	"math/rand"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/cq"
@@ -127,9 +128,32 @@ func NewRelation(name string, attrs ...string) *Relation { return db.NewRelation
 // PlanQuery runs cost-k-decomp: it computes the minimal weighted hypertree
 // decomposition of q under the cost TAF cost_H(Q) over cat's statistics —
 // an optimal width-≤k query plan (Section 6). Run cat.AnalyzeAll first.
+// Every call re-runs the full search; services planning structurally
+// repetitive queries should use a Planner instead.
 func PlanQuery(q *Query, cat *Catalog, k int) (*Plan, error) {
 	return cost.CostKDecomp(q, cat, k, core.Options{})
 }
+
+// Planner is a concurrent planning service: PlanQuery and Decompose behind
+// a canonical-form plan cache. Structurally identical inputs — equal up to
+// variable renaming, like r(X,Y),s(Y,Z) and r(A,B),s(B,C) — share one
+// cache entry, concurrent requests for the same uncached structure run a
+// single search, and cached results are remapped onto each caller's
+// variable names. Safe for concurrent use; construct with NewPlanner.
+type Planner = cache.Planner
+
+// PlannerOptions tunes a Planner (cache capacity, lock shards, candidate-
+// space guard). The zero value selects sensible defaults.
+type PlannerOptions = cache.Options
+
+// PlannerStats snapshots a Planner's per-cache hit/miss/eviction counters.
+type PlannerStats = cache.Stats
+
+// CacheStats is one cache's counter snapshot within PlannerStats.
+type CacheStats = cache.CacheStats
+
+// NewPlanner returns a planning service with the given options.
+func NewPlanner(opts PlannerOptions) *Planner { return cache.NewPlanner(opts) }
 
 // ExecutePlan evaluates a cost-k-decomp plan with Yannakakis's algorithm.
 func ExecutePlan(p *Plan, cat *Catalog) (*Relation, error) {

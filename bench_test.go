@@ -216,6 +216,68 @@ func BenchmarkParallelSolver(b *testing.B) {
 	}
 }
 
+// BenchmarkPlannerColdVsCached compares repeat-structure planning through
+// the canonical-form plan cache against the cold PlanQuery path: each
+// iteration plans a freshly variable-renamed copy of Q1 at k=3 over a
+// generated Q1 database (relation-backed statistics survive renaming).
+// The acceptance bar for the Planner subsystem is a ≥10× per-call speedup
+// of cached over cold (measured at ~80× on the reference machine).
+func BenchmarkPlannerColdVsCached(b *testing.B) {
+	cat := fig8aCatalog(b)
+	rename := func(i int) *cq.Query {
+		q := cq.Q1()
+		out := &cq.Query{Head: q.Head}
+		suffix := fmt.Sprintf("_%d", i)
+		for _, a := range q.Atoms {
+			vars := make([]string, len(a.Vars))
+			for j, v := range a.Vars {
+				vars[j] = v + suffix
+			}
+			out.Atoms = append(out.Atoms, cq.Atom{Predicate: a.Predicate, Vars: vars})
+		}
+		return out
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cost.CostKDecomp(rename(i), cat, 3, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		p := NewPlanner(PlannerOptions{})
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Plan(rename(i), cat, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlannerDecompose measures the cached Decompose path against the
+// direct decomposition search on Q1's hypergraph.
+func BenchmarkPlannerDecompose(b *testing.B) {
+	h, err := cq.Q1().Hypergraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecomposeK(h, 3, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		p := NewPlanner(PlannerOptions{})
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Decompose(h, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkYannakakis isolates plan execution from planning: evaluating a
 // fixed complete decomposition of Q1.
 func BenchmarkYannakakis(b *testing.B) {

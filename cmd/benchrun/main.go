@@ -22,10 +22,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchrun: ")
-	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods")
+	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods|planner")
 	seed := flag.Int64("seed", 1, "random seed")
 	repeats := flag.Int("repeats", 1, "timing repetitions (minimum is reported)")
 	scale := flag.Float64("scale", 1.0, "relative database scale for fig8a/fig8b")
+	requests := flag.Int("requests", 200, "request count for the planner experiment")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -75,6 +76,14 @@ func main() {
 	if run("psi") {
 		fmt.Println("=== Theorem 4.5 remark: candidate-space size Ψ vs the loose bound n^k ===")
 		fmt.Println(bench.FormatPsi(bench.RunPsiTable()))
+	}
+	if run("planner") {
+		fmt.Printf("=== Planner service: %d renamed copies of Q1 (k=3), cold vs canonical-form cache ===\n", *requests)
+		rows, stats, err := bench.RunPlannerExperiment(*requests)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatPlanner(rows, stats))
 	}
 	if run("methods") {
 		fmt.Println("=== Section 1.1: structural method comparison (bicomp / treewidth / ghw / hw) ===")

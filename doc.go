@@ -22,6 +22,8 @@
 //     (internal/engine);
 //   - a Selinger-style quantitative-only baseline optimizer
 //     (internal/optimizer);
+//   - the canonical-form plan cache behind the Planner service
+//     (internal/cache);
 //   - the experiment harness regenerating the paper's tables and figures
 //     (internal/bench).
 //
@@ -34,4 +36,18 @@
 //	q, _ := htd.ParseQuery("ans(X) :- r(X,Y), s(Y,Z), t(Z,X)")
 //	plan, _ := htd.PlanQuery(q, cat, 2)       // cost-k-decomp
 //	res, _ := htd.ExecutePlan(plan, cat)      // Yannakakis
+//
+// Services planning a stream of structurally repetitive queries should use
+// the Planner entry point instead of PlanQuery: it canonicalizes inputs up
+// to variable renaming, caches plans and decompositions in a sharded LRU,
+// deduplicates concurrent identical searches, and remaps cached plans onto
+// each caller's variable names.
+//
+//	planner := htd.NewPlanner(htd.PlannerOptions{})
+//	plan, _ := planner.Plan(q, cat, 2)        // cold: runs cost-k-decomp
+//	plan, _ = planner.Plan(q2, cat, 2)        // renamed copy of q: cache hit
+//	fmt.Println(planner.Stats().Plans.Hits)   // 1
+//
+// See ExampleHypertreeWidth, ExamplePlanQuery, and ExamplePlanner for
+// runnable versions of these snippets.
 package htd

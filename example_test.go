@@ -1,0 +1,104 @@
+package htd_test
+
+import (
+	"fmt"
+	"log"
+
+	htd "repro"
+)
+
+// ExampleHypertreeWidth decomposes the triangle query r(X,Y),s(Y,Z),t(Z,X):
+// it is cyclic (no join tree exists) but has hypertree width 2.
+func ExampleHypertreeWidth() {
+	h, err := htd.ParseHypergraph("r(X,Y)\ns(Y,Z)\nt(Z,X)\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, d, err := htd.HypertreeWidth(h, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hypertree width:", w)
+	fmt.Println("decomposition width:", d.Width())
+	// Output:
+	// hypertree width: 2
+	// decomposition width: 2
+}
+
+// ExamplePlanQuery runs cost-k-decomp over a tiny analyzed database and
+// executes the resulting plan with Yannakakis's algorithm.
+func ExamplePlanQuery() {
+	q, err := htd.ParseQuery("ans(X,Z) :- r(X,Y), s(Y,Z), t(Z,X).")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cat := htd.NewCatalog()
+	r := htd.NewRelation("r", "a", "b")
+	r.MustAppend(1, 10)
+	r.MustAppend(2, 20)
+	s := htd.NewRelation("s", "a", "b")
+	s.MustAppend(10, 100)
+	s.MustAppend(20, 200)
+	t := htd.NewRelation("t", "a", "b")
+	t.MustAppend(100, 1)
+	t.MustAppend(200, 3)
+	for _, rel := range []*htd.Relation{r, s, t} {
+		cat.Put(rel)
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := htd.PlanQuery(q, cat, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := htd.ExecutePlan(plan, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan width:", plan.Decomp.Width())
+	fmt.Println("answers:", res.Card())
+	// Output:
+	// plan width: 2
+	// answers: 1
+}
+
+// ExamplePlanner serves two structurally identical queries — the second is
+// a variable renaming of the first — through the canonical-form plan
+// cache: one search, one hit, equal estimated costs.
+func ExamplePlanner() {
+	cat := htd.NewCatalog()
+	r := htd.NewRelation("r", "a", "b")
+	s := htd.NewRelation("s", "a", "b")
+	for i := int32(0); i < 100; i++ {
+		r.MustAppend(i%10, i%7)
+		s.MustAppend(i%7, i%13)
+	}
+	cat.Put(r)
+	cat.Put(s)
+	if err := cat.AnalyzeAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	planner := htd.NewPlanner(htd.PlannerOptions{})
+
+	q1, _ := htd.ParseQuery("ans(X) :- r(X,Y), s(Y,Z).")
+	q2, _ := htd.ParseQuery("ans(A) :- r(A,B), s(B,C).") // renamed copy
+	p1, err := planner.Plan(q1, cat, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := planner.Plan(q2, cat, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := planner.Stats()
+	fmt.Println("same estimated cost:", p1.EstimatedCost == p2.EstimatedCost)
+	fmt.Printf("hits=%d misses=%d searches=%d\n", st.Plans.Hits, st.Plans.Misses, st.Plans.Computations)
+	// Output:
+	// same estimated cost: true
+	// hits=1 misses=1 searches=1
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+)
+
+// The planner-service experiment: how much of cost-k-decomp's work a
+// canonical-form plan cache amortizes under a stream of structurally
+// identical (variable-renamed) queries — the "heavy traffic" scenario the
+// Planner exists for.
+
+// PlannerRow is one mode of the cold-vs-cached comparison.
+type PlannerRow struct {
+	Mode     string
+	Requests int
+	Total    time.Duration
+	PerCall  time.Duration
+}
+
+// renameQ1 returns Q1 with every variable suffixed by the request index, so
+// each request is a fresh renaming of the same structure.
+func renameQ1(i int) *cq.Query {
+	q := cq.Q1()
+	out := &cq.Query{Head: q.Head, Out: append([]string(nil), q.Out...)}
+	suffix := "_" + strconv.Itoa(i)
+	for _, a := range q.Atoms {
+		vars := make([]string, len(a.Vars))
+		for j, v := range a.Vars {
+			vars[j] = v + suffix
+		}
+		out.Atoms = append(out.Atoms, cq.Atom{Predicate: a.Predicate, Vars: vars})
+	}
+	for j, v := range out.Out {
+		out.Out[j] = v + suffix
+	}
+	return out
+}
+
+// RunPlannerExperiment plans `requests` renamed copies of Q1 (k=3) over a
+// generated Q1 database at the published cardinalities (relation-backed
+// statistics survive variable renaming, unlike the stats-only Fig 5
+// catalog), once through the uncached cost-k-decomp path and once through
+// a Planner, and reports wall-clock per mode plus the planner's cache
+// counters.
+func RunPlannerExperiment(requests int) ([]PlannerRow, cache.Stats, error) {
+	if requests < 1 {
+		requests = 1
+	}
+	cat, err := BuildQ1Catalog(rand.New(rand.NewSource(1)), 1.0)
+	if err != nil {
+		return nil, cache.Stats{}, err
+	}
+	const k = 3
+
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		if _, err := cost.CostKDecomp(renameQ1(i), cat, k, core.Options{}); err != nil {
+			return nil, cache.Stats{}, err
+		}
+	}
+	cold := time.Since(start)
+
+	p := cache.NewPlanner(cache.Options{})
+	start = time.Now()
+	for i := 0; i < requests; i++ {
+		if _, err := p.Plan(renameQ1(i), cat, k); err != nil {
+			return nil, cache.Stats{}, err
+		}
+	}
+	cached := time.Since(start)
+
+	rows := []PlannerRow{
+		{Mode: "cold (PlanQuery)", Requests: requests, Total: cold, PerCall: cold / time.Duration(requests)},
+		{Mode: "cached (Planner)", Requests: requests, Total: cached, PerCall: cached / time.Duration(requests)},
+	}
+	return rows, p.Stats(), nil
+}
+
+// FormatPlanner renders the experiment as a small table plus the cache
+// counter line the acceptance criteria care about.
+func FormatPlanner(rows []PlannerRow, st cache.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %10s %14s %14s\n", "mode", "requests", "total", "per call")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %10d %14v %14v\n", r.Mode, r.Requests, r.Total.Round(time.Microsecond), r.PerCall.Round(time.Microsecond))
+	}
+	if len(rows) == 2 && rows[1].Total > 0 {
+		fmt.Fprintf(&b, "speedup: %.1fx\n", float64(rows[0].Total)/float64(rows[1].Total))
+	}
+	fmt.Fprintf(&b, "plan cache: hits=%d misses=%d evictions=%d computations=%d entries=%d\n",
+		st.Plans.Hits, st.Plans.Misses, st.Plans.Evictions, st.Plans.Computations, st.Plans.Entries)
+	return b.String()
+}

@@ -1,0 +1,185 @@
+// Package cache implements the canonical-form plan cache behind the
+// Planner facade: variable-renaming-invariant canonicalization of queries
+// and hypergraphs, a sharded concurrency-safe LRU with hit/miss/eviction
+// counters, singleflight deduplication of concurrent identical searches,
+// and the remapping that translates a cached canonical plan back onto a
+// caller's variable names.
+//
+// The point: minimal-k-decomp / cost-k-decomp search effort depends only on
+// the *structure* of H(Q) and the statistics of the referenced relations,
+// never on what the variables are called. Canonicalizing before lookup
+// makes r(X,Y),s(Y,Z) and r(A,B),s(B,C) share one cache entry, which is
+// what amortizes planning cost under heavy traffic of structurally
+// repetitive queries.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/hypergraph"
+)
+
+// QueryCanon is a conjunctive query reduced to canonical form: atoms sorted
+// by predicate name, body variables renamed v0, v1, ... in first-occurrence
+// order over the sorted atoms, the head normalized to "ans". Two queries
+// have equal Key iff they are identical up to a renaming of variables (and
+// the head predicate's name).
+type QueryCanon struct {
+	// Key is the canonical rendering; it fully determines the query up to
+	// variable renaming.
+	Key string
+	// Query is the canonicalized query itself.
+	Query *cq.Query
+	// ToCanon maps the caller's body variables to canonical names.
+	ToCanon map[string]string
+	// FromCanon maps canonical names back to the caller's variables.
+	FromCanon map[string]string
+}
+
+// CanonicalizeQuery computes the canonical form of q. It fails on queries
+// with duplicate predicates (planning rejects those anyway — the paper
+// assumes one relation per atom) because sorting by predicate would then be
+// ambiguous.
+func CanonicalizeQuery(q *cq.Query) (*QueryCanon, error) {
+	atoms := make([]cq.Atom, len(q.Atoms))
+	copy(atoms, q.Atoms)
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Predicate < atoms[j].Predicate })
+	for i := 1; i < len(atoms); i++ {
+		if atoms[i].Predicate == atoms[i-1].Predicate {
+			return nil, fmt.Errorf("cache: duplicate predicate %s", atoms[i].Predicate)
+		}
+	}
+	qc := &QueryCanon{ToCanon: map[string]string{}, FromCanon: map[string]string{}}
+	rename := func(v string) string {
+		if c, ok := qc.ToCanon[v]; ok {
+			return c
+		}
+		c := "v" + strconv.Itoa(len(qc.ToCanon))
+		qc.ToCanon[v] = c
+		qc.FromCanon[c] = v
+		return c
+	}
+	canon := &cq.Query{Head: "ans"}
+	for _, a := range atoms {
+		vars := make([]string, len(a.Vars))
+		for i, v := range a.Vars {
+			vars[i] = rename(v)
+		}
+		canon.Atoms = append(canon.Atoms, cq.Atom{Predicate: a.Predicate, Vars: vars})
+	}
+	for _, v := range q.Out {
+		canon.Out = append(canon.Out, rename(v))
+	}
+	qc.Query = canon
+	qc.Key = canon.String()
+	return qc, nil
+}
+
+// HypergraphCanon is a hypergraph reduced to canonical form. Edges keep
+// their (distinct) names and are ordered by name; variables are renamed
+// v0, v1, ... ordered by their incidence signature — the sorted set of
+// canonical edge positions containing them. Because edge names are
+// distinct, variables with equal signatures occur in exactly the same
+// edges and are therefore interchangeable (automorphic), so any tie order
+// yields the same Key: two hypergraphs have equal Key iff they are
+// identical up to a renaming of variables.
+type HypergraphCanon struct {
+	// Key fully determines the hypergraph up to variable renaming.
+	Key string
+	// H is the canonical rebuild (edges in name order, variables v0..vn).
+	H *hypergraph.Hypergraph
+	// VarFromCanon maps canonical variable indices to the caller's.
+	VarFromCanon []int
+	// EdgeFromCanon maps canonical edge indices to the caller's.
+	EdgeFromCanon []int
+}
+
+// CanonicalizeHypergraph computes the canonical form of h.
+func CanonicalizeHypergraph(h *hypergraph.Hypergraph) *HypergraphCanon {
+	ne, nv := h.NumEdges(), h.NumVars()
+
+	// Canonical edge order: sort caller edge indices by edge name.
+	edgeOrder := make([]int, ne) // canonical pos -> caller edge idx
+	for i := range edgeOrder {
+		edgeOrder[i] = i
+	}
+	sort.Slice(edgeOrder, func(i, j int) bool {
+		return h.EdgeName(edgeOrder[i]) < h.EdgeName(edgeOrder[j])
+	})
+	edgePos := make([]int, ne) // caller edge idx -> canonical pos
+	for pos, e := range edgeOrder {
+		edgePos[e] = pos
+	}
+
+	// Variable signatures: sorted canonical positions of incident edges.
+	sigs := make([][]int, nv)
+	for v := 0; v < nv; v++ {
+		es := h.VarEdges(v)
+		sig := make([]int, len(es))
+		for i, e := range es {
+			sig[i] = edgePos[e]
+		}
+		sort.Ints(sig)
+		sigs[v] = sig
+	}
+	varOrder := make([]int, nv) // canonical idx -> caller var idx
+	for i := range varOrder {
+		varOrder[i] = i
+	}
+	sort.Slice(varOrder, func(i, j int) bool {
+		a, b := sigs[varOrder[i]], sigs[varOrder[j]]
+		for x := 0; x < len(a) && x < len(b); x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		// Equal signatures: the variables are automorphic; break the tie by
+		// caller index for determinism (the Key is unaffected either way).
+		return varOrder[i] < varOrder[j]
+	})
+	varIdx := make([]int, nv) // caller var idx -> canonical idx
+	for ci, v := range varOrder {
+		varIdx[v] = ci
+	}
+
+	// Canonical rebuild and key.
+	b := hypergraph.NewBuilder()
+	var key strings.Builder
+	for _, e := range edgeOrder {
+		ids := make([]int, 0, h.EdgeVars(e).Count())
+		h.EdgeVars(e).ForEach(func(v int) { ids = append(ids, varIdx[v]) })
+		sort.Ints(ids)
+		names := make([]string, len(ids))
+		key.WriteString(h.EdgeName(e))
+		key.WriteByte('(')
+		for i, id := range ids {
+			names[i] = "v" + strconv.Itoa(id)
+			if i > 0 {
+				key.WriteByte(',')
+			}
+			key.WriteString(strconv.Itoa(id))
+		}
+		key.WriteString(")\n")
+		b.MustEdge(h.EdgeName(e), names...)
+	}
+	ch := b.MustBuild()
+
+	// The Builder interns variables in first-appearance order, which need
+	// not match numeric order of the canonical ids; resolve by name.
+	varFromCanon := make([]int, nv)
+	for v := 0; v < nv; v++ {
+		varFromCanon[ch.VarByName("v"+strconv.Itoa(varIdx[v]))] = v
+	}
+	edgeFromCanon := make([]int, ne)
+	for e := 0; e < ne; e++ {
+		edgeFromCanon[ch.EdgeByName(h.EdgeName(e))] = e
+	}
+	return &HypergraphCanon{Key: key.String(), H: ch, VarFromCanon: varFromCanon, EdgeFromCanon: edgeFromCanon}
+}

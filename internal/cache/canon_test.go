@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/hypergraph"
+)
+
+func mustParseQuery(t *testing.T, s string) *cq.Query {
+	t.Helper()
+	q, err := cq.Parse(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return q
+}
+
+func TestCanonicalizeQueryRenamingInvariance(t *testing.T) {
+	base := mustParseQuery(t, "ans(X,Z) :- r(X,Y), s(Y,Z), t(Z,X).")
+	renamed := mustParseQuery(t, "ans(A,C) :- r(A,B), s(B,C), t(C,A).")
+	reordered := mustParseQuery(t, "ans(Q1,Q3) :- t(Q3,Q1), r(Q1,Q2), s(Q2,Q3).")
+
+	kb, err := CanonicalizeQuery(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []*cq.Query{renamed, reordered} {
+		kq, err := CanonicalizeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kq.Key != kb.Key {
+			t.Errorf("renamed query %s got key %q, want %q", q, kq.Key, kb.Key)
+		}
+	}
+
+	// Round trip: FromCanon must invert ToCanon.
+	for orig, canon := range kb.ToCanon {
+		if kb.FromCanon[canon] != orig {
+			t.Errorf("FromCanon[%q] = %q, want %q", canon, kb.FromCanon[canon], orig)
+		}
+	}
+}
+
+func TestCanonicalizeQueryDistinguishesStructure(t *testing.T) {
+	base := mustParseQuery(t, "ans(X,Z) :- r(X,Y), s(Y,Z), t(Z,X).")
+	variants := []*cq.Query{
+		// Different join structure (path instead of triangle).
+		mustParseQuery(t, "ans(X,Z) :- r(X,Y), s(Y,Z), t(Z,W)."),
+		// Different predicate set.
+		mustParseQuery(t, "ans(X,Z) :- r(X,Y), s(Y,Z), u(Z,X)."),
+		// Different output variables.
+		mustParseQuery(t, "ans(X) :- r(X,Y), s(Y,Z), t(Z,X)."),
+		// Self-join pattern on r's columns.
+		mustParseQuery(t, "ans(X,Z) :- r(X,X), s(X,Z), t(Z,X)."),
+	}
+	kb, err := CanonicalizeQuery(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range variants {
+		kq, err := CanonicalizeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kq.Key == kb.Key {
+			t.Errorf("structurally different query %s collided with %s", q, base)
+		}
+	}
+}
+
+func TestCanonicalizeQueryRejectsDuplicatePredicates(t *testing.T) {
+	q := &cq.Query{Head: "ans", Atoms: []cq.Atom{
+		{Predicate: "r", Vars: []string{"X", "Y"}},
+		{Predicate: "r", Vars: []string{"Y", "Z"}},
+	}}
+	if _, err := CanonicalizeQuery(q); err == nil {
+		t.Fatal("want error for duplicate predicates")
+	}
+}
+
+// renameHypergraph rebuilds h with variables renamed by an arbitrary
+// bijection and edges inserted in a shuffled order.
+func renameHypergraph(rng *rand.Rand, h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
+	names := make(map[int]string, h.NumVars())
+	perm := rng.Perm(h.NumVars())
+	for v := 0; v < h.NumVars(); v++ {
+		names[v] = fmt.Sprintf("W%d", perm[v])
+	}
+	b := hypergraph.NewBuilder()
+	for _, e := range rng.Perm(h.NumEdges()) {
+		var vs []string
+		h.EdgeVars(e).ForEach(func(v int) { vs = append(vs, names[v]) })
+		// Shuffle within-edge order too; edges are sets.
+		rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+		b.MustEdge(h.EdgeName(e), vs...)
+	}
+	return b.MustBuild()
+}
+
+func TestCanonicalizeHypergraphRenamingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	corpus := []*hypergraph.Hypergraph{
+		hypergraph.Cycle(5),
+		hypergraph.Path(6),
+		hypergraph.Grid(3, 3),
+		hypergraph.Clique(5),
+	}
+	for i := 0; i < 20; i++ {
+		corpus = append(corpus, hypergraph.Random(rng, 4+rng.Intn(6), 8+rng.Intn(6), 2+rng.Intn(3)))
+		corpus = append(corpus, hypergraph.RandomAcyclic(rng, 3+rng.Intn(6), 2+rng.Intn(4)))
+	}
+	for i, h := range corpus {
+		want := CanonicalizeHypergraph(h).Key
+		for trial := 0; trial < 3; trial++ {
+			got := CanonicalizeHypergraph(renameHypergraph(rng, h)).Key
+			if got != want {
+				t.Fatalf("corpus[%d] trial %d: renamed copy changed canonical key\nwant %q\ngot  %q", i, trial, want, got)
+			}
+		}
+	}
+}
+
+// TestCanonicalizeHypergraphCollisionSanity: across a generator corpus of
+// pairwise structurally distinct hypergraphs, canonical keys never collide.
+// (The key is a full serialization of the canonical form, so a collision
+// would mean the canonicalization conflated two different structures.)
+func TestCanonicalizeHypergraphCollisionSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var corpus []*hypergraph.Hypergraph
+	for n := 3; n <= 12; n++ {
+		corpus = append(corpus, hypergraph.Cycle(n), hypergraph.Path(n+1), hypergraph.Clique(min(n, 7)))
+	}
+	for r := 2; r <= 4; r++ {
+		for c := 2; c <= 4; c++ {
+			corpus = append(corpus, hypergraph.Grid(r, c))
+		}
+	}
+	for i := 0; i < 30; i++ {
+		corpus = append(corpus, hypergraph.Random(rng, 5+i%7, 10, 2+i%3))
+	}
+	seen := map[string]int{}
+	for i, h := range corpus {
+		key := CanonicalizeHypergraph(h).Key
+		if j, dup := seen[key]; dup {
+			// A collision is only acceptable if the canonical rebuilds are
+			// genuinely identical structures (e.g. Clique(7) repeated above).
+			if CanonicalizeHypergraph(corpus[j]).H.String() != CanonicalizeHypergraph(h).H.String() {
+				t.Fatalf("corpus[%d] and corpus[%d] collided on key %q but differ structurally", j, i, key)
+			}
+			continue
+		}
+		seen[key] = i
+	}
+}
+
+func TestCanonicalizeHypergraphMapsAreIsomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		h := hypergraph.Random(rng, 6, 9, 3)
+		hc := CanonicalizeHypergraph(h)
+		if hc.H.NumVars() != h.NumVars() || hc.H.NumEdges() != h.NumEdges() {
+			t.Fatalf("canonical rebuild changed size: %d/%d vs %d/%d",
+				hc.H.NumVars(), hc.H.NumEdges(), h.NumVars(), h.NumEdges())
+		}
+		// Every canonical edge must map to a caller edge with the same image
+		// variable set under VarFromCanon.
+		for ce := 0; ce < hc.H.NumEdges(); ce++ {
+			e := hc.EdgeFromCanon[ce]
+			if hc.H.EdgeName(ce) != h.EdgeName(e) {
+				t.Fatalf("edge map broke names: %s vs %s", hc.H.EdgeName(ce), h.EdgeName(e))
+			}
+			want := h.EdgeVars(e)
+			got := h.NewVarset()
+			hc.H.EdgeVars(ce).ForEach(func(cv int) { got.Set(hc.VarFromCanon[cv]) })
+			if !got.Equal(want) {
+				t.Fatalf("edge %s: mapped varset %v != %v", h.EdgeName(e), got, want)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats is a point-in-time snapshot of one cache's counters.
+type CacheStats struct {
+	Hits         uint64 // lookups answered from the cache
+	Misses       uint64 // lookups that required a computation (or joined one)
+	Evictions    uint64 // entries dropped by the LRU policy
+	Computations uint64 // underlying searches actually executed (misses minus singleflight dedup)
+	Entries      int    // entries currently resident
+}
+
+// lru is a sharded, concurrency-safe LRU map. Keys are hashed onto shards
+// with FNV-1a so unrelated keys contend on different locks; each shard is a
+// classic map + intrusive list under one mutex. Counters are process-wide
+// atomics.
+type lru struct {
+	shards   []*lruShard
+	perShard int
+
+	hits, misses, evictions, computations atomic.Uint64
+}
+
+type lruShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRU returns an LRU holding at most ~capacity entries spread over the
+// given number of shards (both floored at 1; shards are clamped to
+// capacity so tiny caches are not silently inflated). Capacity is rounded
+// up to a multiple of the shard count and enforced per shard, so a shard
+// receiving a skewed share of keys evicts before the global capacity is
+// reached.
+func newLRU(capacity, shards int) *lru {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	per := (capacity + shards - 1) / shards
+	c := &lru{shards: make([]*lruShard, shards), perShard: per}
+	for i := range c.shards {
+		c.shards[i] = &lruShard{ll: list.New(), items: map[string]*list.Element{}}
+	}
+	return c
+}
+
+func (c *lru) shardFor(key string) *lruShard {
+	// Inline FNV-1a; no allocation.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// get returns the cached value and bumps it to most-recently-used,
+// recording a hit or miss.
+func (c *lru) get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) an entry, evicting the least recently used
+// entry of the shard when over capacity.
+func (c *lru) add(key string, val any) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.items[key] = s.ll.PushFront(&lruEntry{key: key, val: val})
+	var evicted int
+	for s.ll.Len() > c.perShard {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.items, back.Value.(*lruEntry).key)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+	}
+}
+
+// len returns the number of resident entries.
+func (c *lru) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// stats snapshots the counters.
+func (c *lru) stats() CacheStats {
+	return CacheStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Evictions:    c.evictions.Load(),
+		Computations: c.computations.Load(),
+		Entries:      c.len(),
+	}
+}

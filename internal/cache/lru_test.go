@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRU(2, 1)
+	c.add("a", 1)
+	c.add("b", 2)
+	if _, ok := c.get("a"); !ok { // bump a to most-recent
+		t.Fatal("a missing")
+	}
+	c.add("c", 3) // evicts b, the least recently used
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c should be resident")
+	}
+	st := c.stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+}
+
+func TestLRUShardsClampedToCapacity(t *testing.T) {
+	c := newLRU(2, 16) // tiny cache, default-ish shard count
+	c.add("a", 1)
+	c.add("b", 2)
+	c.add("c", 3)
+	if n := c.len(); n > 2 {
+		t.Fatalf("entries = %d exceeds capacity 2 (shards not clamped)", n)
+	}
+	if c.stats().Evictions == 0 {
+		t.Fatal("expected at least one eviction at capacity 2")
+	}
+}
+
+func TestSingleflightPanicReleasesKey(t *testing.T) {
+	var g flightGroup
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+		}()
+		g.do("k", func() (any, error) { panic("boom") })
+	}()
+	// The key must not be left registered to a dead flight: a fresh call
+	// computes normally instead of blocking forever.
+	v, _, err := g.do("k", func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("post-panic do = %v, %v; want 7, nil", v, err)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRU(4, 2)
+	c.add("k", 1)
+	c.add("k", 2)
+	v, ok := c.get("k")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("got %v,%v want 2,true", v, ok)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestLRUCountersConcurrent(t *testing.T) {
+	const workers, iters = 8, 500
+	c := newLRU(1024, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("key-%d", i%64)
+				if _, ok := c.get(key); !ok {
+					c.add(key, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.stats()
+	if st.Hits+st.Misses != workers*iters {
+		t.Fatalf("hits(%d)+misses(%d) = %d, want %d", st.Hits, st.Misses, st.Hits+st.Misses, workers*iters)
+	}
+	if st.Entries != 64 {
+		t.Fatalf("entries = %d, want 64", st.Entries)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0 (capacity ample)", st.Evictions)
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	var g flightGroup
+	var mu sync.Mutex
+	runs := 0
+	const callers = 16
+	var ready, wg sync.WaitGroup
+	ready.Add(callers)
+	results := make([]any, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ready.Done()
+			v, _, err := g.do("k", func() (any, error) {
+				mu.Lock()
+				runs++
+				mu.Unlock()
+				// Hold the flight open until every caller has launched and
+				// had ample time to join it, so all 16 share this one run.
+				ready.Wait()
+				time.Sleep(50 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if runs != 1 {
+		t.Fatalf("compute ran %d times, want 1", runs)
+	}
+	for i, v := range results {
+		if v.(int) != 42 {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package cache
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+)
+
+// Options tunes a Planner.
+type Options struct {
+	// Capacity bounds the entries per cache (plans, decompositions, and
+	// search contexts each get their own). It is rounded up to a multiple
+	// of Shards and enforced per shard, so under heavy key skew a shard
+	// may evict before the global bound is reached. 0 means the default
+	// of 1024.
+	Capacity int
+	// Shards is the number of lock shards per cache (clamped to
+	// Capacity). 0 means 16.
+	Shards int
+	// MaxKVertices aborts searches whose candidate space Ψ exceeds the
+	// bound, like core.Options.MaxKVertices. 0 means unlimited.
+	MaxKVertices int
+}
+
+// Stats snapshots a Planner's cache counters.
+type Stats struct {
+	// Plans counts cost-k-decomp plan lookups (Planner.Plan).
+	Plans CacheStats
+	// Decompositions counts unweighted decomposition lookups
+	// (Planner.Decompose).
+	Decompositions CacheStats
+	// Searches counts reusable PlanSearch contexts (k-vertex enumerations
+	// shared between plan misses that differ only in statistics).
+	Searches CacheStats
+}
+
+// Planner is a concurrent planning service: cost-k-decomp and k-decomp
+// behind a canonical-form cache. Requests for structurally identical
+// inputs — equal up to variable renaming — share one cache entry, and N
+// concurrent requests for the same uncached structure run one search
+// (singleflight). Cached results are stored in canonical form and remapped
+// onto each caller's variable names, so callers never share mutable state.
+//
+// Statistics participate in the plan cache key: replacing or re-ANALYZE-ing
+// a relation changes the key, so stale plans are never served; superseded
+// entries simply age out of the LRU. All methods are safe for concurrent
+// use.
+type Planner struct {
+	opts     Options
+	plans    *lru
+	decomps  *lru
+	searches *lru
+
+	planFlight   flightGroup
+	decompFlight flightGroup
+	searchFlight flightGroup
+}
+
+// NewPlanner returns a Planner with the given options.
+func NewPlanner(opts Options) *Planner {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 1024
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 16
+	}
+	return &Planner{
+		opts:     opts,
+		plans:    newLRU(opts.Capacity, opts.Shards),
+		decomps:  newLRU(opts.Capacity, opts.Shards),
+		searches: newLRU(opts.Capacity, opts.Shards),
+	}
+}
+
+// Stats snapshots the cache counters. Hits + Misses equals the number of
+// completed lookups; Computations counts searches actually executed, so
+// Misses − Computations is the work saved by singleflight deduplication.
+func (p *Planner) Stats() Stats {
+	return Stats{
+		Plans:          p.plans.stats(),
+		Decompositions: p.decomps.stats(),
+		Searches:       p.searches.stats(),
+	}
+}
+
+// Plan is the cached equivalent of cost.CostKDecomp: an optimal width-≤k
+// query plan for q over cat's statistics. The cache key is the canonical
+// form of q plus k plus the statistics of the referenced relations, so
+// structurally identical queries over equivalent statistics share one
+// entry regardless of variable names. Run cat.AnalyzeAll first.
+func (p *Planner) Plan(q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, error) {
+	qc, err := CanonicalizeQuery(q)
+	if err != nil {
+		// Not canonicalizable (duplicate predicates): bypass the cache and
+		// let the direct path produce its usual error (or, if planning such
+		// a query ever becomes legal, its plan).
+		return cost.CostKDecomp(q, cat, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
+	}
+	fq := q.WithFreshVariables()
+	ests, err := cost.EdgeEstimates(fq, cat)
+	if err != nil {
+		return nil, err
+	}
+	canonEsts := canonicalizeEstimates(ests, qc)
+	key := planKey(qc, k, canonEsts)
+	if v, ok := p.plans.get(key); ok {
+		return remapPlan(v.(*cost.Plan), qc, q)
+	}
+	v, _, err := p.planFlight.do(key, func() (any, error) {
+		p.plans.computations.Add(1)
+		ps, err := p.searchFor(qc, k)
+		if err != nil {
+			return nil, err
+		}
+		model := cost.NewModelFromEstimates(ps.FQ, canonEsts)
+		plan, err := ps.Run(model, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		p.plans.add(key, plan)
+		return plan, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return remapPlan(v.(*cost.Plan), qc, q)
+}
+
+// Decompose is the cached equivalent of core.DecomposeK: some width-≤k
+// normal-form hypertree decomposition of h, keyed on h's canonical form.
+func (p *Planner) Decompose(h *hypergraph.Hypergraph, k int) (*hypertree.Decomposition, error) {
+	hc := CanonicalizeHypergraph(h)
+	key := hc.Key + "\x00k" + strconv.Itoa(k)
+	if v, ok := p.decomps.get(key); ok {
+		return remapDecomposition(v.(*hypertree.Decomposition), hc, h), nil
+	}
+	v, _, err := p.decompFlight.do(key, func() (any, error) {
+		p.decomps.computations.Add(1)
+		d, err := core.DecomposeK(hc.H, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
+		if err != nil {
+			return nil, err
+		}
+		p.decomps.add(key, d)
+		return d, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return remapDecomposition(v.(*hypertree.Decomposition), hc, h), nil
+}
+
+// searchFor returns the cached PlanSearch for (structure, k), building and
+// caching it on first use. Reused across plan misses that differ only in
+// catalog statistics, so the k-vertex enumeration is paid once per
+// structure; its own singleflight collapses concurrent cold misses whose
+// plan keys differ (same structure, different statistics).
+func (p *Planner) searchFor(qc *QueryCanon, k int) (*cost.PlanSearch, error) {
+	key := qc.Key + "\x00k" + strconv.Itoa(k)
+	if v, ok := p.searches.get(key); ok {
+		return v.(*cost.PlanSearch), nil
+	}
+	v, _, err := p.searchFlight.do(key, func() (any, error) {
+		ps, err := cost.NewPlanSearch(qc.Query, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
+		if err != nil {
+			return nil, err
+		}
+		p.searches.computations.Add(1)
+		p.searches.add(key, ps)
+		return ps, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*cost.PlanSearch), nil
+}
+
+// canonicalizeEstimates renames the variable keys of per-predicate
+// estimates to canonical names. Fresh variables (predicate-derived names)
+// are identical in both namings and pass through.
+func canonicalizeEstimates(ests map[string]cost.Est, qc *QueryCanon) map[string]cost.Est {
+	out := make(map[string]cost.Est, len(ests))
+	for pred, e := range ests {
+		v := make(map[string]float64, len(e.V))
+		for name, val := range e.V {
+			if c, ok := qc.ToCanon[name]; ok {
+				name = c
+			}
+			v[name] = val
+		}
+		out[pred] = cost.Est{Card: e.Card, V: v}
+	}
+	return out
+}
+
+// planKey builds the full plan-cache key: canonical structure, width bound,
+// and the canonicalized quantitative input of the cost model (per-atom
+// cardinality and per-variable selectivity). Two calls with equal keys are
+// guaranteed to describe isomorphic search problems.
+func planKey(qc *QueryCanon, k int, canonEsts map[string]cost.Est) string {
+	var b strings.Builder
+	b.WriteString(qc.Key)
+	b.WriteString("\x00k")
+	b.WriteString(strconv.Itoa(k))
+	for _, a := range qc.Query.Atoms {
+		e := canonEsts[a.Predicate]
+		b.WriteByte('\x00')
+		b.WriteString(strconv.FormatFloat(e.Card, 'g', -1, 64))
+		for _, v := range a.Vars {
+			b.WriteByte(';')
+			b.WriteString(strconv.FormatFloat(e.V[v], 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// remapPlan translates a canonical cached plan onto the caller's variable
+// names, rebuilding the decomposition tree over the caller's augmented
+// hypergraph. The result shares nothing mutable with the cache entry.
+func remapPlan(canon *cost.Plan, qc *QueryCanon, q *cq.Query) (*cost.Plan, error) {
+	fq := q.WithFreshVariables()
+	h2, err := fq.Hypergraph()
+	if err != nil {
+		return nil, err
+	}
+	h1 := canon.Decomp.H
+	varMap := make([]int, h1.NumVars())
+	for i := 0; i < h1.NumVars(); i++ {
+		name := h1.VarName(i)
+		if orig, ok := qc.FromCanon[name]; ok {
+			name = orig
+		}
+		j := h2.VarByName(name)
+		if j < 0 {
+			return nil, fmt.Errorf("cache: remap lost variable %s", name)
+		}
+		varMap[i] = j
+	}
+	edgeMap := make([]int, h1.NumEdges())
+	for e := 0; e < h1.NumEdges(); e++ {
+		j := h2.EdgeByName(h1.EdgeName(e))
+		if j < 0 {
+			return nil, fmt.Errorf("cache: remap lost edge %s", h1.EdgeName(e))
+		}
+		edgeMap[e] = j
+	}
+	nodeCosts := make(map[*hypertree.Node]float64, len(canon.NodeCosts))
+	var rec func(n *hypertree.Node) *hypertree.Node
+	rec = func(n *hypertree.Node) *hypertree.Node {
+		chi := h2.NewVarset()
+		n.Chi.ForEach(func(v int) { chi.Set(varMap[v]) })
+		lambda := make([]int, len(n.Lambda))
+		for i, e := range n.Lambda {
+			lambda[i] = edgeMap[e]
+		}
+		m := hypertree.NewNode(chi, lambda)
+		if c, ok := canon.NodeCosts[n]; ok {
+			nodeCosts[m] = c
+		}
+		for _, c := range n.Children {
+			m.AddChild(rec(c))
+		}
+		return m
+	}
+	d := &hypertree.Decomposition{H: h2, Root: rec(canon.Decomp.Root)}
+	d.Nodes()
+	return &cost.Plan{Query: fq, Decomp: d, EstimatedCost: canon.EstimatedCost, NodeCosts: nodeCosts}, nil
+}
+
+// remapDecomposition translates a canonical cached decomposition onto the
+// caller's hypergraph via the caller's canonicalization maps.
+func remapDecomposition(d *hypertree.Decomposition, hc *HypergraphCanon, target *hypergraph.Hypergraph) *hypertree.Decomposition {
+	var rec func(n *hypertree.Node) *hypertree.Node
+	rec = func(n *hypertree.Node) *hypertree.Node {
+		chi := target.NewVarset()
+		n.Chi.ForEach(func(v int) { chi.Set(hc.VarFromCanon[v]) })
+		lambda := make([]int, len(n.Lambda))
+		for i, e := range n.Lambda {
+			lambda[i] = hc.EdgeFromCanon[e]
+		}
+		m := hypertree.NewNode(chi, lambda)
+		for _, c := range n.Children {
+			m.AddChild(rec(c))
+		}
+		return m
+	}
+	out := &hypertree.Decomposition{H: target, Root: rec(d.Root)}
+	out.Nodes()
+	return out
+}

@@ -1,0 +1,59 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent computations by key: while one
+// goroutine runs fn for a key, later callers with the same key block and
+// receive the same result instead of re-running the search. A minimal
+// in-repo singleflight (the module is dependency-free by design).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// do runs fn once per concurrent set of callers sharing key. shared is true
+// for callers that joined an in-flight computation instead of running fn.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// Release waiters and deregister the flight even if fn panics;
+	// otherwise every future request for this key would join a dead
+	// flight and block forever. Waiters of a panicked flight receive an
+	// error; the panic itself propagates in the computing goroutine.
+	defer func() {
+		r := recover()
+		if r != nil {
+			c.err = fmt.Errorf("cache: panic in singleflight compute: %v", r)
+		}
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		if r != nil {
+			panic(r)
+		}
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+	"repro/internal/weights"
+)
+
+// SearchContext holds the weight-independent part of the candidate-graph
+// search for one (hypergraph, k): the Ψ enumerated k-vertices. Enumerating
+// them is the dominant fixed cost of a solver run, so callers that search
+// the same structure repeatedly (different TAFs, different catalogs, plan
+// caches) should build one SearchContext and reuse it.
+//
+// A SearchContext is immutable after construction and safe for concurrent
+// use: every solve gets a fresh component-interning table and memo maps,
+// sharing only the k-vertex slice.
+type SearchContext struct {
+	h      *hypergraph.Hypergraph
+	k      int
+	kverts []kvert
+}
+
+// NewSearchContext enumerates the k-vertices of h once, honouring
+// opts.MaxKVertices like the one-shot entry points.
+func NewSearchContext(h *hypergraph.Hypergraph, k int, opts Options) (*SearchContext, error) {
+	kv, err := enumerateKVertices(h, k, opts.MaxKVertices)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchContext{h: h, k: k, kverts: kv}, nil
+}
+
+// Hypergraph returns the hypergraph the context was built for.
+func (sc *SearchContext) Hypergraph() *hypergraph.Hypergraph { return sc.h }
+
+// K returns the width bound the context was built for.
+func (sc *SearchContext) K() int { return sc.k }
+
+// NumKVertices returns Ψ, the size of the enumerated candidate space.
+func (sc *SearchContext) NumKVertices() int { return len(sc.kverts) }
+
+// newGraph starts a fresh candidate graph over the shared k-vertices.
+func (sc *SearchContext) newGraph() *graph {
+	return &graph{h: sc.h, k: sc.k, kverts: sc.kverts, comps: map[string]*compEntry{}}
+}
+
+// MinimalKCtx is MinimalK evaluated against a prepared SearchContext,
+// skipping the per-call k-vertex enumeration.
+func MinimalKCtx[W any](sc *SearchContext, taf weights.TAF[W], opts Options) (*Result[W], error) {
+	sv, err := newSolver(sc.newGraph(), taf, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sv.run()
+}
+
+// DecomposeKCtx is DecomposeK evaluated against a prepared SearchContext.
+func DecomposeKCtx(sc *SearchContext, opts Options) (*hypertree.Decomposition, error) {
+	res, err := MinimalKCtx(sc, unitTAF(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Decomp, nil
+}

@@ -75,20 +75,16 @@ type solver[W any] struct {
 // decomposition is in normal form, has width ≤ k, and minimizes taf over
 // kNFD_H; its weight is returned alongside.
 func MinimalK[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts Options) (*Result[W], error) {
-	s, err := newSolver(h, k, taf, opts)
+	sc, err := NewSearchContext(h, k, opts)
 	if err != nil {
 		return nil, err
 	}
-	return s.run()
+	return MinimalKCtx(sc, taf, opts)
 }
 
-func newSolver[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts Options) (*solver[W], error) {
+func newSolver[W any](g *graph, taf weights.TAF[W], opts Options) (*solver[W], error) {
 	if taf.Semiring == nil {
 		return nil, fmt.Errorf("core: TAF has nil semiring")
-	}
-	g, err := newGraph(h, k, opts.MaxKVertices)
-	if err != nil {
-		return nil, err
 	}
 	return &solver[W]{
 		g:    g,
@@ -259,7 +255,11 @@ type Stats struct {
 
 // MinimalKWithStats is MinimalK but also reports candidate-graph statistics.
 func MinimalKWithStats[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts Options) (*Result[W], Stats, error) {
-	sv, err := newSolver(h, k, taf, opts)
+	g, err := newGraph(h, k, opts.MaxKVertices)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	sv, err := newSolver(g, taf, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}

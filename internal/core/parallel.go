@@ -31,7 +31,11 @@ type ParallelOptions struct {
 // with deterministic tie-breaking, the identical decomposition) using a
 // level-parallel evaluation of the candidate graph.
 func ParallelMinimalK[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts ParallelOptions) (*Result[W], error) {
-	sv, err := newSolver(h, k, taf, opts.Options)
+	g, err := newGraph(h, k, opts.MaxKVertices)
+	if err != nil {
+		return nil, err
+	}
+	sv, err := newSolver(g, taf, opts.Options)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/db"
+	"repro/internal/hypergraph"
 	"repro/internal/hypertree"
 )
 
@@ -55,16 +56,51 @@ func (p *Plan) FormatAnnotated() string {
 // core.ErrNoDecomposition if the augmented query has no width-k NF
 // decomposition.
 func CostKDecomp(q *cq.Query, cat *db.Catalog, k int, opts core.Options) (*Plan, error) {
+	ps, err := NewPlanSearch(q, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	model, err := NewModel(ps.FQ, cat)
+	if err != nil {
+		return nil, err
+	}
+	return ps.Run(model, opts)
+}
+
+// PlanSearch is the reusable structural half of cost-k-decomp for one
+// (query structure, k): the fresh-augmented query, its hypergraph H(Q⁺),
+// and the enumerated k-vertex search context. Building one is the dominant
+// fixed cost of planning; Run can then be invoked repeatedly — with
+// different cost models (catalogs, statistics snapshots) — without
+// re-paying the per-call allocations. A PlanSearch is immutable after
+// construction and safe for concurrent use.
+type PlanSearch struct {
+	FQ *cq.Query              // fresh-augmented query
+	H  *hypergraph.Hypergraph // H(FQ)
+	SC *core.SearchContext    // k-vertices of H(FQ) at width k
+}
+
+// NewPlanSearch augments q with fresh variables, builds its hypergraph, and
+// enumerates the width-k candidate space once.
+func NewPlanSearch(q *cq.Query, k int, opts core.Options) (*PlanSearch, error) {
 	fq := q.WithFreshVariables()
 	h, err := fq.Hypergraph()
 	if err != nil {
 		return nil, err
 	}
-	model, err := NewModel(fq, cat)
+	sc, err := core.NewSearchContext(h, k, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.MinimalK(h, k, model.TAF(), opts)
+	return &PlanSearch{FQ: fq, H: h, SC: sc}, nil
+}
+
+// Run executes the minimal-k-decomp search over the prepared context with
+// the given cost model. The model must have been built for ps.FQ (or a
+// query with identical variable names), e.g. with NewModel or
+// NewModelFromEstimates.
+func (ps *PlanSearch) Run(model *Model, opts core.Options) (*Plan, error) {
+	res, err := core.MinimalKCtx(ps.SC, model.TAF(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +108,7 @@ func CostKDecomp(q *cq.Query, cat *db.Catalog, k int, opts core.Options) (*Plan,
 		// Guaranteed by the fresh-variable trick; guard against regressions.
 		return nil, fmt.Errorf("cost: minimal decomposition unexpectedly incomplete")
 	}
-	return &Plan{Query: fq, Decomp: res.Decomp, EstimatedCost: res.Weight,
+	return &Plan{Query: ps.FQ, Decomp: res.Decomp, EstimatedCost: res.Weight,
 		NodeCosts: res.NodeWeights}, nil
 }
 

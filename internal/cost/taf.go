@@ -38,7 +38,28 @@ type nodeEst struct {
 // synthetic key attribute with selectivity = cardinality, matching the
 // row-id realization in the engine.
 func NewModel(q *cq.Query, cat *db.Catalog) (*Model, error) {
-	m := &Model{query: q, edgeEst: map[string]Est{}, cache: map[string]nodeEst{}}
+	ests, err := EdgeEstimates(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	return NewModelFromEstimates(q, ests), nil
+}
+
+// NewModelFromEstimates builds a cost model directly from per-predicate
+// base-relation estimates (each Est keyed by q's variable names), bypassing
+// the catalog. This is how a plan cache runs the search on a canonicalized
+// query: it computes EdgeEstimates on the caller's query, renames the
+// estimate keys to canonical variables, and feeds them here.
+func NewModelFromEstimates(q *cq.Query, ests map[string]Est) *Model {
+	return &Model{query: q, edgeEst: ests, cache: map[string]nodeEst{}}
+}
+
+// EdgeEstimates computes, per atom predicate, the estimated statistics of
+// the atom's base relation with attributes renamed to the query's variables:
+// exactly the quantitative input the cost TAF consumes. It fails if some
+// atom's relation has no statistics (run cat.AnalyzeAll first).
+func EdgeEstimates(q *cq.Query, cat *db.Catalog) (map[string]Est, error) {
+	out := map[string]Est{}
 	for _, a := range q.Atoms {
 		st := cat.Stats(a.Predicate)
 		if st == nil {
@@ -68,9 +89,9 @@ func NewModel(q *cq.Query, cat *db.Catalog) (*Model, error) {
 		if fresh {
 			e.V[vars[len(vars)-1]] = e.Card
 		}
-		m.edgeEst[a.Predicate] = e
+		out[a.Predicate] = e
 	}
-	return m, nil
+	return out, nil
 }
 
 // estOf returns the estimate and evaluation cost of E(p) for a
