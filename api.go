@@ -13,6 +13,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/hypertree"
 	"repro/internal/optimizer"
+	"repro/internal/server"
 	"repro/internal/weights"
 )
 
@@ -194,3 +195,34 @@ func ReadCatalog(r io.Reader) (*Catalog, error) { return db.ReadCatalog(r) }
 
 // WriteCatalog serializes every relation of the catalog.
 func WriteCatalog(w io.Writer, c *Catalog) error { return db.WriteCatalog(w, c) }
+
+// Server is the plan-as-a-service HTTP layer: the Planner and engine behind
+// a JSON API with per-tenant catalogs, request coalescing, admission
+// control, and Prometheus metrics export. Construct with NewServer, then
+// either embed Handler in an existing http.Server or run ListenAndServe;
+// cmd/planserver is the standalone binary.
+type Server = server.Server
+
+// ServerConfig tunes a Server (planner options, tenant isolation, width
+// bounds, timeouts, concurrency limit, micro-batching). The zero value
+// selects production-safe defaults.
+type ServerConfig = server.Config
+
+// PlanNode is the JSON wire form of a decomposition vertex (λ and χ as
+// names, optional subtree cost, children) used in server responses.
+type PlanNode = engine.PlanNode
+
+// CatalogRegistry is a concurrent-safe set of catalogs keyed by tenant.
+type CatalogRegistry = db.Registry
+
+// NewServer returns a serving layer with the given configuration.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewCatalogRegistry returns an empty tenant-catalog registry.
+func NewCatalogRegistry() *CatalogRegistry { return db.NewRegistry() }
+
+// SerializeDecomposition renders a decomposition as its JSON wire tree;
+// costs (e.g. Plan.NodeCosts) may be nil.
+func SerializeDecomposition(d *Decomposition, costs map[*Node]float64) *PlanNode {
+	return engine.SerializeDecomposition(d, costs)
+}

@@ -22,11 +22,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchrun: ")
-	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods|planner")
+	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods|planner|server")
 	seed := flag.Int64("seed", 1, "random seed")
 	repeats := flag.Int("repeats", 1, "timing repetitions (minimum is reported)")
 	scale := flag.Float64("scale", 1.0, "relative database scale for fig8a/fig8b")
-	requests := flag.Int("requests", 200, "request count for the planner experiment")
+	requests := flag.Int("requests", 200, "request count for the planner and server experiments")
+	concurrency := flag.Int("concurrency", 16, "client concurrency for the server experiment")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -84,6 +85,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatPlanner(rows, stats))
+	}
+	if run("server") {
+		fmt.Printf("=== Serving layer: %d HTTP plan requests (renamed Q1, k=3), %d-way concurrent, micro-batched ===\n",
+			*requests, *concurrency)
+		rows, stats, err := bench.RunServerExperiment(*requests, *concurrency)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatServerLoad(rows, stats))
 	}
 	if run("methods") {
 		fmt.Println("=== Section 1.1: structural method comparison (bicomp / treewidth / ghw / hw) ===")

@@ -1,0 +1,64 @@
+// planserver serves the planner and engine over HTTP/JSON: plan-as-a-
+// service with per-tenant catalogs, request coalescing, and Prometheus
+// metrics. See the README's "Serving" section for the endpoint reference
+// and curl examples.
+//
+// Usage:
+//
+//	planserver [-addr host:port] [flags]
+//
+// -addr may use port 0 to bind a random free port; the bound address is
+// logged as "listening on http://host:port".
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("planserver: ")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = random free port)")
+	capacity := flag.Int("capacity", 4096, "plan cache capacity per cache")
+	workers := flag.Int("workers", 0, "parallel-solver workers for cold plan misses (<=1 = sequential)")
+	maxPsi := flag.Int("max-psi", server.DefaultMaxPsi, "candidate-space guard per search (0 = server default)")
+	isolate := flag.Bool("isolate-tenants", false, "give each tenant a private planner (no cross-tenant cache sharing)")
+	defaultK := flag.Int("default-k", 3, "width bound when requests omit k")
+	maxK := flag.Int("max-k", 8, "maximum accepted width bound")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	maxInFlight := flag.Int("max-inflight", 256, "maximum concurrent requests (excess get 429)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batching window for /v1/plan (0 = disabled)")
+	maxBatch := flag.Int("max-batch", 32, "maximum requests per micro-batch")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Planner: cache.Options{
+			Capacity:     *capacity,
+			Workers:      *workers,
+			MaxKVertices: *maxPsi,
+		},
+		IsolateTenants: *isolate,
+		DefaultK:       *defaultK,
+		MaxK:           *maxK,
+		RequestTimeout: *timeout,
+		MaxInFlight:    *maxInFlight,
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *maxBatch,
+		Log:            log.Default(),
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+}

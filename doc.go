@@ -24,6 +24,8 @@
 //     (internal/optimizer);
 //   - the canonical-form plan cache behind the Planner service
 //     (internal/cache);
+//   - the plan-as-a-service HTTP layer: per-tenant catalogs, request
+//     coalescing, Prometheus metrics (internal/server, cmd/planserver);
 //   - the experiment harness regenerating the paper's tables and figures
 //     (internal/bench).
 //
@@ -47,6 +49,13 @@
 //	plan, _ := planner.Plan(q, cat, 2)        // cold: runs cost-k-decomp
 //	plan, _ = planner.Plan(q2, cat, 2)        // renamed copy of q: cache hit
 //	fmt.Println(planner.Stats().Plans.Hits)   // 1
+//
+// To serve planning over HTTP — per-tenant catalogs, cross-tenant request
+// coalescing, micro-batching, Prometheus metrics — construct a Server (the
+// standalone binary is cmd/planserver):
+//
+//	srv := htd.NewServer(htd.ServerConfig{})
+//	err := srv.ListenAndServe(ctx, ":8080")   // or embed srv.Handler()
 //
 // See ExampleHypertreeWidth, ExamplePlanQuery, and ExamplePlanner for
 // runnable versions of these snippets.

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/db"
+	"repro/internal/server"
+)
+
+// The serving-layer experiment: drive an in-process planserver over real
+// HTTP (httptest transport) with a stream of structurally identical,
+// variable-renamed Q1 plan requests plus a slice of executions, and report
+// request throughput and latency percentiles alongside the planner's cache
+// counters — the end-to-end counterpart of RunPlannerExperiment.
+
+// ServerLoadRow is one endpoint's loadgen summary.
+type ServerLoadRow struct {
+	Endpoint   string
+	Requests   int
+	Errors     int
+	Total      time.Duration
+	Throughput float64 // req/s over the endpoint's wall-clock
+	P50        time.Duration
+	P99        time.Duration
+}
+
+// RunServerExperiment uploads a generated Q1 catalog for one tenant, then
+// fires `requests` /v1/plan calls (each a fresh renaming of Q1 at k=3) and
+// requests/10 /v1/execute calls from `concurrency` workers.
+func RunServerExperiment(requests, concurrency int) ([]ServerLoadRow, cache.Stats, error) {
+	if requests < 1 {
+		requests = 1
+	}
+	if concurrency < 1 {
+		concurrency = 8
+	}
+	srv := server.New(server.Config{BatchWindow: 200 * time.Microsecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Scale the catalog down: the loadgen measures serving overhead and
+	// cache behaviour, not evaluation time.
+	cat, err := BuildQ1Catalog(rand.New(rand.NewSource(1)), 0.2)
+	if err != nil {
+		return nil, cache.Stats{}, err
+	}
+	var buf bytes.Buffer
+	if err := db.WriteCatalog(&buf, cat); err != nil {
+		return nil, cache.Stats{}, err
+	}
+	put, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/catalogs/load", &buf)
+	if err != nil {
+		return nil, cache.Stats{}, err
+	}
+	resp, err := client.Do(put)
+	if err != nil {
+		return nil, cache.Stats{}, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, cache.Stats{}, fmt.Errorf("bench: catalog upload: status %d", resp.StatusCode)
+	}
+
+	type wireReq struct {
+		Tenant string `json:"tenant"`
+		Query  string `json:"query"`
+		K      int    `json:"k"`
+	}
+	payload := func(i int) []byte {
+		b, _ := json.Marshal(wireReq{Tenant: "load", Query: renameQ1(i).String(), K: 3})
+		return b
+	}
+
+	fire := func(endpoint, path string, n int) ServerLoadRow {
+		lat := make([]time.Duration, n)
+		var mu sync.Mutex
+		errors := 0
+		sem := make(chan struct{}, concurrency)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(payload(i)))
+				lat[i] = time.Since(t0)
+				if err != nil {
+					mu.Lock()
+					errors++
+					mu.Unlock()
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					mu.Lock()
+					errors++
+					mu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+		total := time.Since(start)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		// Failed requests stay in the row's Errors count; they never abort
+		// the experiment.
+		return ServerLoadRow{
+			Endpoint:   endpoint,
+			Requests:   n,
+			Errors:     errors,
+			Total:      total,
+			Throughput: float64(n) / total.Seconds(),
+			P50:        lat[n/2],
+			P99:        lat[min(n-1, n*99/100)],
+		}
+	}
+
+	planRow := fire("/v1/plan", "/v1/plan", requests)
+	execN := requests / 10
+	if execN < 1 {
+		execN = 1
+	}
+	execRow := fire("/v1/execute", "/v1/execute", execN)
+	return []ServerLoadRow{planRow, execRow}, srv.PlannerStats(), nil
+}
+
+// FormatServerLoad renders the loadgen rows plus the cache counter line.
+func FormatServerLoad(rows []ServerLoadRow, st cache.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %7s %12s %12s %10s %10s\n",
+		"endpoint", "requests", "errors", "total", "req/s", "p50", "p99")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9d %7d %12v %12.0f %10v %10v\n",
+			r.Endpoint, r.Requests, r.Errors, r.Total.Round(time.Microsecond),
+			r.Throughput, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "plan cache: hits=%d misses=%d evictions=%d computations=%d entries=%d\n",
+		st.Plans.Hits, st.Plans.Misses, st.Plans.Evictions, st.Plans.Computations, st.Plans.Entries)
+	fmt.Fprintf(&b, "negative cache: hits=%d recorded=%d\n",
+		st.Infeasible.Hits, st.Infeasible.Computations)
+	return b.String()
+}

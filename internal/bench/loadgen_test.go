@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunServerExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadgen evaluates queries over a generated catalog")
+	}
+	rows, st, err := RunServerExperiment(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want plan + execute", len(rows))
+	}
+	for _, r := range rows {
+		if r.Errors != 0 {
+			t.Fatalf("%s: %d errors", r.Endpoint, r.Errors)
+		}
+		if r.Throughput <= 0 || r.P50 <= 0 || r.P99 < r.P50 {
+			t.Fatalf("%s: implausible row %+v", r.Endpoint, r)
+		}
+	}
+	// 20 structurally identical plan requests plus the executes must
+	// coalesce into one search.
+	if st.Plans.Computations != 1 {
+		t.Fatalf("computations = %d, want 1", st.Plans.Computations)
+	}
+	out := FormatServerLoad(rows, st)
+	if !strings.Contains(out, "/v1/plan") || !strings.Contains(out, "plan cache:") {
+		t.Fatalf("format output missing sections:\n%s", out)
+	}
+}

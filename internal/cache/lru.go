@@ -6,13 +6,24 @@ import (
 	"sync/atomic"
 )
 
-// CacheStats is a point-in-time snapshot of one cache's counters.
+// CacheStats is a point-in-time snapshot of one cache's counters. The JSON
+// tags are the serving layer's wire contract (/v1/stats).
 type CacheStats struct {
-	Hits         uint64 // lookups answered from the cache
-	Misses       uint64 // lookups that required a computation (or joined one)
-	Evictions    uint64 // entries dropped by the LRU policy
-	Computations uint64 // underlying searches actually executed (misses minus singleflight dedup)
-	Entries      int    // entries currently resident
+	Hits         uint64 `json:"hits"`         // lookups answered from the cache
+	Misses       uint64 `json:"misses"`       // lookups that required a computation (or joined one)
+	Evictions    uint64 `json:"evictions"`    // entries dropped by the LRU policy
+	Computations uint64 `json:"computations"` // underlying searches actually executed (misses minus singleflight dedup)
+	Entries      int    `json:"entries"`      // entries currently resident
+}
+
+// add returns the field-wise sum of s and other.
+func (s CacheStats) add(other CacheStats) CacheStats {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Computations += other.Computations
+	s.Entries += other.Entries
+	return s
 }
 
 // lru is a sharded, concurrency-safe LRU map. Keys are hashed onto shards

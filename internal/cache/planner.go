@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -27,18 +28,37 @@ type Options struct {
 	// MaxKVertices aborts searches whose candidate space Ψ exceeds the
 	// bound, like core.Options.MaxKVertices. 0 means unlimited.
 	MaxKVertices int
+	// Workers, when > 1, evaluates cold plan misses with the level-parallel
+	// solver (core.ParallelMinimalKCtx) using that many workers; ≤ 1 keeps
+	// the sequential solver. Cache hits are unaffected.
+	Workers int
 }
 
-// Stats snapshots a Planner's cache counters.
+// Stats snapshots a Planner's cache counters. The JSON tags are the serving
+// layer's wire contract (/v1/stats).
 type Stats struct {
 	// Plans counts cost-k-decomp plan lookups (Planner.Plan).
-	Plans CacheStats
+	Plans CacheStats `json:"plans"`
 	// Decompositions counts unweighted decomposition lookups
 	// (Planner.Decompose).
-	Decompositions CacheStats
+	Decompositions CacheStats `json:"decompositions"`
 	// Searches counts reusable PlanSearch contexts (k-vertex enumerations
 	// shared between plan misses that differ only in statistics).
-	Searches CacheStats
+	Searches CacheStats `json:"searches"`
+	// Infeasible counts the negative cache: Hits are requests answered
+	// ErrNoDecomposition without a search, Misses are probes of structures
+	// not known infeasible (most requests), Computations are infeasibility
+	// results recorded.
+	Infeasible CacheStats `json:"infeasible"`
+}
+
+// Add accumulates other into s field-wise (for aggregating a PlannerSet).
+func (s Stats) Add(other Stats) Stats {
+	s.Plans = s.Plans.add(other.Plans)
+	s.Decompositions = s.Decompositions.add(other.Decompositions)
+	s.Searches = s.Searches.add(other.Searches)
+	s.Infeasible = s.Infeasible.add(other.Infeasible)
+	return s
 }
 
 // Planner is a concurrent planning service: cost-k-decomp and k-decomp
@@ -53,10 +73,11 @@ type Stats struct {
 // entries simply age out of the LRU. All methods are safe for concurrent
 // use.
 type Planner struct {
-	opts     Options
-	plans    *lru
-	decomps  *lru
-	searches *lru
+	opts       Options
+	plans      *lru
+	decomps    *lru
+	searches   *lru
+	infeasible *lru
 
 	planFlight   flightGroup
 	decompFlight flightGroup
@@ -72,10 +93,11 @@ func NewPlanner(opts Options) *Planner {
 		opts.Shards = 16
 	}
 	return &Planner{
-		opts:     opts,
-		plans:    newLRU(opts.Capacity, opts.Shards),
-		decomps:  newLRU(opts.Capacity, opts.Shards),
-		searches: newLRU(opts.Capacity, opts.Shards),
+		opts:       opts,
+		plans:      newLRU(opts.Capacity, opts.Shards),
+		decomps:    newLRU(opts.Capacity, opts.Shards),
+		searches:   newLRU(opts.Capacity, opts.Shards),
+		infeasible: newLRU(opts.Capacity, opts.Shards),
 	}
 }
 
@@ -87,7 +109,35 @@ func (p *Planner) Stats() Stats {
 		Plans:          p.plans.stats(),
 		Decompositions: p.decomps.stats(),
 		Searches:       p.searches.stats(),
+		Infeasible:     p.infeasible.stats(),
 	}
+}
+
+// Negative-cache keys. Infeasibility at width k is a property of the
+// canonical structure alone — feasibility of the candidate graph does not
+// depend on the TAF or on statistics — so ErrNoDecomposition is cached per
+// (canonical form, k) and short-circuits every later request for the same
+// structure, whatever its statistics. Keys are namespaced so query and
+// hypergraph canonical forms cannot collide in the shared LRU.
+func planNegKey(canonKey string, k int) string {
+	return "q\x00" + canonKey + "\x00k" + strconv.Itoa(k)
+}
+
+func decompNegKey(canonKey string, k int) string {
+	return "h\x00" + canonKey + "\x00k" + strconv.Itoa(k)
+}
+
+// knownInfeasible probes the negative cache (counted as Infeasible hits and
+// misses).
+func (p *Planner) knownInfeasible(key string) bool {
+	_, ok := p.infeasible.get(key)
+	return ok
+}
+
+// recordInfeasible notes that a search returned ErrNoDecomposition.
+func (p *Planner) recordInfeasible(key string) {
+	p.infeasible.computations.Add(1)
+	p.infeasible.add(key, struct{}{})
 }
 
 // Plan is the cached equivalent of cost.CostKDecomp: an optimal width-≤k
@@ -96,64 +146,99 @@ func (p *Planner) Stats() Stats {
 // structurally identical queries over equivalent statistics share one
 // entry regardless of variable names. Run cat.AnalyzeAll first.
 func (p *Planner) Plan(q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, error) {
+	plan, _, err := p.PlanCached(q, cat, k)
+	return plan, err
+}
+
+// PlanCached is Plan but additionally reports whether the result — or the
+// ErrNoDecomposition outcome — was served without running a new search: a
+// plan-cache or negative-cache hit, or a joined in-flight computation.
+func (p *Planner) PlanCached(q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
 	qc, err := CanonicalizeQuery(q)
 	if err != nil {
 		// Not canonicalizable (duplicate predicates): bypass the cache and
 		// let the direct path produce its usual error (or, if planning such
 		// a query ever becomes legal, its plan).
-		return cost.CostKDecomp(q, cat, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
+		plan, err := cost.CostKDecomp(q, cat, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
+		return plan, false, err
+	}
+	if p.knownInfeasible(planNegKey(qc.Key, k)) {
+		return nil, true, core.ErrNoDecomposition
 	}
 	fq := q.WithFreshVariables()
 	ests, err := cost.EdgeEstimates(fq, cat)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	canonEsts := canonicalizeEstimates(ests, qc)
 	key := planKey(qc, k, canonEsts)
 	if v, ok := p.plans.get(key); ok {
-		return remapPlan(v.(*cost.Plan), qc, q)
+		plan, err := remapPlan(v.(*cost.Plan), qc, q)
+		return plan, true, err
 	}
-	v, _, err := p.planFlight.do(key, func() (any, error) {
+	v, shared, err := p.planFlight.do(key, func() (any, error) {
 		p.plans.computations.Add(1)
 		ps, err := p.searchFor(qc, k)
 		if err != nil {
 			return nil, err
 		}
 		model := cost.NewModelFromEstimates(ps.FQ, canonEsts)
-		plan, err := ps.Run(model, core.Options{})
+		var plan *cost.Plan
+		if p.opts.Workers > 1 {
+			plan, err = ps.RunParallel(model, core.ParallelOptions{Workers: p.opts.Workers})
+		} else {
+			plan, err = ps.Run(model, core.Options{})
+		}
 		if err != nil {
+			if errors.Is(err, core.ErrNoDecomposition) {
+				p.recordInfeasible(planNegKey(qc.Key, k))
+			}
 			return nil, err
 		}
 		p.plans.add(key, plan)
 		return plan, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, shared, err
 	}
-	return remapPlan(v.(*cost.Plan), qc, q)
+	plan, err := remapPlan(v.(*cost.Plan), qc, q)
+	return plan, shared, err
 }
 
 // Decompose is the cached equivalent of core.DecomposeK: some width-≤k
 // normal-form hypertree decomposition of h, keyed on h's canonical form.
 func (p *Planner) Decompose(h *hypergraph.Hypergraph, k int) (*hypertree.Decomposition, error) {
+	d, _, err := p.DecomposeCached(h, k)
+	return d, err
+}
+
+// DecomposeCached is Decompose with the served-without-a-search flag of
+// PlanCached.
+func (p *Planner) DecomposeCached(h *hypergraph.Hypergraph, k int) (*hypertree.Decomposition, bool, error) {
 	hc := CanonicalizeHypergraph(h)
+	if p.knownInfeasible(decompNegKey(hc.Key, k)) {
+		return nil, true, core.ErrNoDecomposition
+	}
 	key := hc.Key + "\x00k" + strconv.Itoa(k)
 	if v, ok := p.decomps.get(key); ok {
-		return remapDecomposition(v.(*hypertree.Decomposition), hc, h), nil
+		return remapDecomposition(v.(*hypertree.Decomposition), hc, h), true, nil
 	}
-	v, _, err := p.decompFlight.do(key, func() (any, error) {
+	v, shared, err := p.decompFlight.do(key, func() (any, error) {
 		p.decomps.computations.Add(1)
 		d, err := core.DecomposeK(hc.H, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
 		if err != nil {
+			if errors.Is(err, core.ErrNoDecomposition) {
+				p.recordInfeasible(decompNegKey(hc.Key, k))
+			}
 			return nil, err
 		}
 		p.decomps.add(key, d)
 		return d, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, shared, err
 	}
-	return remapDecomposition(v.(*hypertree.Decomposition), hc, h), nil
+	return remapDecomposition(v.(*hypertree.Decomposition), hc, h), shared, nil
 }
 
 // searchFor returns the cached PlanSearch for (structure, k), building and

@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"sort"
+	"sync"
+)
+
+// PlannerSet hands out Planner instances keyed by tenant. In the default
+// shared mode every tenant receives the same Planner, so structurally
+// identical queries from different tenants coalesce into one computation —
+// the cache key already includes statistics, so tenants with different data
+// never share a stale plan, only the search effort. In isolated mode each
+// tenant gets a private Planner (own capacity, own counters), trading
+// cross-tenant amortization for isolation.
+//
+// Safe for concurrent use.
+type PlannerSet struct {
+	opts     Options
+	isolated bool
+
+	mu       sync.RWMutex
+	shared   *Planner
+	byTenant map[string]*Planner
+}
+
+// NewPlannerSet returns a PlannerSet building Planners with opts.
+func NewPlannerSet(opts Options, isolated bool) *PlannerSet {
+	s := &PlannerSet{opts: opts, isolated: isolated, byTenant: map[string]*Planner{}}
+	if !isolated {
+		s.shared = NewPlanner(opts)
+	}
+	return s
+}
+
+// Isolated reports whether tenants get private Planner instances.
+func (s *PlannerSet) Isolated() bool { return s.isolated }
+
+// For returns the Planner serving the given tenant, creating it on first
+// use in isolated mode.
+func (s *PlannerSet) For(tenant string) *Planner {
+	if !s.isolated {
+		return s.shared
+	}
+	s.mu.RLock()
+	p := s.byTenant[tenant]
+	s.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.byTenant[tenant]; p != nil {
+		return p
+	}
+	p = NewPlanner(s.opts)
+	s.byTenant[tenant] = p
+	return p
+}
+
+// Tenants lists tenants with a materialized Planner, sorted. Empty in
+// shared mode.
+func (s *PlannerSet) Tenants() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byTenant))
+	for t := range s.byTenant {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StatsByTenant snapshots per-tenant counters. In shared mode the single
+// shared Planner is reported under the empty tenant name.
+func (s *PlannerSet) StatsByTenant() map[string]Stats {
+	if !s.isolated {
+		return map[string]Stats{"": s.shared.Stats()}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]Stats, len(s.byTenant))
+	for t, p := range s.byTenant {
+		out[t] = p.Stats()
+	}
+	return out
+}
+
+// Aggregate sums the counters over all Planners of the set.
+func (s *PlannerSet) Aggregate() Stats {
+	if !s.isolated {
+		return s.shared.Stats()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var agg Stats
+	for _, p := range s.byTenant {
+		agg = agg.Add(p.Stats())
+	}
+	return agg
+}

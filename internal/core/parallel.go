@@ -35,6 +35,20 @@ func ParallelMinimalK[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W]
 	if err != nil {
 		return nil, err
 	}
+	return parallelSolve(g, h, taf, opts)
+}
+
+// ParallelMinimalKCtx is ParallelMinimalK evaluated against a prepared
+// SearchContext, skipping the per-call k-vertex enumeration — the parallel
+// counterpart of MinimalKCtx, for plan caches whose cold misses are large
+// enough to be worth fanning out.
+func ParallelMinimalKCtx[W any](sc *SearchContext, taf weights.TAF[W], opts ParallelOptions) (*Result[W], error) {
+	return parallelSolve(sc.newGraph(), sc.h, taf, opts)
+}
+
+// parallelSolve runs the three phases of the level-parallel evaluation over
+// an already-built candidate graph.
+func parallelSolve[W any](g *graph, h *hypergraph.Hypergraph, taf weights.TAF[W], opts ParallelOptions) (*Result[W], error) {
 	sv, err := newSolver(g, taf, opts.Options)
 	if err != nil {
 		return nil, err

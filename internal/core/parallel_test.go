@@ -92,3 +92,39 @@ func TestParallelDefaultWorkers(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// ParallelMinimalKCtx over a shared SearchContext must agree with the
+// one-shot entry point, and the context must survive concurrent solves.
+func TestParallelMinimalKCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	taf := weights.CountVerticesTAF()
+	for trial := 0; trial < 10; trial++ {
+		h := hypergraph.Random(rng, 3+rng.Intn(5), 4+rng.Intn(6), 3)
+		sc, err := NewSearchContext(h, 2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneShot, errO := ParallelMinimalK(h, 2, taf, ParallelOptions{Workers: 4})
+		ctxRes, errC := ParallelMinimalKCtx(sc, taf, ParallelOptions{Workers: 4})
+		if (errO == nil) != (errC == nil) {
+			t.Fatalf("feasibility disagrees: %v vs %v\n%s", errO, errC, h)
+		}
+		if errO != nil {
+			if !errors.Is(errO, ErrNoDecomposition) {
+				t.Fatal(errO)
+			}
+			continue
+		}
+		if oneShot.Weight != ctxRes.Weight {
+			t.Fatalf("weights differ: %v vs %v\n%s", oneShot.Weight, ctxRes.Weight, h)
+		}
+		// Re-solving the same context must not corrupt shared state.
+		again, err := ParallelMinimalKCtx(sc, taf, ParallelOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Weight != ctxRes.Weight {
+			t.Fatalf("context reuse changed the weight: %v vs %v", again.Weight, ctxRes.Weight)
+		}
+	}
+}

@@ -101,6 +101,19 @@ func NewPlanSearch(q *cq.Query, k int, opts core.Options) (*PlanSearch, error) {
 // NewModelFromEstimates.
 func (ps *PlanSearch) Run(model *Model, opts core.Options) (*Plan, error) {
 	res, err := core.MinimalKCtx(ps.SC, model.TAF(), opts)
+	return ps.planFromResult(res, err)
+}
+
+// RunParallel is Run evaluated with the level-parallel solver
+// (core.ParallelMinimalKCtx). The cost model is safe for concurrent TAF
+// evaluation, so this is the entry point for cold misses on structures
+// large enough to be worth fanning out. opts.Workers ≤ 0 uses GOMAXPROCS.
+func (ps *PlanSearch) RunParallel(model *Model, opts core.ParallelOptions) (*Plan, error) {
+	res, err := core.ParallelMinimalKCtx(ps.SC, model.TAF(), opts)
+	return ps.planFromResult(res, err)
+}
+
+func (ps *PlanSearch) planFromResult(res *core.Result[float64], err error) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,80 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is a concurrent-safe set of catalogs keyed by tenant — the
+// multi-tenant storage layer of the serving subsystem. A Catalog itself is
+// not safe for concurrent mutation, so the registry works by replacement:
+// Put validates that the catalog is fully analyzed and publishes the
+// pointer, after which the stored catalog must be treated as immutable
+// (readers — planning and evaluation — only ever read it). Replacing a
+// tenant's catalog bumps its version, which callers can fold into cache
+// keys or responses to detect staleness.
+type Registry struct {
+	mu       sync.RWMutex
+	catalogs map[string]*Catalog
+	versions map[string]uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{catalogs: map[string]*Catalog{}, versions: map[string]uint64{}}
+}
+
+// Put publishes c as tenant's catalog and returns the new version (1 for a
+// first upload). It fails if some relation is not analyzed: analysis is a
+// mutation, so it must happen before publication, never on the read path.
+func (r *Registry) Put(tenant string, c *Catalog) (uint64, error) {
+	for _, name := range c.Names() {
+		if c.Stats(name) == nil {
+			return 0, fmt.Errorf("db: registry: relation %q of tenant %q not analyzed", name, tenant)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.versions[tenant]++
+	r.catalogs[tenant] = c
+	return r.versions[tenant], nil
+}
+
+// Get returns tenant's catalog and version, or ok=false.
+func (r *Registry) Get(tenant string) (c *Catalog, version uint64, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok = r.catalogs[tenant]
+	return c, r.versions[tenant], ok
+}
+
+// Delete removes tenant's catalog, reporting whether one was present. The
+// version counter survives, so a re-upload is distinguishable from the
+// deleted catalog.
+func (r *Registry) Delete(tenant string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.catalogs[tenant]
+	delete(r.catalogs, tenant)
+	return ok
+}
+
+// Tenants lists tenants with a catalog, sorted.
+func (r *Registry) Tenants() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.catalogs))
+	for t := range r.catalogs {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of tenants with a catalog.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.catalogs)
+}

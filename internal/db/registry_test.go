@@ -1,0 +1,87 @@
+package db
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func analyzedCatalog(t *testing.T, tuples ...[2]Value) *Catalog {
+	t.Helper()
+	r := NewRelation("r", "a", "b")
+	for _, tp := range tuples {
+		r.MustAppend(tp[0], tp[1])
+	}
+	cat := NewCatalog()
+	cat.Put(r)
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestRegistryPutGetVersioning(t *testing.T) {
+	reg := NewRegistry()
+	if _, _, ok := reg.Get("acme"); ok {
+		t.Fatal("Get on empty registry reported a catalog")
+	}
+	v1, err := reg.Put("acme", analyzedCatalog(t, [2]Value{1, 2}))
+	if err != nil || v1 != 1 {
+		t.Fatalf("first Put: version=%d err=%v, want 1, nil", v1, err)
+	}
+	v2, err := reg.Put("acme", analyzedCatalog(t, [2]Value{1, 2}, [2]Value{3, 4}))
+	if err != nil || v2 != 2 {
+		t.Fatalf("second Put: version=%d err=%v, want 2, nil", v2, err)
+	}
+	cat, ver, ok := reg.Get("acme")
+	if !ok || ver != 2 || cat.Get("r").Card() != 2 {
+		t.Fatalf("Get: ok=%v ver=%d, want latest catalog at version 2", ok, ver)
+	}
+	if got := reg.Tenants(); len(got) != 1 || got[0] != "acme" {
+		t.Fatalf("Tenants = %v", got)
+	}
+	if !reg.Delete("acme") || reg.Delete("acme") {
+		t.Fatal("Delete must report presence exactly once")
+	}
+	// The version counter survives deletion: a re-upload is a new version.
+	v3, err := reg.Put("acme", analyzedCatalog(t, [2]Value{5, 6}))
+	if err != nil || v3 != 3 {
+		t.Fatalf("Put after Delete: version=%d err=%v, want 3, nil", v3, err)
+	}
+}
+
+func TestRegistryRejectsUnanalyzed(t *testing.T) {
+	cat := NewCatalog()
+	cat.Put(NewRelation("r", "a"))
+	if _, err := NewRegistry().Put("acme", cat); err == nil {
+		t.Fatal("Put accepted an unanalyzed catalog")
+	}
+}
+
+// Concurrent writers and readers over disjoint and shared tenants: run
+// under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := "t" + strconv.Itoa(g%3)
+			for i := 0; i < 50; i++ {
+				if _, err := reg.Put(tenant, analyzedCatalog(t, [2]Value{Value(g), Value(i)})); err != nil {
+					panic(err)
+				}
+				if c, _, ok := reg.Get(tenant); ok && c.Get("r") == nil {
+					panic("catalog lost its relation")
+				}
+				reg.Tenants()
+				reg.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if reg.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", reg.Len())
+	}
+}

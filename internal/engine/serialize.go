@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"repro/internal/hypertree"
+)
+
+// PlanNode is the wire form of a decomposition vertex: λ as edge (atom)
+// names, χ as variable names, the estimated subtree cost where known (the
+// "$" annotations of the paper's Figs 6/7), and the children. It is what
+// the serving layer returns for /v1/plan and /v1/decompose.
+type PlanNode struct {
+	Lambda   []string    `json:"lambda"`
+	Chi      []string    `json:"chi"`
+	Cost     *float64    `json:"cost,omitempty"`
+	Children []*PlanNode `json:"children,omitempty"`
+}
+
+// SerializeDecomposition renders d as a PlanNode tree. costs may be nil;
+// where present, per-node subtree costs are attached.
+func SerializeDecomposition(d *hypertree.Decomposition, costs map[*hypertree.Node]float64) *PlanNode {
+	if d == nil || d.Root == nil {
+		return nil
+	}
+	h := d.H
+	var rec func(n *hypertree.Node) *PlanNode
+	rec = func(n *hypertree.Node) *PlanNode {
+		out := &PlanNode{
+			Lambda: make([]string, 0, len(n.Lambda)),
+			Chi:    make([]string, 0, n.Chi.Count()),
+		}
+		for _, e := range n.Lambda {
+			out.Lambda = append(out.Lambda, h.EdgeName(e))
+		}
+		n.Chi.ForEach(func(v int) { out.Chi = append(out.Chi, h.VarName(v)) })
+		if c, ok := costs[n]; ok {
+			cc := c
+			out.Cost = &cc
+		}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, rec(c))
+		}
+		return out
+	}
+	return rec(d.Root)
+}
+
+// CountNodes returns the number of vertices in a serialized plan tree.
+func (n *PlanNode) CountNodes() int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/hypertree"
+)
+
+func TestSerializeDecomposition(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.MustEdge("r", "A", "B")
+	b.MustEdge("s", "B", "C")
+	h := b.MustBuild()
+
+	rootChi := h.NewVarset()
+	rootChi.Set(h.VarByName("A"))
+	rootChi.Set(h.VarByName("B"))
+	root := hypertree.NewNode(rootChi, []int{h.EdgeByName("r")})
+	childChi := h.NewVarset()
+	childChi.Set(h.VarByName("B"))
+	childChi.Set(h.VarByName("C"))
+	child := hypertree.NewNode(childChi, []int{h.EdgeByName("s")})
+	root.AddChild(child)
+	d := &hypertree.Decomposition{H: h, Root: root}
+
+	costs := map[*hypertree.Node]float64{root: 12, child: 5}
+	got := SerializeDecomposition(d, costs)
+	if got.CountNodes() != 2 {
+		t.Fatalf("CountNodes = %d, want 2", got.CountNodes())
+	}
+	if len(got.Lambda) != 1 || got.Lambda[0] != "r" {
+		t.Fatalf("root lambda = %v", got.Lambda)
+	}
+	if len(got.Chi) != 2 {
+		t.Fatalf("root chi = %v", got.Chi)
+	}
+	if got.Cost == nil || *got.Cost != 12 {
+		t.Fatalf("root cost = %v", got.Cost)
+	}
+	c := got.Children[0]
+	if c.Lambda[0] != "s" || c.Cost == nil || *c.Cost != 5 || len(c.Children) != 0 {
+		t.Fatalf("child = %+v", c)
+	}
+
+	// nil costs omit the field on the wire.
+	raw, err := json.Marshal(SerializeDecomposition(d, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PlanNode
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cost != nil || back.Children[0].Cost != nil {
+		t.Fatalf("costs leaked into %s", raw)
+	}
+
+	if SerializeDecomposition(nil, nil) != nil {
+		t.Fatal("nil decomposition must serialize to nil")
+	}
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// Micro-batching for /v1/plan. Concurrent plan requests are collected for a
+// short window (or until the batch fills) and grouped by (tenant, catalog
+// version, k, query text): each distinct group is planned once and the
+// result fanned out to every member, so N identical concurrent requests pay
+// one canonicalization pass and one cache interaction instead of N. Groups
+// within a batch run concurrently; distinct structures still coalesce
+// further down in the Planner's singleflight layer.
+
+var errBatcherClosed = errors.New("server: shutting down")
+
+type batchReq struct {
+	key     string
+	planner *cache.Planner
+	q       *cq.Query
+	cat     *db.Catalog
+	k       int
+	out     chan batchOut // buffered(1): the batch loop never blocks on delivery
+}
+
+type batchOut struct {
+	plan *cost.Plan
+	hit  bool
+	err  error
+}
+
+type planBatcher struct {
+	window   time.Duration
+	maxBatch int
+	reqs     chan *batchReq
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newPlanBatcher(window time.Duration, maxBatch int) *planBatcher {
+	if maxBatch < 1 {
+		maxBatch = 32
+	}
+	b := &planBatcher{
+		window:   window,
+		maxBatch: maxBatch,
+		reqs:     make(chan *batchReq, maxBatch),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// submit enqueues a request and waits for its result.
+func (b *planBatcher) submit(ctx context.Context, r *batchReq) batchOut {
+	select {
+	case b.reqs <- r:
+	case <-b.stop:
+		return batchOut{err: errBatcherClosed}
+	case <-ctx.Done():
+		return batchOut{err: ctx.Err()}
+	}
+	select {
+	case o := <-r.out:
+		return o
+	case <-ctx.Done():
+		return batchOut{err: ctx.Err()}
+	case <-b.done:
+		// The enqueue can race with close(): the loop may have drained and
+		// exited without seeing this request, in which case nothing will
+		// ever deliver to r.out. A result dispatched just before (or still
+		// in flight from a group goroutine) takes precedence.
+		select {
+		case o := <-r.out:
+			return o
+		default:
+			return batchOut{err: errBatcherClosed}
+		}
+	}
+}
+
+// close stops the batch loop; queued requests are failed, not dropped.
+func (b *planBatcher) close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.done
+}
+
+func (b *planBatcher) loop() {
+	defer close(b.done)
+	for {
+		var first *batchReq
+		select {
+		case first = <-b.reqs:
+		case <-b.stop:
+			b.drain()
+			return
+		}
+		batch := []*batchReq{first}
+		timer := time.NewTimer(b.window)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			case <-b.stop:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.dispatch(batch)
+	}
+}
+
+// dispatch groups the batch by key and plans each group once, concurrently
+// across groups. It does not wait for the groups: the loop goes straight
+// back to collecting, so slow searches never stall the next batch.
+func (b *planBatcher) dispatch(batch []*batchReq) {
+	groups := map[string][]*batchReq{}
+	for _, r := range batch {
+		groups[r.key] = append(groups[r.key], r)
+	}
+	for _, g := range groups {
+		go func(g []*batchReq) {
+			lead := g[0]
+			plan, hit, err := lead.planner.PlanCached(lead.q, lead.cat, lead.k)
+			lead.out <- batchOut{plan: plan, hit: hit, err: err}
+			// Followers share the leader's plan: same query text, same
+			// variable names, and responses only read it.
+			for _, r := range g[1:] {
+				r.out <- batchOut{plan: plan, hit: true, err: err}
+			}
+		}(g)
+	}
+}
+
+// drain fails every queued request after stop.
+func (b *planBatcher) drain() {
+	for {
+		select {
+		case r := <-b.reqs:
+			r.out <- batchOut{err: errBatcherClosed}
+		default:
+			return
+		}
+	}
+}

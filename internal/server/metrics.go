@@ -1,0 +1,166 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// In-process metrics in Prometheus text exposition format (version 0.0.4),
+// implemented on atomics — the module stays dependency-free. The registry
+// tracks per-endpoint request counts (by status code) and latency
+// histograms; planner cache counters are snapshotted at scrape time.
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// histogram is a lock-free fixed-bucket latency histogram. counts[i] is the
+// number of observations in bucket i (non-cumulative; the +Inf bucket is
+// counts[len(buckets)]); sums are kept in nanoseconds to stay integral.
+type histogram struct {
+	counts   []atomic.Uint64
+	sumNanos atomic.Uint64
+	total    atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(uint64(d.Nanoseconds()))
+	h.total.Add(1)
+}
+
+// metricsRegistry aggregates the server-side counters.
+type metricsRegistry struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // endpoint -> status code -> count
+
+	latencies map[string]*histogram // endpoint -> histogram (fixed at construction)
+	inFlight  atomic.Int64
+}
+
+func newMetricsRegistry(endpoints []string) *metricsRegistry {
+	m := &metricsRegistry{
+		start:     time.Now(),
+		requests:  map[string]map[int]uint64{},
+		latencies: map[string]*histogram{},
+	}
+	for _, e := range endpoints {
+		m.requests[e] = map[int]uint64{}
+		m.latencies[e] = newHistogram()
+	}
+	return m
+}
+
+// count notes a request's status without a latency observation (used for
+// admission rejections, which would skew the histogram toward zero).
+func (m *metricsRegistry) count(endpoint string, code int) {
+	m.mu.Lock()
+	if codes, ok := m.requests[endpoint]; ok {
+		codes[code]++
+	}
+	m.mu.Unlock()
+}
+
+// record notes one served request: status plus latency.
+func (m *metricsRegistry) record(endpoint string, code int, d time.Duration) {
+	m.count(endpoint, code)
+	if h, ok := m.latencies[endpoint]; ok {
+		h.observe(d)
+	}
+}
+
+// write renders the full exposition: request counters and latency
+// histograms, the planner cache counters in st, and server gauges.
+func (m *metricsRegistry) write(w io.Writer, st cache.Stats, catalogs int) {
+	fmt.Fprintln(w, "# HELP planserver_requests_total Completed HTTP requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE planserver_requests_total counter")
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.requests))
+	for e := range m.requests {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		codes := make([]int, 0, len(m.requests[e]))
+		for c := range m.requests[e] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "planserver_requests_total{endpoint=%q,code=%q} %d\n", e, strconv.Itoa(c), m.requests[e][c])
+		}
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP planserver_request_seconds Request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE planserver_request_seconds histogram")
+	for _, e := range endpoints {
+		h := m.latencies[e]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "planserver_request_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				e, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		total := h.total.Load()
+		fmt.Fprintf(w, "planserver_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", e, total)
+		fmt.Fprintf(w, "planserver_request_seconds_sum{endpoint=%q} %g\n", e, float64(h.sumNanos.Load())/1e9)
+		fmt.Fprintf(w, "planserver_request_seconds_count{endpoint=%q} %d\n", e, total)
+	}
+
+	caches := []struct {
+		name string
+		st   cache.CacheStats
+	}{
+		{"plans", st.Plans},
+		{"decompositions", st.Decompositions},
+		{"searches", st.Searches},
+		{"infeasible", st.Infeasible},
+	}
+	counter := func(name, help string, pick func(cache.CacheStats) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, c := range caches {
+			fmt.Fprintf(w, "%s{cache=%q} %d\n", name, c.name, pick(c.st))
+		}
+	}
+	counter("planner_cache_hits_total", "Planner cache lookups answered from the cache.",
+		func(s cache.CacheStats) uint64 { return s.Hits })
+	counter("planner_cache_misses_total", "Planner cache lookups that required (or joined) a computation.",
+		func(s cache.CacheStats) uint64 { return s.Misses })
+	counter("planner_cache_evictions_total", "Planner cache entries dropped by the LRU policy.",
+		func(s cache.CacheStats) uint64 { return s.Evictions })
+	counter("planner_cache_computations_total", "Searches actually executed (misses minus singleflight dedup).",
+		func(s cache.CacheStats) uint64 { return s.Computations })
+	fmt.Fprintln(w, "# HELP planner_cache_entries Entries currently resident per planner cache.")
+	fmt.Fprintln(w, "# TYPE planner_cache_entries gauge")
+	for _, c := range caches {
+		fmt.Fprintf(w, "planner_cache_entries{cache=%q} %d\n", c.name, c.st.Entries)
+	}
+
+	fmt.Fprintln(w, "# HELP planserver_in_flight_requests Requests currently being served.")
+	fmt.Fprintln(w, "# TYPE planserver_in_flight_requests gauge")
+	fmt.Fprintf(w, "planserver_in_flight_requests %d\n", m.inFlight.Load())
+	fmt.Fprintln(w, "# HELP planserver_catalogs Tenants with an uploaded catalog.")
+	fmt.Fprintln(w, "# TYPE planserver_catalogs gauge")
+	fmt.Fprintf(w, "planserver_catalogs %d\n", catalogs)
+	fmt.Fprintln(w, "# HELP planserver_uptime_seconds Seconds since the server was constructed.")
+	fmt.Fprintln(w, "# TYPE planserver_uptime_seconds gauge")
+	fmt.Fprintf(w, "planserver_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}

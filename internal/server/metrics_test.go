@@ -1,0 +1,139 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// metricLine matches one Prometheus text-format sample:
+// name{labels} value  |  name value
+var metricLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [-+0-9.eEInf]+$`)
+
+// scrape fetches /metrics and returns the body plus a map from
+// name{labels} to value for exact-sample assertions.
+func scrape(t *testing.T, url string) (string, map[string]float64) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !metricLine.MatchString(line) {
+			t.Fatalf("unparseable metrics line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		samples[line[:sp]] = v
+	}
+	return string(body), samples
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+	for i := 0; i < 3; i++ { // 1 computation + 2 hits
+		resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 2})
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// One infeasible request to populate the negative cache counters.
+	resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 1})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	body, samples := scrape(t, ts.URL)
+	for _, want := range []struct {
+		sample string
+		value  float64
+	}{
+		// 3 feasible requests: 1 miss + computation, 2 hits. The cold
+		// infeasible request also probes and searches the plan cache once
+		// before its failure is recorded in the negative cache.
+		{`planner_cache_hits_total{cache="plans"} `, 2},
+		{`planner_cache_misses_total{cache="plans"} `, 2},
+		{`planner_cache_computations_total{cache="plans"} `, 2},
+		{`planner_cache_evictions_total{cache="plans"} `, 0},
+		{`planner_cache_computations_total{cache="infeasible"} `, 1},
+		{`planserver_requests_total{endpoint="plan",code="200"} `, 3},
+		{`planserver_requests_total{endpoint="plan",code="422"} `, 1},
+		{`planserver_requests_total{endpoint="catalogs",code="200"} `, 1},
+		{`planserver_catalogs `, 1},
+	}{
+		key := strings.TrimSuffix(want.sample, " ")
+		got, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing sample %q in:\n%s", key, body)
+		}
+		if got != want.value {
+			t.Fatalf("%s = %v, want %v", key, got, want.value)
+		}
+	}
+	// Latency histogram: count equals the 4 plan requests, sum positive,
+	// +Inf bucket consistent, buckets cumulative.
+	if got := samples[`planserver_request_seconds_count{endpoint="plan"}`]; got != 4 {
+		t.Fatalf("plan latency count = %v, want 4", got)
+	}
+	if got := samples[`planserver_request_seconds_bucket{endpoint="plan",le="+Inf"}`]; got != 4 {
+		t.Fatalf("plan +Inf bucket = %v, want 4", got)
+	}
+	if got := samples[`planserver_request_seconds_sum{endpoint="plan"}`]; got <= 0 {
+		t.Fatalf("plan latency sum = %v, want > 0", got)
+	}
+	var prev float64
+	for _, ub := range latencyBuckets {
+		key := fmt.Sprintf(`planserver_request_seconds_bucket{endpoint="plan",le="%s"}`,
+			strconv.FormatFloat(ub, 'g', -1, 64))
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if v < prev {
+			t.Fatalf("bucket %s = %v not cumulative (prev %v)", key, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram()
+	h.observe(700 * time.Microsecond) // bucket le=0.001
+	h.observe(700 * time.Microsecond)
+	h.observe(30 * time.Second) // +Inf
+	if got := h.total.Load(); got != 3 {
+		t.Fatalf("total = %d", got)
+	}
+	if got := h.counts[1].Load(); got != 2 {
+		t.Fatalf("0.001 bucket = %d, want 2", got)
+	}
+	if got := h.counts[len(latencyBuckets)].Load(); got != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", got)
+	}
+	wantSum := (2*700*time.Microsecond + 30*time.Second).Nanoseconds()
+	if got := h.sumNanos.Load(); got != uint64(wantSum) {
+		t.Fatalf("sum = %d, want %d", got, wantSum)
+	}
+}

@@ -1,0 +1,546 @@
+// Package server is the plan-as-a-service HTTP layer: the paper's premise
+// is that a decomposition-based plan is expensive enough to compute once
+// and reuse, and this subsystem is where the reuse happens at scale — a
+// JSON API over the canonical-form Planner with per-tenant catalogs,
+// request coalescing (micro-batching above the cache's singleflight),
+// admission control, request timeouts, graceful shutdown, and Prometheus
+// metrics export.
+//
+// Endpoints:
+//
+//	POST /v1/plan               query text + k → serialized optimal plan
+//	POST /v1/decompose          hypergraph text + k → NF decomposition
+//	POST /v1/execute            query against a tenant catalog → rows/answer
+//	PUT  /v1/catalogs/{tenant}  upload a catalog (db wire format)
+//	GET  /v1/catalogs/{tenant}  download the catalog (db wire format)
+//	GET  /v1/catalogs           list tenants
+//	GET  /v1/stats              planner + server counters (JSON)
+//	GET  /metrics               Prometheus text exposition
+//	GET  /healthz               liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/hypergraph"
+)
+
+// Config tunes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// Planner tunes the Planner(s) behind the service (capacity, shards,
+	// workers, Ψ guard). A zero MaxKVertices is replaced by DefaultMaxPsi:
+	// a public endpoint must bound the candidate space.
+	Planner cache.Options
+	// IsolateTenants gives each tenant a private Planner. The default
+	// (false) shares one Planner across tenants, so structurally identical
+	// queries coalesce service-wide; plans are still keyed by statistics,
+	// so tenants never see each other's data.
+	IsolateTenants bool
+	// DefaultK is the width bound applied when a request omits k (default 3).
+	DefaultK int
+	// MaxK rejects requests with k above the bound (default 8).
+	MaxK int
+	// RequestTimeout bounds end-to-end request handling (default 30s;
+	// negative disables).
+	RequestTimeout time.Duration
+	// ShutdownTimeout bounds graceful shutdown (default 5s).
+	ShutdownTimeout time.Duration
+	// MaxInFlight bounds concurrently served requests; excess requests are
+	// rejected with 429 (default 256; negative disables).
+	MaxInFlight int
+	// BatchWindow, when > 0, enables micro-batching of /v1/plan: concurrent
+	// requests are collected for the window and identical ones planned once.
+	BatchWindow time.Duration
+	// MaxBatch bounds requests per batch (default 32).
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// Log receives lifecycle messages; nil disables logging.
+	Log *log.Logger
+}
+
+// DefaultMaxPsi is the default candidate-space guard for served searches.
+const DefaultMaxPsi = 1 << 20
+
+func (c Config) withDefaults() Config {
+	if c.Planner.MaxKVertices == 0 {
+		c.Planner.MaxKVertices = DefaultMaxPsi
+	}
+	if c.DefaultK == 0 {
+		c.DefaultK = 3
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 8
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ShutdownTimeout == 0 {
+		c.ShutdownTimeout = 5 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// Server serves the planner and engine over HTTP. Construct with New; all
+// methods are safe for concurrent use.
+type Server struct {
+	cfg      Config
+	planners *cache.PlannerSet
+	catalogs *db.Registry
+	metrics  *metricsRegistry
+	batcher  *planBatcher
+	limiter  chan struct{}
+
+	addr      atomic.Value // net.Addr, set by Serve
+	closeOnce sync.Once
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		planners: cache.NewPlannerSet(cfg.Planner, cfg.IsolateTenants),
+		catalogs: db.NewRegistry(),
+		metrics: newMetricsRegistry([]string{
+			"plan", "decompose", "execute", "catalogs", "stats", "metrics", "healthz",
+		}),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.limiter = make(chan struct{}, cfg.MaxInFlight)
+	}
+	if cfg.BatchWindow > 0 {
+		s.batcher = newPlanBatcher(cfg.BatchWindow, cfg.MaxBatch)
+	}
+	return s
+}
+
+// PlannerStats snapshots the aggregate planner counters (summed over
+// tenants in isolated mode).
+func (s *Server) PlannerStats() cache.Stats { return s.planners.Aggregate() }
+
+// Handler returns the fully wired HTTP handler (for embedding or tests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/plan", s.route("plan", true, s.handlePlan))
+	mux.Handle("POST /v1/decompose", s.route("decompose", true, s.handleDecompose))
+	mux.Handle("POST /v1/execute", s.route("execute", true, s.handleExecute))
+	mux.Handle("PUT /v1/catalogs/{tenant}", s.route("catalogs", true, s.handleCatalogPut))
+	mux.Handle("GET /v1/catalogs/{tenant}", s.route("catalogs", true, s.handleCatalogGet))
+	mux.Handle("GET /v1/catalogs", s.route("catalogs", true, s.handleCatalogList))
+	mux.Handle("GET /v1/stats", s.route("stats", false, s.handleStats))
+	mux.Handle("GET /metrics", s.route("metrics", false, s.handleMetrics))
+	mux.Handle("GET /healthz", s.route("healthz", false, s.handleHealthz))
+	return mux
+}
+
+// route applies the request timeout inside the instrumentation, so metrics
+// record the status the client actually received (503 on timeout, not the
+// late inner write).
+func (s *Server) route(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
+	return s.routeHandler(endpoint, limited, h)
+}
+
+func (s *Server) routeHandler(endpoint string, limited bool, h http.Handler) http.Handler {
+	if s.cfg.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	return s.instrument(endpoint, limited, h)
+}
+
+// ListenAndServe serves on addr until ctx is canceled, then shuts down
+// gracefully. addr may use port 0; the bound address is available from
+// Addr and the log line.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l)
+}
+
+// Serve serves on l until ctx is canceled, then drains in-flight requests
+// (bounded by ShutdownTimeout) and releases the batcher.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	s.addr.Store(l.Addr())
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("listening on http://%s", l.Addr())
+	}
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case <-ctx.Done():
+		sc, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+		defer cancel()
+		err := hs.Shutdown(sc)
+		<-errc
+		s.Close()
+		if s.cfg.Log != nil {
+			s.cfg.Log.Printf("shut down")
+		}
+		return err
+	case err := <-errc:
+		s.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// Addr returns the bound address once Serve has been called, else nil.
+func (s *Server) Addr() net.Addr {
+	a, _ := s.addr.Load().(net.Addr)
+	return a
+}
+
+// Close releases background resources (idempotent; Serve calls it).
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.batcher != nil {
+			s.batcher.close()
+		}
+	})
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with admission control (when limited) and
+// request metrics.
+func (s *Server) instrument(endpoint string, limited bool, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if limited && s.limiter != nil {
+			select {
+			case s.limiter <- struct{}{}:
+				defer func() { <-s.limiter }()
+			default:
+				// Counted, but kept out of the latency histogram: a burst
+				// of instant 429s would drag the percentiles toward zero
+				// exactly when the latency of served requests matters.
+				s.metrics.count(endpoint, http.StatusTooManyRequests)
+				writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.MaxInFlight)
+				return
+			}
+		}
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.metrics.record(endpoint, code, time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads a JSON body into v, reporting (and writing) failures.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// widthBound resolves and validates the request's k.
+func (s *Server) widthBound(w http.ResponseWriter, k int) (int, bool) {
+	if k == 0 {
+		k = s.cfg.DefaultK
+	}
+	if k < 1 || k > s.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, "k must be in [1, %d], got %d", s.cfg.MaxK, k)
+		return 0, false
+	}
+	return k, true
+}
+
+// tenantCatalog resolves the tenant's catalog, writing a 404 when absent.
+func (s *Server) tenantCatalog(w http.ResponseWriter, tenant string) (*db.Catalog, uint64, bool) {
+	cat, ver, ok := s.catalogs.Get(tenant)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no catalog for tenant %q", tenant)
+		return nil, 0, false
+	}
+	return cat, ver, true
+}
+
+// planError maps planning failures onto status codes.
+func planError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrNoDecomposition):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	case errors.Is(err, errBatcherClosed), errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func batchKey(tenant string, version uint64, k int, query string) string {
+	return tenant + "\x1f" + strconv.FormatUint(version, 10) + "\x1f" + strconv.Itoa(k) + "\x1f" + query
+}
+
+// plan runs the planning path shared by /v1/plan and /v1/execute: through
+// the micro-batcher when enabled, else straight into the Planner.
+func (s *Server) plan(ctx context.Context, tenant string, version uint64, queryText string, q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
+	planner := s.planners.For(tenant)
+	if s.batcher != nil {
+		o := s.batcher.submit(ctx, &batchReq{
+			key:     batchKey(tenant, version, k, queryText),
+			planner: planner,
+			q:       q,
+			cat:     cat,
+			k:       k,
+			out:     make(chan batchOut, 1),
+		})
+		return o.plan, o.hit, o.err
+	}
+	return planner.PlanCached(q, cat, k)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q, err := cq.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, ok := s.widthBound(w, req.K)
+	if !ok {
+		return
+	}
+	cat, ver, ok := s.tenantCatalog(w, req.Tenant)
+	if !ok {
+		return
+	}
+	plan, hit, err := s.plan(r.Context(), req.Tenant, ver, req.Query, q, cat, k)
+	if err != nil {
+		planError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlanResponse{
+		Tenant:         req.Tenant,
+		K:              k,
+		Width:          plan.Decomp.Width(),
+		EstimatedCost:  plan.EstimatedCost,
+		CacheHit:       hit,
+		CatalogVersion: ver,
+		Plan:           engine.SerializeDecomposition(plan.Decomp, plan.NodeCosts),
+	})
+}
+
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	var req DecomposeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	h, err := hypergraph.Parse(req.Hypergraph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, ok := s.widthBound(w, req.K)
+	if !ok {
+		return
+	}
+	d, hit, err := s.planners.For(req.Tenant).DecomposeCached(h, k)
+	if err != nil {
+		planError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DecomposeResponse{
+		K:             k,
+		Width:         d.Width(),
+		CacheHit:      hit,
+		Decomposition: engine.SerializeDecomposition(d, nil),
+	})
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req ExecuteRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q, err := cq.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, ok := s.widthBound(w, req.K)
+	if !ok {
+		return
+	}
+	cat, ver, ok := s.tenantCatalog(w, req.Tenant)
+	if !ok {
+		return
+	}
+	plan, hit, err := s.plan(r.Context(), req.Tenant, ver, req.Query, q, cat, k)
+	if err != nil {
+		planError(w, err)
+		return
+	}
+	var m engine.Metrics
+	res, err := engine.EvalDecomposition(plan.Decomp, plan.Query, cat, &m)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := ExecuteResponse{
+		Tenant:        req.Tenant,
+		K:             k,
+		EstimatedCost: plan.EstimatedCost,
+		CacheHit:      hit,
+		RowCount:      res.Card(),
+		Metrics: ExecuteMetrics{
+			Joins:              m.Joins,
+			Semijoins:          m.Semijoins,
+			IntermediateTuples: m.IntermediateTuples,
+		},
+	}
+	if q.IsBoolean() {
+		ans := engine.Answer(res)
+		resp.Boolean = &ans
+	} else {
+		resp.Columns = res.Attrs
+		resp.Rows = res.Tuples
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCatalogPut(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if tenant == "" {
+		writeError(w, http.StatusBadRequest, "empty tenant")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	cat, err := db.ReadCatalog(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(cat.Names()) == 0 {
+		writeError(w, http.StatusBadRequest, "catalog has no relations")
+		return
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	version, err := s.catalogs.Put(tenant, cat)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	tuples := 0
+	for _, n := range cat.Names() {
+		tuples += cat.Get(n).Card()
+	}
+	writeJSON(w, http.StatusOK, CatalogResponse{
+		Tenant:    tenant,
+		Relations: len(cat.Names()),
+		Tuples:    tuples,
+		Version:   version,
+	})
+}
+
+func (s *Server) handleCatalogGet(w http.ResponseWriter, r *http.Request) {
+	cat, _, ok := s.tenantCatalog(w, r.PathValue("tenant"))
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := db.WriteCatalog(w, cat); err != nil && s.cfg.Log != nil {
+		s.cfg.Log.Printf("catalog download: %v", err)
+	}
+}
+
+func (s *Server) handleCatalogList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, CatalogListResponse{Tenants: s.catalogs.Tenants()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Planner:   s.planners.Aggregate(),
+		Catalogs:  s.catalogs.Tenants(),
+		InFlight:  s.metrics.inFlight.Load(),
+		UptimeSec: time.Since(s.metrics.start).Seconds(),
+	}
+	if s.planners.Isolated() {
+		resp.PerTenant = s.planners.StatsByTenant()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s.planners.Aggregate(), s.catalogs.Len())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"repro/internal/cache"
+	"repro/internal/engine"
+)
+
+// Wire types of the HTTP/JSON API. Field names are the contract; see the
+// README's "Serving" section for curl examples.
+
+// PlanRequest is the body of POST /v1/plan: a conjunctive query in datalog
+// rule syntax planned at width bound k over the tenant's catalog.
+type PlanRequest struct {
+	Tenant string `json:"tenant"`
+	Query  string `json:"query"`
+	K      int    `json:"k,omitempty"` // 0 = server default
+}
+
+// PlanResponse carries the serialized optimal plan. CacheHit reports
+// whether the planner served the request without running a new search
+// (plan-cache or negative-cache hit, joined singleflight, or a coalesced
+// batch member).
+type PlanResponse struct {
+	Tenant         string           `json:"tenant"`
+	K              int              `json:"k"`
+	Width          int              `json:"width"`
+	EstimatedCost  float64          `json:"estimatedCost"`
+	CacheHit       bool             `json:"cacheHit"`
+	CatalogVersion uint64           `json:"catalogVersion"`
+	Plan           *engine.PlanNode `json:"plan"`
+}
+
+// DecomposeRequest is the body of POST /v1/decompose: a hypergraph in the
+// "name(V1,V2,...)"-per-line format, decomposed at width bound k.
+type DecomposeRequest struct {
+	Tenant     string `json:"tenant,omitempty"` // planner selection only; no catalog involved
+	Hypergraph string `json:"hypergraph"`
+	K          int    `json:"k,omitempty"`
+}
+
+// DecomposeResponse carries a width-≤k normal-form decomposition.
+type DecomposeResponse struct {
+	K             int              `json:"k"`
+	Width         int              `json:"width"`
+	CacheHit      bool             `json:"cacheHit"`
+	Decomposition *engine.PlanNode `json:"decomposition"`
+}
+
+// ExecuteRequest is the body of POST /v1/execute: plan (through the cache)
+// and evaluate a query against the tenant's catalog.
+type ExecuteRequest struct {
+	Tenant string `json:"tenant"`
+	Query  string `json:"query"`
+	K      int    `json:"k,omitempty"`
+}
+
+// ExecuteMetrics mirrors engine.Metrics on the wire.
+type ExecuteMetrics struct {
+	Joins              int   `json:"joins"`
+	Semijoins          int   `json:"semijoins"`
+	IntermediateTuples int64 `json:"intermediateTuples"`
+}
+
+// ExecuteResponse carries the query answer: rows for a non-Boolean query,
+// Boolean for a Boolean one.
+type ExecuteResponse struct {
+	Tenant        string         `json:"tenant"`
+	K             int            `json:"k"`
+	EstimatedCost float64        `json:"estimatedCost"`
+	CacheHit      bool           `json:"cacheHit"`
+	Columns       []string       `json:"columns,omitempty"`
+	Rows          [][]int32      `json:"rows,omitempty"`
+	RowCount      int            `json:"rowCount"`
+	Boolean       *bool          `json:"boolean,omitempty"`
+	Metrics       ExecuteMetrics `json:"metrics"`
+}
+
+// CatalogResponse acknowledges PUT /v1/catalogs/{tenant}.
+type CatalogResponse struct {
+	Tenant    string `json:"tenant"`
+	Relations int    `json:"relations"`
+	Tuples    int    `json:"tuples"`
+	Version   uint64 `json:"version"`
+}
+
+// CatalogListResponse is GET /v1/catalogs.
+type CatalogListResponse struct {
+	Tenants []string `json:"tenants"`
+}
+
+// StatsResponse is GET /v1/stats: aggregate planner counters, per-tenant
+// counters when tenants are isolated, and server-level gauges.
+type StatsResponse struct {
+	Planner   cache.Stats            `json:"planner"`
+	PerTenant map[string]cache.Stats `json:"perTenant,omitempty"`
+	Catalogs  []string               `json:"catalogs"`
+	InFlight  int64                  `json:"inFlight"`
+	UptimeSec float64                `json:"uptimeSec"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
