@@ -22,12 +22,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchrun: ")
-	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods|planner|server")
+	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods|planner|server|solver")
 	seed := flag.Int64("seed", 1, "random seed")
 	repeats := flag.Int("repeats", 1, "timing repetitions (minimum is reported)")
 	scale := flag.Float64("scale", 1.0, "relative database scale for fig8a/fig8b")
 	requests := flag.Int("requests", 200, "request count for the planner and server experiments")
 	concurrency := flag.Int("concurrency", 16, "client concurrency for the server experiment")
+	solverOut := flag.String("solverout", "BENCH_solver.json", "output path for the solver benchmark JSON")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -94,6 +95,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatServerLoad(rows, stats))
+	}
+	// Unlike the print-only experiments, solver writes a file; it runs only
+	// when requested explicitly, not under -exp all.
+	if *exp == "solver" {
+		fmt.Println("=== Solver perf trajectory: cold/warm planning per fixture query × k ===")
+		rep, err := bench.RunSolverBench()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatSolverBench(rep))
+		if err := bench.WriteSolverBenchJSON(*solverOut, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *solverOut)
 	}
 	if run("methods") {
 		fmt.Println("=== Section 1.1: structural method comparison (bicomp / treewidth / ghw / hw) ===")

@@ -45,6 +45,17 @@
 // deduplicates concurrent identical searches, and remaps cached plans onto
 // each caller's variable names.
 //
+// Under the hood, repeated searches over one structure share a
+// core.SearchContext: the enumerated k-vertex space, an inverted
+// variable → k-vertex index for candidate pruning, and the
+// weight-independent structural caches (interned components, per-node χ
+// and child subproblems). Contexts are safe for concurrent solves, which
+// share those caches — only memo maps and weights are per-solve — so warm
+// solves skip structural discovery entirely; cost.PlanSearchFamily extends
+// the sharing across a whole k-range (used by cost.Sweep), and the solver
+// stamps nodes with integer MemoKeys that the cost model uses to memoize
+// estimates without serializing sets.
+//
 //	planner := htd.NewPlanner(htd.PlannerOptions{})
 //	plan, _ := planner.Plan(q, cat, 2)        // cold: runs cost-k-decomp
 //	plan, _ = planner.Plan(q2, cat, 2)        // renamed copy of q: cache hit

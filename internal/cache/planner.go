@@ -28,9 +28,10 @@ type Options struct {
 	// MaxKVertices aborts searches whose candidate space Ψ exceeds the
 	// bound, like core.Options.MaxKVertices. 0 means unlimited.
 	MaxKVertices int
-	// Workers, when > 1, evaluates cold plan misses with the level-parallel
-	// solver (core.ParallelMinimalKCtx) using that many workers; ≤ 1 keeps
-	// the sequential solver. Cache hits are unaffected.
+	// Workers, when > 1, evaluates cold plan and decompose misses with the
+	// level-parallel solver (core.ParallelMinimalKCtx and
+	// core.ParallelDecomposeKCtx) using that many workers; ≤ 1 keeps the
+	// sequential solver. Cache hits are unaffected.
 	Workers int
 }
 
@@ -42,8 +43,10 @@ type Stats struct {
 	// Decompositions counts unweighted decomposition lookups
 	// (Planner.Decompose).
 	Decompositions CacheStats `json:"decompositions"`
-	// Searches counts reusable PlanSearch contexts (k-vertex enumerations
-	// shared between plan misses that differ only in statistics).
+	// Searches counts reusable search families (one per canonical
+	// structure; the width-specific contexts — k-vertex enumerations shared
+	// between plan misses that differ only in statistics or in k — live
+	// inside each family).
 	Searches CacheStats `json:"searches"`
 	// Infeasible counts the negative cache: Hits are requests answered
 	// ErrNoDecomposition without a search, Misses are probes of structures
@@ -225,7 +228,17 @@ func (p *Planner) DecomposeCached(h *hypergraph.Hypergraph, k int) (*hypertree.D
 	}
 	v, shared, err := p.decompFlight.do(key, func() (any, error) {
 		p.decomps.computations.Add(1)
-		d, err := core.DecomposeK(hc.H, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
+		sc, err := core.NewSearchContext(hc.H, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
+		if err != nil {
+			return nil, err
+		}
+		var d *hypertree.Decomposition
+		if p.opts.Workers > 1 {
+			// Decompose requests honour Workers like plan requests do.
+			d, err = core.ParallelDecomposeKCtx(sc, core.ParallelOptions{Workers: p.opts.Workers})
+		} else {
+			d, err = core.DecomposeKCtx(sc, core.Options{})
+		}
 		if err != nil {
 			if errors.Is(err, core.ErrNoDecomposition) {
 				p.recordInfeasible(decompNegKey(hc.Key, k))
@@ -241,29 +254,30 @@ func (p *Planner) DecomposeCached(h *hypergraph.Hypergraph, k int) (*hypertree.D
 	return remapDecomposition(v.(*hypertree.Decomposition), hc, h), shared, nil
 }
 
-// searchFor returns the cached PlanSearch for (structure, k), building and
-// caching it on first use. Reused across plan misses that differ only in
-// catalog statistics, so the k-vertex enumeration is paid once per
-// structure; its own singleflight collapses concurrent cold misses whose
-// plan keys differ (same structure, different statistics).
+// searchFor returns the cached PlanSearch for (structure, k). Searches are
+// cached as one cost.PlanSearchFamily per canonical structure, so requests
+// for the same structure at different width bounds share the augmented
+// query, the hypergraph, and the component-interning StructIndex; the
+// family builds and reuses the width-specific context per k internally.
+// The singleflight collapses concurrent cold misses whose plan keys differ
+// (same structure, different statistics).
 func (p *Planner) searchFor(qc *QueryCanon, k int) (*cost.PlanSearch, error) {
-	key := qc.Key + "\x00k" + strconv.Itoa(k)
-	if v, ok := p.searches.get(key); ok {
-		return v.(*cost.PlanSearch), nil
+	if v, ok := p.searches.get(qc.Key); ok {
+		return v.(*cost.PlanSearchFamily).At(k)
 	}
-	v, _, err := p.searchFlight.do(key, func() (any, error) {
-		ps, err := cost.NewPlanSearch(qc.Query, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
+	v, _, err := p.searchFlight.do(qc.Key, func() (any, error) {
+		fam, err := cost.NewPlanSearchFamily(qc.Query, core.Options{MaxKVertices: p.opts.MaxKVertices})
 		if err != nil {
 			return nil, err
 		}
 		p.searches.computations.Add(1)
-		p.searches.add(key, ps)
-		return ps, nil
+		p.searches.add(qc.Key, fam)
+		return fam, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*cost.PlanSearch), nil
+	return v.(*cost.PlanSearchFamily).At(k)
 }
 
 // canonicalizeEstimates renames the variable keys of per-predicate

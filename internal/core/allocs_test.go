@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/weights"
+)
+
+// Allocation regression pins for the hot path. A warm solve — a prepared
+// SearchContext whose structural caches (components, solStructs, interned
+// interfaces) are already populated — should allocate only per-solve state:
+// memo maps, sol/sub nodes, candidate slices, and the extracted tree. On
+// Q1 at k=3 that is ≈4k allocations (down from ≈30k before indexed pruning
+// and integer keys); the ceilings below have ~50% headroom so they catch a
+// regression to string keys or per-solve component discovery (both multiply
+// the count), not normal noise.
+func TestWarmSolveAllocationCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts shift under the race detector")
+	}
+	h := buildQ1()
+	sc, err := NewSearchContext(h, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := func(name string, ceiling float64, solve func()) {
+		solve() // warm the shared caches
+		if n := testing.AllocsPerRun(10, solve); n > ceiling {
+			t.Errorf("%s: %.0f allocs/run on a warm context, ceiling %.0f", name, n, ceiling)
+		}
+	}
+	unit := unitTAF()
+	pin("unit TAF (k-decomp)", 6000, func() {
+		if _, err := MinimalKCtx(sc, unit, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	width := weights.WidthTAF()
+	pin("width TAF", 6000, func() {
+		if _, err := MinimalKCtx(sc, width, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestCandidateSpaceNoAllocs pins the per-probe cost of the candidate
+// index: selecting a posting list and testing candidateOK must allocate
+// nothing.
+func TestCandidateSpaceNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts shift under the race detector")
+	}
+	h := buildQ1()
+	sc, err := NewSearchContext(h, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := sc.rootComp()
+	iface := sc.kverts[0].vars
+	n := testing.AllocsPerRun(100, func() {
+		for _, si := range sc.candidateSpace(iface) {
+			sc.candidateOK(sc.kverts[si], root, iface)
+		}
+	})
+	if n != 0 {
+		t.Errorf("candidate probe allocates %.0f per run, want 0", n)
+	}
+}

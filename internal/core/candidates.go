@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/hypergraph"
 	"repro/internal/weights"
 )
@@ -16,59 +19,121 @@ import (
 // materialized; unreachable nodes cannot occur in any decomposition
 // (Theorem 7.3 builds the tree top-down from the root), so this preserves
 // the algorithm's output space while keeping the graph small.
+//
+// Everything weight-independent — component entries, the χ of a solution
+// node, its child components with their interfaces — lives in shared,
+// concurrency-safe tables (StructIndex and the SearchContext's solStruct
+// cache) keyed on interned integers, so repeated solves over one structure
+// pay the structural discovery once and per-solve state shrinks to memo
+// maps plus TAF evaluation.
 
 // compEntry caches per-component data: the component C, edges(C), and
-// var(edges(C)).
+// var(edges(C)). Entries are interned in a StructIndex and immutable once
+// published.
 type compEntry struct {
-	id       int
+	id       int               // dense per-StructIndex component ID
 	vars     hypergraph.Varset // C
 	edgesOf  []int             // edges(C)
 	boundary hypergraph.Varset // var(edges(C))
 }
 
-// graph holds the shared (weight-independent) part of the candidate graph.
-type graph struct {
-	h      *hypergraph.Hypergraph
-	k      int
-	kverts []kvert
-	comps  map[string]*compEntry // keyed by C.Key()
-	nComps int
+// solStruct is the weight-independent part of solution node (S, C): its
+// χ = var(edges(C)) ∩ var(S) (with its interned ID, for MemoKey stamping)
+// and the child subproblems — the [var(S)]-components inside C — each with
+// its interned interface.
+type solStruct struct {
+	chi      hypergraph.Varset
+	chiID    int32
+	children []childRef
 }
 
-func newGraph(h *hypergraph.Hypergraph, k, limit int) (*graph, error) {
-	kv, err := enumerateKVertices(h, k, limit)
-	if err != nil {
-		return nil, err
+// childRef is one child subproblem (C′, I) of a solution node, with the
+// interface I = var(edges(C′)) ∩ var(S) interned to an integer ID so
+// subproblem memo keys are [2]int, not concatenated strings.
+type childRef struct {
+	comp    *compEntry
+	iface   hypergraph.Varset
+	ifaceID int
+}
+
+// StructIndex is the shared weight-independent structural table of one
+// hypergraph: a varset interner plus the component table. It is independent
+// of the width bound k, so SearchContexts for different k over the same
+// hypergraph (a Sweep family) can share one index, and every solve against
+// any of those contexts reuses the same interned components. Safe for
+// concurrent use; the interner is striped by word-hash and the component
+// table sits behind a read-mostly lock.
+type StructIndex struct {
+	h        *hypergraph.Hypergraph
+	gen      int32 // globally unique; names this index in MemoKeys
+	interner *hypergraph.Interner
+	mu       sync.RWMutex
+	comps    map[int]*compEntry // varset ID → entry
+}
+
+// structGen numbers StructIndexes so MemoKeys from different indexes never
+// collide in a shared evaluator cache.
+var structGen atomic.Int32
+
+// NewStructIndex returns an empty structural index for h.
+func NewStructIndex(h *hypergraph.Hypergraph) *StructIndex {
+	return &StructIndex{
+		h:        h,
+		gen:      structGen.Add(1),
+		interner: hypergraph.NewInterner(),
+		comps:    make(map[int]*compEntry),
 	}
-	return &graph{h: h, k: k, kverts: kv, comps: map[string]*compEntry{}}, nil
 }
 
-// comp interns a component varset.
-func (g *graph) comp(c hypergraph.Varset) *compEntry {
-	key := c.Key()
-	if e, ok := g.comps[key]; ok {
+// Hypergraph returns the hypergraph the index was built for.
+func (ix *StructIndex) Hypergraph() *hypergraph.Hypergraph { return ix.h }
+
+// comp interns a component varset, taking ownership of c (callers pass
+// freshly computed sets). The entry — including its dense ID — is shared by
+// every solve and SearchContext using this index.
+func (ix *StructIndex) comp(c hypergraph.Varset) *compEntry {
+	vid := ix.interner.ID(c)
+	ix.mu.RLock()
+	e, ok := ix.comps[vid]
+	ix.mu.RUnlock()
+	if ok {
 		return e
 	}
-	e := &compEntry{
-		id:       g.nComps,
+	// Compute outside the write lock; the derivations are deterministic, so
+	// a racing duplicate is identical and simply discarded.
+	e = &compEntry{
 		vars:     c,
-		edgesOf:  g.h.EdgesOf(c),
-		boundary: g.h.VarsOfEdgesOf(c),
+		edgesOf:  ix.h.EdgesOf(c),
+		boundary: ix.h.VarsOfEdgesOf(c),
 	}
-	g.nComps++
-	g.comps[key] = e
+	ix.mu.Lock()
+	if prev, ok := ix.comps[vid]; ok {
+		ix.mu.Unlock()
+		return prev
+	}
+	e.id = len(ix.comps)
+	ix.comps[vid] = e
+	ix.mu.Unlock()
 	return e
 }
 
-// rootComp returns the whole-problem component var(H).
-func (g *graph) rootComp() *compEntry { return g.comp(g.h.AllVars().Clone()) }
+// size returns the number of components interned so far.
+func (ix *StructIndex) size() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.comps)
+}
 
 // candidateOK reports whether k-vertex s is a candidate solution for the
 // subproblem (c, iface): conditions C1 and C2 of Fig 4 —
 //
 //	C1: var(S) ∩ C ≠ ∅ and every h ∈ S meets var(edges(C));
 //	C2: var(edges(C)) ∩ var(R) ⊆ var(S), i.e. iface ⊆ var(S).
-func (g *graph) candidateOK(s kvert, c *compEntry, iface hypergraph.Varset) bool {
+//
+// The indexed solvers only call it on k-vertices drawn from a posting list
+// (candidateSpace); a full scan over all Ψ k-vertices with this predicate
+// is the reference semantics the index must preserve.
+func (sc *SearchContext) candidateOK(s kvert, c *compEntry, iface hypergraph.Varset) bool {
 	if !iface.SubsetOf(s.vars) {
 		return false
 	}
@@ -76,36 +141,73 @@ func (g *graph) candidateOK(s kvert, c *compEntry, iface hypergraph.Varset) bool
 		return false
 	}
 	for _, e := range s.edges {
-		if !g.h.EdgeVars(e).Intersects(c.boundary) {
+		if !sc.h.EdgeVars(e).Intersects(c.boundary) {
 			return false
 		}
 	}
 	return true
 }
 
-// chiOf returns χ(p) = var(edges(C)) ∩ var(S) for solution node (S, C).
-func (g *graph) chiOf(s kvert, c *compEntry) hypergraph.Varset {
-	return c.boundary.Intersect(s.vars)
-}
-
-// nodeInfo builds the weighting view of solution node (S, C).
-func (g *graph) nodeInfo(s kvert, c *compEntry) weights.NodeInfo {
-	return weights.NodeInfo{H: g.h, Lambda: s.edges, Chi: g.chiOf(s, c), Component: c.vars}
-}
-
-// childComps returns the [var(S)]-components contained in C — the
-// subproblems a solution (S, C) must solve — with their interfaces.
-func (g *graph) childComps(s kvert, c *compEntry) []*compEntry {
-	comps := g.h.ComponentsWithin(s.vars, c.vars)
-	out := make([]*compEntry, len(comps))
-	for i, cc := range comps {
-		out[i] = g.comp(cc)
+// candidateSpace returns the ascending list of k-vertex indices worth
+// testing for a subproblem with the given interface: condition C2 requires
+// iface ⊆ var(S), so every candidate appears in the posting list of each
+// interface variable, and the shortest such list suffices. An empty
+// interface (the root subproblem, or a component detached from its parent)
+// falls back to the full space. The order equals enumeration order, so the
+// deterministic tie-breaking of the full scan is preserved exactly.
+func (sc *SearchContext) candidateSpace(iface hypergraph.Varset) []int32 {
+	best := -1
+	bestLen := int(^uint(0) >> 1)
+	for v := iface.NextSet(0); v >= 0; v = iface.NextSet(v + 1) {
+		if l := len(sc.postings[v]); l < bestLen {
+			best, bestLen = v, l
+		}
 	}
-	return out
+	if best < 0 {
+		return sc.allIdx
+	}
+	return sc.postings[best]
 }
 
-// ifaceFor returns the interface a child subproblem inherits from parent
-// k-vertex s: var(edges(C′)) ∩ var(S).
-func (g *graph) ifaceFor(s kvert, child *compEntry) hypergraph.Varset {
-	return child.boundary.Intersect(s.vars)
+// structOf returns the shared weight-independent data of solution node
+// (S, C), computing and publishing it on first use. Warm solves hit the
+// cache and allocate nothing here.
+func (sc *SearchContext) structOf(s kvert, c *compEntry) *solStruct {
+	key := [2]int{s.idx, c.id}
+	sc.mu.RLock()
+	st, ok := sc.structs[key]
+	sc.mu.RUnlock()
+	if ok {
+		return st
+	}
+	comps := sc.h.ComponentsWithin(s.vars, c.vars)
+	children := make([]childRef, len(comps))
+	for i, cc := range comps {
+		ce := sc.idx.comp(cc)
+		iface := ce.boundary.Intersect(s.vars)
+		children[i] = childRef{comp: ce, iface: iface, ifaceID: sc.idx.interner.ID(iface)}
+	}
+	chi := c.boundary.Intersect(s.vars)
+	st = &solStruct{chi: chi, chiID: int32(sc.idx.interner.ID(chi)), children: children}
+	sc.mu.Lock()
+	if prev, ok := sc.structs[key]; ok {
+		st = prev
+	} else {
+		sc.structs[key] = st
+	}
+	sc.mu.Unlock()
+	return st
+}
+
+// nodeInfo builds the weighting view of solution node (S, C), stamped with
+// the integer MemoKey (index generation, interned λ ID, interned χ ID) so
+// cost models memoize per-node estimates without serializing the sets.
+func (sc *SearchContext) nodeInfo(s kvert, st *solStruct, c *compEntry) weights.NodeInfo {
+	return weights.NodeInfo{
+		H:         sc.h,
+		Lambda:    s.edges,
+		Chi:       st.chi,
+		Component: c.vars,
+		Memo:      weights.MemoKey{Gen: sc.idx.gen, Lambda: s.lamID, Chi: st.chiID},
+	}
 }

@@ -1,34 +1,97 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/hypergraph"
 	"repro/internal/hypertree"
 	"repro/internal/weights"
 )
 
 // SearchContext holds the weight-independent part of the candidate-graph
-// search for one (hypergraph, k): the Ψ enumerated k-vertices. Enumerating
-// them is the dominant fixed cost of a solver run, so callers that search
-// the same structure repeatedly (different TAFs, different catalogs, plan
-// caches) should build one SearchContext and reuse it.
+// search for one (hypergraph, k): the Ψ enumerated k-vertices, an inverted
+// index variable → k-vertices containing it (the posting lists behind
+// indexed candidate pruning), and shared structural caches — the component
+// table of its StructIndex and the per-(k-vertex, component) solStruct
+// cache (χ, child components, interned interfaces). Building one is the
+// dominant fixed cost of a solver run; callers that search the same
+// structure repeatedly (different TAFs, different catalogs, plan caches,
+// k-sweeps) should build one SearchContext and reuse it.
 //
-// A SearchContext is immutable after construction and safe for concurrent
-// use: every solve gets a fresh component-interning table and memo maps,
-// sharing only the k-vertex slice.
+// A SearchContext is safe for concurrent use. The k-vertex slice and
+// posting lists are immutable after construction; the structural caches
+// grow monotonically behind locks and are shared by every solve, so a solve
+// that follows another over the same context performs no component
+// discovery at all. Per-solve state (memo maps, weights) is always private
+// to the solve, so shared caches never leak weight-dependent data between
+// TAFs.
 type SearchContext struct {
 	h      *hypergraph.Hypergraph
 	k      int
 	kverts []kvert
+	idx    *StructIndex
+
+	postings [][]int32 // variable → ascending k-vertex indices containing it
+	allIdx   []int32   // every k-vertex index (full-scan fallback)
+	root     *compEntry
+	empty    hypergraph.Varset // interned empty interface of the root
+	emptyID  int
+
+	// structs maps (kvert idx, comp id) → shared node data behind a
+	// read-mostly lock; the hit path — every solution node of every warm
+	// solve — is one RLock'd integer-keyed probe. Racing cold computations
+	// are deterministic, so whichever publishes first wins.
+	mu      sync.RWMutex
+	structs map[[2]int]*solStruct
 }
 
 // NewSearchContext enumerates the k-vertices of h once, honouring
-// opts.MaxKVertices like the one-shot entry points.
+// opts.MaxKVertices like the one-shot entry points, with a private
+// StructIndex.
 func NewSearchContext(h *hypergraph.Hypergraph, k int, opts Options) (*SearchContext, error) {
+	return NewSearchContextShared(NewStructIndex(h), k, opts)
+}
+
+// NewSearchContextShared is NewSearchContext over a caller-provided
+// StructIndex, so contexts for different width bounds over the same
+// hypergraph (e.g. a cost sweep over k) share one component-interning
+// table: components are a property of the hypergraph alone, not of k.
+func NewSearchContextShared(ix *StructIndex, k int, opts Options) (*SearchContext, error) {
+	h := ix.Hypergraph()
 	kv, err := enumerateKVertices(h, k, opts.MaxKVertices)
 	if err != nil {
 		return nil, err
 	}
-	return &SearchContext{h: h, k: k, kverts: kv}, nil
+	postings := make([][]int32, h.NumVars())
+	lamBuf := hypergraph.NewVarset(h.NumEdges())
+	for i := range kv {
+		vs := kv[i].vars
+		for v := vs.NextSet(0); v >= 0; v = vs.NextSet(v + 1) {
+			postings[v] = append(postings[v], int32(i))
+		}
+		lamBuf.Reset()
+		for _, e := range kv[i].edges {
+			lamBuf.Set(e)
+		}
+		kv[i].lamID = int32(ix.interner.ID(lamBuf))
+	}
+	allIdx := make([]int32, len(kv))
+	for i := range allIdx {
+		allIdx[i] = int32(i)
+	}
+	empty := h.NewVarset()
+	return &SearchContext{
+		h:        h,
+		k:        k,
+		kverts:   kv,
+		idx:      ix,
+		postings: postings,
+		allIdx:   allIdx,
+		root:     ix.comp(h.AllVars().Clone()),
+		empty:    empty,
+		emptyID:  ix.interner.ID(empty),
+		structs:  make(map[[2]int]*solStruct),
+	}, nil
 }
 
 // Hypergraph returns the hypergraph the context was built for.
@@ -40,15 +103,18 @@ func (sc *SearchContext) K() int { return sc.k }
 // NumKVertices returns Ψ, the size of the enumerated candidate space.
 func (sc *SearchContext) NumKVertices() int { return len(sc.kverts) }
 
-// newGraph starts a fresh candidate graph over the shared k-vertices.
-func (sc *SearchContext) newGraph() *graph {
-	return &graph{h: sc.h, k: sc.k, kverts: sc.kverts, comps: map[string]*compEntry{}}
-}
+// Index returns the context's StructIndex, for sharing with sibling
+// contexts at other width bounds (NewSearchContextShared).
+func (sc *SearchContext) Index() *StructIndex { return sc.idx }
+
+// rootComp returns the whole-problem component var(H).
+func (sc *SearchContext) rootComp() *compEntry { return sc.root }
 
 // MinimalKCtx is MinimalK evaluated against a prepared SearchContext,
-// skipping the per-call k-vertex enumeration.
+// skipping the per-call k-vertex enumeration and reusing the context's
+// shared structural caches.
 func MinimalKCtx[W any](sc *SearchContext, taf weights.TAF[W], opts Options) (*Result[W], error) {
-	sv, err := newSolver(sc.newGraph(), taf, opts)
+	sv, err := newSolver(sc, taf, opts)
 	if err != nil {
 		return nil, err
 	}

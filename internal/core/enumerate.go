@@ -13,7 +13,7 @@ import (
 // exponential and intended as a brute-force test oracle on small inputs.
 // It returns the number of decompositions visited.
 func EnumerateNF(h *hypergraph.Hypergraph, k int, limit int, visit func(*hypertree.Decomposition) bool) (int, error) {
-	g, err := newGraph(h, k, 0)
+	sc, err := NewSearchContext(h, k, Options{})
 	if err != nil {
 		return 0, err
 	}
@@ -26,25 +26,26 @@ func EnumerateNF(h *hypergraph.Hypergraph, k int, limit int, visit func(*hypertr
 	}
 	var enumSub func(c *compEntry, iface hypergraph.Varset, yield func(*hypertree.Node) bool) bool
 	enumSub = func(c *compEntry, iface hypergraph.Varset, yield func(*hypertree.Node) bool) bool {
-		for _, s := range g.kverts {
-			if !g.candidateOK(s, c, iface) {
+		// The oracle deliberately scans all Ψ k-vertices (no index pruning).
+		for _, s := range sc.kverts {
+			if !sc.candidateOK(s, c, iface) {
 				continue
 			}
-			children := g.childComps(s, c)
+			st := sc.structOf(s, c)
 			// Enumerate the cartesian product of child subtree choices.
-			subtrees := make([]*hypertree.Node, len(children))
+			subtrees := make([]*hypertree.Node, len(st.children))
 			var product func(i int) bool
 			product = func(i int) bool {
-				if i == len(children) {
-					n := hypertree.NewNode(g.chiOf(s, c), s.edges)
-					for _, st := range subtrees {
-						n.AddChild(cloneNode(st))
+				if i == len(st.children) {
+					n := hypertree.NewNode(st.chi.Clone(), s.edges)
+					for _, t := range subtrees {
+						n.AddChild(cloneNode(t))
 					}
 					return yield(n)
 				}
-				cc := children[i]
-				return enumSub(cc, g.ifaceFor(s, cc), func(st *hypertree.Node) bool {
-					subtrees[i] = st
+				cr := &st.children[i]
+				return enumSub(cr.comp, cr.iface, func(t *hypertree.Node) bool {
+					subtrees[i] = t
 					return product(i + 1)
 				})
 			}
@@ -54,7 +55,7 @@ func EnumerateNF(h *hypergraph.Hypergraph, k int, limit int, visit func(*hypertr
 		}
 		return true
 	}
-	enumSub(g.rootComp(), h.NewVarset(), emit)
+	enumSub(sc.rootComp(), sc.empty, emit)
 	return count, nil
 }
 

@@ -17,8 +17,12 @@ import (
 )
 
 // kvert is a k-vertex: a non-empty set of at most k hyperedges (paper §4.2).
+// lamID is the interned ID of the edge set in the owning SearchContext's
+// StructIndex — stable across contexts sharing one index (a k-sweep) — used
+// to stamp MemoKeys.
 type kvert struct {
 	idx   int
+	lamID int32
 	edges []int // sorted
 	vars  hypergraph.Varset
 }
@@ -45,9 +49,13 @@ func Psi(n, k int) int64 {
 	return total
 }
 
-// enumerateKVertices lists all k-vertices of h in deterministic order
-// (by size, then lexicographic edge indices). It fails if the count would
-// exceed limit (0 means no limit).
+// enumerateKVertices lists all k-vertices of h in a deterministic order:
+// lexicographic by the sorted edge-index sequence, prefixes first — {0},
+// {0,1}, {0,1,2}, {0,2}, {1}, ... — so sizes interleave rather than
+// grouping small sets first. Every SearchContext, posting list, and
+// tie-break in the solvers is defined relative to this order; the contract
+// is determinism of the sequence, not any size ordering. It fails if the
+// count would exceed limit (0 means no limit).
 func enumerateKVertices(h *hypergraph.Hypergraph, k int, limit int) ([]kvert, error) {
 	n := h.NumEdges()
 	if k < 1 {
@@ -74,10 +82,6 @@ func enumerateKVertices(h *hypergraph.Hypergraph, k int, limit int) ([]kvert, er
 			cur = cur[:len(cur)-1]
 		}
 	}
-	// Order by size first: enumerate sizes incrementally for determinism
-	// matching the documentation. Simpler: generate all, then stable order
-	// is already lexicographic-by-prefix; sizes interleave, which is fine —
-	// the contract is only determinism.
 	rec(0)
 	return out, nil
 }

@@ -37,10 +37,12 @@ type Result[W any] struct {
 }
 
 // solNode is a candidate-graph solution node (S, C) with its memoized
-// subtree weight.
+// subtree weight. Its structural half (χ, child components, interfaces)
+// lives in the SearchContext's shared cache.
 type solNode[W any] struct {
 	s        kvert
 	comp     *compEntry
+	st       *solStruct
 	info     weights.NodeInfo
 	children []*subNode[W] // one per [var(S)]-component inside C
 	weight   W
@@ -61,13 +63,20 @@ type subNode[W any] struct {
 	bestCacheValid bool
 }
 
-// solver runs minimal-k-decomp for one TAF.
+// solver runs minimal-k-decomp for one TAF. All memo maps are keyed on
+// interned integers — (k-vertex index, component ID) for solutions,
+// (component ID, interface ID) for subproblems — so a memo probe costs a
+// couple of word hashes, not a string build.
 type solver[W any] struct {
-	g    *graph
+	sc   *SearchContext
 	taf  weights.TAF[W]
 	opts Options
 	sols map[[2]int]*solNode[W] // (kvert idx, comp id)
-	subs map[string]*subNode[W] // comp key + "|" + iface key
+	subs map[[2]int]*subNode[W] // (comp id, interned iface id)
+	// scanAll bypasses the candidate index and tests every Ψ k-vertex per
+	// subproblem — the pre-index reference path, retained for the oracle
+	// equivalence tests.
+	scanAll bool
 }
 
 // MinimalK computes an [F,kNFD_H]-minimal hypertree decomposition of h
@@ -82,21 +91,21 @@ func MinimalK[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts O
 	return MinimalKCtx(sc, taf, opts)
 }
 
-func newSolver[W any](g *graph, taf weights.TAF[W], opts Options) (*solver[W], error) {
+func newSolver[W any](sc *SearchContext, taf weights.TAF[W], opts Options) (*solver[W], error) {
 	if taf.Semiring == nil {
 		return nil, fmt.Errorf("core: TAF has nil semiring")
 	}
 	return &solver[W]{
-		g:    g,
+		sc:   sc,
 		taf:  taf,
 		opts: opts,
 		sols: map[[2]int]*solNode[W]{},
-		subs: map[string]*subNode[W]{},
+		subs: map[[2]int]*subNode[W]{},
 	}, nil
 }
 
 func (sv *solver[W]) run() (*Result[W], error) {
-	root := sv.subproblem(sv.g.rootComp(), sv.g.h.NewVarset())
+	root := sv.subproblem(sv.sc.rootComp(), sv.sc.empty, sv.sc.emptyID)
 	sv.solveSub(root)
 	if len(root.cands) == 0 {
 		return nil, ErrNoDecomposition
@@ -116,14 +125,14 @@ func (sv *solver[W]) run() (*Result[W], error) {
 	}
 	chosen := sv.pick(best)
 	nodeWeights := map[*hypertree.Node]W{}
-	d := &hypertree.Decomposition{H: sv.g.h, Root: sv.extract(chosen, nodeWeights)}
+	d := &hypertree.Decomposition{H: sv.sc.h, Root: sv.extract(chosen, nodeWeights)}
 	d.Nodes()
 	return &Result[W]{Decomp: d, Weight: chosen.weight, NodeWeights: nodeWeights}, nil
 }
 
-// subproblem interns the (C, I) subproblem node.
-func (sv *solver[W]) subproblem(c *compEntry, iface hypergraph.Varset) *subNode[W] {
-	key := c.vars.Key() + "|" + iface.Key()
+// subproblem interns the (C, I) subproblem node on integer keys.
+func (sv *solver[W]) subproblem(c *compEntry, iface hypergraph.Varset, ifaceID int) *subNode[W] {
+	key := [2]int{c.id, ifaceID}
 	if q, ok := sv.subs[key]; ok {
 		return q
 	}
@@ -138,21 +147,36 @@ func (sv *solver[W]) solution(s kvert, c *compEntry) *solNode[W] {
 	if p, ok := sv.sols[key]; ok {
 		return p
 	}
-	p := &solNode[W]{s: s, comp: c, info: sv.g.nodeInfo(s, c)}
+	st := sv.sc.structOf(s, c)
+	p := &solNode[W]{s: s, comp: c, st: st, info: sv.sc.nodeInfo(s, st, c)}
 	sv.sols[key] = p
 	return p
 }
 
+// candidateIdx returns the k-vertex indices to test for subproblem
+// interface iface: the pruned posting list, or all Ψ k-vertices on the
+// reference path.
+func (sv *solver[W]) candidateIdx(iface hypergraph.Varset) []int32 {
+	if sv.scanAll {
+		return sv.sc.allIdx
+	}
+	return sv.sc.candidateSpace(iface)
+}
+
 // solveSub fills q.cands with the feasible candidate solutions of q, each
 // with its memoized subtree weight. Components strictly shrink along the
-// recursion (var(S) ∩ C ≠ ∅), so it terminates.
+// recursion (var(S) ∩ C ≠ ∅), so it terminates. Candidates are drawn from
+// the interface's posting list instead of scanning all Ψ k-vertices; the
+// list is in enumeration order, so the candidate order — and therefore
+// deterministic tie-breaking — matches the full scan exactly.
 func (sv *solver[W]) solveSub(q *subNode[W]) {
 	if q.solved {
 		return
 	}
 	q.solved = true
-	for _, s := range sv.g.kverts {
-		if !sv.g.candidateOK(s, q.comp, q.iface) {
+	for _, si := range sv.candidateIdx(q.iface) {
+		s := sv.sc.kverts[si]
+		if !sv.sc.candidateOK(s, q.comp, q.iface) {
 			continue
 		}
 		p := sv.solution(s, q.comp)
@@ -181,8 +205,9 @@ func (sv *solver[W]) solveSol(p *solNode[W]) {
 	p.state = 1
 	w := sv.taf.VertexWeight(p.info)
 	feasible := true
-	for _, cc := range sv.g.childComps(p.s, p.comp) {
-		q := sv.subproblem(cc, sv.g.ifaceFor(p.s, cc))
+	for i := range p.st.children {
+		cr := &p.st.children[i]
+		q := sv.subproblem(cr.comp, cr.iface, cr.ifaceID)
 		sv.solveSub(q)
 		if len(q.cands) == 0 {
 			feasible = false
@@ -232,9 +257,11 @@ func (sv *solver[W]) pick(best []*solNode[W]) *solNode[W] {
 }
 
 // extract materializes the hypertree below the chosen solution node
-// (procedure Select-hypertree), recording subtree weights.
+// (procedure Select-hypertree), recording subtree weights. χ is cloned out
+// of the shared structural cache so returned decompositions alias nothing
+// mutable across solves.
 func (sv *solver[W]) extract(p *solNode[W], nodeWeights map[*hypertree.Node]W) *hypertree.Node {
-	n := hypertree.NewNode(sv.g.chiOf(p.s, p.comp), p.s.edges)
+	n := hypertree.NewNode(p.st.chi.Clone(), p.s.edges)
 	nodeWeights[n] = p.weight
 	for _, q := range p.children {
 		cands, _ := sv.bestChoice(p, q)
@@ -255,20 +282,24 @@ type Stats struct {
 
 // MinimalKWithStats is MinimalK but also reports candidate-graph statistics.
 func MinimalKWithStats[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts Options) (*Result[W], Stats, error) {
-	g, err := newGraph(h, k, opts.MaxKVertices)
+	sc, err := NewSearchContext(h, k, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	sv, err := newSolver(g, taf, opts)
+	sv, err := newSolver(sc, taf, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	res, err := sv.run()
-	st := Stats{
-		KVertices:   len(sv.g.kverts),
-		Components:  sv.g.nComps,
+	return res, sv.stats(), err
+}
+
+// stats snapshots the candidate-graph counters of a finished solve.
+func (sv *solver[W]) stats() Stats {
+	return Stats{
+		KVertices:   len(sv.sc.kverts),
+		Components:  sv.sc.idx.size(),
 		Solutions:   len(sv.sols),
 		Subproblems: len(sv.subs),
 	}
-	return res, st, err
 }

@@ -31,11 +31,11 @@ type ParallelOptions struct {
 // with deterministic tie-breaking, the identical decomposition) using a
 // level-parallel evaluation of the candidate graph.
 func ParallelMinimalK[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts ParallelOptions) (*Result[W], error) {
-	g, err := newGraph(h, k, opts.MaxKVertices)
+	sc, err := NewSearchContext(h, k, opts.Options)
 	if err != nil {
 		return nil, err
 	}
-	return parallelSolve(g, h, taf, opts)
+	return ParallelMinimalKCtx(sc, taf, opts)
 }
 
 // ParallelMinimalKCtx is ParallelMinimalK evaluated against a prepared
@@ -43,13 +43,24 @@ func ParallelMinimalK[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W]
 // counterpart of MinimalKCtx, for plan caches whose cold misses are large
 // enough to be worth fanning out.
 func ParallelMinimalKCtx[W any](sc *SearchContext, taf weights.TAF[W], opts ParallelOptions) (*Result[W], error) {
-	return parallelSolve(sc.newGraph(), sc.h, taf, opts)
+	return parallelSolve(sc, taf, opts)
+}
+
+// ParallelDecomposeKCtx is DecomposeKCtx evaluated with the level-parallel
+// solver: the weightless entry point that lets services apply a worker pool
+// to plain decomposition requests too.
+func ParallelDecomposeKCtx(sc *SearchContext, opts ParallelOptions) (*hypertree.Decomposition, error) {
+	res, err := ParallelMinimalKCtx(sc, unitTAF(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Decomp, nil
 }
 
 // parallelSolve runs the three phases of the level-parallel evaluation over
-// an already-built candidate graph.
-func parallelSolve[W any](g *graph, h *hypergraph.Hypergraph, taf weights.TAF[W], opts ParallelOptions) (*Result[W], error) {
-	sv, err := newSolver(g, taf, opts.Options)
+// a prepared search context.
+func parallelSolve[W any](sc *SearchContext, taf weights.TAF[W], opts ParallelOptions) (*Result[W], error) {
+	sv, err := newSolver(sc, taf, opts.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +71,7 @@ func parallelSolve[W any](g *graph, h *hypergraph.Hypergraph, taf weights.TAF[W]
 
 	// Phase 1: sequential structural discovery of all reachable nodes
 	// (no TAF evaluation), recording candidates and children.
-	root := sv.subproblem(sv.g.rootComp(), h.NewVarset())
+	root := sv.subproblem(sv.sc.rootComp(), sv.sc.empty, sv.sc.emptyID)
 	sv.discover(root)
 
 	// Phase 2: level-parallel weight evaluation, ascending component size.
@@ -86,18 +97,33 @@ func parallelSolve[W any](g *graph, h *hypergraph.Hypergraph, taf weights.TAF[W]
 			hi++
 		}
 		level := sols[lo:hi]
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for _, p := range level {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(p *solNode[W]) {
-				defer wg.Done()
-				defer func() { <-sem }()
+		if len(level) < 2*workers {
+			// Small wave: goroutine fan-out costs more than it saves.
+			for _, p := range level {
 				sv.weigh(p)
-			}(p)
+			}
+		} else {
+			// One goroutine per worker, each weighing a contiguous chunk —
+			// not one per node, whose spawn overhead dominates now that a
+			// single weigh is cheap.
+			var wg sync.WaitGroup
+			chunk := (len(level) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				start := w * chunk
+				if start >= len(level) {
+					break
+				}
+				end := min(start+chunk, len(level))
+				wg.Add(1)
+				go func(part []*solNode[W]) {
+					defer wg.Done()
+					for _, p := range part {
+						sv.weigh(p)
+					}
+				}(level[start:end])
+			}
+			wg.Wait()
 		}
-		wg.Wait()
 		lo = hi
 	}
 
@@ -111,7 +137,7 @@ func parallelSolve[W any](g *graph, h *hypergraph.Hypergraph, taf weights.TAF[W]
 		}
 		q.cands = feas
 	}
-	if len(feasibleCands(root)) == 0 {
+	if len(root.cands) == 0 {
 		return nil, ErrNoDecomposition
 	}
 	var best []*solNode[W]
@@ -127,30 +153,31 @@ func parallelSolve[W any](g *graph, h *hypergraph.Hypergraph, taf weights.TAF[W]
 	}
 	chosen := sv.pick(best)
 	nodeWeights := map[*hypertree.Node]W{}
-	d := &hypertree.Decomposition{H: sv.g.h, Root: sv.extract(chosen, nodeWeights)}
+	d := &hypertree.Decomposition{H: sv.sc.h, Root: sv.extract(chosen, nodeWeights)}
 	d.Nodes()
 	return &Result[W]{Decomp: d, Weight: chosen.weight, NodeWeights: nodeWeights}, nil
 }
 
-func feasibleCands[W any](q *subNode[W]) []*solNode[W] { return q.cands }
-
 // discover walks the reachable candidate graph without evaluating the TAF:
 // it fills q.cands with all structural candidates (feasibility is decided
-// later) and p.children with the child subproblems.
+// later) and p.children with the child subproblems. Like solveSub it draws
+// candidates from the interface's posting list.
 func (sv *solver[W]) discover(q *subNode[W]) {
 	if q.solved {
 		return
 	}
 	q.solved = true
-	for _, s := range sv.g.kverts {
-		if !sv.g.candidateOK(s, q.comp, q.iface) {
+	for _, si := range sv.candidateIdx(q.iface) {
+		s := sv.sc.kverts[si]
+		if !sv.sc.candidateOK(s, q.comp, q.iface) {
 			continue
 		}
 		p := sv.solution(s, q.comp)
 		if p.state == 0 {
 			p.state = 1
-			for _, cc := range sv.g.childComps(p.s, p.comp) {
-				child := sv.subproblem(cc, sv.g.ifaceFor(p.s, cc))
+			for i := range p.st.children {
+				cr := &p.st.children[i]
+				child := sv.subproblem(cr.comp, cr.iface, cr.ifaceID)
 				p.children = append(p.children, child)
 				sv.discover(child)
 			}

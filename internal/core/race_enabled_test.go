@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled gates allocation-count assertions: the race detector changes
+// allocation behaviour, so AllocsPerRun pins only hold without it.
+const raceEnabled = true

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"strconv"
-
 	"repro/internal/hypergraph"
 	"repro/internal/weights"
 )
@@ -14,12 +12,13 @@ import (
 // quantified budget split is satisfiable iff the minima fit. The recursion
 // mirrors Fig 4's decomposable_k (conditions C1 and C2) and is implemented
 // independently of the candidate-graph solver so the two can cross-check
-// each other.
+// each other; it shares only the structural primitives (candidate index,
+// component table).
 
 type thresholdSolver[W any] struct {
-	g    *graph
+	sc   *SearchContext
 	taf  weights.TAF[W]
-	memo map[string]*thresholdEntry[W]
+	memo map[[2]int]*thresholdEntry[W] // (kvert idx, comp id)
 }
 
 type thresholdEntry[W any] struct {
@@ -43,17 +42,17 @@ func Threshold[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], t W, 
 // MinWeight computes min_{HD ∈ kNFD_H} taf(HD) via the Fig 4 recursion.
 // ok is false when kNFD_H = ∅.
 func MinWeight[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts Options) (w W, ok bool, err error) {
-	g, err := newGraph(h, k, opts.MaxKVertices)
+	sc, err := NewSearchContext(h, k, opts)
 	if err != nil {
 		return w, false, err
 	}
-	ts := &thresholdSolver[W]{g: g, taf: taf, memo: map[string]*thresholdEntry[W]{}}
-	root := g.rootComp()
+	ts := &thresholdSolver[W]{sc: sc, taf: taf, memo: map[[2]int]*thresholdEntry[W]{}}
+	root := sc.rootComp()
 	var best W
 	found := false
 	// Root level: no incoming edge weight; minimize over root k-vertices.
-	for _, s := range g.kverts {
-		if !g.candidateOK(s, root, h.NewVarset()) {
+	for _, s := range sc.kverts {
+		if !sc.candidateOK(s, root, sc.empty) {
 			continue
 		}
 		sw, sOK := ts.subtree(s, root)
@@ -71,7 +70,7 @@ func MinWeight[W any](h *hypergraph.Hypergraph, k int, taf weights.TAF[W], opts 
 // node (S, C): v(S,C) ⊕ Σ over child components of min over child choices
 // of (child subtree weight ⊕ e((S,C), child)).
 func (ts *thresholdSolver[W]) subtree(s kvert, c *compEntry) (W, bool) {
-	key := strconv.Itoa(s.idx) + "|" + strconv.Itoa(c.id)
+	key := [2]int{s.idx, c.id}
 	if e, hit := ts.memo[key]; hit {
 		return e.w, e.ok
 	}
@@ -80,22 +79,25 @@ func (ts *thresholdSolver[W]) subtree(s kvert, c *compEntry) (W, bool) {
 	entry := &thresholdEntry[W]{}
 	ts.memo[key] = entry
 
-	info := ts.g.nodeInfo(s, c)
+	st := ts.sc.structOf(s, c)
+	info := ts.sc.nodeInfo(s, st, c)
 	w := ts.taf.VertexWeight(info)
 	ok := true
-	for _, cc := range ts.g.childComps(s, c) {
-		iface := ts.g.ifaceFor(s, cc)
+	for i := range st.children {
+		cr := &st.children[i]
 		var best W
 		found := false
-		for _, s2 := range ts.g.kverts {
-			if !ts.g.candidateOK(s2, cc, iface) {
+		for _, si := range ts.sc.candidateSpace(cr.iface) {
+			s2 := ts.sc.kverts[si]
+			if !ts.sc.candidateOK(s2, cr.comp, cr.iface) {
 				continue
 			}
-			sw, sOK := ts.subtree(s2, cc)
+			sw, sOK := ts.subtree(s2, cr.comp)
 			if !sOK {
 				continue
 			}
-			cw := ts.taf.Semiring.Combine(sw, ts.taf.EdgeWeight(info, ts.g.nodeInfo(s2, cc)))
+			st2 := ts.sc.structOf(s2, cr.comp)
+			cw := ts.taf.Semiring.Combine(sw, ts.taf.EdgeWeight(info, ts.sc.nodeInfo(s2, st2, cr.comp)))
 			if !found || ts.taf.Semiring.Less(cw, best) {
 				best, found = cw, true
 			}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cq"
@@ -83,16 +84,62 @@ type PlanSearch struct {
 // NewPlanSearch augments q with fresh variables, builds its hypergraph, and
 // enumerates the width-k candidate space once.
 func NewPlanSearch(q *cq.Query, k int, opts core.Options) (*PlanSearch, error) {
+	fam, err := NewPlanSearchFamily(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return fam.At(k)
+}
+
+// PlanSearchFamily is a set of PlanSearch contexts over one query at
+// different width bounds, sharing the fresh-augmented query, its
+// hypergraph, and one core.StructIndex — so the component-interning table
+// (a property of the hypergraph alone, not of k) is populated once and
+// every width's solver reuses it. Sweep plans a whole k-range over one
+// family instead of rebuilding the query, hypergraph, and component tables
+// per k. Safe for concurrent use.
+type PlanSearchFamily struct {
+	FQ *cq.Query              // fresh-augmented query
+	H  *hypergraph.Hypergraph // H(FQ)
+
+	idx  *core.StructIndex
+	opts core.Options
+	mu   sync.Mutex
+	byK  map[int]*PlanSearch
+}
+
+// NewPlanSearchFamily augments q with fresh variables and builds the shared
+// structural index; contexts per width are enumerated lazily by At.
+func NewPlanSearchFamily(q *cq.Query, opts core.Options) (*PlanSearchFamily, error) {
 	fq := q.WithFreshVariables()
 	h, err := fq.Hypergraph()
 	if err != nil {
 		return nil, err
 	}
-	sc, err := core.NewSearchContext(h, k, opts)
+	return &PlanSearchFamily{
+		FQ:   fq,
+		H:    h,
+		idx:  core.NewStructIndex(h),
+		opts: opts,
+		byK:  map[int]*PlanSearch{},
+	}, nil
+}
+
+// At returns the family's PlanSearch for width bound k, enumerating that
+// width's k-vertex space on first use.
+func (f *PlanSearchFamily) At(k int) (*PlanSearch, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ps, ok := f.byK[k]; ok {
+		return ps, nil
+	}
+	sc, err := core.NewSearchContextShared(f.idx, k, f.opts)
 	if err != nil {
 		return nil, err
 	}
-	return &PlanSearch{FQ: fq, H: h, SC: sc}, nil
+	ps := &PlanSearch{FQ: f.FQ, H: f.H, SC: sc}
+	f.byK[k] = ps
+	return ps, nil
 }
 
 // Run executes the minimal-k-decomp search over the prepared context with
@@ -136,11 +183,26 @@ type SweepEntry struct {
 	Plan          *Plan
 }
 
-// Sweep computes SweepEntry for k = kMin..kMax.
+// Sweep computes SweepEntry for k = kMin..kMax. All widths share one
+// PlanSearchFamily — one fresh augmentation, one hypergraph, one cost
+// model, one component-interning table — so each k pays only its own
+// k-vertex enumeration and solve, not a from-scratch CostKDecomp.
 func Sweep(q *cq.Query, cat *db.Catalog, kMin, kMax int, opts core.Options) ([]SweepEntry, error) {
+	fam, err := NewPlanSearchFamily(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	model, err := NewModel(fam.FQ, cat)
+	if err != nil {
+		return nil, err
+	}
 	var out []SweepEntry
 	for k := kMin; k <= kMax; k++ {
-		p, err := CostKDecomp(q, cat, k, opts)
+		ps, err := fam.At(k)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ps.Run(model, opts)
 		switch {
 		case errors.Is(err, core.ErrNoDecomposition):
 			out = append(out, SweepEntry{K: k})

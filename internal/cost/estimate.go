@@ -72,13 +72,21 @@ func (e Est) clampV() Est {
 //
 // and V(out, A) = min over the inputs containing A, capped at the output
 // cardinality. With no shared attribute it degenerates to the cross
-// product.
+// product. The divisions run in sorted attribute order: floating-point
+// division is not associative-friendly, so map-iteration order would make
+// the estimate (and every plan cost built on it) differ in the last ULP
+// from run to run.
 func Join(a, b Est) Est {
 	card := a.Card * b.Card
-	for attr, va := range a.V {
-		if vb, ok := b.V[attr]; ok {
-			card /= math.Max(va, vb)
+	shared := make([]string, 0, len(a.V))
+	for attr := range a.V {
+		if _, ok := b.V[attr]; ok {
+			shared = append(shared, attr)
 		}
+	}
+	sort.Strings(shared)
+	for _, attr := range shared {
+		card /= math.Max(a.V[attr], b.V[attr])
 	}
 	if card < 0 {
 		card = 0
@@ -122,10 +130,15 @@ func Project(a Est, keep []string) Est {
 // min(1, V(b,A)/V(a,A)).
 func Semijoin(a, b Est) Est {
 	frac := 1.0
-	for attr, va := range a.V {
-		if vb, ok := b.V[attr]; ok && va > 0 {
-			frac *= math.Min(1, vb/va)
+	shared := make([]string, 0, len(a.V))
+	for attr := range a.V {
+		if _, ok := b.V[attr]; ok && a.V[attr] > 0 {
+			shared = append(shared, attr)
 		}
+	}
+	sort.Strings(shared) // deterministic ULP, as in Join
+	for _, attr := range shared {
+		frac *= math.Min(1, b.V[attr]/a.V[attr])
 	}
 	out := Est{Card: a.Card * frac, V: map[string]float64{}}
 	for attr, va := range a.V {
@@ -156,16 +169,19 @@ func ChainJoin(inputs []Est) (Est, float64, error) {
 	total := 0.0
 	for len(work) > 1 {
 		bi, bj, bCard := 0, 1, math.Inf(1)
+		var bJoined Est
+		have := false
 		for i := 0; i < len(work); i++ {
 			for j := i + 1; j < len(work); j++ {
-				if c := Join(work[i], work[j]).Card; c < bCard {
-					bi, bj, bCard = i, j, c
+				if joined := Join(work[i], work[j]); !have || joined.Card < bCard {
+					bi, bj, bCard = i, j, joined.Card
+					bJoined = joined
+					have = true
 				}
 			}
 		}
-		total += JoinCost(work[bi], work[bj])
-		joined := Join(work[bi], work[bj])
-		work[bi] = joined
+		total += work[bi].Card + work[bj].Card + bJoined.Card
+		work[bi] = bJoined
 		work = append(work[:bj], work[bj+1:]...)
 	}
 	return work[0], total, nil

@@ -1,0 +1,71 @@
+package cost_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+)
+
+// TestSweepMatchesPerKCostKDecomp checks the family-backed Sweep returns
+// exactly what independent CostKDecomp runs return per k: shared
+// structural caches and a shared cost model must not change any plan or
+// cost.
+func TestSweepMatchesPerKCostKDecomp(t *testing.T) {
+	q := cq.Q1()
+	cat := bench.Fig5StatsCatalog()
+	entries, err := cost.Sweep(q, cat, 2, 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	for _, e := range entries {
+		direct, err := cost.CostKDecomp(q, cat, e.K, core.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", e.K, err)
+		}
+		if !e.Feasible {
+			t.Fatalf("k=%d: sweep infeasible but direct run planned", e.K)
+		}
+		if e.EstimatedCost != direct.EstimatedCost {
+			t.Errorf("k=%d: sweep cost %v != direct %v", e.K, e.EstimatedCost, direct.EstimatedCost)
+		}
+		if e.Plan.Decomp.String() != direct.Decomp.String() {
+			t.Errorf("k=%d: sweep plan differs from direct plan", e.K)
+		}
+	}
+}
+
+// TestPlanSearchFamilyReusesIndex checks At() returns one context per k and
+// that contexts share the family's StructIndex.
+func TestPlanSearchFamilyReusesIndex(t *testing.T) {
+	fam, err := cost.NewPlanSearchFamily(cq.Q1(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fam.At(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fam.At(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("At(2) rebuilt the PlanSearch instead of reusing it")
+	}
+	c, err := fam.At(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SC.Index() != c.SC.Index() {
+		t.Error("contexts at different k do not share the StructIndex")
+	}
+	if a.SC.NumKVertices() >= c.SC.NumKVertices() {
+		t.Errorf("Ψ(k=2)=%d should be < Ψ(k=3)=%d", a.SC.NumKVertices(), c.SC.NumKVertices())
+	}
+}

@@ -17,18 +17,32 @@ import (
 //	v*(p) = estimated cost of evaluating E(p) = π_χ(p)(⋈_{h∈λ(p)} rel(h))
 //	e*(p,p′) = estimated cost of the semijoin E(p) ⋉ E(p′)
 //
-// The model caches E(p) estimates per (λ, χ) label. It is safe for
+// The model caches E(p) estimates per (λ, χ) label, and the join estimate
+// of ⋈_{h∈λ} rel(h) per λ alone (many solution nodes share a λ with
+// different χ, and the join chain is the expensive part). Nodes produced by
+// the candidate-graph solvers carry an integer MemoKey, so both caches are
+// probed on small integer keys without serializing the sets; nodes without
+// a key (free-standing hypertrees) fall back to string keys. It is safe for
 // concurrent use (core.ParallelMinimalK evaluates the TAF from many
 // goroutines).
 type Model struct {
 	query   *cq.Query
 	edgeEst map[string]Est // per predicate: atom relation stats as query vars
 
-	mu    sync.RWMutex
-	cache map[string]nodeEst
+	mu        sync.RWMutex
+	icache    map[weights.MemoKey]nodeEst // nodes stamped by a solver
+	joins     map[[2]int32]joinEst        // per (gen, λ ID) join estimates
+	cache     map[string]nodeEst          // fallback: nodes without a MemoKey
+	joinCache map[string]joinEst          // fallback, keyed on the λ indices
 }
 
 type nodeEst struct {
+	est  Est
+	cost float64
+}
+
+// joinEst is the memoized result of joining all relations of a λ.
+type joinEst struct {
 	est  Est
 	cost float64
 }
@@ -51,7 +65,14 @@ func NewModel(q *cq.Query, cat *db.Catalog) (*Model, error) {
 // query: it computes EdgeEstimates on the caller's query, renames the
 // estimate keys to canonical variables, and feeds them here.
 func NewModelFromEstimates(q *cq.Query, ests map[string]Est) *Model {
-	return &Model{query: q, edgeEst: ests, cache: map[string]nodeEst{}}
+	return &Model{
+		query:     q,
+		edgeEst:   ests,
+		icache:    map[weights.MemoKey]nodeEst{},
+		joins:     map[[2]int32]joinEst{},
+		cache:     map[string]nodeEst{},
+		joinCache: map[string]joinEst{},
+	}
 }
 
 // EdgeEstimates computes, per atom predicate, the estimated statistics of
@@ -95,38 +116,94 @@ func EdgeEstimates(q *cq.Query, cat *db.Catalog) (map[string]Est, error) {
 }
 
 // estOf returns the estimate and evaluation cost of E(p) for a
-// decomposition node, memoized on its (λ, χ) labels.
+// decomposition node, memoized on its (λ, χ) labels — on the node's
+// integer MemoKey when the solver stamped one, else on a string key.
 func (m *Model) estOf(p weights.NodeInfo) (nodeEst, error) {
-	key := nodeKey(p)
-	m.mu.RLock()
-	ne, ok := m.cache[key]
-	m.mu.RUnlock()
-	if ok {
-		return ne, nil
+	var skey string
+	if p.Memo.Valid() {
+		m.mu.RLock()
+		ne, ok := m.icache[p.Memo]
+		m.mu.RUnlock()
+		if ok {
+			return ne, nil
+		}
+	} else {
+		skey = nodeKey(p)
+		m.mu.RLock()
+		ne, ok := m.cache[skey]
+		m.mu.RUnlock()
+		if ok {
+			return ne, nil
+		}
+	}
+	je, err := m.joinOf(p)
+	if err != nil {
+		return nodeEst{}, err
+	}
+	chiNames := make([]string, 0, p.Chi.Count())
+	for v := p.Chi.NextSet(0); v >= 0; v = p.Chi.NextSet(v + 1) {
+		chiNames = append(chiNames, p.H.VarName(v))
+	}
+	projected := Project(je.est, chiNames)
+	// ChainJoin's cost already accounts for reading the inputs and writing
+	// the join output; projecting onto χ(p) happens while writing it.
+	ne := nodeEst{est: projected, cost: je.cost}
+	m.mu.Lock()
+	if p.Memo.Valid() {
+		m.icache[p.Memo] = ne
+	} else {
+		m.cache[skey] = ne
+	}
+	m.mu.Unlock()
+	return ne, nil
+}
+
+// joinOf returns the memoized greedy join estimate of ⋈_{h∈λ(p)} rel(h),
+// which depends on λ alone: solution nodes sharing a λ across components
+// (and across width bounds in a sweep sharing one StructIndex) pay the
+// chain-join estimation once.
+func (m *Model) joinOf(p weights.NodeInfo) (joinEst, error) {
+	var ikey [2]int32
+	var skey string
+	if p.Memo.Valid() {
+		ikey = [2]int32{p.Memo.Gen, p.Memo.Lambda}
+		m.mu.RLock()
+		je, ok := m.joins[ikey]
+		m.mu.RUnlock()
+		if ok {
+			return je, nil
+		}
+	} else {
+		skey = lambdaKey(p.Lambda)
+		m.mu.RLock()
+		je, ok := m.joinCache[skey]
+		m.mu.RUnlock()
+		if ok {
+			return je, nil
+		}
 	}
 	inputs := make([]Est, 0, len(p.Lambda))
 	for _, e := range p.Lambda {
 		pred := p.H.EdgeName(e)
 		est, ok := m.edgeEst[pred]
 		if !ok {
-			return nodeEst{}, fmt.Errorf("cost: no estimate for predicate %s", pred)
+			return joinEst{}, fmt.Errorf("cost: no estimate for predicate %s", pred)
 		}
 		inputs = append(inputs, est)
 	}
 	joined, joinCost, err := ChainJoin(inputs)
 	if err != nil {
-		return nodeEst{}, err
+		return joinEst{}, err
 	}
-	var chiNames []string
-	p.Chi.ForEach(func(v int) { chiNames = append(chiNames, p.H.VarName(v)) })
-	projected := Project(joined, chiNames)
-	// ChainJoin's cost already accounts for reading the inputs and writing
-	// the join output; projecting onto χ(p) happens while writing it.
-	ne = nodeEst{est: projected, cost: joinCost}
+	je := joinEst{est: joined, cost: joinCost}
 	m.mu.Lock()
-	m.cache[key] = ne
+	if p.Memo.Valid() {
+		m.joins[ikey] = je
+	} else {
+		m.joinCache[skey] = je
+	}
 	m.mu.Unlock()
-	return ne, nil
+	return je, nil
 }
 
 func nodeKey(p weights.NodeInfo) string {
@@ -137,6 +214,15 @@ func nodeKey(p weights.NodeInfo) string {
 	}
 	b.WriteByte('|')
 	b.WriteString(p.Chi.Key())
+	return b.String()
+}
+
+func lambdaKey(lambda []int) string {
+	var b strings.Builder
+	for _, e := range lambda {
+		b.WriteString(strconv.Itoa(e))
+		b.WriteByte(',')
+	}
 	return b.String()
 }
 

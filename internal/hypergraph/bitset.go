@@ -103,6 +103,9 @@ func (s Varset) Subtract(t Varset) Varset {
 
 // SubsetOf reports whether every element of s is in t.
 func (s Varset) SubsetOf(t Varset) bool {
+	if len(s.words) == 1 { // one-word fast path: typical query-sized sets
+		return s.words[0]&^t.words[0] == 0
+	}
 	for i, w := range s.words {
 		if w&^t.words[i] != 0 {
 			return false
@@ -113,6 +116,9 @@ func (s Varset) SubsetOf(t Varset) bool {
 
 // Intersects reports whether s and t share at least one element.
 func (s Varset) Intersects(t Varset) bool {
+	if len(s.words) == 1 { // one-word fast path
+		return s.words[0]&t.words[0] != 0
+	}
 	for i, w := range s.words {
 		if w&t.words[i] != 0 {
 			return true
@@ -132,6 +138,99 @@ func (s Varset) Equal(t Varset) bool {
 		}
 	}
 	return true
+}
+
+// Reset removes every element, keeping capacity.
+func (s Varset) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites s with the contents of t (same capacity), in place.
+func (s Varset) CopyFrom(t Varset) { copy(s.words, t.words) }
+
+// IntersectInto writes s ∩ t into dst (same capacity) and returns dst. It
+// allocates nothing: the scratch-buffer counterpart of Intersect for hot
+// paths.
+func (s Varset) IntersectInto(t, dst Varset) Varset {
+	for i := range dst.words {
+		dst.words[i] = s.words[i] & t.words[i]
+	}
+	return dst
+}
+
+// UnionWithAndNot adds t − u to s in place (s |= t &^ u), the inner step of
+// component growth: absorb an edge's variables minus the separator without
+// materializing the difference.
+func (s Varset) UnionWithAndNot(t, u Varset) {
+	for i := range s.words {
+		s.words[i] |= t.words[i] &^ u.words[i]
+	}
+}
+
+// NextSet returns the smallest element ≥ from, or -1 if none. It is the
+// closure-free iteration primitive:
+//
+//	for v := s.NextSet(0); v >= 0; v = s.NextSet(v + 1) { ... }
+func (s Varset) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	i := from / 64
+	if i >= len(s.words) {
+		return -1
+	}
+	w := s.words[i] >> (uint(from) % 64)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for i++; i < len(s.words); i++ {
+		if s.words[i] != 0 {
+			return i*64 + bits.TrailingZeros64(s.words[i])
+		}
+	}
+	return -1
+}
+
+// NextNotIn returns the smallest element of s − t that is ≥ from, or -1.
+func (s Varset) NextNotIn(t Varset, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	i := from / 64
+	if i >= len(s.words) {
+		return -1
+	}
+	w := (s.words[i] &^ t.words[i]) >> (uint(from) % 64)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for i++; i < len(s.words); i++ {
+		if w := s.words[i] &^ t.words[i]; w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Hash returns a 64-bit FNV-1a hash of the set's words. Equal sets of equal
+// capacity hash equally; used by Interner to key sets without building
+// strings.
+func (s Varset) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range s.words {
+		for b := 0; b < 8; b++ {
+			h ^= w & 0xff
+			h *= prime64
+			w >>= 8
+		}
+	}
+	return h
 }
 
 // Elements returns the members of s in increasing order.

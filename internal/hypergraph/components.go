@@ -11,35 +11,29 @@ package hypergraph
 func (h *Hypergraph) Components(v Varset) []Varset {
 	seen := h.NewVarset()
 	seen.UnionWith(v)
+	done := h.NewVarset()
 	var comps []Varset
-	for start := 0; start < len(h.varNames); start++ {
-		if seen.Has(start) || !h.allVars.Has(start) {
-			continue
-		}
-		comp := h.componentFrom(start, v)
+	for start := h.allVars.NextNotIn(seen, 0); start >= 0; start = h.allVars.NextNotIn(seen, start+1) {
+		comp := h.componentFrom(start, v, done)
 		seen.UnionWith(comp)
 		comps = append(comps, comp)
 	}
 	return comps
 }
 
-// componentFrom grows the [v]-component containing start (start ∉ v) by BFS
-// over edges: from a variable X, all variables of every edge containing X,
-// minus v, are [v]-reachable.
-func (h *Hypergraph) componentFrom(start int, v Varset) Varset {
+// componentFrom grows the [v]-component containing start (start ∉ v) by a
+// bitset-frontier search: a member X is processed by absorbing, for every
+// edge containing X, the edge's variables minus v. done is caller-provided
+// scratch (reset here) marking processed variables, so growth needs no
+// queue, no per-step allocation, and no closures.
+func (h *Hypergraph) componentFrom(start int, v, done Varset) Varset {
 	comp := h.NewVarset()
 	comp.Set(start)
-	queue := []int{start}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
+	done.Reset()
+	for x := comp.NextNotIn(done, 0); x >= 0; x = comp.NextNotIn(done, 0) {
+		done.Set(x)
 		for _, e := range h.varEdges[x] {
-			h.edgeVars[e].ForEach(func(y int) {
-				if !v.Has(y) && !comp.Has(y) {
-					comp.Set(y)
-					queue = append(queue, y)
-				}
-			})
+			comp.UnionWithAndNot(h.edgeVars[e], v)
 		}
 	}
 	return comp
@@ -48,12 +42,19 @@ func (h *Hypergraph) componentFrom(start int, v Varset) Varset {
 // ComponentsWithin returns the [V]-components that are subsets of the set
 // within. This is the restriction used by the candidate graph: for a
 // solution node (S, C), the subproblems are the [var(S)]-components C′ ⊆ C.
+// Only components touching within are grown (seeds outside within cannot
+// yield a subset of it), so the cost is proportional to the neighbourhood
+// of within rather than to the whole hypergraph.
 func (h *Hypergraph) ComponentsWithin(v, within Varset) []Varset {
-	all := h.Components(v)
+	seen := h.NewVarset()
+	seen.UnionWith(v)
+	done := h.NewVarset()
 	var out []Varset
-	for _, c := range all {
-		if c.SubsetOf(within) {
-			out = append(out, c)
+	for start := within.NextNotIn(seen, 0); start >= 0; start = within.NextNotIn(seen, start+1) {
+		comp := h.componentFrom(start, v, done)
+		seen.UnionWith(comp)
+		if comp.SubsetOf(within) {
+			out = append(out, comp)
 		}
 	}
 	return out
@@ -89,5 +90,5 @@ func (h *Hypergraph) HasVPath(x, y int, v Varset) bool {
 	if x == y {
 		return true
 	}
-	return h.componentFrom(x, v).Has(y)
+	return h.componentFrom(x, v, h.NewVarset()).Has(y)
 }

@@ -1,0 +1,76 @@
+package hypergraph
+
+import "sync"
+
+// Interner assigns dense integer IDs to varsets, so that structures keyed on
+// sets (component tables, subproblem memos) can use integer map keys instead
+// of serialized strings. Lookups hash the set's words directly — no
+// allocation on a hit — and the table is striped by hash so concurrent
+// solver runs sharing one interner do not serialize on a single lock.
+//
+// IDs are dense (0, 1, 2, ... in interning order) but the order itself
+// depends on call interleaving under concurrency; callers must treat IDs as
+// opaque equality witnesses, not as a deterministic enumeration.
+type Interner struct {
+	shards [internShards]internShard
+	nextMu sync.Mutex
+	next   int
+}
+
+const internShards = 16
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]internEntry
+}
+
+type internEntry struct {
+	set Varset
+	id  int
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	it := &Interner{}
+	for i := range it.shards {
+		it.shards[i].m = make(map[uint64][]internEntry)
+	}
+	return it
+}
+
+// ID returns the dense ID of set, interning a private copy on first sight.
+// Two sets with equal elements (and capacity) always map to the same ID.
+// Safe for concurrent use.
+func (it *Interner) ID(set Varset) int {
+	h := set.Hash()
+	sh := &it.shards[h%internShards]
+	sh.mu.RLock()
+	for _, e := range sh.m[h] {
+		if e.set.Equal(set) {
+			sh.mu.RUnlock()
+			return e.id
+		}
+	}
+	sh.mu.RUnlock()
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.m[h] {
+		if e.set.Equal(set) {
+			return e.id
+		}
+	}
+	it.nextMu.Lock()
+	id := it.next
+	it.next++
+	it.nextMu.Unlock()
+	sh.m[h] = append(sh.m[h], internEntry{set: set.Clone(), id: id})
+	return id
+}
+
+// Len returns the number of distinct sets interned so far.
+func (it *Interner) Len() int {
+	it.nextMu.Lock()
+	defer it.nextMu.Unlock()
+	return it.next
+}

@@ -1,0 +1,138 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestInternerIDsAreDenseAndStable(t *testing.T) {
+	it := NewInterner()
+	a := NewVarset(100)
+	a.Set(3)
+	a.Set(77)
+	b := NewVarset(100)
+	b.Set(3)
+	idA := it.ID(a)
+	idB := it.ID(b)
+	if idA == idB {
+		t.Fatalf("distinct sets share ID %d", idA)
+	}
+	copyA := NewVarset(100)
+	copyA.Set(3)
+	copyA.Set(77)
+	if got := it.ID(copyA); got != idA {
+		t.Errorf("equal set re-interned as %d, want %d", got, idA)
+	}
+	// The interner must have cloned: mutating the original does not corrupt
+	// the table, and the mutated set is a new entry.
+	a.Set(50)
+	if got := it.ID(copyA); got != idA {
+		t.Errorf("mutating a caller's set changed the table: %d != %d", got, idA)
+	}
+	if got := it.ID(a); got == idA {
+		t.Errorf("mutated set still maps to old ID %d", got)
+	}
+	if it.Len() != 3 { // a, b, and the mutated a
+		t.Errorf("Len = %d, want 3", it.Len())
+	}
+}
+
+func TestInternerConcurrent(t *testing.T) {
+	it := NewInterner()
+	const sets = 64
+	ids := make([][]int, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < len(ids); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]int, sets)
+			for i := 0; i < sets; i++ {
+				s := NewVarset(256)
+				s.Set(i)
+				s.Set((i * 7) % 256)
+				ids[g][i] = it.ID(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(ids); g++ {
+		for i := range ids[g] {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d got ID %d for set %d, goroutine 0 got %d", g, ids[g][i], i, ids[0][i])
+			}
+		}
+	}
+	if it.Len() != sets {
+		t.Errorf("Len = %d, want %d", it.Len(), sets)
+	}
+}
+
+func TestVarsetScratchOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		a, b := NewVarset(n), NewVarset(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		dst := NewVarset(n)
+		a.IntersectInto(b, dst)
+		if !dst.Equal(a.Intersect(b)) {
+			t.Fatalf("IntersectInto disagrees with Intersect")
+		}
+		u := a.Clone()
+		u.UnionWithAndNot(b, dst) // u |= b − (a∩b)
+		want := a.Union(b.Subtract(dst))
+		if !u.Equal(want) {
+			t.Fatalf("UnionWithAndNot disagrees with Union/Subtract")
+		}
+		// NextSet walks exactly Elements.
+		var walked []int
+		for v := a.NextSet(0); v >= 0; v = a.NextSet(v + 1) {
+			walked = append(walked, v)
+		}
+		els := a.Elements()
+		if len(walked) != len(els) {
+			t.Fatalf("NextSet walked %d elements, want %d", len(walked), len(els))
+		}
+		for i := range els {
+			if walked[i] != els[i] {
+				t.Fatalf("NextSet order diverges at %d", i)
+			}
+		}
+		// NextNotIn(b) walks a − b.
+		walked = walked[:0]
+		for v := a.NextNotIn(b, 0); v >= 0; v = a.NextNotIn(b, v+1) {
+			walked = append(walked, v)
+		}
+		diff := a.Subtract(b).Elements()
+		if len(walked) != len(diff) {
+			t.Fatalf("NextNotIn walked %d elements, want %d", len(walked), len(diff))
+		}
+		for i := range diff {
+			if walked[i] != diff[i] {
+				t.Fatalf("NextNotIn order diverges at %d", i)
+			}
+		}
+		// Hash equality for equal sets; Reset/CopyFrom round-trip.
+		c := a.Clone()
+		if c.Hash() != a.Hash() {
+			t.Fatal("equal sets hash differently")
+		}
+		c.Reset()
+		if !c.Empty() {
+			t.Fatal("Reset left elements behind")
+		}
+		c.CopyFrom(a)
+		if !c.Equal(a) {
+			t.Fatal("CopyFrom did not copy")
+		}
+	}
+}

@@ -5,15 +5,32 @@ import (
 	"repro/internal/hypertree"
 )
 
+// MemoKey identifies a node's (λ, χ) labels with small integers: a
+// generation number naming the structural index that interned them, plus
+// dense IDs for the λ edge set and the χ varset. Two NodeInfos with equal
+// valid keys have identical (λ, χ), so cost models can memoize per-node
+// estimates on a three-int map key instead of serializing the sets to
+// strings. The zero MemoKey (Gen 0) means "no key": evaluators must fall
+// back to comparing the sets themselves.
+type MemoKey struct {
+	Gen, Lambda, Chi int32
+}
+
+// Valid reports whether the key identifies (λ, χ); the zero value does not.
+func (k MemoKey) Valid() bool { return k.Gen != 0 }
+
 // NodeInfo is the view of a decomposition vertex that vertex and edge
 // evaluation functions see: its λ (edge indices), χ (variables), and — when
 // produced by the candidate-graph algorithms — the component it decomposes.
-// Component may be the zero Varset when weighting a free-standing hypertree.
+// Component may be the zero Varset when weighting a free-standing
+// hypertree, and Memo the zero MemoKey when no structural index stamped
+// the node.
 type NodeInfo struct {
 	H         *hypergraph.Hypergraph
 	Lambda    []int
 	Chi       hypergraph.Varset
 	Component hypergraph.Varset
+	Memo      MemoKey
 }
 
 // LambdaVars returns var(λ(p)).
