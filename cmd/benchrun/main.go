@@ -4,10 +4,15 @@
 // Usage:
 //
 //	benchrun [-exp all|fig5|fig67|fig8a|fig8b|psi] [-seed n] [-repeats n] [-scale f]
+//	benchrun -compare base.json head.json [-tolerance 0.20]
 //
 // fig8a at -scale 1 uses ≈1500-tuple relations as in the paper and takes
 // a few minutes, dominated by the baseline's evaluation time (that is the
 // result). Lower -scale for a quick look.
+//
+// -compare diffs two BENCH_solver.json artifacts (CI's bench-regression
+// gate) and exits non-zero when any fixture × k × workers cell regressed
+// its cold or warm ns/op by more than -tolerance (default 0.20 = 20%).
 package main
 
 import (
@@ -15,6 +20,9 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 )
@@ -29,7 +37,14 @@ func main() {
 	requests := flag.Int("requests", 200, "request count for the planner and server experiments")
 	concurrency := flag.Int("concurrency", 16, "client concurrency for the server experiment")
 	solverOut := flag.String("solverout", "BENCH_solver.json", "output path for the solver benchmark JSON")
+	compare := flag.Bool("compare", false, "compare two BENCH_solver.json files (base head) and fail on regression")
+	tolerance := flag.Float64("tolerance", 0.20, "relative ns/op regression tolerance for -compare")
 	flag.Parse()
+
+	if *compare {
+		runCompare(flag.Args(), *tolerance)
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -114,4 +129,48 @@ func main() {
 		fmt.Println("=== Section 1.1: structural method comparison (bicomp / treewidth / ghw / hw) ===")
 		fmt.Println(bench.FormatMethods(bench.RunMethodComparison()))
 	}
+}
+
+// runCompare executes the bench-regression gate. The documented invocation
+// puts -tolerance after the positional paths ("-compare base.json
+// head.json -tolerance 0.20"), where the Go flag package stops parsing, so
+// the trailing flag is picked out of the remaining args by hand; the
+// flags-first order works too via the registered -tolerance flag.
+func runCompare(args []string, tolerance float64) {
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-tolerance" || a == "--tolerance":
+			i++
+			if i >= len(args) {
+				log.Fatal("-tolerance needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				log.Fatalf("bad -tolerance %q: %v", args[i], err)
+			}
+			tolerance = v
+		case strings.HasPrefix(a, "-tolerance=") || strings.HasPrefix(a, "--tolerance="):
+			v, err := strconv.ParseFloat(a[strings.Index(a, "=")+1:], 64)
+			if err != nil {
+				log.Fatalf("bad %s: %v", a, err)
+			}
+			tolerance = v
+		default:
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) != 2 {
+		log.Fatal("usage: benchrun -compare base.json head.json [-tolerance 0.20]")
+	}
+	table, err := bench.CompareSolverBenchFiles(paths[0], paths[1], tolerance)
+	if table != "" {
+		fmt.Print(table)
+	}
+	if err != nil {
+		log.SetOutput(os.Stderr)
+		log.Fatal(err)
+	}
+	fmt.Printf("no cold/warm ns/op regression beyond %.0f%% (%s vs %s)\n", tolerance*100, paths[1], paths[0])
 }

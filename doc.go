@@ -54,7 +54,11 @@
 // solves skip structural discovery entirely; cost.PlanSearchFamily extends
 // the sharing across a whole k-range (used by cost.Sweep), and the solver
 // stamps nodes with integer MemoKeys that the cost model uses to memoize
-// estimates without serializing sets.
+// estimates without serializing sets. With PlannerOptions.Workers > 1,
+// cold misses run the level-parallel solver: structural discovery fans the
+// subproblem frontier out breadth-first and weights are evaluated in
+// waves, probing the cost model's lock-free memo tables (weights.Memo)
+// with no lock and no shared cache-line writes on the read path.
 //
 //	planner := htd.NewPlanner(htd.PlannerOptions{})
 //	plan, _ := planner.Plan(q, cat, 2)        // cold: runs cost-k-decomp

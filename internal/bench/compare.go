@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Bench-regression comparison: the CI gate that diffs the current commit's
+// BENCH_solver.json against the parent commit's artifact and fails the
+// build when a fixture × k × workers cell got more than tolerance slower,
+// cold or warm. The perf trajectory stops being an archive nobody reads and
+// becomes an enforced floor.
+
+// ReadSolverBenchJSON loads a report written by WriteSolverBenchJSON. Rows
+// from the solver-bench/1 schema (no workers field) are normalized to
+// Workers = 1: they measured sequential solves.
+func ReadSolverBenchJSON(path string) (*SolverBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep SolverBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i := range rep.Rows {
+		if rep.Rows[i].Workers == 0 {
+			rep.Rows[i].Workers = 1
+		}
+	}
+	return &rep, nil
+}
+
+// benchCellKey identifies one measured cell across two reports.
+type benchCellKey struct {
+	Fixture string
+	K       int
+	Workers int
+}
+
+// CompareSolverBench diffs head against base cell by cell and returns a
+// readable table plus whether any cold or warm ns/op regressed by more than
+// tolerance (0.20 = fail beyond +20%). Cells present in only one report are
+// listed but never fail the comparison — fixtures and worker counts may
+// legitimately come and go between commits.
+func CompareSolverBench(base, head *SolverBenchReport, tolerance float64) (string, bool) {
+	baseBy := make(map[benchCellKey]SolverBenchRow, len(base.Rows))
+	for _, r := range base.Rows {
+		baseBy[cellKey(r)] = r
+	}
+	headKeys := make(map[benchCellKey]bool, len(head.Rows))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %2s %3s %12s %12s %8s %12s %12s %8s  %s\n",
+		"fixture", "k", "w", "base cold", "head cold", "Δcold", "base warm", "head warm", "Δwarm", "verdict")
+	regressed := false
+	for _, h := range head.Rows {
+		headKeys[cellKey(h)] = true
+		base, ok := baseBy[cellKey(h)]
+		if !ok {
+			fmt.Fprintf(&b, "%-16s %2d %3d %12s %12d %8s %12s %12d %8s  new cell\n",
+				h.Fixture, h.K, h.Workers, "-", h.ColdNsPerOp, "-", "-", h.WarmNsPerOp, "-")
+			continue
+		}
+		coldDelta := ratio(h.ColdNsPerOp, base.ColdNsPerOp)
+		warmDelta := ratio(h.WarmNsPerOp, base.WarmNsPerOp)
+		verdict := "ok"
+		if coldDelta > tolerance || warmDelta > tolerance {
+			verdict = fmt.Sprintf("REGRESSED (>+%.0f%%)", tolerance*100)
+			regressed = true
+		}
+		fmt.Fprintf(&b, "%-16s %2d %3d %12d %12d %+7.1f%% %12d %12d %+7.1f%%  %s\n",
+			h.Fixture, h.K, h.Workers, base.ColdNsPerOp, h.ColdNsPerOp, coldDelta*100,
+			base.WarmNsPerOp, h.WarmNsPerOp, warmDelta*100, verdict)
+	}
+	var dropped []benchCellKey
+	for key := range baseBy {
+		if !headKeys[key] {
+			dropped = append(dropped, key)
+		}
+	}
+	sort.Slice(dropped, func(i, j int) bool {
+		a, c := dropped[i], dropped[j]
+		if a.Fixture != c.Fixture {
+			return a.Fixture < c.Fixture
+		}
+		if a.K != c.K {
+			return a.K < c.K
+		}
+		return a.Workers < c.Workers
+	})
+	for _, key := range dropped {
+		fmt.Fprintf(&b, "%-16s %2d %3d  dropped (present in base only)\n", key.Fixture, key.K, key.Workers)
+	}
+	return b.String(), regressed
+}
+
+func cellKey(r SolverBenchRow) benchCellKey {
+	return benchCellKey{Fixture: r.Fixture, K: r.K, Workers: r.Workers}
+}
+
+// ratio returns (head − base) / base, treating a missing base measurement
+// as no change (feasibility discovery can be too fast to time).
+func ratio(head, base int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return float64(head-base) / float64(base)
+}
+
+// CompareSolverBenchFiles is the benchrun -compare entry point: load both
+// artifacts, print the table, and report regression as a non-nil error so
+// the command exits non-zero.
+func CompareSolverBenchFiles(basePath, headPath string, tolerance float64) (string, error) {
+	base, err := ReadSolverBenchJSON(basePath)
+	if err != nil {
+		return "", err
+	}
+	head, err := ReadSolverBenchJSON(headPath)
+	if err != nil {
+		return "", err
+	}
+	table, regressed := CompareSolverBench(base, head, tolerance)
+	if regressed {
+		return table, fmt.Errorf("bench: ns/op regression beyond %.0f%% tolerance (%s vs %s)",
+			tolerance*100, headPath, basePath)
+	}
+	return table, nil
+}

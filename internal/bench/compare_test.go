@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchRow(fixture string, k, workers int, cold, warm int64) SolverBenchRow {
+	return SolverBenchRow{Fixture: fixture, K: k, Workers: workers, Feasible: true,
+		ColdNsPerOp: cold, WarmNsPerOp: warm}
+}
+
+// A synthetically regressed head artifact must fail the comparison — and
+// the benchrun -compare entry point must surface that as a non-nil error
+// (its non-zero exit), which is the whole CI gate.
+func TestCompareSolverBenchRegression(t *testing.T) {
+	base := &SolverBenchReport{Schema: "solver-bench/2", Rows: []SolverBenchRow{
+		benchRow("Q1-fig5", 3, 1, 1000000, 200000),
+		benchRow("Q1-fig5", 3, 4, 600000, 150000),
+	}}
+	head := &SolverBenchReport{Schema: "solver-bench/2", Rows: []SolverBenchRow{
+		benchRow("Q1-fig5", 3, 1, 1500000, 200000), // cold +50%: regression
+		benchRow("Q1-fig5", 3, 4, 600000, 150000),
+	}}
+	table, regressed := CompareSolverBench(base, head, 0.20)
+	if !regressed {
+		t.Fatal("a +50% cold regression within tolerance 0.20 must regress")
+	}
+	if !strings.Contains(table, "REGRESSED") {
+		t.Errorf("table does not flag the regression:\n%s", table)
+	}
+
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	headPath := filepath.Join(dir, "head.json")
+	if err := WriteSolverBenchJSON(basePath, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSolverBenchJSON(headPath, head); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareSolverBenchFiles(basePath, headPath, 0.20); err == nil {
+		t.Error("CompareSolverBenchFiles must return an error on regression")
+	}
+	// Swapped direction: head faster than base is never a failure.
+	if table, err := CompareSolverBenchFiles(headPath, basePath, 0.20); err != nil {
+		t.Errorf("improvement flagged as regression: %v\n%s", err, table)
+	}
+}
+
+// Within-tolerance drift, new cells, and dropped cells all pass.
+func TestCompareSolverBenchTolerance(t *testing.T) {
+	base := &SolverBenchReport{Schema: "solver-bench/2", Rows: []SolverBenchRow{
+		benchRow("Q1-fig5", 3, 1, 1000000, 200000),
+		benchRow("Q2", 2, 1, 500000, 100000),
+	}}
+	head := &SolverBenchReport{Schema: "solver-bench/2", Rows: []SolverBenchRow{
+		benchRow("Q1-fig5", 3, 1, 1150000, 210000), // +15%, +5%: noise
+		benchRow("Q1-fig5", 3, 8, 400000, 80000),   // new cell
+	}}
+	table, regressed := CompareSolverBench(base, head, 0.20)
+	if regressed {
+		t.Errorf("within-tolerance drift flagged as regression:\n%s", table)
+	}
+	if !strings.Contains(table, "new cell") || !strings.Contains(table, "dropped") {
+		t.Errorf("table does not report cell churn:\n%s", table)
+	}
+}
+
+// solver-bench/1 artifacts (no workers field) normalize to workers = 1 so
+// the first gated run after the schema bump still compares sequential
+// against sequential.
+func TestCompareSolverBenchSchemaV1(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	v1 := &SolverBenchReport{Schema: "solver-bench/1", Rows: []SolverBenchRow{
+		{Fixture: "Q1-fig5", K: 3, Feasible: true, ColdNsPerOp: 1000000, WarmNsPerOp: 200000},
+	}}
+	if err := WriteSolverBenchJSON(basePath, v1); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadSolverBenchJSON(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Rows[0].Workers != 1 {
+		t.Fatalf("v1 row normalized to workers=%d, want 1", base.Rows[0].Workers)
+	}
+	head := &SolverBenchReport{Schema: "solver-bench/2", Rows: []SolverBenchRow{
+		benchRow("Q1-fig5", 3, 1, 1600000, 200000),
+	}}
+	if _, regressed := CompareSolverBench(base, head, 0.20); !regressed {
+		t.Error("v1 base row did not match the workers=1 head row")
+	}
+}

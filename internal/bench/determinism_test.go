@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// TestParallelPlanDeterminism is the determinism oracle for the parallel
+// planning path: for every benchmark fixture × k, solving with Workers ∈
+// {1, 2, 8} must produce byte-identical decompositions, identical
+// (bit-for-bit) plan costs, and identical per-node cost annotations.
+// Worker count may only change wall-clock time, never the plan: the wave
+// schedule evaluates each node's weight in the same child order as the
+// sequential recursion, and tie-breaking follows the deterministic
+// enumeration order of the candidate index.
+func TestParallelPlanDeterminism(t *testing.T) {
+	for _, fx := range solverFixtures() {
+		for _, k := range fx.ks {
+			name := fmt.Sprintf("%s/k=%d", fx.name, k)
+			seq, seqErr := cost.CostKDecomp(fx.q, fx.cat, k, core.Options{})
+			for _, workers := range []int{1, 2, 8} {
+				par, parErr := cost.CostKDecompParallel(fx.q, fx.cat, k,
+					core.ParallelOptions{Workers: workers})
+				if (seqErr == nil) != (parErr == nil) {
+					t.Fatalf("%s workers=%d: feasibility disagrees: %v vs %v",
+						name, workers, seqErr, parErr)
+				}
+				if seqErr != nil {
+					if !errors.Is(parErr, core.ErrNoDecomposition) {
+						t.Fatalf("%s workers=%d: %v", name, workers, parErr)
+					}
+					continue
+				}
+				if par.EstimatedCost != seq.EstimatedCost {
+					t.Errorf("%s workers=%d: cost %v != sequential %v",
+						name, workers, par.EstimatedCost, seq.EstimatedCost)
+				}
+				if got, want := par.Decomp.String(), seq.Decomp.String(); got != want {
+					t.Errorf("%s workers=%d: decomposition differs\nparallel:\n%s\nsequential:\n%s",
+						name, workers, got, want)
+				}
+				if got, want := par.FormatAnnotated(), seq.FormatAnnotated(); got != want {
+					t.Errorf("%s workers=%d: node cost annotations differ\nparallel:\n%s\nsequential:\n%s",
+						name, workers, got, want)
+				}
+			}
+		}
+	}
+}

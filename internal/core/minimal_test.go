@@ -94,8 +94,8 @@ func TestMinimalOutputsAreValidNF(t *testing.T) {
 func TestMinimalMatchesExhaustive(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	tafs := map[string]weights.TAF[float64]{
-		"count": weights.CountVerticesTAF(),
-		"width": weights.WidthTAF(),
+		"count":  weights.CountVerticesTAF(),
+		"width":  weights.WidthTAF(),
 		"maxsep": weights.MaxSeparatorTAF(),
 		"mixed": {
 			Semiring: weights.SumFloat{},

@@ -16,9 +16,15 @@ import (
 // the candidate graph. Solution-node weights at component size s depend
 // only on nodes with strictly smaller components, so nodes are processed in
 // waves of equal component size, each wave fanned out over a worker pool.
+// Phase-1 structural discovery is fanned out too: the frontier of
+// unexplored subproblems is expanded breadth-first over the same pool,
+// with solution and subproblem nodes interned in striped-lock tables and
+// the weight-independent structure (components, solStructs, interfaces)
+// drawn from the SearchContext's shared concurrency-safe caches.
 //
 // The vertex and edge functions of the TAF must be safe for concurrent use
-// (the cost model in internal/cost is; pure functions trivially are).
+// (the cost model in internal/cost is — its memos are lock-free-read
+// weights.Memo tables; pure functions trivially are).
 
 // ParallelOptions tunes ParallelMinimalK.
 type ParallelOptions struct {
@@ -69,16 +75,12 @@ func parallelSolve[W any](sc *SearchContext, taf weights.TAF[W], opts ParallelOp
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Phase 1: sequential structural discovery of all reachable nodes
-	// (no TAF evaluation), recording candidates and children.
-	root := sv.subproblem(sv.sc.rootComp(), sv.sc.empty, sv.sc.emptyID)
-	sv.discover(root)
+	// Phase 1: structural discovery of all reachable nodes (no TAF
+	// evaluation), recording candidates and children — breadth-first over
+	// the worker pool.
+	root, sols, subs := sv.discoverAll(workers)
 
 	// Phase 2: level-parallel weight evaluation, ascending component size.
-	var sols []*solNode[W]
-	for _, p := range sv.sols {
-		sols = append(sols, p)
-	}
 	sort.Slice(sols, func(i, j int) bool {
 		a, b := sols[i], sols[j]
 		if ca, cb := a.comp.vars.Count(), b.comp.vars.Count(); ca != cb {
@@ -128,7 +130,7 @@ func parallelSolve[W any](sc *SearchContext, taf weights.TAF[W], opts ParallelOp
 	}
 
 	// Phase 3: sequential feasibility filter + extraction (cheap).
-	for _, q := range sv.subs {
+	for _, q := range subs {
 		var feas []*solNode[W]
 		for _, cand := range q.cands {
 			if cand.feasible {
@@ -156,6 +158,185 @@ func parallelSolve[W any](sc *SearchContext, taf weights.TAF[W], opts ParallelOp
 	d := &hypertree.Decomposition{H: sv.sc.h, Root: sv.extract(chosen, nodeWeights)}
 	d.Nodes()
 	return &Result[W]{Decomp: d, Weight: chosen.weight, NodeWeights: nodeWeights}, nil
+}
+
+// discoverAll runs phase 1 and returns the root subproblem plus flat slices
+// of every discovered solution and subproblem node. With one worker it is
+// the sequential recursive walk; otherwise the frontier of unexplored
+// subproblems is expanded wave by wave across the pool.
+func (sv *solver[W]) discoverAll(workers int) (*subNode[W], []*solNode[W], []*subNode[W]) {
+	if workers <= 1 {
+		root := sv.subproblem(sv.sc.rootComp(), sv.sc.empty, sv.sc.emptyID)
+		sv.discover(root)
+		sols := make([]*solNode[W], 0, len(sv.sols))
+		for _, p := range sv.sols {
+			sols = append(sols, p)
+		}
+		subs := make([]*subNode[W], 0, len(sv.subs))
+		for _, q := range sv.subs {
+			subs = append(subs, q)
+		}
+		return root, sols, subs
+	}
+	return sv.discoverParallel(workers)
+}
+
+// discShards stripes the parallel discovery's intern tables; 32 keeps the
+// probability of two workers colliding on one lock low at typical pool
+// sizes without bloating the per-solve footprint.
+const discShards = 32
+
+// discTables interns solution and subproblem nodes during parallel
+// discovery. Each shard is a plain map behind its own mutex; claiming a key
+// (first insert) makes the claimant the node's owner, responsible for
+// filling its structure and expanding its children — so every node is
+// expanded exactly once, and candidate/child orders stay deterministic
+// because each list is appended by a single goroutine in index order.
+type discTables[W any] struct {
+	sols [discShards]struct {
+		mu sync.Mutex
+		m  map[[2]int]*solNode[W]
+	}
+	subs [discShards]struct {
+		mu sync.Mutex
+		m  map[[2]int]*subNode[W]
+	}
+}
+
+func newDiscTables[W any]() *discTables[W] {
+	t := &discTables[W]{}
+	for i := range t.sols {
+		t.sols[i].m = map[[2]int]*solNode[W]{}
+		t.subs[i].m = map[[2]int]*subNode[W]{}
+	}
+	return t
+}
+
+func discShard(key [2]int) int {
+	return int((uint(key[0])*0x9e3779b9 ^ uint(key[1])*0x85ebca6b) % discShards)
+}
+
+// internSol claims or fetches solution node (S, C). The claimant receives
+// created == true and must fill st/info/children before the discovery
+// barrier completes; other goroutines may hold the pointer meanwhile but
+// nothing reads those fields until phase 2.
+func (t *discTables[W]) internSol(s kvert, c *compEntry) (*solNode[W], bool) {
+	key := [2]int{s.idx, c.id}
+	sh := &t.sols[discShard(key)]
+	sh.mu.Lock()
+	if p, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		return p, false
+	}
+	p := &solNode[W]{s: s, comp: c}
+	sh.m[key] = p
+	sh.mu.Unlock()
+	return p, true
+}
+
+// internSub claims or fetches subproblem node (C, I); the claimant enqueues
+// it on the next discovery frontier.
+func (t *discTables[W]) internSub(c *compEntry, iface hypergraph.Varset, ifaceID int) (*subNode[W], bool) {
+	key := [2]int{c.id, ifaceID}
+	sh := &t.subs[discShard(key)]
+	sh.mu.Lock()
+	if q, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		return q, false
+	}
+	q := &subNode[W]{comp: c, iface: iface}
+	sh.m[key] = q
+	sh.mu.Unlock()
+	return q, true
+}
+
+// discoverSub expands one claimed subproblem: fills q.cands from the
+// interface's posting list and, for every solution node claimed here,
+// resolves its structure and child subproblems, appending newly claimed
+// children to next.
+func (sv *solver[W]) discoverSub(q *subNode[W], tabs *discTables[W], next *[]*subNode[W]) {
+	q.solved = true
+	for _, si := range sv.candidateIdx(q.iface) {
+		s := sv.sc.kverts[si]
+		if !sv.sc.candidateOK(s, q.comp, q.iface) {
+			continue
+		}
+		p, created := tabs.internSol(s, q.comp)
+		if created {
+			p.state = 1
+			p.st = sv.sc.structOf(s, q.comp)
+			p.info = sv.sc.nodeInfo(s, p.st, q.comp)
+			for i := range p.st.children {
+				cr := &p.st.children[i]
+				child, fresh := tabs.internSub(cr.comp, cr.iface, cr.ifaceID)
+				p.children = append(p.children, child)
+				if fresh {
+					*next = append(*next, child)
+				}
+			}
+		}
+		q.cands = append(q.cands, p)
+	}
+}
+
+// discoverParallel is breadth-first structural discovery over the worker
+// pool: each wave expands the current frontier of unexplored subproblems in
+// parallel chunks, collecting the children claimed by each worker into the
+// next frontier. The shared structural caches (StructIndex components,
+// solStructs, interned interfaces) absorb the heavy lifting, so a warm
+// context's discovery is pure traversal.
+func (sv *solver[W]) discoverParallel(workers int) (*subNode[W], []*solNode[W], []*subNode[W]) {
+	tabs := newDiscTables[W]()
+	root, _ := tabs.internSub(sv.sc.rootComp(), sv.sc.empty, sv.sc.emptyID)
+	frontier := []*subNode[W]{root}
+	for len(frontier) > 0 {
+		if len(frontier) < 2 {
+			var next []*subNode[W]
+			for _, q := range frontier {
+				sv.discoverSub(q, tabs, &next)
+			}
+			frontier = next
+			continue
+		}
+		n := min(workers, len(frontier))
+		parts := make([][]*subNode[W], n)
+		chunk := (len(frontier) + n - 1) / n
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			start := w * chunk
+			if start >= len(frontier) {
+				break
+			}
+			end := min(start+chunk, len(frontier))
+			wg.Add(1)
+			go func(part []*subNode[W], slot int) {
+				defer wg.Done()
+				var local []*subNode[W]
+				for _, q := range part {
+					sv.discoverSub(q, tabs, &local)
+				}
+				parts[slot] = local
+			}(frontier[start:end], w)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, part := range parts {
+			frontier = append(frontier, part...)
+		}
+	}
+	var sols []*solNode[W]
+	for i := range tabs.sols {
+		for _, p := range tabs.sols[i].m {
+			sols = append(sols, p)
+		}
+	}
+	var subs []*subNode[W]
+	for i := range tabs.subs {
+		for _, q := range tabs.subs[i].m {
+			subs = append(subs, q)
+		}
+	}
+	return root, sols, subs
 }
 
 // discover walks the reachable candidate graph without evaluating the TAF:

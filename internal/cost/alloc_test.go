@@ -1,0 +1,55 @@
+package cost_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+)
+
+// TestWarmPlanAllocationCeiling pins the cost-model share of a
+// structure-warm, model-cold plan: the planner's steady state for a known
+// structure with fresh statistics (every stats change builds a new Model
+// over the cached PlanSearch). With int-keyed estimates (IEst) the model
+// accounts for ≈3.9k allocations on Q1 at k=3; string-keyed Est maps put it
+// at ≈6.2k. The ceiling sits between the two, so it catches a regression to
+// string-keyed estimate maps while leaving ~15% headroom for noise.
+func TestWarmPlanAllocationCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts shift under the race detector")
+	}
+	cat := bench.Fig5StatsCatalog()
+	ps, err := cost.NewPlanSearch(cq.Q1(), 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := cost.EdgeEstimates(ps.FQ, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelCold := func() {
+		m := cost.NewModelFromEstimates(ps.FQ, ests)
+		if _, err := ps.Run(m, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	modelCold() // populate the shared structural caches
+	cold := testing.AllocsPerRun(10, modelCold)
+
+	warmModel := cost.NewModelFromEstimates(ps.FQ, ests)
+	if _, err := ps.Run(warmModel, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(10, func() {
+		if _, err := ps.Run(warmModel, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if modelShare := cold - warm; modelShare > 4500 {
+		t.Errorf("cost model allocates %.0f per structure-warm plan (cold %.0f − solver %.0f), ceiling 4500",
+			modelShare, cold, warm)
+	}
+}

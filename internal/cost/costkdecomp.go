@@ -68,6 +68,22 @@ func CostKDecomp(q *cq.Query, cat *db.Catalog, k int, opts core.Options) (*Plan,
 	return ps.Run(model, opts)
 }
 
+// CostKDecompParallel is CostKDecomp solved with the level-parallel solver
+// (core.ParallelMinimalKCtx): the same plan and cost, with structural
+// discovery and weight evaluation fanned out over opts.Workers goroutines.
+// This is the cold path a plan service takes when Workers > 1.
+func CostKDecompParallel(q *cq.Query, cat *db.Catalog, k int, opts core.ParallelOptions) (*Plan, error) {
+	ps, err := NewPlanSearch(q, k, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	model, err := NewModel(ps.FQ, cat)
+	if err != nil {
+		return nil, err
+	}
+	return ps.RunParallel(model, opts)
+}
+
 // PlanSearch is the reusable structural half of cost-k-decomp for one
 // (query structure, k): the fresh-augmented query, its hypergraph H(Q⁺),
 // and the enumerated k-vertex search context. Building one is the dominant

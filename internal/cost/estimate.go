@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/db"
+	"repro/internal/hypergraph"
 )
 
 // Est summarizes the estimated statistics of a relational expression: its
@@ -150,6 +151,165 @@ func Semijoin(a, b Est) Est {
 // JoinCost is the estimated execution cost of a hash join: read both
 // inputs, write the output.
 func JoinCost(a, b Est) float64 { return a.Card + b.Card + Join(a, b).Card }
+
+// IEst is the hot-path representation of Est: distinct-value estimates
+// keyed by the hypergraph's dense variable indices instead of name strings.
+// Vars holds the ascending variable ids that have an estimate and Vals the
+// matching values, so the merge-style operations below allocate two small
+// slices where the string-keyed versions allocate a map plus a sorted key
+// slice — the maps were ~60% of the allocations of a structure-warm,
+// model-cold plan. Ascending-id iteration replaces sorted-name iteration as
+// the deterministic order for the non-associative float folds.
+type IEst struct {
+	Card float64
+	Vars []int32
+	Vals []float64
+}
+
+// ToIEst converts a string-keyed estimate to the int-keyed form using the
+// variable numbering of varByName (hypergraph.VarByName). Attributes unknown
+// to the numbering are dropped — they cannot appear in any χ or shared-join
+// attribute of that hypergraph.
+func ToIEst(e Est, varByName func(string) int) IEst {
+	out := IEst{Card: e.Card, Vars: make([]int32, 0, len(e.V)), Vals: make([]float64, 0, len(e.V))}
+	for name, val := range e.V {
+		if v := varByName(name); v >= 0 {
+			out.Vars = append(out.Vars, int32(v))
+			out.Vals = append(out.Vals, val)
+		}
+	}
+	sort.Sort(byVarID(out))
+	return out
+}
+
+// ToEst converts back to the string-keyed boundary form (for EstimateOf,
+// reports, and plan annotations).
+func (a IEst) ToEst(varName func(int) string) Est {
+	e := Est{Card: a.Card, V: make(map[string]float64, len(a.Vars))}
+	for i, v := range a.Vars {
+		e.V[varName(int(v))] = a.Vals[i]
+	}
+	return e
+}
+
+// byVarID sorts an IEst's parallel slices by ascending variable id.
+type byVarID IEst
+
+func (s byVarID) Len() int { return len(s.Vars) }
+func (s byVarID) Swap(i, j int) {
+	s.Vars[i], s.Vars[j] = s.Vars[j], s.Vars[i]
+	s.Vals[i], s.Vals[j] = s.Vals[j], s.Vals[i]
+}
+func (s byVarID) Less(i, j int) bool { return s.Vars[i] < s.Vars[j] }
+
+// clamp caps every distinct estimate at the cardinality and floors at 1,
+// like Est.clampV.
+func (a IEst) clamp() IEst {
+	for i, v := range a.Vals {
+		if v > a.Card && a.Card >= 1 {
+			a.Vals[i] = a.Card
+		} else if v < 1 {
+			a.Vals[i] = 1
+		}
+	}
+	return a
+}
+
+// JoinI is Join over int-keyed estimates: one merge pass over the two
+// ascending id lists computes the shared-attribute divisions (in ascending
+// id order) and the element-wise min/union of the V estimates.
+func JoinI(a, b IEst) IEst {
+	card := a.Card * b.Card
+	out := IEst{
+		Vars: make([]int32, 0, len(a.Vars)+len(b.Vars)),
+		Vals: make([]float64, 0, len(a.Vars)+len(b.Vars)),
+	}
+	i, j := 0, 0
+	for i < len(a.Vars) && j < len(b.Vars) {
+		switch {
+		case a.Vars[i] == b.Vars[j]:
+			card /= math.Max(a.Vals[i], b.Vals[j])
+			out.Vars = append(out.Vars, a.Vars[i])
+			out.Vals = append(out.Vals, math.Min(a.Vals[i], b.Vals[j]))
+			i++
+			j++
+		case a.Vars[i] < b.Vars[j]:
+			out.Vars = append(out.Vars, a.Vars[i])
+			out.Vals = append(out.Vals, a.Vals[i])
+			i++
+		default:
+			out.Vars = append(out.Vars, b.Vars[j])
+			out.Vals = append(out.Vals, b.Vals[j])
+			j++
+		}
+	}
+	out.Vars = append(out.Vars, a.Vars[i:]...)
+	out.Vals = append(out.Vals, a.Vals[i:]...)
+	out.Vars = append(out.Vars, b.Vars[j:]...)
+	out.Vals = append(out.Vals, b.Vals[j:]...)
+	if card < 0 {
+		card = 0
+	}
+	out.Card = card
+	return out.clamp()
+}
+
+// ProjectI is Project with the projection set given as a variable bitset:
+// exactly the χ(p) projection of the cost TAF, with no name materialization.
+// One deliberate contract difference from Project: keep-variables absent
+// from the input are dropped, not added with V = 1 — in the model's use
+// χ(p) ⊆ var(λ(p)) and every λ variable carries an estimate, so the case
+// never arises, and a dropped variable keeps later merges honest instead
+// of injecting a fabricated distinct count.
+func ProjectI(a IEst, keep hypergraph.Varset) IEst {
+	prod := 1.0
+	out := IEst{Vars: make([]int32, 0, len(a.Vars)), Vals: make([]float64, 0, len(a.Vars))}
+	for i, v := range a.Vars {
+		if !keep.Has(int(v)) {
+			continue
+		}
+		out.Vars = append(out.Vars, v)
+		out.Vals = append(out.Vals, a.Vals[i])
+		if prod < 1e18 { // avoid overflow on wide schemas
+			prod *= a.Vals[i]
+		}
+	}
+	out.Card = math.Min(a.Card, prod)
+	return out.clamp()
+}
+
+// ChainJoinI is ChainJoin over int-keyed estimates: greedy minimum-output
+// join order, returning the final estimate and the accumulated execution
+// cost. The pair iteration order matches ChainJoin, so ties in the greedy
+// choice resolve identically.
+func ChainJoinI(inputs []IEst) (IEst, float64, error) {
+	if len(inputs) == 0 {
+		return IEst{}, 0, fmt.Errorf("cost: empty join chain")
+	}
+	if len(inputs) == 1 {
+		return inputs[0], inputs[0].Card, nil
+	}
+	work := append([]IEst(nil), inputs...)
+	total := 0.0
+	for len(work) > 1 {
+		bi, bj, bCard := 0, 1, math.Inf(1)
+		var bJoined IEst
+		have := false
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				if joined := JoinI(work[i], work[j]); !have || joined.Card < bCard {
+					bi, bj, bCard = i, j, joined.Card
+					bJoined = joined
+					have = true
+				}
+			}
+		}
+		total += work[bi].Card + work[bj].Card + bJoined.Card
+		work[bi] = bJoined
+		work = append(work[:bj], work[bj+1:]...)
+	}
+	return work[0], total, nil
+}
 
 // SemijoinCost is the estimated execution cost of a hash semijoin: read
 // both inputs (the output is at most |a| and is absorbed in the constant).

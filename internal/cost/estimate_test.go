@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/db"
+	"repro/internal/hypergraph"
 )
 
 func est(card float64, v map[string]float64) Est {
@@ -139,5 +140,76 @@ func TestEstAttrsSorted(t *testing.T) {
 	attrs := e.Attrs()
 	if len(attrs) != 3 || attrs[0] != "A" || attrs[2] != "C" {
 		t.Errorf("Attrs = %v", attrs)
+	}
+}
+
+// The int-keyed operations must agree with the string-keyed boundary API
+// on cardinalities and per-attribute estimates (division/multiplication
+// order may differ in the last ULP, so compare with a tight relative
+// tolerance).
+func TestIEstMatchesEst(t *testing.T) {
+	names := []string{"A", "B", "C", "D", "E"}
+	varByName := func(n string) int {
+		for i, m := range names {
+			if m == n {
+				return i
+			}
+		}
+		return -1
+	}
+	approx := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+	}
+	checkSame := func(t *testing.T, what string, se Est, ie IEst) {
+		t.Helper()
+		if !approx(se.Card, ie.Card) {
+			t.Errorf("%s: card %v (Est) vs %v (IEst)", what, se.Card, ie.Card)
+		}
+		back := ie.ToEst(func(v int) string { return names[v] })
+		if len(back.V) != len(se.V) {
+			t.Fatalf("%s: attrs %v vs %v", what, back.V, se.V)
+		}
+		for n, v := range se.V {
+			if !approx(back.V[n], v) {
+				t.Errorf("%s: V(%s) %v (Est) vs %v (IEst)", what, n, v, back.V[n])
+			}
+		}
+	}
+
+	a := est(1000, map[string]float64{"A": 50, "B": 200, "C": 10})
+	b := est(400, map[string]float64{"B": 40, "C": 30, "D": 400})
+	c := est(90, map[string]float64{"D": 90, "E": 3})
+	ia := ToIEst(a, varByName)
+	ib := ToIEst(b, varByName)
+	ic := ToIEst(c, varByName)
+
+	checkSame(t, "convert", a, ia)
+	// Join mutates its inputs' clamp in place on the string side; work on
+	// fresh copies per comparison.
+	checkSame(t, "join", Join(est(1000, map[string]float64{"A": 50, "B": 200, "C": 10}),
+		est(400, map[string]float64{"B": 40, "C": 30, "D": 400})), JoinI(ia, ib))
+
+	keep := hypergraph.NewVarset(len(names))
+	keep.Set(varByName("B"))
+	keep.Set(varByName("D"))
+	checkSame(t, "project", Project(Join(a, b), []string{"B", "D"}), ProjectI(JoinI(ia, ib), keep))
+
+	se, sc, err := ChainJoin([]Est{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie, icost, err := ChainJoinI([]IEst{ia, ib, ic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSame(t, "chain join", se, ie)
+	if !approx(sc, icost) {
+		t.Errorf("chain join cost %v (Est) vs %v (IEst)", sc, icost)
+	}
+
+	// Unknown attributes are dropped by the conversion, not misindexed.
+	odd := ToIEst(est(5, map[string]float64{"A": 2, "Z": 9}), varByName)
+	if len(odd.Vars) != 1 || odd.Vars[0] != 0 {
+		t.Errorf("unknown attr survived conversion: %+v", odd)
 	}
 }

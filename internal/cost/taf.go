@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cq"
 	"repro/internal/db"
+	"repro/internal/hypergraph"
 	"repro/internal/weights"
 )
 
@@ -22,29 +23,48 @@ import (
 // different χ, and the join chain is the expensive part). Nodes produced by
 // the candidate-graph solvers carry an integer MemoKey, so both caches are
 // probed on small integer keys without serializing the sets; nodes without
-// a key (free-standing hypertrees) fall back to string keys. It is safe for
-// concurrent use (core.ParallelMinimalK evaluates the TAF from many
-// goroutines).
+// a key (free-standing hypertrees) fall back to string keys.
+//
+// It is safe for concurrent use, and the hot read path takes no lock at
+// all: both memo caches are lock-free-read tables (weights.Memo) probed
+// with one hash and an atomic slot load, and the estimates themselves are
+// int-keyed (IEst, indexed by the hypergraph's variable ids), so a
+// memoized vertex or edge evaluation allocates nothing, takes no lock, and
+// writes no shared cache line — level-parallel solves scale instead of
+// serializing on a reader counter.
 type Model struct {
 	query   *cq.Query
 	edgeEst map[string]Est // per predicate: atom relation stats as query vars
 
-	mu        sync.RWMutex
-	icache    map[weights.MemoKey]nodeEst // nodes stamped by a solver
-	joins     map[[2]int32]joinEst        // per (gen, λ ID) join estimates
-	cache     map[string]nodeEst          // fallback: nodes without a MemoKey
-	joinCache map[string]joinEst          // fallback, keyed on the λ indices
+	nodes *weights.Memo[weights.MemoKey, nodeEst] // nodes stamped by a solver
+	joins *weights.Memo[[2]int32, joinEst]        // per (gen, λ ID) join estimates
+
+	// Cold-path state behind one mutex: the per-hypergraph int-keyed base
+	// estimates (built once per hypergraph on first miss) and the string-key
+	// fallback caches for nodes without a MemoKey.
+	mu        sync.Mutex
+	tables    map[*hypergraph.Hypergraph]*edgeTable
+	cache     map[string]*nodeEst
+	joinCache map[string]*joinEst
 }
 
 type nodeEst struct {
-	est  Est
+	est  IEst
 	cost float64
 }
 
 // joinEst is the memoized result of joining all relations of a λ.
 type joinEst struct {
-	est  Est
+	est  IEst
 	cost float64
+}
+
+// edgeTable holds the base-relation estimates of one hypergraph, indexed by
+// edge id with variable-id keys — the int-keyed form every chain join and
+// projection in the hot path consumes. A nil entry means the predicate has
+// no estimate.
+type edgeTable struct {
+	byEdge []*IEst
 }
 
 // NewModel prepares a cost model for q over analyzed statistics in cat.
@@ -66,13 +86,32 @@ func NewModel(q *cq.Query, cat *db.Catalog) (*Model, error) {
 // estimate keys to canonical variables, and feeds them here.
 func NewModelFromEstimates(q *cq.Query, ests map[string]Est) *Model {
 	return &Model{
-		query:     q,
-		edgeEst:   ests,
-		icache:    map[weights.MemoKey]nodeEst{},
-		joins:     map[[2]int32]joinEst{},
-		cache:     map[string]nodeEst{},
-		joinCache: map[string]joinEst{},
+		query:   q,
+		edgeEst: ests,
+		nodes:   weights.NewMemo[weights.MemoKey, nodeEst](hashMemoKey),
+		joins: weights.NewMemo[[2]int32, joinEst](func(k [2]int32) uint64 {
+			return mix64(uint64(uint32(k[0]))<<32 | uint64(uint32(k[1])))
+		}),
+		tables:    map[*hypergraph.Hypergraph]*edgeTable{},
+		cache:     map[string]*nodeEst{},
+		joinCache: map[string]*joinEst{},
 	}
+}
+
+// hashMemoKey mixes a MemoKey's three small ints into well-spread table
+// bits (cheaper than the runtime's generic 12-byte struct hash).
+func hashMemoKey(k weights.MemoKey) uint64 {
+	return mix64(uint64(uint32(k.Lambda))<<32 | uint64(uint32(k.Chi))*0x9e3779b9 ^ uint64(uint32(k.Gen)))
+}
+
+// mix64 is splitmix64's finalizer: full-avalanche mixing of a 64-bit word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // EdgeEstimates computes, per atom predicate, the estimated statistics of
@@ -115,46 +154,58 @@ func EdgeEstimates(q *cq.Query, cat *db.Catalog) (map[string]Est, error) {
 	return out, nil
 }
 
+// tableFor returns the int-keyed base estimates for h, converting the
+// string-keyed edgeEst once per hypergraph. Only cold (memo-miss) paths
+// reach it, so the mutex is uncontended in the steady state.
+func (m *Model) tableFor(h *hypergraph.Hypergraph) *edgeTable {
+	m.mu.Lock()
+	tab, ok := m.tables[h]
+	if !ok {
+		tab = &edgeTable{byEdge: make([]*IEst, h.NumEdges())}
+		for e := 0; e < h.NumEdges(); e++ {
+			if est, ok := m.edgeEst[h.EdgeName(e)]; ok {
+				ie := ToIEst(est, h.VarByName)
+				tab.byEdge[e] = &ie
+			}
+		}
+		m.tables[h] = tab
+	}
+	m.mu.Unlock()
+	return tab
+}
+
 // estOf returns the estimate and evaluation cost of E(p) for a
 // decomposition node, memoized on its (λ, χ) labels — on the node's
 // integer MemoKey when the solver stamped one, else on a string key.
-func (m *Model) estOf(p weights.NodeInfo) (nodeEst, error) {
+func (m *Model) estOf(p weights.NodeInfo) (*nodeEst, error) {
 	var skey string
 	if p.Memo.Valid() {
-		m.mu.RLock()
-		ne, ok := m.icache[p.Memo]
-		m.mu.RUnlock()
-		if ok {
+		if ne := m.nodes.Get(p.Memo); ne != nil {
 			return ne, nil
 		}
 	} else {
 		skey = nodeKey(p)
-		m.mu.RLock()
+		m.mu.Lock()
 		ne, ok := m.cache[skey]
-		m.mu.RUnlock()
+		m.mu.Unlock()
 		if ok {
 			return ne, nil
 		}
 	}
 	je, err := m.joinOf(p)
 	if err != nil {
-		return nodeEst{}, err
+		return nil, err
 	}
-	chiNames := make([]string, 0, p.Chi.Count())
-	for v := p.Chi.NextSet(0); v >= 0; v = p.Chi.NextSet(v + 1) {
-		chiNames = append(chiNames, p.H.VarName(v))
-	}
-	projected := Project(je.est, chiNames)
 	// ChainJoin's cost already accounts for reading the inputs and writing
 	// the join output; projecting onto χ(p) happens while writing it.
-	ne := nodeEst{est: projected, cost: je.cost}
-	m.mu.Lock()
+	ne := &nodeEst{est: ProjectI(je.est, p.Chi), cost: je.cost}
 	if p.Memo.Valid() {
-		m.icache[p.Memo] = ne
+		m.nodes.Put(p.Memo, ne)
 	} else {
+		m.mu.Lock()
 		m.cache[skey] = ne
+		m.mu.Unlock()
 	}
-	m.mu.Unlock()
 	return ne, nil
 }
 
@@ -162,47 +213,44 @@ func (m *Model) estOf(p weights.NodeInfo) (nodeEst, error) {
 // which depends on λ alone: solution nodes sharing a λ across components
 // (and across width bounds in a sweep sharing one StructIndex) pay the
 // chain-join estimation once.
-func (m *Model) joinOf(p weights.NodeInfo) (joinEst, error) {
+func (m *Model) joinOf(p weights.NodeInfo) (*joinEst, error) {
 	var ikey [2]int32
 	var skey string
 	if p.Memo.Valid() {
 		ikey = [2]int32{p.Memo.Gen, p.Memo.Lambda}
-		m.mu.RLock()
-		je, ok := m.joins[ikey]
-		m.mu.RUnlock()
-		if ok {
+		if je := m.joins.Get(ikey); je != nil {
 			return je, nil
 		}
 	} else {
 		skey = lambdaKey(p.Lambda)
-		m.mu.RLock()
+		m.mu.Lock()
 		je, ok := m.joinCache[skey]
-		m.mu.RUnlock()
+		m.mu.Unlock()
 		if ok {
 			return je, nil
 		}
 	}
-	inputs := make([]Est, 0, len(p.Lambda))
+	tab := m.tableFor(p.H)
+	inputs := make([]IEst, 0, len(p.Lambda))
 	for _, e := range p.Lambda {
-		pred := p.H.EdgeName(e)
-		est, ok := m.edgeEst[pred]
-		if !ok {
-			return joinEst{}, fmt.Errorf("cost: no estimate for predicate %s", pred)
+		ie := tab.byEdge[e]
+		if ie == nil {
+			return nil, fmt.Errorf("cost: no estimate for predicate %s", p.H.EdgeName(e))
 		}
-		inputs = append(inputs, est)
+		inputs = append(inputs, *ie)
 	}
-	joined, joinCost, err := ChainJoin(inputs)
+	joined, joinCost, err := ChainJoinI(inputs)
 	if err != nil {
-		return joinEst{}, err
+		return nil, err
 	}
-	je := joinEst{est: joined, cost: joinCost}
-	m.mu.Lock()
+	je := &joinEst{est: joined, cost: joinCost}
 	if p.Memo.Valid() {
-		m.joins[ikey] = je
+		m.joins.Put(ikey, je)
 	} else {
+		m.mu.Lock()
 		m.joinCache[skey] = je
+		m.mu.Unlock()
 	}
-	m.mu.Unlock()
 	return je, nil
 }
 
@@ -237,14 +285,16 @@ func (m *Model) Vertex(p weights.NodeInfo) float64 {
 	return ne.cost
 }
 
-// Edge is e*(p,p′): the estimated cost of the semijoin E(p) ⋉ E(p′).
+// Edge is e*(p,p′): the estimated cost of the semijoin E(p) ⋉ E(p′) —
+// SemijoinCost, which reads both inputs and depends on the cardinalities
+// alone.
 func (m *Model) Edge(parent, child weights.NodeInfo) float64 {
 	pe, err1 := m.estOf(parent)
 	ce, err2 := m.estOf(child)
 	if err1 != nil || err2 != nil {
 		return 1e30
 	}
-	return SemijoinCost(pe.est, ce.est)
+	return pe.est.Card + ce.est.Card
 }
 
 // TAF returns cost_H(Q) as a weights.TAF ready for core.MinimalK.
@@ -260,5 +310,8 @@ func (m *Model) TAF() weights.TAF[float64] {
 // examples to annotate plans with the $-costs of Figs 6 and 7).
 func (m *Model) EstimateOf(p weights.NodeInfo) (Est, float64, error) {
 	ne, err := m.estOf(p)
-	return ne.est, ne.cost, err
+	if err != nil {
+		return Est{}, 0, err
+	}
+	return ne.est.ToEst(p.H.VarName), ne.cost, nil
 }

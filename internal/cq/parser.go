@@ -11,8 +11,8 @@ import (
 //
 // Accepted variations: "<-" for ":-", "∧" or "," between atoms, an optional
 // trailing period, and a variable-free head "ans" or "ans()" for Boolean
-// queries. Identifiers are letters, digits, '_' and '\''; variables and
-// predicates are distinguished by position, not case.
+// queries. Identifiers are letters, digits, underscores, and apostrophes;
+// variables and predicates are distinguished by position, not case.
 func Parse(text string) (*Query, error) {
 	toks, err := lex(text)
 	if err != nil {

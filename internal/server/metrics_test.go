@@ -82,7 +82,7 @@ func TestMetricsExposition(t *testing.T) {
 		{`planserver_requests_total{endpoint="plan",code="422"} `, 1},
 		{`planserver_requests_total{endpoint="catalogs",code="200"} `, 1},
 		{`planserver_catalogs `, 1},
-	}{
+	} {
 		key := strings.TrimSuffix(want.sample, " ")
 		got, ok := samples[key]
 		if !ok {

@@ -1,0 +1,100 @@
+package weights
+
+import (
+	"sync"
+	"testing"
+)
+
+func intHash(k int) uint64 {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}
+
+func TestMemoGetPut(t *testing.T) {
+	m := NewMemo[int, string](intHash)
+	if m.Get(1) != nil {
+		t.Fatal("empty memo reported a hit")
+	}
+	a := "a"
+	m.Put(1, &a)
+	if v := m.Get(1); v == nil || *v != "a" {
+		t.Fatalf("entry not readable: %v", v)
+	}
+	b := "b"
+	m.Put(2, &b)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	// Entries are write-once: re-putting a key neither overwrites nor
+	// double-counts.
+	a2 := "a2"
+	m.Put(1, &a2)
+	if m.Len() != 2 {
+		t.Fatalf("Len after re-put = %d, want 2", m.Len())
+	}
+	if v := m.Get(1); v == nil || *v != "a" {
+		t.Fatalf("re-put overwrote the first value, got %v", v)
+	}
+}
+
+// Growth across several doublings must lose nothing, including under a
+// degenerate hash that clusters every key (probe chains stay correct).
+func TestMemoGrowth(t *testing.T) {
+	m := NewMemo[int, int](intHash)
+	vals := make([]int, 2000)
+	for i := range vals {
+		vals[i] = i * 7
+		m.Put(i, &vals[i])
+	}
+	for i := range vals {
+		if v := m.Get(i); v == nil || *v != i*7 {
+			t.Fatalf("entry %d lost across growth (got %v)", i, v)
+		}
+	}
+	if m.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", m.Len())
+	}
+
+	clustered := NewMemo[int, int](func(k int) uint64 { return uint64(k % 3) })
+	for i := range vals {
+		clustered.Put(i, &vals[i])
+	}
+	for i := range vals {
+		if v := clustered.Get(i); v == nil || *v != i*7 {
+			t.Fatalf("clustered entry %d lost (got %v)", i, v)
+		}
+	}
+}
+
+// Concurrent writers and readers racing table growth: run with -race (CI
+// does). Keys determine their values, so any racing writer stores an
+// equivalent entry; a reader either misses (caller would recompute) or
+// sees the correct value — never a torn or foreign one.
+func TestMemoConcurrent(t *testing.T) {
+	m := NewMemo[int, int](intHash)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (g*311 + i) % 509
+				if v := m.Get(k); v != nil && *v != k*3 {
+					t.Errorf("Get(%d) = %d, want %d", k, *v, k*3)
+					return
+				}
+				v := k * 3
+				m.Put(k, &v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := 0; k < 509; k++ {
+		if v := m.Get(k); v == nil || *v != k*3 {
+			t.Fatalf("final Get(%d) = %v", k, v)
+		}
+	}
+}
