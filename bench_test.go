@@ -233,7 +233,7 @@ func BenchmarkPlannerColdVsCached(b *testing.B) {
 			for j, v := range a.Vars {
 				vars[j] = v + suffix
 			}
-			out.Atoms = append(out.Atoms, cq.Atom{Predicate: a.Predicate, Vars: vars})
+			out.Atoms = append(out.Atoms, cq.Atom{Predicate: a.Predicate, Alias: a.Alias, Vars: vars})
 		}
 		return out
 	}

@@ -39,11 +39,19 @@
 //	plan, _ := htd.PlanQuery(q, cat, 2)       // cost-k-decomp
 //	res, _ := htd.ExecutePlan(plan, cat)      // Yannakakis
 //
+// Self-joins are written with relation aliases — the alias names the atom
+// (hyperedge, fresh variable, bound relation) while the predicate names the
+// base relation supplying statistics and tuples; bare duplicate predicates
+// auto-alias on parse:
+//
+//	t, _ := htd.ParseQuery("ans(X,Y,Z) :- e AS e1(X,Y), e AS e2(Y,Z), e AS e3(Z,X)")
+//	plan, _ = htd.PlanQuery(t, cat, 2)        // triangles in one edge relation
+//
 // Services planning a stream of structurally repetitive queries should use
 // the Planner entry point instead of PlanQuery: it canonicalizes inputs up
-// to variable renaming, caches plans and decompositions in a sharded LRU,
-// deduplicates concurrent identical searches, and remaps cached plans onto
-// each caller's variable names.
+// to variable and alias renaming, caches plans and decompositions in a
+// sharded LRU, deduplicates concurrent identical searches, and remaps
+// cached plans onto each caller's variable and alias names.
 //
 // Under the hood, repeated searches over one structure share a
 // core.SearchContext: the enumerated k-vertex space, an inverted

@@ -1,0 +1,82 @@
+// Selfjoin: self-joins end to end via relation aliasing — the triangle
+// query e AS e1(X,Y), e AS e2(Y,Z), e AS e3(Z,X) over one edge relation.
+// Plans the cyclic 3-alias self-join with cost-k-decomp at k=2, executes it
+// with Yannakakis's algorithm, and shows that the plan cache recognizes an
+// alias+variable-renamed variant of the same structure as a hit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	htd "repro"
+	"repro/internal/db"
+)
+
+func main() {
+	// One edge relation: a random sparse directed graph.
+	rng := rand.New(rand.NewSource(7))
+	cat := htd.NewCatalog()
+	rel, err := db.Generate(rng, db.Spec{
+		Name: "e", Attrs: []string{"src", "dst"},
+		Card: 200, Distinct: map[string]int{"src": 40, "dst": 40},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat.Put(rel)
+	if err := cat.AnalyzeAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The triangle query: three aliases of e, cyclically joined. Each alias
+	// resolves to e's cardinality and selectivities in the cost model, and
+	// the engine scans e once per alias.
+	q, err := htd.ParseQuery("ans(X,Y,Z) :- e AS e1(X,Y), e AS e2(Y,Z), e AS e3(Z,X).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n\n", q)
+
+	planner := htd.NewPlanner(htd.PlannerOptions{})
+	plan, err := planner.Plan(q, cat, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost-k-decomp plan (k=2, estimated cost %.0f):\n%s\n",
+		plan.EstimatedCost, plan.FormatAnnotated())
+
+	var m htd.Metrics
+	res, err := htd.ExecutePlanMetered(plan, cat, &m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triangles found: %d (%d joins, %d semijoins, %d intermediate tuples)\n\n",
+		res.Card(), m.Joins, m.Semijoins, m.IntermediateTuples)
+
+	// The same structure under different aliases and variables: a cache hit
+	// — canonicalization treats aliases as renameable.
+	renamed, err := htd.ParseQuery("ans(U,V,W) :- e AS hop3(W,U), e AS hop1(U,V), e AS hop2(V,W).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := planner.Plan(renamed, cat, 2); err != nil {
+		log.Fatal(err)
+	}
+	st := planner.Stats()
+	fmt.Printf("planner cache after renamed variant: %d hit(s), %d computation(s)\n",
+		st.Plans.Hits, st.Plans.Computations)
+
+	// Bare duplicate predicates auto-alias: same structure, same entry.
+	bare, err := htd.ParseQuery("ans(X,Y,Z) :- e(X,Y), e(Y,Z), e(Z,X).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auto-aliased form: %s\n", bare)
+	if _, err := planner.Plan(bare, cat, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planner cache after auto-aliased form: %d hit(s), %d computation(s)\n",
+		planner.Stats().Plans.Hits, planner.Stats().Plans.Computations)
+}

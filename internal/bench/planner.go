@@ -37,7 +37,7 @@ func renameQ1(i int) *cq.Query {
 		for j, v := range a.Vars {
 			vars[j] = v + suffix
 		}
-		out.Atoms = append(out.Atoms, cq.Atom{Predicate: a.Predicate, Vars: vars})
+		out.Atoms = append(out.Atoms, cq.Atom{Predicate: a.Predicate, Alias: a.Alias, Vars: vars})
 	}
 	for j, v := range out.Out {
 		out.Out[j] = v + suffix

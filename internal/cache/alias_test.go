@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/engine"
+)
+
+// Canonicalization must treat aliases as renameable: any two queries equal
+// up to a renaming of variables AND aliases (and atom order) share a key.
+
+func TestCanonicalizeQueryAliasInvariance(t *testing.T) {
+	groups := [][]string{
+		{ // two-step path self-join
+			"ans(X,Z) :- e AS e1(X,Y), e AS e2(Y,Z).",
+			"ans(A,C) :- e AS p(A,B), e AS q(B,C).",
+			"ans(A,C) :- e AS q(B,C), e AS p(A,B).", // atom order
+			"ans(X,Z) :- e(X,Y), e(Y,Z).",           // auto-aliased
+		},
+		{ // triangle: fully symmetric, exercises the permutation search
+			"ans :- e AS e1(X,Y), e AS e2(Y,Z), e AS e3(Z,X).",
+			"ans :- e AS c(W,U), e AS a(U,V), e AS b(V,W).",
+			"ans :- e(X,Y), e(Y,Z), e(Z,X).",
+		},
+		{ // self-join mixed with a second relation
+			"ans(X) :- e AS e1(X,Y), e AS e2(Y,Z), r(Z,X).",
+			"ans(P) :- r(Q,P), e AS b(R,Q), e AS a(P,R).",
+		},
+	}
+	for gi, group := range groups {
+		want := ""
+		for qi, text := range group {
+			qc, err := CanonicalizeQuery(mustParseQuery(t, text))
+			if err != nil {
+				t.Fatalf("group %d %q: %v", gi, text, err)
+			}
+			if qi == 0 {
+				want = qc.Key
+				continue
+			}
+			if qc.Key != want {
+				t.Errorf("group %d: %q key %q != %q", gi, text, qc.Key, want)
+			}
+		}
+	}
+}
+
+func TestCanonicalizeQueryAliasDistinguishes(t *testing.T) {
+	base := mustParseQuery(t, "ans :- e AS e1(X,Y), e AS e2(Y,Z).")
+	variants := []string{
+		"ans :- e AS e1(X,Y), e AS e2(X,Y).", // parallel, not a path
+		"ans :- e AS e1(X,Y), e AS e2(X,Z).", // fork
+		"ans :- e AS e1(X,Y), f AS f1(Y,Z).", // different base relation
+		"ans :- e AS e1(X,Y), e AS e2(Y,X).", // reversed column roles... same structure? no: occurrence pattern differs
+		"ans(X) :- e AS e1(X,Y), e AS e2(Y,Z).",
+	}
+	kb, err := CanonicalizeQuery(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range variants {
+		q := mustParseQuery(t, text)
+		kq, err := CanonicalizeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kq.Key == kb.Key {
+			t.Errorf("%q collided with %q", text, base)
+		}
+	}
+}
+
+func TestCanonicalizeQueryAtomMaps(t *testing.T) {
+	q := mustParseQuery(t, "ans(X) :- e AS foo(X,Y), e AS bar(Y,Z), r(Z,X).")
+	qc, err := CanonicalizeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qc.Query.Validate(); err != nil {
+		t.Fatalf("canonical query invalid: %v", err)
+	}
+	for caller, canon := range qc.AtomToCanon {
+		if qc.AtomFromCanon[canon] != caller {
+			t.Errorf("AtomFromCanon[%q] = %q, want %q", canon, qc.AtomFromCanon[canon], caller)
+		}
+	}
+	// Unaliased atoms keep their predicate as canonical name.
+	if qc.CanonAtomName("r") != "r" {
+		t.Errorf("unaliased atom renamed: %q", qc.CanonAtomName("r"))
+	}
+	// Aliased atoms canonicalize to pred#i, distinct per alias.
+	cf, cb := qc.CanonAtomName("foo"), qc.CanonAtomName("bar")
+	if cf == "foo" || cb == "bar" || cf == cb {
+		t.Errorf("alias canonicalization wrong: foo→%q bar→%q", cf, cb)
+	}
+	// Fresh variables follow the atom-name maps in both directions.
+	fresh := "foo" + cq.FreshSuffix
+	if got := qc.CallerVarName(qc.CanonVarName(fresh)); got != fresh {
+		t.Errorf("fresh variable round trip: %q", got)
+	}
+	// A single aliased use of a relation canonicalizes like the bare atom.
+	solo := mustParseQuery(t, "ans :- e AS only(X,Y), r(Y,X).")
+	bare := mustParseQuery(t, "ans :- e(X,Y), r(Y,X).")
+	ks, err := CanonicalizeQuery(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kbq, err := CanonicalizeQuery(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Key != kbq.Key {
+		t.Errorf("solo alias should canonicalize like the bare atom: %q vs %q", ks.Key, kbq.Key)
+	}
+}
+
+// selfJoinCatalog builds an analyzed catalog with one binary edge relation
+// (for path/triangle self-joins) plus a helper relation r.
+func selfJoinCatalog(t testing.TB, seed int64) *db.Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cat, err := db.GenerateCatalog(rng, []db.Spec{
+		{Name: "e", Attrs: []string{"src", "dst"}, Card: 30, Distinct: map[string]int{"src": 10, "dst": 10}},
+		{Name: "r", Attrs: []string{"a", "b"}, Card: 20, Distinct: map[string]int{"a": 8, "b": 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestPlannerSelfJoinRenamedAliasHit: a self-join plans through the cache;
+// re-planning it under fresh variable AND alias names is a cache hit, and
+// the remapped plan evaluates to the same relation as naive evaluation of
+// the renamed query.
+func TestPlannerSelfJoinRenamedAliasHit(t *testing.T) {
+	cat := selfJoinCatalog(t, 1)
+	p := NewPlanner(Options{})
+	for _, tc := range []struct{ name, base, renamed string }{
+		{"path", "ans(X,Z) :- e AS e1(X,Y), e AS e2(Y,Z).",
+			"ans(P,R) :- e AS walk1(P,Q), e AS walk2(Q,R)."},
+		{"triangle", "ans(X,Y,Z) :- e AS e1(X,Y), e AS e2(Y,Z), e AS e3(Z,X).",
+			"ans(U,V,W) :- e AS c(U,V), e AS a(V,W), e AS b(W,U)."},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := mustParseQuery(t, tc.base)
+			renamed := mustParseQuery(t, tc.renamed)
+			basePlan, hit, err := p.PlanCached(base, cat, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hit {
+				t.Fatal("first plan of the structure reported a cache hit")
+			}
+			plan, hit, err := p.PlanCached(renamed, cat, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hit {
+				t.Fatal("alias+variable-renamed self-join missed the cache")
+			}
+			if plan.EstimatedCost != basePlan.EstimatedCost {
+				t.Fatalf("remapped cost %v != original %v", plan.EstimatedCost, basePlan.EstimatedCost)
+			}
+			got, err := engine.EvalDecomposition(plan.Decomp, plan.Query, cat, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := engine.EvalNaive(renamed, cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatal("remapped self-join plan computed a different relation than naive evaluation")
+			}
+		})
+	}
+}
+
+// TestPlannerSelfJoinMatchesColdPath: the cached path must agree with the
+// direct cost.CostKDecomp result on an aliased query (cost bit-identical).
+func TestPlannerSelfJoinMatchesColdPath(t *testing.T) {
+	cat := selfJoinCatalog(t, 2)
+	q := mustParseQuery(t, "ans(X) :- e AS e1(X,Y), e AS e2(Y,Z), r(Z,X).")
+	direct, err := cost.CostKDecomp(q, cat, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlanner(Options{})
+	for call := 0; call < 2; call++ { // cold, then remapped hit
+		plan, err := p.Plan(q, cat, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.EstimatedCost != direct.EstimatedCost {
+			t.Fatalf("call %d: cached cost %v != direct %v", call, plan.EstimatedCost, direct.EstimatedCost)
+		}
+	}
+}

@@ -24,13 +24,15 @@ import (
 )
 
 // QueryCanon is a conjunctive query reduced to canonical form: atoms sorted
-// by predicate name, body variables renamed v0, v1, ... in first-occurrence
-// order over the sorted atoms, the head normalized to "ans". Two queries
-// have equal Key iff they are identical up to a renaming of variables (and
-// the head predicate's name).
+// by base predicate (with a canonical order among same-predicate atoms —
+// self-join aliases), body variables renamed v0, v1, ... in first-occurrence
+// order over the sorted atoms, aliases renamed pred#1, pred#2, ..., the head
+// normalized to "ans". Two queries have equal Key iff they are identical up
+// to a renaming of variables and of aliases (and the head predicate's name):
+// "e AS e1(X,Y), e AS e2(Y,Z)" and "e AS p(A,B), e AS q(B,C)" share a Key.
 type QueryCanon struct {
 	// Key is the canonical rendering; it fully determines the query up to
-	// variable renaming.
+	// variable and alias renaming.
 	Key string
 	// Query is the canonicalized query itself.
 	Query *cq.Query
@@ -38,22 +40,253 @@ type QueryCanon struct {
 	ToCanon map[string]string
 	// FromCanon maps canonical names back to the caller's variables.
 	FromCanon map[string]string
+	// AtomToCanon maps the caller's atom names (cq.Atom.Name) to canonical
+	// atom names; identity entries for unaliased atoms are included.
+	AtomToCanon map[string]string
+	// AtomFromCanon maps canonical atom names back to the caller's.
+	AtomFromCanon map[string]string
 }
 
-// CanonicalizeQuery computes the canonical form of q. It fails on queries
-// with duplicate predicates (planning rejects those anyway — the paper
-// assumes one relation per atom) because sorting by predicate would then be
-// ambiguous.
+// CanonVarName translates a caller variable to its canonical name. Fresh
+// variables (cq.WithFreshVariables, named after atoms) translate through the
+// atom-name map; unknown names pass through unchanged.
+func (qc *QueryCanon) CanonVarName(v string) string {
+	if c, ok := qc.ToCanon[v]; ok {
+		return c
+	}
+	if cq.IsFreshVariable(v) {
+		base := strings.TrimSuffix(v, cq.FreshSuffix)
+		return qc.CanonAtomName(base) + cq.FreshSuffix
+	}
+	return v
+}
+
+// CallerVarName is the inverse of CanonVarName.
+func (qc *QueryCanon) CallerVarName(v string) string {
+	if c, ok := qc.FromCanon[v]; ok {
+		return c
+	}
+	if cq.IsFreshVariable(v) {
+		base := strings.TrimSuffix(v, cq.FreshSuffix)
+		return qc.CallerAtomName(base) + cq.FreshSuffix
+	}
+	return v
+}
+
+// CanonAtomName translates a caller atom name to its canonical name.
+func (qc *QueryCanon) CanonAtomName(n string) string {
+	if c, ok := qc.AtomToCanon[n]; ok {
+		return c
+	}
+	return n
+}
+
+// CallerAtomName is the inverse of CanonAtomName.
+func (qc *QueryCanon) CallerAtomName(n string) string {
+	if c, ok := qc.AtomFromCanon[n]; ok {
+		return c
+	}
+	return n
+}
+
+// permutationBudget bounds how many candidate atom orders CanonicalizeQuery
+// renders while minimizing the key: the product of the permuted groups'
+// factorials is kept ≤ this bound, admitting groups greedily in sorted
+// order (5040 = 7! covers one 7-way fully symmetric self-join, or e.g. a
+// 4-way and a 3-way together; two 5-way groups exceed it). Groups left out
+// keep their refined order, which stays sound (equal keys still imply
+// isomorphic queries) but may miss a cache hit on adversarially symmetric
+// inputs.
+const permutationBudget = 5040
+
+// CanonicalizeQuery computes the canonical form of q. Atom order in the
+// input never matters. Among atoms sharing a base predicate (self-join
+// aliases) the canonical order is chosen to minimize the rendered key —
+// first by a renaming-invariant refinement signature (arity, per-position
+// self-join pattern, variable occurrence counts, output membership), then,
+// for atoms the signature cannot split, by trying their permutations and
+// keeping the lexicographically smallest key, so the result is invariant
+// under both variable and alias renaming. It fails on duplicate atom names
+// (such queries are not planneable: their hypergraphs have colliding edge
+// names).
 func CanonicalizeQuery(q *cq.Query) (*QueryCanon, error) {
-	atoms := make([]cq.Atom, len(q.Atoms))
-	copy(atoms, q.Atoms)
-	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Predicate < atoms[j].Predicate })
-	for i := 1; i < len(atoms); i++ {
-		if atoms[i].Predicate == atoms[i-1].Predicate {
-			return nil, fmt.Errorf("cache: duplicate predicate %s", atoms[i].Predicate)
+	n := len(q.Atoms)
+	names := make(map[string]bool, n)
+	for _, a := range q.Atoms {
+		if names[a.Name()] {
+			return nil, fmt.Errorf("cache: duplicate atom name %s (self-joins need distinct aliases)", a.Name())
+		}
+		names[a.Name()] = true
+	}
+
+	// Renaming-invariant refinement: per-variable occurrence counts and
+	// output membership, folded into a per-atom signature together with the
+	// predicate, arity, and the atom's internal equality pattern.
+	occ := map[string]int{}
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars {
+			occ[v]++
 		}
 	}
-	qc := &QueryCanon{ToCanon: map[string]string{}, FromCanon: map[string]string{}}
+	outSet := map[string]bool{}
+	for _, v := range q.Out {
+		outSet[v] = true
+	}
+	sigs := make([]string, n)
+	for i, a := range q.Atoms {
+		var b strings.Builder
+		b.WriteString(strconv.Itoa(len(a.Vars)))
+		first := map[string]int{}
+		for pos, v := range a.Vars {
+			fp, ok := first[v]
+			if !ok {
+				fp = pos
+				first[v] = pos
+			}
+			fmt.Fprintf(&b, ";%d,%d,%t", fp, occ[v], outSet[v])
+		}
+		sigs[i] = b.String()
+	}
+
+	// Base order: by (predicate, signature, input position). Runs of equal
+	// (predicate, signature) are the only atoms a renaming could permute.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		if q.Atoms[i].Predicate != q.Atoms[j].Predicate {
+			return q.Atoms[i].Predicate < q.Atoms[j].Predicate
+		}
+		if sigs[i] != sigs[j] {
+			return sigs[i] < sigs[j]
+		}
+		return i < j
+	})
+
+	// Ambiguous runs: positions [start, end) in order with equal key.
+	type run struct{ start, end int }
+	var runs []run
+	budget := permutationBudget
+	for s := 0; s < n; {
+		e := s + 1
+		for e < n && q.Atoms[order[e]].Predicate == q.Atoms[order[s]].Predicate && sigs[order[e]] == sigs[order[s]] {
+			e++
+		}
+		if e-s > 1 {
+			f := factorial(e - s)
+			if f > 0 && budget/f >= 1 {
+				budget /= f
+				runs = append(runs, run{s, e})
+			}
+		}
+		s = e
+	}
+
+	// Canonical atom names are positional — pred when the predicate occurs
+	// once, pred#1, pred#2, ... otherwise — so within-run permutations only
+	// change variable numbering, and the key renderer below is what the
+	// minimization compares.
+	predCount := map[string]int{}
+	for _, a := range q.Atoms {
+		predCount[a.Predicate]++
+	}
+	canonName := func(pos int) (pred, alias string) {
+		a := q.Atoms[order[pos]]
+		if predCount[a.Predicate] == 1 {
+			return a.Predicate, ""
+		}
+		ord := 1
+		for p := pos - 1; p >= 0 && q.Atoms[order[p]].Predicate == a.Predicate; p-- {
+			ord++
+		}
+		return a.Predicate, a.Predicate + "#" + strconv.Itoa(ord)
+	}
+	keyOf := func() string {
+		var b strings.Builder
+		ids := map[string]int{}
+		id := func(v string) int {
+			i, ok := ids[v]
+			if !ok {
+				i = len(ids)
+				ids[v] = i
+			}
+			return i
+		}
+		for pos := 0; pos < n; pos++ {
+			pred, alias := canonName(pos)
+			b.WriteString(pred)
+			if alias != "" {
+				b.WriteByte('#')
+				// The ordinal alone: the alias is pred#ordinal and pred was
+				// just written.
+				b.WriteString(alias[len(pred)+1:])
+			}
+			b.WriteByte('(')
+			for vi, v := range q.Atoms[order[pos]].Vars {
+				if vi > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(id(v)))
+			}
+			b.WriteString(");")
+		}
+		b.WriteString("|out:")
+		for oi, v := range q.Out {
+			if oi > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(id(v)))
+		}
+		return b.String()
+	}
+
+	// Minimize the key over the cartesian product of run permutations.
+	bestKey := keyOf()
+	bestOrder := append([]int(nil), order...)
+	var permute func(ri int)
+	permute = func(ri int) {
+		if ri == len(runs) {
+			if k := keyOf(); k < bestKey {
+				bestKey = k
+				bestOrder = append(bestOrder[:0], order...)
+			}
+			return
+		}
+		r := runs[ri]
+		seg := order[r.start:r.end]
+		var heap func(m int)
+		heap = func(m int) {
+			if m == 1 {
+				permute(ri + 1)
+				return
+			}
+			for i := 0; i < m; i++ {
+				heap(m - 1)
+				if m%2 == 0 {
+					seg[i], seg[m-1] = seg[m-1], seg[i]
+				} else {
+					seg[0], seg[m-1] = seg[m-1], seg[0]
+				}
+			}
+		}
+		heap(len(seg))
+	}
+	if len(runs) > 0 {
+		permute(0)
+	}
+	order = bestOrder
+
+	// Rebuild the canonical query and the translation maps from the winning
+	// order.
+	qc := &QueryCanon{
+		Key:           bestKey,
+		ToCanon:       map[string]string{},
+		FromCanon:     map[string]string{},
+		AtomToCanon:   map[string]string{},
+		AtomFromCanon: map[string]string{},
+	}
 	rename := func(v string) string {
 		if c, ok := qc.ToCanon[v]; ok {
 			return c
@@ -64,19 +297,35 @@ func CanonicalizeQuery(q *cq.Query) (*QueryCanon, error) {
 		return c
 	}
 	canon := &cq.Query{Head: "ans"}
-	for _, a := range atoms {
+	for pos := 0; pos < n; pos++ {
+		a := q.Atoms[order[pos]]
+		pred, alias := canonName(pos)
 		vars := make([]string, len(a.Vars))
 		for i, v := range a.Vars {
 			vars[i] = rename(v)
 		}
-		canon.Atoms = append(canon.Atoms, cq.Atom{Predicate: a.Predicate, Vars: vars})
+		ca := cq.Atom{Predicate: pred, Alias: alias, Vars: vars}
+		qc.AtomToCanon[a.Name()] = ca.Name()
+		qc.AtomFromCanon[ca.Name()] = a.Name()
+		canon.Atoms = append(canon.Atoms, ca)
 	}
 	for _, v := range q.Out {
 		canon.Out = append(canon.Out, rename(v))
 	}
 	qc.Query = canon
-	qc.Key = canon.String()
 	return qc, nil
+}
+
+// factorial returns m! for small m, saturating far above permutationBudget.
+func factorial(m int) int {
+	f := 1
+	for i := 2; i <= m; i++ {
+		f *= i
+		if f > permutationBudget*8 {
+			return permutationBudget * 8
+		}
+	}
+	return f
 }
 
 // HypergraphCanon is a hypergraph reduced to canonical form. Edges keep

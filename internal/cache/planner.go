@@ -159,9 +159,9 @@ func (p *Planner) Plan(q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, error) 
 func (p *Planner) PlanCached(q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
 	qc, err := CanonicalizeQuery(q)
 	if err != nil {
-		// Not canonicalizable (duplicate predicates): bypass the cache and
-		// let the direct path produce its usual error (or, if planning such
-		// a query ever becomes legal, its plan).
+		// Not canonicalizable (duplicate atom names — unaliased self-joins):
+		// bypass the cache and let the direct path produce its usual error
+		// (or, if planning such a query ever becomes legal, its plan).
 		plan, err := cost.CostKDecomp(q, cat, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
 		return plan, false, err
 	}
@@ -280,20 +280,18 @@ func (p *Planner) searchFor(qc *QueryCanon, k int) (*cost.PlanSearch, error) {
 	return v.(*cost.PlanSearchFamily).At(k)
 }
 
-// canonicalizeEstimates renames the variable keys of per-predicate
-// estimates to canonical names. Fresh variables (predicate-derived names)
-// are identical in both namings and pass through.
+// canonicalizeEstimates renames per-atom estimates to canonical names: the
+// map keys (atom names — aliases canonicalize to pred#i) and the variable
+// keys inside each estimate, including the fresh variables whose names
+// derive from atom names.
 func canonicalizeEstimates(ests map[string]cost.Est, qc *QueryCanon) map[string]cost.Est {
 	out := make(map[string]cost.Est, len(ests))
-	for pred, e := range ests {
+	for name, e := range ests {
 		v := make(map[string]float64, len(e.V))
-		for name, val := range e.V {
-			if c, ok := qc.ToCanon[name]; ok {
-				name = c
-			}
-			v[name] = val
+		for vn, val := range e.V {
+			v[qc.CanonVarName(vn)] = val
 		}
-		out[pred] = cost.Est{Card: e.Card, V: v}
+		out[qc.CanonAtomName(name)] = cost.Est{Card: e.Card, V: v}
 	}
 	return out
 }
@@ -308,7 +306,7 @@ func planKey(qc *QueryCanon, k int, canonEsts map[string]cost.Est) string {
 	b.WriteString("\x00k")
 	b.WriteString(strconv.Itoa(k))
 	for _, a := range qc.Query.Atoms {
-		e := canonEsts[a.Predicate]
+		e := canonEsts[a.Name()]
 		b.WriteByte('\x00')
 		b.WriteString(strconv.FormatFloat(e.Card, 'g', -1, 64))
 		for _, v := range a.Vars {
@@ -331,10 +329,9 @@ func remapPlan(canon *cost.Plan, qc *QueryCanon, q *cq.Query) (*cost.Plan, error
 	h1 := canon.Decomp.H
 	varMap := make([]int, h1.NumVars())
 	for i := 0; i < h1.NumVars(); i++ {
-		name := h1.VarName(i)
-		if orig, ok := qc.FromCanon[name]; ok {
-			name = orig
-		}
+		// CallerVarName covers both renamed body variables and fresh
+		// variables, whose names follow the (canonically renamed) atom names.
+		name := qc.CallerVarName(h1.VarName(i))
 		j := h2.VarByName(name)
 		if j < 0 {
 			return nil, fmt.Errorf("cache: remap lost variable %s", name)
@@ -343,9 +340,10 @@ func remapPlan(canon *cost.Plan, qc *QueryCanon, q *cq.Query) (*cost.Plan, error
 	}
 	edgeMap := make([]int, h1.NumEdges())
 	for e := 0; e < h1.NumEdges(); e++ {
-		j := h2.EdgeByName(h1.EdgeName(e))
+		name := qc.CallerAtomName(h1.EdgeName(e))
+		j := h2.EdgeByName(name)
 		if j < 0 {
-			return nil, fmt.Errorf("cache: remap lost edge %s", h1.EdgeName(e))
+			return nil, fmt.Errorf("cache: remap lost edge %s", name)
 		}
 		edgeMap[e] = j
 	}

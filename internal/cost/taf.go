@@ -34,7 +34,7 @@ import (
 // serializing on a reader counter.
 type Model struct {
 	query   *cq.Query
-	edgeEst map[string]Est // per predicate: atom relation stats as query vars
+	edgeEst map[string]Est // per atom name: base-relation stats as query vars
 
 	nodes *weights.Memo[weights.MemoKey, nodeEst] // nodes stamped by a solver
 	joins *weights.Memo[[2]int32, joinEst]        // per (gen, λ ID) join estimates
@@ -114,10 +114,13 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// EdgeEstimates computes, per atom predicate, the estimated statistics of
-// the atom's base relation with attributes renamed to the query's variables:
-// exactly the quantitative input the cost TAF consumes. It fails if some
-// atom's relation has no statistics (run cat.AnalyzeAll first).
+// EdgeEstimates computes, per atom name (alias, or predicate when
+// unaliased — the name of the atom's hyperedge in H(Q)), the estimated
+// statistics of the atom's base relation with attributes renamed to the
+// query's variables: exactly the quantitative input the cost TAF consumes.
+// Every alias of a base relation resolves to that relation's cardinality
+// and selectivities, under the alias's own variable naming. It fails if
+// some atom's relation has no statistics (run cat.AnalyzeAll first).
 func EdgeEstimates(q *cq.Query, cat *db.Catalog) (map[string]Est, error) {
 	out := map[string]Est{}
 	for _, a := range q.Atoms {
@@ -149,7 +152,7 @@ func EdgeEstimates(q *cq.Query, cat *db.Catalog) (map[string]Est, error) {
 		if fresh {
 			e.V[vars[len(vars)-1]] = e.Card
 		}
-		out[a.Predicate] = e
+		out[a.Name()] = e
 	}
 	return out, nil
 }

@@ -6,6 +6,15 @@
 // Introduction, the fresh-variable augmentation used by cost-k-decomp to
 // force complete decompositions (Section 6), and the paper's benchmark
 // queries Q0–Q3.
+//
+// Self-joins are expressed by aliasing relations:
+//
+//	ans(X, Z) :- e AS e1(X, Y), e AS e2(Y, Z).
+//
+// An atom's alias names the atom (and its hyperedge in H(Q)); its predicate
+// names the base relation whose statistics and tuples the atom binds to.
+// Parse additionally auto-aliases bare duplicate predicates, so
+// "e(X,Y), e(Y,Z)" is accepted and becomes "e AS e_1(X,Y), e AS e_2(Y,Z)".
 package cq
 
 import (
@@ -14,14 +23,33 @@ import (
 	"strings"
 )
 
-// Atom is a query atom: a predicate over variables.
+// Atom is a query atom: a predicate over variables, optionally under an
+// alias. Predicate names the base relation; Alias, when non-empty, names
+// this particular use of it, which is what makes self-joins expressible —
+// two atoms may share a Predicate as long as their Names differ.
 type Atom struct {
 	Predicate string
+	Alias     string // optional; distinct per atom when set
 	Vars      []string
 }
 
-// String renders the atom as predicate(v1,...,vn).
+// Name returns the atom's name: the alias when set, else the predicate.
+// Atom names are what must be distinct within a query; they name the
+// hyperedges of H(Q), the bound relations of the engine, and the
+// per-atom estimates of the cost model.
+func (a Atom) Name() string {
+	if a.Alias != "" {
+		return a.Alias
+	}
+	return a.Predicate
+}
+
+// String renders the atom as predicate(v1,...,vn), or
+// "predicate AS alias(v1,...,vn)" when aliased.
 func (a Atom) String() string {
+	if a.Alias != "" && a.Alias != a.Predicate {
+		return a.Predicate + " AS " + a.Alias + "(" + strings.Join(a.Vars, ",") + ")"
+	}
 	return a.Predicate + "(" + strings.Join(a.Vars, ",") + ")"
 }
 
@@ -69,21 +97,26 @@ func (q *Query) Variables() []string {
 }
 
 // Validate checks basic well-formedness: at least one atom, non-empty
-// atoms, distinct predicate names (the paper assumes one relation per
-// atom), and head variables appearing in the body (safety).
+// atoms, distinct atom names (aliases make self-joins legal: two atoms may
+// share a predicate when their aliases differ), and head variables
+// appearing in the body (safety).
 func (q *Query) Validate() error {
 	if len(q.Atoms) == 0 {
 		return fmt.Errorf("cq: query has no atoms")
 	}
-	preds := map[string]bool{}
+	names := map[string]bool{}
 	for _, a := range q.Atoms {
 		if len(a.Vars) == 0 {
-			return fmt.Errorf("cq: atom %s has no variables", a.Predicate)
+			return fmt.Errorf("cq: atom %s has no variables", a.Name())
 		}
-		if preds[a.Predicate] {
-			return fmt.Errorf("cq: duplicate predicate %s (self-joins need aliased relations)", a.Predicate)
+		n := a.Name()
+		if names[n] {
+			if a.Alias == "" {
+				return fmt.Errorf("cq: duplicate predicate %s (self-joins need aliased relations: write %s AS %s_2(...), or call AutoAlias)", n, n, n)
+			}
+			return fmt.Errorf("cq: duplicate atom name %s (aliases must be distinct)", n)
 		}
-		preds[a.Predicate] = true
+		names[n] = true
 	}
 	body := map[string]bool{}
 	for _, v := range q.Variables() {
@@ -97,10 +130,59 @@ func (q *Query) Validate() error {
 	return nil
 }
 
-// AtomByPredicate returns the atom with the given predicate, or nil.
+// AutoAlias assigns aliases, in place, to every bare occurrence of a
+// predicate that appears more than once without one, choosing names
+// pred_1, pred_2, ... that collide with no existing atom name or predicate.
+// It is what lets Parse accept "e(X,Y), e(Y,Z)" — after AutoAlias the query
+// reads "e AS e_1(X,Y), e AS e_2(Y,Z)" and validates. The assignment is
+// deterministic (body order), so equal inputs alias identically.
+func (q *Query) AutoAlias() {
+	bare := map[string]int{}
+	for _, a := range q.Atoms {
+		if a.Alias == "" {
+			bare[a.Predicate]++
+		}
+	}
+	used := map[string]bool{}
+	for _, a := range q.Atoms {
+		used[a.Name()] = true
+		used[a.Predicate] = true
+	}
+	counter := map[string]int{}
+	for i := range q.Atoms {
+		a := &q.Atoms[i]
+		if a.Alias != "" || bare[a.Predicate] <= 1 {
+			continue
+		}
+		for {
+			counter[a.Predicate]++
+			cand := fmt.Sprintf("%s_%d", a.Predicate, counter[a.Predicate])
+			if !used[cand] {
+				a.Alias = cand
+				used[cand] = true
+				break
+			}
+		}
+	}
+}
+
+// AtomByPredicate returns the first atom with the given predicate, or nil.
+// With self-joins a predicate may label several atoms; use AtomByName to
+// address one unambiguously.
 func (q *Query) AtomByPredicate(p string) *Atom {
 	for i := range q.Atoms {
 		if q.Atoms[i].Predicate == p {
+			return &q.Atoms[i]
+		}
+	}
+	return nil
+}
+
+// AtomByName returns the atom with the given name (alias, or predicate for
+// unaliased atoms), or nil. Names are unique in a validated query.
+func (q *Query) AtomByName(n string) *Atom {
+	for i := range q.Atoms {
+		if q.Atoms[i].Name() == n {
 			return &q.Atoms[i]
 		}
 	}

@@ -59,13 +59,15 @@ func TestParseErrors(t *testing.T) {
 		"ans",
 		"ans :-",
 		"ans :- r()",
-		"ans :- r(X,Y) s(Y,Z)",   // missing comma
-		"ans(W) :- r(X,Y)",       // unsafe head
-		"ans :- r(X), r(Y)",      // duplicate predicate
-		"ans :- r(X,Y) , ",       // dangling comma
-		"ans :- r(X,Y). trailer", // trailing input
-		"ans : r(X)",             // bad arrow
-		"ans :- r(X,!)",          // bad char
+		"ans :- r(X,Y) s(Y,Z)",        // missing comma
+		"ans(W) :- r(X,Y)",            // unsafe head
+		"ans :- r AS a(X), r AS a(Y)", // duplicate alias
+		"ans :- r AS a(X), a(Y)",      // alias collides with atom name
+		"ans :- r AS (X)",             // missing alias identifier
+		"ans :- r(X,Y) , ",            // dangling comma
+		"ans :- r(X,Y). trailer",      // trailing input
+		"ans : r(X)",                  // bad arrow
+		"ans :- r(X,!)",               // bad char
 	} {
 		if _, err := Parse(text); err == nil {
 			t.Errorf("%q: expected parse error", text)
@@ -188,6 +190,110 @@ func TestAtomByPredicate(t *testing.T) {
 	}
 	if q.AtomByPredicate("nope") != nil {
 		t.Error("missing predicate should return nil")
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	q, err := Parse("ans(X,Z) :- e AS e1(X,Y), e AS e2(Y,Z).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Atoms[0].Predicate != "e" || q.Atoms[0].Alias != "e1" || q.Atoms[1].Alias != "e2" {
+		t.Fatalf("aliases wrong: %+v", q.Atoms)
+	}
+	if q.Atoms[0].Name() != "e1" || q.Atoms[1].Name() != "e2" {
+		t.Errorf("Name() wrong: %s, %s", q.Atoms[0].Name(), q.Atoms[1].Name())
+	}
+	// Lower-case keyword accepted.
+	if _, err := Parse("ans :- e as e1(X,Y), e as e2(Y,Z)"); err != nil {
+		t.Errorf("lower-case as: %v", err)
+	}
+	// Aliases become distinct hyperedges.
+	h, err := q.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 2 || h.EdgeByName("e1") < 0 || h.EdgeByName("e2") < 0 {
+		t.Errorf("hypergraph edges wrong: %d edges", h.NumEdges())
+	}
+	// Fresh variables are per-alias private.
+	f := q.WithFreshVariables()
+	f1 := f.Atoms[0].Vars[len(f.Atoms[0].Vars)-1]
+	f2 := f.Atoms[1].Vars[len(f.Atoms[1].Vars)-1]
+	if f1 == f2 || !IsFreshVariable(f1) || !IsFreshVariable(f2) {
+		t.Errorf("fresh variables not per-alias: %q vs %q", f1, f2)
+	}
+}
+
+func TestParseAutoAlias(t *testing.T) {
+	q, err := Parse("ans :- e(X,Y), e(Y,Z), r(Z,W)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Atoms[0].Alias != "e_1" || q.Atoms[1].Alias != "e_2" {
+		t.Fatalf("auto-alias wrong: %+v", q.Atoms)
+	}
+	if q.Atoms[2].Alias != "" {
+		t.Errorf("unique predicate r should stay bare: %+v", q.Atoms[2])
+	}
+	// Auto-alias avoids occupied names.
+	q2, err := Parse("ans :- e_1(A), e(X,Y), e(Y,Z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Atoms[1].Alias != "e_2" || q2.Atoms[2].Alias != "e_3" {
+		t.Errorf("auto-alias should skip occupied e_1: %+v", q2.Atoms)
+	}
+	if err := q2.Validate(); err != nil {
+		t.Errorf("auto-aliased query must validate: %v", err)
+	}
+}
+
+func TestAliasStringRoundTrip(t *testing.T) {
+	for _, text := range []string{
+		"ans(X,Z) :- e AS e1(X,Y), e AS e2(Y,Z).",
+		"ans :- e(X,Y), e(Y,Z).", // auto-aliased form must re-parse
+		"ans :- e AS e1(X,Y), e AS e2(Y,Z), e AS e3(Z,X).",
+	} {
+		q := MustParse(text)
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("%q: round trip: %v (rendered %q)", text, err, q.String())
+		}
+		if q2.String() != q.String() {
+			t.Errorf("%q: round trip changed query: %q vs %q", text, q2.String(), q.String())
+		}
+	}
+}
+
+func TestValidateDuplicateBarePredicate(t *testing.T) {
+	// Programmatic construction without AutoAlias still gets the clear error.
+	q := &Query{Head: "ans", Atoms: []Atom{
+		{Predicate: "r", Vars: []string{"X"}},
+		{Predicate: "r", Vars: []string{"Y"}},
+	}}
+	if err := q.Validate(); err == nil {
+		t.Fatal("expected duplicate-predicate error")
+	}
+	q.AutoAlias()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("after AutoAlias: %v", err)
+	}
+}
+
+func TestAtomByName(t *testing.T) {
+	q := MustParse("ans :- e AS e1(X,Y), e AS e2(Y,Z), r(Z)")
+	if a := q.AtomByName("e2"); a == nil || a.Predicate != "e" {
+		t.Error("AtomByName(e2) failed")
+	}
+	if a := q.AtomByName("r"); a == nil || a.Alias != "" {
+		t.Error("AtomByName(r) failed")
+	}
+	if q.AtomByName("e") != nil {
+		t.Error("aliased atoms should not answer to their predicate name")
+	}
+	if a := q.AtomByPredicate("e"); a == nil || a.Alias != "e1" {
+		t.Error("AtomByPredicate should return the first e atom")
 	}
 }
 

@@ -1,0 +1,71 @@
+package cq
+
+import (
+	"testing"
+)
+
+// FuzzParse fuzzes the query parser. Invariants, for every input:
+//
+//   - Parse never panics (the fuzz engine catches panics itself);
+//   - an accepted query validates (Parse guarantees it) and builds a
+//     hypergraph — aliasing and auto-aliasing must leave edge names unique;
+//   - rendering an accepted query re-parses to the same rendering
+//     (String/Parse round trip), so aliased and auto-aliased forms survive
+//     serialization.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Fixture corpus (the paper's benchmark queries).
+		Q0().String(),
+		Q1().String(),
+		Q2().String(),
+		Q3().String(),
+		// Plain forms and accepted syntax variations.
+		"ans(X,Y) :- r(X,Z), s(Z,Y).",
+		"ans :- r(X,Z), s(Z,Y)",
+		"ans() <- r(X,Z), s(Z,Y).",
+		"ans ← r(X,Z) ∧ s(Z,Y)",
+		"ans :- a(X,X'), b(X',Y)",
+		// Aliased self-joins and auto-aliased duplicates.
+		"ans(X,Z) :- e AS e1(X,Y), e AS e2(Y,Z).",
+		"ans :- e AS e1(X,Y), e AS e2(Y,Z), e AS e3(Z,X).",
+		"ans :- e(X,Y), e(Y,Z).",
+		"ans :- e as lower(X,Y), e AS UPPER(Y,X)",
+		"ans :- as(X), e AS as2(X)",
+		// Near-miss malformed inputs steer mutation to the edges.
+		"ans :- e AS (X)",
+		"ans :- e AS AS AS(X)",
+		"ans :- r(X), r(X)",
+		"ans(W) :- r(X)",
+		"ans :- r(,)",
+		"ans :- ",
+		":- r(X)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Parse accepted %q but Validate rejects it: %v", text, err)
+		}
+		if _, err := q.Hypergraph(); err != nil {
+			t.Fatalf("Parse accepted %q but Hypergraph fails: %v", text, err)
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip of %q: rendering %q does not re-parse: %v", text, rendered, err)
+		}
+		if got := q2.String(); got != rendered {
+			t.Fatalf("round trip of %q changed rendering: %q vs %q", text, got, rendered)
+		}
+		// The fresh-variable augmentation must stay well-formed too: it is
+		// what every plan search actually runs on.
+		if _, err := q.WithFreshVariables().Hypergraph(); err != nil {
+			t.Fatalf("augmented hypergraph of %q fails: %v", text, err)
+		}
+	})
+}

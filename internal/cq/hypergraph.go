@@ -5,11 +5,14 @@ import (
 )
 
 // Hypergraph builds H(Q): one vertex per body variable, one hyperedge per
-// atom, named by the atom's predicate (Introduction of the paper).
+// atom, named by the atom's name — its alias when set, else its predicate
+// (Introduction of the paper). Two aliases of one base relation therefore
+// contribute two distinct hyperedges, which is exactly how self-joins enter
+// the structural side of the decomposition machinery.
 func (q *Query) Hypergraph() (*hypergraph.Hypergraph, error) {
 	b := hypergraph.NewBuilder()
 	for _, a := range q.Atoms {
-		if err := b.Edge(a.Predicate, a.Vars...); err != nil {
+		if err := b.Edge(a.Name(), a.Vars...); err != nil {
 			return nil, err
 		}
 	}
@@ -24,13 +27,14 @@ const FreshSuffix = "$fresh"
 // fresh private variable (Section 6): with fresh variables, every NF
 // decomposition of the augmented hypergraph strongly covers every atom, so
 // minimal decompositions translate directly to complete query plans. The
-// fresh variable of atom p is named p + FreshSuffix.
+// fresh variable of atom p is named p's atom name + FreshSuffix, so two
+// aliases of one base relation get distinct fresh variables.
 func (q *Query) WithFreshVariables() *Query {
 	out := &Query{Head: q.Head, Out: append([]string(nil), q.Out...)}
 	for _, a := range q.Atoms {
 		vars := append([]string(nil), a.Vars...)
-		vars = append(vars, a.Predicate+FreshSuffix)
-		out.Atoms = append(out.Atoms, Atom{Predicate: a.Predicate, Vars: vars})
+		vars = append(vars, a.Name()+FreshSuffix)
+		out.Atoms = append(out.Atoms, Atom{Predicate: a.Predicate, Alias: a.Alias, Vars: vars})
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package cq
 
 import (
 	"fmt"
+	"strings"
 	"unicode"
 )
 
@@ -13,6 +14,13 @@ import (
 // trailing period, and a variable-free head "ans" or "ans()" for Boolean
 // queries. Identifiers are letters, digits, underscores, and apostrophes;
 // variables and predicates are distinguished by position, not case.
+//
+// Self-joins are written with relation aliases ("AS" is case-insensitive):
+//
+//	ans(X,Z) :- e AS e1(X,Y), e AS e2(Y,Z).
+//
+// Bare duplicate predicates are auto-aliased (Query.AutoAlias), so
+// "ans :- e(X,Y), e(Y,Z)" parses to "e AS e_1(X,Y), e AS e_2(Y,Z)".
 func Parse(text string) (*Query, error) {
 	toks, err := lex(text)
 	if err != nil {
@@ -23,6 +31,7 @@ func Parse(text string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	q.AutoAlias()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -167,10 +176,20 @@ func (p *parser) query() (*Query, error) {
 	return q, nil
 }
 
+// atom := ident [ 'AS' ident ] '(' vars ')'
 func (p *parser) atom() (Atom, error) {
 	name, err := p.expect(tokIdent, "predicate")
 	if err != nil {
 		return Atom{}, err
+	}
+	alias := ""
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "as") {
+		p.next()
+		at, err := p.expect(tokIdent, "alias")
+		if err != nil {
+			return Atom{}, err
+		}
+		alias = at.text
 	}
 	if _, err := p.expect(tokLParen, "("); err != nil {
 		return Atom{}, err
@@ -185,7 +204,7 @@ func (p *parser) atom() (Atom, error) {
 	if _, err := p.expect(tokRParen, ")"); err != nil {
 		return Atom{}, err
 	}
-	return Atom{Predicate: name.text, Vars: vars}, nil
+	return Atom{Predicate: name.text, Alias: alias, Vars: vars}, nil
 }
 
 // varList := [ ident (',' ident)* ]

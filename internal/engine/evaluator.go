@@ -38,16 +38,19 @@ func (m *Metrics) semijoin(r, s *db.Relation) *db.Relation {
 	return m.note(Semijoin(r, s))
 }
 
-// BindAtoms maps every atom of q to its catalog relation with columns
-// renamed to the atom's variables (positional correspondence). Atoms whose
-// final variable is fresh (cq.WithFreshVariables) bind to the relation
-// extended with a row-id column realizing the fresh variable.
+// BindAtoms maps every atom of q — keyed by atom name (alias, or predicate
+// when unaliased) — to its catalog base relation with columns renamed to the
+// atom's variables (positional correspondence). Two aliases of one base
+// relation bind to two independent renamings of the same stored tuples,
+// which is how self-joins execute: the relation is scanned once per alias.
+// Atoms whose final variable is fresh (cq.WithFreshVariables) bind to the
+// relation extended with a row-id column realizing the fresh variable.
 func BindAtoms(q *cq.Query, cat *db.Catalog) (map[string]*db.Relation, error) {
 	out := make(map[string]*db.Relation, len(q.Atoms))
 	for _, a := range q.Atoms {
 		rel := cat.Get(a.Predicate)
 		if rel == nil {
-			return nil, fmt.Errorf("engine: no relation for atom %s", a.Predicate)
+			return nil, fmt.Errorf("engine: no relation for atom %s", a.Name())
 		}
 		vars := a.Vars
 		if n := len(vars); n > 0 && cq.IsFreshVariable(vars[n-1]) {
@@ -55,13 +58,13 @@ func BindAtoms(q *cq.Query, cat *db.Catalog) (map[string]*db.Relation, error) {
 		}
 		if len(rel.Attrs) != len(vars) {
 			return nil, fmt.Errorf("engine: atom %s has arity %d but relation has %d columns",
-				a.Predicate, len(vars), len(rel.Attrs))
+				a.Name(), len(vars), len(rel.Attrs))
 		}
 		mapping := make(map[string]string, len(vars))
 		for i, attr := range rel.Attrs {
 			mapping[attr] = vars[i]
 		}
-		out[a.Predicate] = rel.Rename(a.Predicate, mapping)
+		out[a.Name()] = rel.Rename(a.Name(), mapping)
 	}
 	return out, nil
 }
@@ -73,9 +76,9 @@ func EvalNaive(q *cq.Query, cat *db.Catalog) (*db.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	cur := bound[q.Atoms[0].Predicate]
+	cur := bound[q.Atoms[0].Name()]
 	for _, a := range q.Atoms[1:] {
-		cur = NaturalJoin(cur, bound[a.Predicate])
+		cur = NaturalJoin(cur, bound[a.Name()])
 	}
 	return Project(cur, q.Out)
 }
@@ -104,7 +107,7 @@ func EvalLeftDeep(plan LeftDeepPlan, q *cq.Query, cat *db.Catalog, m *Metrics) (
 			return nil, fmt.Errorf("engine: invalid or duplicate atom index %d in plan", ai)
 		}
 		seen[ai] = true
-		r := bound[q.Atoms[ai].Predicate]
+		r := bound[q.Atoms[ai].Name()]
 		if cur == nil {
 			cur = m.note(r)
 			continue
