@@ -25,18 +25,21 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/chaos/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchrun: ")
-	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods|planner|server|solver")
+	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods|planner|server|solver|chaos")
 	seed := flag.Int64("seed", 1, "random seed")
 	repeats := flag.Int("repeats", 1, "timing repetitions (minimum is reported)")
 	scale := flag.Float64("scale", 1.0, "relative database scale for fig8a/fig8b")
 	requests := flag.Int("requests", 200, "request count for the planner and server experiments")
 	concurrency := flag.Int("concurrency", 16, "client concurrency for the server experiment")
 	solverOut := flag.String("solverout", "BENCH_solver.json", "output path for the solver benchmark JSON")
+	seeds := flag.Int64("seeds", 10, "seed count for the chaos soak")
+	chaosOut := flag.String("chaosout", "CHAOS_FAIL.txt", "output path for failing chaos seed/schedule lines")
 	compare := flag.Bool("compare", false, "compare two BENCH_solver.json files (base head) and fail on regression")
 	tolerance := flag.Float64("tolerance", 0.20, "relative ns/op regression tolerance for -compare")
 	flag.Parse()
@@ -129,6 +132,43 @@ func main() {
 		fmt.Println("=== Section 1.1: structural method comparison (bicomp / treewidth / ghw / hw) ===")
 		fmt.Println(bench.FormatMethods(bench.RunMethodComparison()))
 	}
+	// Like solver, chaos runs only when requested explicitly: it is a soak,
+	// not a table.
+	if *exp == "chaos" {
+		runChaosSoak(*seed, *seeds, *chaosOut)
+	}
+}
+
+// runChaosSoak runs every chaos scenario over the seed range, printing one
+// line per run. Failing runs have their seed + fault schedule appended to
+// outPath (CI uploads it as an artifact) and the process exits non-zero
+// after the full sweep, so one bad seed does not hide another.
+func runChaosSoak(baseSeed, seeds int64, outPath string) {
+	fmt.Printf("=== Chaos soak: %d scenarios x seeds %d..%d ===\n",
+		len(scenario.Scenarios()), baseSeed, baseSeed+seeds-1)
+	failed := 0
+	for _, sc := range scenario.Scenarios() {
+		for seed := baseSeed; seed < baseSeed+seeds; seed++ {
+			err := scenario.Run(sc, scenario.Options{Seed: seed})
+			if err == nil {
+				fmt.Printf("ok   %-16s seed=%d\n", sc.Name, seed)
+				continue
+			}
+			failed++
+			fmt.Printf("FAIL %-16s seed=%d\n%v\n", sc.Name, seed, err)
+			f, ferr := os.OpenFile(outPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+			if ferr != nil {
+				log.Printf("cannot record failure: %v", ferr)
+				continue
+			}
+			fmt.Fprintf(f, "%v\n", err)
+			f.Close()
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("%d chaos runs failed; reproduction lines in %s", failed, outPath)
+	}
+	fmt.Println("all chaos runs passed")
 }
 
 // runCompare executes the bench-regression gate. The documented invocation

@@ -80,6 +80,17 @@
 //	srv := htd.NewServer(htd.ServerConfig{})
 //	err := srv.ListenAndServe(ctx, ":8080")   // or embed srv.Handler()
 //
+// The concurrent layers are threaded with chaos injection points
+// (internal/chaos): a seed-deterministic fault schedule can crash or stall
+// a parallel-search worker mid-wave, delay or fail a singleflight compute,
+// drop cache inserts, inflate handler latency, and stall shutdown. Each
+// site declares which effects it can absorb, and with no injector
+// registered a hook is a single atomic load and branch — the hot path pays
+// nothing. The harness in internal/chaos/scenario replays generated
+// workloads under these schedules and asserts the standing invariants
+// (byte-identical plans, negative-cache soundness, request conservation,
+// leak-free drains); failures reproduce from the printed seed + schedule.
+//
 // See ExampleHypertreeWidth, ExamplePlanQuery, and ExamplePlanner for
 // runnable versions of these snippets.
 package htd

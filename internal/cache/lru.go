@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/chaos"
 )
 
 // CacheStats is a point-in-time snapshot of one cache's counters. The JSON
@@ -103,6 +105,14 @@ func (c *lru) get(key string) (any, bool) {
 // add inserts (or refreshes) an entry, evicting the least recently used
 // entry of the shard when over capacity.
 func (c *lru) add(key string, val any) {
+	// Chaos: Drop discards the entry instead of storing it — an instant
+	// eviction. Correctness must not depend on an add being durable, so
+	// under injection every insert may silently vanish; it is counted as
+	// an eviction to keep the counter invariants honest.
+	if chaos.Hit(chaos.CacheAdd, chaos.Drop)&chaos.Drop != 0 {
+		c.evictions.Add(1)
+		return
+	}
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {

@@ -3,6 +3,8 @@ package cache
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/chaos"
 )
 
 // flightGroup deduplicates concurrent computations by key: while one
@@ -54,6 +56,15 @@ func (g *flightGroup) do(key string, fn func() (any, error)) (val any, shared bo
 			panic(r)
 		}
 	}()
+	// Chaos: the flight is registered, so every coalesced waiter is now
+	// committed to this computation — an injected delay here makes waiters
+	// race their cancellation paths, and an injected failure must propagate
+	// to all of them without poisoning any cache (ErrInjected is never a
+	// domain error, so nothing downstream records it).
+	if chaos.Hit(chaos.CacheFlight, chaos.Delay|chaos.Fail)&chaos.Fail != 0 {
+		c.err = chaos.ErrInjected
+		return nil, false, c.err
+	}
 	c.val, c.err = fn()
 	return c.val, false, c.err
 }

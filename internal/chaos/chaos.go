@@ -1,0 +1,175 @@
+// Package chaos is the deterministic fault-injection layer behind the
+// resilience harness: named injection points threaded through the planner
+// (parallel search waves), the cache (singleflight computes, LRU inserts),
+// and the serving layer (handlers, the micro-batcher, catalog publication,
+// shutdown), plus a seed-reproducible fault Schedule that decides, per hit,
+// whether to delay, panic, fail, or drop.
+//
+// The design contract is zero cost on the hot path: every hook site calls
+// Hit, and with no injector registered Hit is one atomic pointer load and a
+// branch — no allocation, no lock, no time syscall. The standing
+// allocation-ceiling tests and the CI bench-regression gate pin this.
+//
+// Faults are requested by sites, not forced on them: a site passes the set
+// of effects it can honor safely (e.g. the parallel weigh wave allows
+// Delay|Panic because re-weighing a chunk is idempotent; structural
+// discovery allows Delay only because interning appends are not), and the
+// injector's answer is masked by that set. Injected panics carry a sentinel
+// recognized by IsInjected, so recovery paths never swallow a genuine bug.
+package chaos
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Point names an injection site. Sites are stable identifiers: a failing
+// seed + schedule reproduces only if the set of points and their hit sites
+// stay put, so new points are appended, never renumbered.
+type Point uint8
+
+const (
+	// CoreWeighWave fires in each phase-2 weigh worker, at the start and
+	// midpoint of its chunk. Allows Delay and Panic (chunks re-weigh).
+	CoreWeighWave Point = iota
+	// CoreDiscoverWave fires in each phase-1 discovery worker before it
+	// expands its frontier chunk. Delay only: interning is not idempotent.
+	CoreDiscoverWave
+	// CostFamilyAt fires inside PlanSearchFamily.At before a width's
+	// k-vertex enumeration, widening the race window between concurrent
+	// cold misses on one structure.
+	CostFamilyAt
+	// CacheFlight fires inside the singleflight compute, after the flight
+	// is registered and before the search runs — coalesced waiters race
+	// cancellation against the injected latency. Allows Delay and Fail.
+	CacheFlight
+	// CacheAdd fires on LRU insert. Drop discards the entry instead of
+	// storing it (an instant eviction), forcing recomputation under load.
+	CacheAdd
+	// ServerHandler fires per admitted HTTP request, before the handler —
+	// injected latency holds an admission slot and starves the limiter.
+	ServerHandler
+	// ServerBatch fires in each batch-group goroutine before planning.
+	ServerBatch
+	// ServerCatalogPut fires between catalog analysis and publication,
+	// widening the window a catalog PUT races in-flight plans.
+	ServerCatalogPut
+	// ServerShutdown fires on the graceful-shutdown path before the HTTP
+	// server begins draining.
+	ServerShutdown
+
+	numPoints = int(ServerShutdown) + 1
+)
+
+var pointNames = [numPoints]string{
+	"core.weigh.wave",
+	"core.discover.wave",
+	"cost.family.at",
+	"cache.flight",
+	"cache.add",
+	"server.handler",
+	"server.batch",
+	"server.catalog.put",
+	"server.shutdown",
+}
+
+func (p Point) String() string {
+	if int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return "chaos.point.unknown"
+}
+
+// NumPoints is the number of defined injection points.
+func NumPoints() int { return numPoints }
+
+// Effect is a bitmask of fault effects. Delay and Panic are performed by
+// the injector inside Hit (sleep; panic with an IsInjected sentinel); Fail
+// and Drop are returned to the site, which honors them in a site-specific
+// way (fail the computation with ErrInjected; discard the artifact).
+type Effect uint8
+
+const (
+	Delay Effect = 1 << iota
+	Panic
+	Fail
+	Drop
+)
+
+func (e Effect) String() string {
+	if e == 0 {
+		return "none"
+	}
+	var s string
+	add := func(bit Effect, name string) {
+		if e&bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += name
+		}
+	}
+	add(Delay, "delay")
+	add(Panic, "panic")
+	add(Fail, "fail")
+	add(Drop, "drop")
+	return s
+}
+
+// ErrInjected is the failure a site reports when the injector answers Fail.
+// It is deliberately not core.ErrNoDecomposition or any other domain error:
+// injected failures must never be mistaken for (or cached as) real results.
+var ErrInjected = errors.New("chaos: injected failure")
+
+// injectedPanic is the value an injected Panic carries.
+type injectedPanic struct{ p Point }
+
+func (ip injectedPanic) String() string { return "chaos: injected panic at " + ip.p.String() }
+
+// IsInjected reports whether a recovered panic value was injected by this
+// package. Recovery paths must re-panic anything else.
+func IsInjected(r any) bool {
+	_, ok := r.(injectedPanic)
+	return ok
+}
+
+// Injector decides faults at injection points. Act is called concurrently
+// from every hooked goroutine; implementations must be safe for concurrent
+// use and must only perform effects present in allowed.
+type Injector interface {
+	Act(p Point, allowed Effect) Effect
+}
+
+// holder wraps the interface so it can live in an atomic.Pointer.
+type holder struct{ inj Injector }
+
+var active atomic.Pointer[holder]
+
+// Register installs inj as the process-wide injector and returns the
+// deregistration function. At most one injector may be active; Register
+// panics on a second concurrent registration — chaos runs are sequential
+// by construction (a shared fault plane cannot serve two experiments).
+func Register(inj Injector) (unregister func()) {
+	h := &holder{inj: inj}
+	if !active.CompareAndSwap(nil, h) {
+		panic("chaos: injector already registered")
+	}
+	return func() { active.CompareAndSwap(h, nil) }
+}
+
+// Active reports whether an injector is registered. Sites with non-trivial
+// fault scaffolding (e.g. a recover wrapper) branch on it so the scaffold
+// itself is skipped on the hot path.
+func Active() bool { return active.Load() != nil }
+
+// Hit consults the registered injector at point p, offering the effects the
+// site can honor. With no injector registered it is a no-op returning 0.
+// Delay (sleep) and Panic happen inside the call; Fail and Drop are
+// returned for the site to honor.
+func Hit(p Point, allowed Effect) Effect {
+	h := active.Load()
+	if h == nil {
+		return 0
+	}
+	return h.inj.Act(p, allowed) & allowed
+}

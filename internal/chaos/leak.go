@@ -1,0 +1,34 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// CurrentGoroutines returns the live goroutine count — the baseline to
+// capture before starting a system whose shutdown VerifyNoGoroutineLeak
+// will check.
+func CurrentGoroutines() int { return runtime.NumGoroutine() }
+
+// VerifyNoGoroutineLeak waits until the process goroutine count is back at
+// (or below) base, polling until the deadline. On timeout it returns an
+// error carrying a full stack dump — the shutdown-drains-cleanly invariant
+// of the harness. base is typically runtime.NumGoroutine() captured before
+// the system under test was started.
+func VerifyNoGoroutineLeak(base int, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Errorf("chaos: goroutine leak: %d live, baseline %d\n%s", n, base, buf)
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}

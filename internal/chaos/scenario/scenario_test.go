@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestChaosScenarios runs the standing chaos suite. Every failure message
+// embeds (scenario, seed, schedule); replay a failure with
+//
+//	CHAOS_SEED=<seed> go test -race -run 'TestChaosScenarios/<scenario>' ./internal/chaos/scenario/
+//
+// CHAOS_SEEDS widens the sweep (nightly soak runs many seeds); when
+// CHAOS_FAIL_FILE is set, the reproduction lines of failing runs are
+// appended there so CI can upload them as an artifact.
+func TestChaosScenarios(t *testing.T) {
+	baseSeed := envInt64(t, "CHAOS_SEED", 1)
+	seeds := envInt64(t, "CHAOS_SEEDS", 1)
+	for _, sc := range Scenarios() {
+		for seed := baseSeed; seed < baseSeed+seeds; seed++ {
+			sc, seed := sc, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", sc.Name, seed), func(t *testing.T) {
+				opt := Options{Seed: seed, Logf: t.Logf}
+				if testing.Short() {
+					opt.Requests = 40
+					opt.Queries = 6
+				}
+				if err := Run(sc, opt); err != nil {
+					recordFailure(t, err)
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+func envInt64(t *testing.T, name string, def int64) int64 {
+	s := os.Getenv(name)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad %s=%q: %v", name, s, err)
+	}
+	return v
+}
+
+// recordFailure appends the reproduction line to $CHAOS_FAIL_FILE (CI
+// uploads the file as an artifact on failure).
+func recordFailure(t *testing.T, err error) {
+	path := os.Getenv("CHAOS_FAIL_FILE")
+	if path == "" {
+		return
+	}
+	f, ferr := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if ferr != nil {
+		t.Logf("CHAOS_FAIL_FILE: %v", ferr)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%s\n", err)
+}

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Rule is one fault: at Point, with probability Prob per hit, perform
+// Effect. Decisions are a pure function of (schedule seed, point, rule
+// index, per-point hit index), so a schedule replays the same fault
+// pattern for the same interleaving-independent hit counts — the whole
+// harness reproduces from the seed plus the printed schedule.
+type Rule struct {
+	Point  Point
+	Prob   float64       // firing probability per hit; >= 1 fires always
+	Effect Effect        // effects attempted when fired (masked by the site)
+	Delay  time.Duration // base sleep when Effect includes Delay
+	Jitter time.Duration // extra deterministic pseudo-random sleep in [0, Jitter)
+	After  int           // skip the first After hits of the point
+	Limit  int           // max fires of this rule; 0 = unlimited
+}
+
+func (r Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s p=%g eff=%s", r.Point, r.Prob, r.Effect)
+	if r.Delay > 0 {
+		fmt.Fprintf(&b, " delay=%s", r.Delay)
+	}
+	if r.Jitter > 0 {
+		fmt.Fprintf(&b, " jitter=%s", r.Jitter)
+	}
+	if r.After > 0 {
+		fmt.Fprintf(&b, " after=%d", r.After)
+	}
+	if r.Limit > 0 {
+		fmt.Fprintf(&b, " limit=%d", r.Limit)
+	}
+	return b.String()
+}
+
+// Schedule is a deterministic Injector: a seed plus a rule list. Safe for
+// concurrent use; all mutable state is atomic counters.
+type Schedule struct {
+	Seed  int64
+	Rules []Rule
+
+	hits  [numPoints]atomic.Uint64
+	fires []atomic.Uint64
+}
+
+// NewSchedule builds a Schedule over the given rules.
+func NewSchedule(seed int64, rules ...Rule) *Schedule {
+	return &Schedule{Seed: seed, Rules: rules, fires: make([]atomic.Uint64, len(rules))}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, allocation-free,
+// statistically solid hash from a counter to a uniform 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Act implements Injector. Delay is slept here; Panic is raised here (after
+// all matching rules ran, so one hit can both delay and panic); Fail and
+// Drop are returned for the site.
+func (s *Schedule) Act(p Point, allowed Effect) Effect {
+	n := s.hits[p].Add(1) - 1
+	var fired Effect
+	var sleep time.Duration
+	for i := range s.Rules {
+		r := &s.Rules[i]
+		if r.Point != p || n < uint64(r.After) {
+			continue
+		}
+		x := splitmix64(uint64(s.Seed)<<16 ^ uint64(p)<<8 ^ uint64(i) ^ n<<24)
+		if r.Prob < 1 && float64(x>>11)/(1<<53) >= r.Prob {
+			continue
+		}
+		if r.Limit > 0 && s.fires[i].Add(1) > uint64(r.Limit) {
+			continue
+		}
+		ef := r.Effect & allowed
+		fired |= ef
+		if ef&Delay != 0 {
+			sleep += r.Delay
+			if r.Jitter > 0 {
+				sleep += time.Duration(splitmix64(x) % uint64(r.Jitter))
+			}
+		}
+	}
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if fired&Panic != 0 {
+		panic(injectedPanic{p})
+	}
+	return fired
+}
+
+// Hits returns how many times point p was consulted.
+func (s *Schedule) Hits(p Point) uint64 { return s.hits[p].Load() }
+
+// TotalHits sums the hit counters over all points.
+func (s *Schedule) TotalHits() uint64 {
+	var total uint64
+	for i := range s.hits {
+		total += s.hits[i].Load()
+	}
+	return total
+}
+
+// String renders the replay line printed with every harness failure:
+// the seed plus every rule, enough to reconstruct the schedule exactly.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", s.Seed)
+	for _, r := range s.Rules {
+		b.WriteString(" [")
+		b.WriteString(r.String())
+		b.WriteByte(']')
+	}
+	return b.String()
+}

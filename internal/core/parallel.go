@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/hypergraph"
 	"repro/internal/hypertree"
 	"repro/internal/weights"
@@ -101,9 +102,7 @@ func parallelSolve[W any](sc *SearchContext, taf weights.TAF[W], opts ParallelOp
 		level := sols[lo:hi]
 		if len(level) < 2*workers {
 			// Small wave: goroutine fan-out costs more than it saves.
-			for _, p := range level {
-				sv.weigh(p)
-			}
+			sv.weighChunk(level)
 		} else {
 			// One goroutine per worker, each weighing a contiguous chunk —
 			// not one per node, whose spawn overhead dominates now that a
@@ -119,9 +118,7 @@ func parallelSolve[W any](sc *SearchContext, taf weights.TAF[W], opts ParallelOp
 				wg.Add(1)
 				go func(part []*solNode[W]) {
 					defer wg.Done()
-					for _, p := range part {
-						sv.weigh(p)
-					}
+					sv.weighChunk(part)
 				}(level[start:end])
 			}
 			wg.Wait()
@@ -311,6 +308,9 @@ func (sv *solver[W]) discoverParallel(workers int) (*subNode[W], []*solNode[W], 
 			wg.Add(1)
 			go func(part []*subNode[W], slot int) {
 				defer wg.Done()
+				// Delay only: intern-table appends are not idempotent, so
+				// this site never offers Panic to the injector.
+				chaos.Hit(chaos.CoreDiscoverWave, chaos.Delay)
 				var local []*subNode[W]
 				for _, q := range part {
 					sv.discoverSub(q, tabs, &local)
@@ -364,6 +364,45 @@ func (sv *solver[W]) discover(q *subNode[W]) {
 			}
 		}
 		q.cands = append(q.cands, p)
+	}
+}
+
+// weighChunk weighs a contiguous slice of one wave. With an injector
+// registered it routes through the chaos-tolerant variant; otherwise it is
+// the plain loop (the Active check is one atomic load per chunk).
+func (sv *solver[W]) weighChunk(part []*solNode[W]) {
+	if chaos.Active() {
+		sv.weighChunkChaos(part)
+		return
+	}
+	for _, p := range part {
+		sv.weigh(p)
+	}
+}
+
+// weighChunkChaos is weighChunk under fault injection: chaos may delay the
+// worker or crash it mid-wave. An injected panic is absorbed by re-weighing
+// the whole chunk — weigh is deterministic and idempotent (it rewrites
+// weight/feasible/state from strictly-smaller nodes, which are finalized by
+// the wave barrier), so a crashed worker's chunk is simply redone and the
+// result stays byte-identical. Genuine panics re-panic untouched.
+func (sv *solver[W]) weighChunkChaos(part []*solNode[W]) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !chaos.IsInjected(r) {
+				panic(r)
+			}
+			for _, p := range part {
+				sv.weigh(p)
+			}
+		}
+	}()
+	chaos.Hit(chaos.CoreWeighWave, chaos.Delay|chaos.Panic)
+	for i, p := range part {
+		if i == len(part)/2 && i > 0 {
+			chaos.Hit(chaos.CoreWeighWave, chaos.Delay|chaos.Panic)
+		}
+		sv.weigh(p)
 	}
 }
 

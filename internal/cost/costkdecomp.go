@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/db"
@@ -149,6 +150,9 @@ func (f *PlanSearchFamily) At(k int) (*PlanSearch, error) {
 	if ps, ok := f.byK[k]; ok {
 		return ps, nil
 	}
+	// Chaos: stall the enumeration while holding the family lock, so
+	// concurrent cold misses on this structure pile up behind it.
+	chaos.Hit(chaos.CostFamilyAt, chaos.Delay)
 	sc, err := core.NewSearchContextShared(f.idx, k, f.opts)
 	if err != nil {
 		return nil, err

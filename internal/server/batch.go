@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/cost"
 	"repro/internal/cq"
 	"repro/internal/db"
@@ -42,6 +43,7 @@ type planBatcher struct {
 	maxBatch int
 	reqs     chan *batchReq
 
+	groups   sync.WaitGroup // in-flight dispatch group goroutines
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -90,14 +92,24 @@ func (b *planBatcher) submit(ctx context.Context, r *batchReq) batchOut {
 	}
 }
 
-// close stops the batch loop; queued requests are failed, not dropped.
+// close stops the batch loop. Requests already collected into a batch are
+// answered (their group computations are waited for); requests still queued
+// are failed, not dropped.
 func (b *planBatcher) close() {
 	b.stopOnce.Do(func() { close(b.stop) })
 	<-b.done
 }
 
 func (b *planBatcher) loop() {
-	defer close(b.done)
+	// done must not close before every dispatched group has delivered:
+	// submit treats done as "no result is coming", so closing it with a
+	// group still planning would spuriously fail members whose answer is
+	// moments away (their out channels are buffered, so late delivery by
+	// the group goroutine never blocks).
+	defer func() {
+		b.groups.Wait()
+		close(b.done)
+	}()
 	for {
 		var first *batchReq
 		select {
@@ -133,7 +145,13 @@ func (b *planBatcher) dispatch(batch []*batchReq) {
 		groups[r.key] = append(groups[r.key], r)
 	}
 	for _, g := range groups {
+		b.groups.Add(1)
 		go func(g []*batchReq) {
+			defer b.groups.Done()
+			// Chaos: delay the group's planning so members' cancellations
+			// race the in-flight computation; delivery below must still
+			// reach every member (buffered channels, no member blocks it).
+			chaos.Hit(chaos.ServerBatch, chaos.Delay)
 			lead := g[0]
 			plan, hit, err := lead.planner.PlanCached(lead.q, lead.cat, lead.k)
 			lead.out <- batchOut{plan: plan, hit: hit, err: err}

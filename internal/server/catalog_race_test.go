@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// Race hammer for the catalog registry: concurrent PUT /v1/catalogs/{tenant}
+// against in-flight /v1/plan and /v1/execute on the same tenant. Every PUT
+// re-uploads the same catalog text, so whatever version a plan snapshots,
+// the statistics are identical and the plan bytes must never change; PUT
+// acknowledgements must carry strictly increasing versions. Run under -race
+// this also proves the registry's reader/writer paths are clean. An
+// injected delay inside the PUT handler widens the analyze→publish window
+// so readers overlap writers as much as possible.
+func TestCatalogPutRacesInFlightPlans(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "direct", cfg: Config{}},
+		{name: "batched", cfg: Config{BatchWindow: time.Millisecond}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, tc.cfg)
+			uploadCatalog(t, ts, "acme", triangleCatalog)
+
+			unregister := chaos.Register(chaos.NewSchedule(7,
+				chaos.Rule{Point: chaos.ServerCatalogPut, Prob: 0.5, Effect: chaos.Delay, Jitter: 2 * time.Millisecond},
+			))
+			defer unregister()
+
+			// Reference plan before the churn starts.
+			resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+			ref := decodeAs[PlanResponse](t, resp, http.StatusOK)
+			refBytes, _ := json.Marshal(ref.Plan)
+
+			const (
+				writers = 3
+				readers = 5
+				ops     = 15
+			)
+			var wg sync.WaitGroup
+			var lastVersion atomic.Uint64
+			lastVersion.Store(ref.CatalogVersion)
+			errc := make(chan string, writers*ops+readers*ops)
+
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					prev := uint64(0)
+					for i := 0; i < ops; i++ {
+						resp := doPut(t, ts, "/v1/catalogs/acme", triangleCatalog)
+						if resp.StatusCode != http.StatusOK {
+							body, _ := io.ReadAll(resp.Body)
+							resp.Body.Close()
+							errc <- "PUT status " + resp.Status + ": " + string(body)
+							return
+						}
+						var ack CatalogResponse
+						err := json.NewDecoder(resp.Body).Decode(&ack)
+						resp.Body.Close()
+						if err != nil {
+							errc <- "PUT decode: " + err.Error()
+							return
+						}
+						// Versions are strictly increasing as observed by any
+						// single writer (global order is pinned by the registry's
+						// own tests; acks interleave across writers here).
+						if ack.Version <= prev {
+							errc <- "catalog version not increasing for one writer"
+							return
+						}
+						prev = ack.Version
+						// Track a high-water mark for the final monotonicity check.
+						for {
+							cur := lastVersion.Load()
+							if ack.Version <= cur || lastVersion.CompareAndSwap(cur, ack.Version) {
+								break
+							}
+						}
+					}
+				}()
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < ops; i++ {
+						if i%3 == 2 {
+							resp := postJSON(t, ts, "/v1/execute", ExecuteRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+							out := decodeAs[ExecuteResponse](t, resp, http.StatusOK)
+							if out.RowCount != 2 {
+								errc <- "execute row count changed under churn"
+							}
+							continue
+						}
+						resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+						out := decodeAs[PlanResponse](t, resp, http.StatusOK)
+						got, _ := json.Marshal(out.Plan)
+						if !bytes.Equal(got, refBytes) {
+							errc <- "plan bytes changed under catalog churn (identical stats)"
+						}
+						if out.CatalogVersion < ref.CatalogVersion {
+							errc <- "plan served against a version older than the pre-churn catalog"
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errc)
+			for msg := range errc {
+				t.Error(msg)
+			}
+
+			// Post-churn: the tenant still plans, and the final ack version is
+			// the registry's current version.
+			resp = postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+			final := decodeAs[PlanResponse](t, resp, http.StatusOK)
+			if final.CatalogVersion != lastVersion.Load() {
+				t.Errorf("final catalog version %d, want high-water %d", final.CatalogVersion, lastVersion.Load())
+			}
+			finalBytes, _ := json.Marshal(final.Plan)
+			if !bytes.Equal(finalBytes, refBytes) {
+				t.Error("plan bytes differ after churn settled")
+			}
+		})
+	}
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/chaos"
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// Audit trail for the coalescing/cancellation interaction: a batch member
+// that gives up (its context cancels while the group is planning) must not
+// poison its coalesced peers. The design relies on two properties — group
+// delivery uses buffered(1) channels so an absent receiver never blocks the
+// fan-out, and submit's early return on ctx.Done abandons only that
+// member's receive, not the group computation. These tests pin both, with
+// an injected delay holding the group's plan mid-flight so the
+// cancellation deterministically lands while the computation is running.
+
+func testCatalog(t *testing.T) *db.Catalog {
+	t.Helper()
+	cat, err := db.ReadCatalog(strings.NewReader(triangleCatalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestBatcherCancelledMemberDoesNotPoisonPeer drives the batcher directly:
+// two members coalesce into one group, the group's computation is delayed
+// by injection, and one member cancels mid-flight. The survivor must get
+// the real plan; the canceller must get its context error; close must not
+// deadlock afterwards.
+func TestBatcherCancelledMemberDoesNotPoisonPeer(t *testing.T) {
+	unregister := chaos.Register(chaos.NewSchedule(1,
+		chaos.Rule{Point: chaos.ServerBatch, Prob: 1, Effect: chaos.Delay, Delay: 60 * time.Millisecond},
+	))
+	defer unregister()
+
+	cat := testCatalog(t)
+	q := cq.MustParse(triangleQuery)
+	planner := cache.NewPlanner(cache.Options{})
+	b := newPlanBatcher(20*time.Millisecond, 32)
+	defer b.close()
+
+	mk := func() *batchReq {
+		return &batchReq{key: "k", planner: planner, q: q, cat: cat, k: 3, out: make(chan batchOut, 1)}
+	}
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan batchOut, 1)
+	survived := make(chan batchOut, 1)
+	go func() { cancelled <- b.submit(cancelCtx, mk()) }()
+	go func() { survived <- b.submit(context.Background(), mk()) }()
+	// Let both members join the batch and the injected delay start, then
+	// cancel one mid-computation.
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+
+	o := <-cancelled
+	if !errors.Is(o.err, context.Canceled) {
+		t.Fatalf("cancelled member: got err %v, want context.Canceled", o.err)
+	}
+	o = <-survived
+	if o.err != nil {
+		t.Fatalf("surviving peer poisoned by cancelled member: %v", o.err)
+	}
+	if o.plan == nil || o.plan.Decomp == nil {
+		t.Fatal("surviving peer got no plan")
+	}
+	if w := o.plan.Decomp.Width(); w < 1 || w > 3 {
+		t.Fatalf("surviving peer plan width %d outside [1,3]", w)
+	}
+}
+
+// TestCancelledRequestDoesNotPoisonCoalescedPeerHTTP replays the same race
+// end to end: two identical /v1/plan requests coalesce in the batch window,
+// the singleflight compute is held by injection, one client times out. The
+// peer must receive the correct plan, and a later chaos-free request must
+// be served the same bytes from cache — proving the cancellation neither
+// corrupted nor evicted the shared result.
+func TestCancelledRequestDoesNotPoisonCoalescedPeerHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWindow: 25 * time.Millisecond})
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+
+	unregister := chaos.Register(chaos.NewSchedule(1,
+		chaos.Rule{Point: chaos.CacheFlight, Prob: 1, Effect: chaos.Delay, Delay: 80 * time.Millisecond},
+	))
+	defer unregister()
+
+	body, _ := json.Marshal(PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+	post := func(ctx context.Context) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/plan", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return ts.Client().Do(req)
+	}
+
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	cancelCh := make(chan result, 1)
+	peerCh := make(chan result, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	go func() { r, err := post(ctx); cancelCh <- result{r, err} }()
+	go func() { r, err := post(context.Background()); peerCh <- result{r, err} }()
+
+	r := <-cancelCh
+	if r.err == nil {
+		r.resp.Body.Close()
+		t.Fatal("cancelled request unexpectedly completed; race not exercised")
+	}
+	if !errors.Is(r.err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled request: got %v, want deadline exceeded", r.err)
+	}
+
+	r = <-peerCh
+	if r.err != nil {
+		t.Fatalf("peer request failed: %v", r.err)
+	}
+	peer := decodeAs[PlanResponse](t, r.resp, http.StatusOK)
+	if peer.Plan == nil {
+		t.Fatal("peer got no plan")
+	}
+	peerBytes, _ := json.Marshal(peer.Plan)
+
+	// Chaos off: the same request again must hit the cache and return the
+	// same bytes — the cancelled member neither failed nor falsified the
+	// shared computation.
+	unregister()
+	resp, err := post(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := decodeAs[PlanResponse](t, resp, http.StatusOK)
+	if !after.CacheHit {
+		t.Error("post-race request missed the cache: shared result was not retained")
+	}
+	afterBytes, _ := json.Marshal(after.Plan)
+	if !bytes.Equal(peerBytes, afterBytes) {
+		t.Errorf("plan changed across the race:\n  peer  %s\n  after %s", peerBytes, afterBytes)
+	}
+	if peer.EstimatedCost != after.EstimatedCost {
+		t.Errorf("cost changed across the race: %v vs %v", peer.EstimatedCost, after.EstimatedCost)
+	}
+}
+
+// TestCancelledSoloRequestLeavesCacheUsable covers the no-batcher path: the
+// handler's context cancels while the singleflight compute is held; the
+// computation still completes in its own goroutine and later requests are
+// served from a healthy cache.
+func TestCancelledSoloRequestLeavesCacheUsable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+
+	unregister := chaos.Register(chaos.NewSchedule(1,
+		chaos.Rule{Point: chaos.CacheFlight, Prob: 1, Effect: chaos.Delay, Delay: 60 * time.Millisecond, Limit: 1},
+	))
+	defer unregister()
+
+	body, _ := json.Marshal(PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/plan", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := ts.Client().Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.Skip("request completed before the client deadline; race not exercised")
+	}
+
+	unregister()
+	resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+	out := decodeAs[PlanResponse](t, resp, http.StatusOK)
+	if out.Plan == nil {
+		t.Fatal("no plan after cancelled solo request")
+	}
+}

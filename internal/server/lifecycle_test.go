@@ -2,10 +2,16 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/cache"
+	"repro/internal/chaos"
+	"repro/internal/cq"
 )
 
 // Serve on a random port, answer a request, cancel the context: graceful
@@ -115,6 +121,145 @@ func TestTimeoutRecordedAs503(t *testing.T) {
 	s.metrics.mu.Unlock()
 	if got != 1 {
 		t.Fatalf("recorded 503s = %d, want 1", got)
+	}
+}
+
+// A request that outlasts ShutdownTimeout: the drain gives up and Serve
+// reports the deadline error instead of hanging, while the slow request is
+// still allowed to finish on its live connection (graceful shutdown never
+// kills active work).
+func TestShutdownTimeoutExpiresWithSlowRequest(t *testing.T) {
+	unregister := chaos.Register(chaos.NewSchedule(3,
+		chaos.Rule{Point: chaos.ServerHandler, Prob: 1, Effect: chaos.Delay, Delay: 600 * time.Millisecond, Limit: 1},
+	))
+	defer unregister()
+
+	s := New(Config{ShutdownTimeout: 50 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx, "127.0.0.1:0") }()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never bound an address")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz", s.Addr()))
+		if err == nil {
+			resp.Body.Close()
+		}
+		reqDone <- err
+	}()
+	for s.metrics.inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never entered the handler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Serve returned %v, want deadline exceeded from the expired drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve hung past its shutdown timeout")
+	}
+	select {
+	case err := <-reqDone:
+		if err != nil {
+			t.Fatalf("slow request was killed by shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow request never completed")
+	}
+}
+
+// Shutdown with requests still in the batcher: a request already inside the
+// collect window is dispatched and answered, not dropped; a request
+// submitted after close fails fast with the shutdown error instead of
+// hanging on a dead loop.
+func TestBatcherShutdownDrainsCollectedRequests(t *testing.T) {
+	cat := testCatalog(t)
+	q := cq.MustParse(triangleQuery)
+	planner := cache.NewPlanner(cache.Options{})
+	b := newPlanBatcher(150*time.Millisecond, 32)
+
+	mk := func() *batchReq {
+		return &batchReq{key: "k", planner: planner, q: q, cat: cat, k: 3, out: make(chan batchOut, 1)}
+	}
+	out := make(chan batchOut, 1)
+	go func() { out <- b.submit(context.Background(), mk()) }()
+	// Let the loop pick the request into its window, then close mid-window.
+	time.Sleep(20 * time.Millisecond)
+	closed := make(chan struct{})
+	go func() { b.close(); close(closed) }()
+
+	select {
+	case o := <-out:
+		if o.err != nil {
+			t.Fatalf("collected request dropped by shutdown: %v", o.err)
+		}
+		if o.plan == nil {
+			t.Fatal("collected request answered without a plan")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("collected request hung across shutdown")
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batcher close hung")
+	}
+
+	if o := b.submit(context.Background(), mk()); !errors.Is(o.err, errBatcherClosed) {
+		t.Fatalf("post-close submit: got err %v, want errBatcherClosed", o.err)
+	}
+}
+
+// Shutdown is idempotent: Serve's own Close plus any number of explicit
+// Close calls (concurrently, even) must neither panic nor hang.
+func TestDoubleShutdownIsIdempotent(t *testing.T) {
+	s := New(Config{BatchWindow: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx, "127.0.0.1:0") }()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never bound an address")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("repeated Close hung")
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/cq"
@@ -144,6 +145,16 @@ func New(cfg Config) *Server {
 // tenants in isolated mode).
 func (s *Server) PlannerStats() cache.Stats { return s.planners.Aggregate() }
 
+// LimiterInUse reports the number of admission slots currently held (0 when
+// the limiter is disabled). The chaos harness asserts it returns to zero
+// after load: accepted + rejected must equal offered with no leaked slots.
+func (s *Server) LimiterInUse() int {
+	if s.limiter == nil {
+		return 0
+	}
+	return len(s.limiter)
+}
+
 // Handler returns the fully wired HTTP handler (for embedding or tests).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -196,6 +207,9 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	go func() { errc <- hs.Serve(l) }()
 	select {
 	case <-ctx.Done():
+		// Chaos: stall between the shutdown signal and the drain — requests
+		// keep arriving at a server that has already decided to die.
+		chaos.Hit(chaos.ServerShutdown, chaos.Delay)
 		sc, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 		defer cancel()
 		err := hs.Shutdown(sc)
@@ -268,6 +282,10 @@ func (s *Server) instrument(endpoint string, limited bool, h http.Handler) http.
 		}
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
+		// Chaos: handler latency after admission — the injected sleep holds
+		// an admission slot, so sustained injection starves the limiter and
+		// forces 429s on the offered load behind it.
+		chaos.Hit(chaos.ServerHandler, chaos.Delay)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		h.ServeHTTP(sw, r)
@@ -490,6 +508,9 @@ func (s *Server) handleCatalogPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Chaos: widen the window between analysis and publication, so catalog
+	// PUTs race in-flight plans on the same tenant for as long as possible.
+	chaos.Hit(chaos.ServerCatalogPut, chaos.Delay)
 	version, err := s.catalogs.Put(tenant, cat)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
