@@ -38,6 +38,7 @@ func main() {
 	requests := flag.Int("requests", 200, "request count for the planner and server experiments")
 	concurrency := flag.Int("concurrency", 16, "client concurrency for the server experiment")
 	solverOut := flag.String("solverout", "BENCH_solver.json", "output path for the solver benchmark JSON")
+	serverOut := flag.String("serverout", "BENCH_server.json", "output path for the cluster loadgen JSON")
 	seeds := flag.Int64("seeds", 10, "seed count for the chaos soak")
 	chaosOut := flag.String("chaosout", "CHAOS_FAIL.txt", "output path for failing chaos seed/schedule lines")
 	compare := flag.Bool("compare", false, "compare two BENCH_solver.json files (base head) and fail on regression")
@@ -113,6 +114,21 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatServerLoad(rows, stats))
+	}
+	// The cluster loadgen writes the BENCH_server.json artifact; like
+	// solver, it runs only when requested explicitly, not under -exp all.
+	if *exp == "server" {
+		fmt.Printf("=== Distributed tier: 3-replica cluster, %d plan requests round-robin, %d-way concurrent ===\n",
+			*requests, *concurrency)
+		rep, err := bench.RunClusterExperiment(*requests, *concurrency)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatServerBench(rep))
+		if err := bench.WriteServerBenchJSON(*serverOut, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *serverOut)
 	}
 	// Unlike the print-only experiments, solver writes a file; it runs only
 	// when requested explicitly, not under -exp all.

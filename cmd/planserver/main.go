@@ -9,6 +9,17 @@
 //
 // -addr may use port 0 to bind a random free port; the bound address is
 // logged as "listening on http://host:port".
+//
+// A replica joins a cluster with -node-id, -peers, and -peer-listen: the
+// static membership is consistent-hash sharded over the canonical plan
+// key, and a replica that misses locally warm-fills from the key's owner
+// before falling back to a cold search. -data-dir adds the crash-safe
+// persistent plan store, warm-loading the cache on boot:
+//
+//	planserver -node-id a -peer-listen 127.0.0.1:9001 \
+//	    -peers 'a=127.0.0.1:9001,b=127.0.0.1:9002' -data-dir /var/lib/planserver
+//
+// Both require the shared-planner mode (no -isolate-tenants).
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -38,9 +50,14 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 256, "maximum concurrent requests (excess get 429)")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batching window for /v1/plan (0 = disabled)")
 	maxBatch := flag.Int("max-batch", 32, "maximum requests per micro-batch")
+	nodeID := flag.String("node-id", "", "this replica's cluster id (requires -peers)")
+	peers := flag.String("peers", "", "static cluster membership as id=host:port,... (including this node)")
+	peerListen := flag.String("peer-listen", "", "peer RPC listen address (default: this node's address from -peers)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default)")
+	dataDir := flag.String("data-dir", "", "persistent plan store directory (empty = in-memory only)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Planner: cache.Options{
 			Capacity:     *capacity,
 			Workers:      *workers,
@@ -53,8 +70,40 @@ func main() {
 		MaxInFlight:    *maxInFlight,
 		BatchWindow:    *batchWindow,
 		MaxBatch:       *maxBatch,
+		DataDir:        *dataDir,
 		Log:            log.Default(),
-	})
+	}
+	if (*nodeID == "") != (*peers == "") {
+		log.Fatal("-node-id and -peers must be set together")
+	}
+	if *nodeID != "" {
+		members, err := cluster.ParseMembers(*peers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		listen := *peerListen
+		if listen == "" {
+			for _, m := range members {
+				if m.ID == *nodeID {
+					listen = m.Addr
+				}
+			}
+		}
+		cfg.Cluster = &server.ClusterConfig{
+			NodeID:     *nodeID,
+			Members:    members,
+			PeerListen: listen,
+			Vnodes:     *vnodes,
+		}
+	}
+
+	srv, err := server.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv.NodeID() != "" {
+		log.Printf("cluster node %s, peer RPC on %s", srv.NodeID(), srv.PeerAddr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

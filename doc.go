@@ -26,6 +26,10 @@
 //     (internal/cache);
 //   - the plan-as-a-service HTTP layer: per-tenant catalogs, request
 //     coalescing, Prometheus metrics (internal/server, cmd/planserver);
+//   - the distributed tier: a consistent-hash ring over the canonical plan
+//     key with a compact peer RPC for cross-replica warm-fill
+//     (internal/cluster), and the crash-safe append-only plan store that
+//     warm-loads a restarted replica (internal/store);
 //   - the experiment harness regenerating the paper's tables and figures
 //     (internal/bench).
 //
@@ -80,10 +84,25 @@
 //	srv := htd.NewServer(htd.ServerConfig{})
 //	err := srv.ListenAndServe(ctx, ":8080")   // or embed srv.Handler()
 //
+// Replicas scale horizontally: a static membership consistent-hash shards
+// the canonical plan keyspace, a replica that misses locally fetches the
+// plan from the key's owner over a compact persistent-connection RPC
+// before falling back to a cold search, and cold results are pushed to
+// their owner so the next replica's fetch hits. Plans travel as canonical
+// records and are re-served through the planner's own remapping path, so a
+// peer-filled answer is byte-identical to a locally computed one. With a
+// data directory configured, every plan and infeasibility verdict also
+// lands in an append-only checksummed store that warm-loads the cache on
+// boot; a torn tail from a crash is truncated to the last valid record.
+// Clustering and persistence are configured on the serving layer
+// (internal/server's Config.Cluster and Config.DataDir, or planserver's
+// -node-id/-peers/-data-dir flags) and require the shared-planner mode.
+//
 // The concurrent layers are threaded with chaos injection points
 // (internal/chaos): a seed-deterministic fault schedule can crash or stall
 // a parallel-search worker mid-wave, delay or fail a singleflight compute,
-// drop cache inserts, inflate handler latency, and stall shutdown. Each
+// drop cache inserts, inflate handler latency, stall shutdown, partition
+// or delay peer RPCs, and tear store appends mid-write. Each
 // site declares which effects it can absorb, and with no injector
 // registered a hook is a single atomic load and branch — the hot path pays
 // nothing. The harness in internal/chaos/scenario replays generated

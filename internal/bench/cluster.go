@@ -1,0 +1,355 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cq/cqgen"
+	"repro/internal/db"
+	"repro/internal/server"
+)
+
+// The distributed-tier experiment: boot a 3-replica in-process cluster
+// (consistent-hash sharded, peer warm-fill on), round-robin a seeded
+// multi-tenant plan workload across all replica endpoints over real HTTP,
+// and report throughput and latency percentiles per endpoint alongside the
+// per-replica peer-fill counters. The report is the BENCH_server.json CI
+// artifact.
+
+// ServerBenchRow is one endpoint's aggregate over the whole cluster.
+type ServerBenchRow struct {
+	Endpoint   string  `json:"endpoint"`
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Warm       int     `json:"warm"` // 200s served with cacheHit:true
+	TotalNs    int64   `json:"totalNs"`
+	Throughput float64 `json:"reqPerSec"`
+	P50Ns      int64   `json:"p50Ns"`
+	P99Ns      int64   `json:"p99Ns"`
+}
+
+// ServerBenchNode is one replica's post-load distribution counters.
+type ServerBenchNode struct {
+	Node            string  `json:"node"`
+	OwnedShare      float64 `json:"ownedShare"`
+	PeerFills       uint64  `json:"peerFills"`
+	PeerFillMisses  uint64  `json:"peerFillMisses"`
+	PeerFillErrors  uint64  `json:"peerFillErrors"`
+	PeerFillHitRate float64 `json:"peerFillHitRate"`
+	PeerServes      uint64  `json:"peerServes"`
+	PeerImports     uint64  `json:"peerImports"`
+	PlanHits        uint64  `json:"planHits"`
+	PlanMisses      uint64  `json:"planMisses"`
+	Computations    uint64  `json:"computations"`
+}
+
+// ServerBenchReport is the BENCH_server.json document.
+type ServerBenchReport struct {
+	Schema          string            `json:"schema"` // bumped when fields change
+	Nodes           int               `json:"nodes"`
+	Tenants         int               `json:"tenants"`
+	Concurrency     int               `json:"concurrency"`
+	Rows            []ServerBenchRow  `json:"rows"`
+	NodeStats       []ServerBenchNode `json:"nodeStats"`
+	PeerFillHitRate float64           `json:"peerFillHitRate"` // cluster-wide fills / fetch attempts
+}
+
+// RunClusterExperiment drives `requests` plan calls plus requests/10
+// execute calls from `concurrency` workers, round-robin across a 3-replica
+// cluster, over a seeded workload of distinct cqgen queries (one tenant
+// each) so keys spread across owners and peer warm-fills actually happen.
+func RunClusterExperiment(requests, concurrency int) (*ServerBenchReport, error) {
+	if requests < 1 {
+		requests = 1
+	}
+	if concurrency < 1 {
+		concurrency = 8
+	}
+	const nodes = 3
+	// Coprime with the replica count, so the round-robin walks every
+	// (tenant, replica) pair instead of pinning each tenant to one replica.
+	const tenants = 11
+
+	// Pre-bind the peer listeners so every replica boots with the full
+	// membership table.
+	listeners := make([]net.Listener, nodes)
+	members := make([]cluster.Member, nodes)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = ln
+		members[i] = cluster.Member{ID: fmt.Sprintf("node-%d", i), Addr: ln.Addr().String()}
+	}
+	servers := make([]*server.Server, nodes)
+	endpoints := make([]*httptest.Server, nodes)
+	for i := 0; i < nodes; i++ {
+		s, err := server.Open(server.Config{
+			BatchWindow: 200 * time.Microsecond,
+			Cluster: &server.ClusterConfig{
+				NodeID:       members[i].ID,
+				Members:      members,
+				PeerListener: listeners[i],
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = s
+		endpoints[i] = httptest.NewServer(s.Handler())
+	}
+	defer func() {
+		for i := range servers {
+			endpoints[i].Close()
+			servers[i].Close()
+		}
+	}()
+	client := endpoints[0].Client()
+
+	// Seeded workload: distinct query structures, one tenant each, catalogs
+	// uploaded to every replica (catalogs are replica-local).
+	rng := rand.New(rand.NewSource(1))
+	type workItem struct {
+		tenant  string
+		payload []byte
+	}
+	items := make([]workItem, tenants)
+	for i := range items {
+		inst := cqgen.MustGenerate(rng, cqgen.Config{
+			Atoms: 3 + rng.Intn(3), MaxArity: 3, MaxCard: 12, Cyclic: i%3 == 1,
+		})
+		var buf bytes.Buffer
+		if err := db.WriteCatalog(&buf, inst.Catalog); err != nil {
+			return nil, err
+		}
+		tenant := fmt.Sprintf("t%d", i)
+		for _, ep := range endpoints {
+			req, err := http.NewRequest(http.MethodPut, ep.URL+"/v1/catalogs/"+tenant, bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				return nil, err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return nil, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("bench: catalog upload %s: status %d", tenant, resp.StatusCode)
+			}
+		}
+		body, _ := json.Marshal(server.PlanRequest{Tenant: tenant, Query: inst.Query.String(), K: 3})
+		items[i] = workItem{tenant: tenant, payload: body}
+	}
+
+	// Seed phase: plan every tenant once via its home replica, so each key
+	// is computed exactly once and pushed to its ring owner. The measured
+	// phase then hits replicas that never saw the key — the peer warm-fill
+	// path — instead of three replicas racing cold on the same key.
+	for i, it := range items {
+		resp, err := client.Post(endpoints[i%nodes].URL+"/v1/plan", "application/json", bytes.NewReader(it.payload))
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+			return nil, fmt.Errorf("bench: seed plan %s: status %d", it.tenant, resp.StatusCode)
+		}
+	}
+	// Let the async owner pushes drain: poll the push/import counters until
+	// they go quiet.
+	pushActivity := func() (uint64, error) {
+		var total uint64
+		for i, ep := range endpoints {
+			resp, err := client.Get(ep.URL + "/v1/stats")
+			if err != nil {
+				return 0, err
+			}
+			var st server.StatsResponse
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return 0, err
+			}
+			if st.Cluster == nil {
+				return 0, fmt.Errorf("bench: replica %d reported no cluster stats", i)
+			}
+			total += st.Cluster.PushesSent + st.Cluster.PushesDropped + st.Cluster.PushErrors + st.Cluster.PeerImports
+		}
+		return total, nil
+	}
+	prev := uint64(0)
+	for settle := 0; settle < 3; {
+		cur, err := pushActivity()
+		if err != nil {
+			return nil, err
+		}
+		if cur == prev {
+			settle++
+		} else {
+			settle = 0
+			prev = cur
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// fire round-robins n requests across every replica endpoint. A 422 is
+	// a served answer (the workload may contain genuinely infeasible
+	// structures and negative-cache serves are part of the distribution);
+	// anything else non-200 is an error.
+	fire := func(endpoint string, n int) ServerBenchRow {
+		lat := make([]time.Duration, n)
+		var mu sync.Mutex
+		errors, warm := 0, 0
+		sem := make(chan struct{}, concurrency)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				it := items[i%len(items)]
+				url := endpoints[i%nodes].URL + endpoint
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(it.payload))
+				lat[i] = time.Since(t0)
+				if err != nil {
+					mu.Lock()
+					errors++
+					mu.Unlock()
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var pr struct {
+						CacheHit bool `json:"cacheHit"`
+					}
+					if json.Unmarshal(raw, &pr) == nil && pr.CacheHit {
+						mu.Lock()
+						warm++
+						mu.Unlock()
+					}
+				case http.StatusUnprocessableEntity:
+					// Negative-cache serve: counted as served, never warm.
+				default:
+					mu.Lock()
+					errors++
+					mu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+		total := time.Since(start)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return ServerBenchRow{
+			Endpoint:   endpoint,
+			Requests:   n,
+			Errors:     errors,
+			Warm:       warm,
+			TotalNs:    total.Nanoseconds(),
+			Throughput: float64(n) / total.Seconds(),
+			P50Ns:      lat[n/2].Nanoseconds(),
+			P99Ns:      lat[min(n-1, n*99/100)].Nanoseconds(),
+		}
+	}
+
+	rep := &ServerBenchReport{
+		Schema:      "server-bench/1",
+		Nodes:       nodes,
+		Tenants:     tenants,
+		Concurrency: concurrency,
+	}
+	rep.Rows = append(rep.Rows, fire("/v1/plan", requests))
+	execN := requests / 10
+	if execN < 1 {
+		execN = 1
+	}
+	rep.Rows = append(rep.Rows, fire("/v1/execute", execN))
+
+	// Post-load distribution counters, via the same wire surface operators
+	// scrape.
+	var fills, attempts uint64
+	for i, ep := range endpoints {
+		resp, err := client.Get(ep.URL + "/v1/stats")
+		if err != nil {
+			return nil, err
+		}
+		var st server.StatsResponse
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if st.Cluster == nil {
+			return nil, fmt.Errorf("bench: replica %d reported no cluster stats", i)
+		}
+		c := st.Cluster
+		rep.NodeStats = append(rep.NodeStats, ServerBenchNode{
+			Node:            c.Node,
+			OwnedShare:      c.OwnedShare,
+			PeerFills:       c.PeerFills,
+			PeerFillMisses:  c.PeerFillMisses,
+			PeerFillErrors:  c.PeerFillErrors,
+			PeerFillHitRate: c.PeerFillHitRate,
+			PeerServes:      c.PeerServes,
+			PeerImports:     c.PeerImports,
+			PlanHits:        st.Planner.Plans.Hits,
+			PlanMisses:      st.Planner.Plans.Misses,
+			Computations:    st.Planner.Plans.Computations,
+		})
+		fills += c.PeerFills
+		attempts += c.PeerFills + c.PeerFillMisses + c.PeerFillErrors
+	}
+	if attempts > 0 {
+		rep.PeerFillHitRate = float64(fills) / float64(attempts)
+	}
+	return rep, nil
+}
+
+// FormatServerBench renders the report as a console table.
+func FormatServerBench(rep *ServerBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %7s %6s %12s %10s %10s\n",
+		"endpoint", "requests", "errors", "warm", "req/s", "p50", "p99")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "%-12s %9d %7d %6d %12.0f %10v %10v\n",
+			r.Endpoint, r.Requests, r.Errors, r.Warm, r.Throughput,
+			time.Duration(r.P50Ns).Round(time.Microsecond),
+			time.Duration(r.P99Ns).Round(time.Microsecond))
+	}
+	for _, n := range rep.NodeStats {
+		fmt.Fprintf(&b, "%s: share=%.2f fills=%d misses=%d errors=%d serves=%d imports=%d hits=%d misses=%d computed=%d\n",
+			n.Node, n.OwnedShare, n.PeerFills, n.PeerFillMisses, n.PeerFillErrors,
+			n.PeerServes, n.PeerImports, n.PlanHits, n.PlanMisses, n.Computations)
+	}
+	fmt.Fprintf(&b, "cluster peer-fill hit rate: %.2f\n", rep.PeerFillHitRate)
+	return b.String()
+}
+
+// WriteServerBenchJSON writes the report to path (pretty-printed, stable
+// field order) for CI artifact upload.
+func WriteServerBenchJSON(path string, rep *ServerBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestClusterExperiment runs a small cluster loadgen and checks the report
+// is well-formed: every request served, peer traffic actually happened,
+// and the JSON artifact round-trips.
+func TestClusterExperiment(t *testing.T) {
+	rep, err := RunClusterExperiment(60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "server-bench/1" {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if len(rep.Rows) != 2 || len(rep.NodeStats) != rep.Nodes {
+		t.Fatalf("report shape: %d rows, %d node stats", len(rep.Rows), len(rep.NodeStats))
+	}
+	for _, r := range rep.Rows {
+		if r.Errors != 0 {
+			t.Fatalf("%s: %d errors", r.Endpoint, r.Errors)
+		}
+		if r.Throughput <= 0 || r.P50Ns <= 0 || r.P99Ns < r.P50Ns {
+			t.Fatalf("%s: degenerate latency row %+v", r.Endpoint, r)
+		}
+	}
+	// The plan endpoint revisits every tenant from every replica, so warm
+	// serves and cross-replica traffic (fills, pushes, or peer serves) must
+	// both have happened.
+	if rep.Rows[0].Warm == 0 {
+		t.Fatal("no warm serves in a repeating workload")
+	}
+	var fills uint64
+	var share float64
+	for _, n := range rep.NodeStats {
+		fills += n.PeerFills
+		share += n.OwnedShare
+	}
+	if fills == 0 {
+		t.Fatal("no peer warm-fills recorded")
+	}
+	if rep.PeerFillHitRate <= 0 {
+		t.Fatalf("peer-fill hit rate %f", rep.PeerFillHitRate)
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Fatalf("owned shares sum to %f", share)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_server.json")
+	if err := WriteServerBenchJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServerBenchReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != rep.Schema || len(back.Rows) != len(rep.Rows) {
+		t.Fatal("artifact did not round-trip")
+	}
+	if FormatServerBench(rep) == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -102,6 +102,23 @@ func (c *lru) get(key string) (any, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
+// peek returns the cached value without touching the hit/miss counters:
+// peer-serving and persistence probes must not distort the workload's
+// cache statistics. Recency is still bumped — an exported entry is hot.
+func (c *lru) peek(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruEntry).val, true
+}
+
 // add inserts (or refreshes) an entry, evicting the least recently used
 // entry of the shard when over capacity.
 func (c *lru) add(key string, val any) {

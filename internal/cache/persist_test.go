@@ -1,0 +1,241 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/cq/cqgen"
+	"repro/internal/db"
+	"repro/internal/engine"
+)
+
+// q1Catalog builds an analyzed catalog for the Q1 fixture: one generated
+// instance of Q1's relations at toy scale.
+func q1Catalog(t *testing.T) *db.Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var specs []db.Spec
+	q := cq.Q1()
+	seen := map[string]bool{}
+	for _, a := range q.Atoms {
+		if seen[a.Predicate] {
+			continue
+		}
+		seen[a.Predicate] = true
+		attrs := make([]string, len(a.Vars))
+		distinct := make(map[string]int, len(a.Vars))
+		for i := range a.Vars {
+			attrs[i] = string(rune('a' + i))
+			distinct[attrs[i]] = 10
+		}
+		specs = append(specs, db.Spec{Name: a.Predicate, Attrs: attrs, Card: 30, Distinct: distinct})
+	}
+	cat, err := db.GenerateCatalog(rng, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func planJSON(t *testing.T, p *Planner, q *cq.Query, cat *db.Catalog, k int) []byte {
+	t.Helper()
+	plan, _, err := p.PlanCached(q, cat, k)
+	if err != nil {
+		t.Fatalf("PlanCached: %v", err)
+	}
+	raw, err := json.Marshal(engine.SerializeDecomposition(plan.Decomp, plan.NodeCosts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestPlanRecordRoundTripByteIdentical is the determinism oracle of the
+// distributed tier at the cache layer: exporting a canonical entry,
+// shipping it through JSON (the wire and disk format), and importing it on
+// a fresh Planner must serve byte-identical plans to a local computation —
+// for renamed callers too.
+func TestPlanRecordRoundTripByteIdentical(t *testing.T) {
+	cat := q1Catalog(t)
+	queries := []*cq.Query{cq.Q1()}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 6; i++ {
+		cfg := cqgen.Config{Atoms: 3 + rng.Intn(3), MaxArity: 3, MaxCard: 10}
+		if i%2 == 1 {
+			cfg.SelfJoin = 0.5
+		}
+		inst := cqgen.MustGenerate(rng, cfg)
+		if err := inst.Catalog.AnalyzeAll(); err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, inst.Query)
+		t.Run("", func(t *testing.T) {
+			roundTripOne(t, inst.Query, inst.Catalog, 3)
+		})
+	}
+	roundTripOne(t, queries[0], cat, 3)
+}
+
+func roundTripOne(t *testing.T, q *cq.Query, cat *db.Catalog, k int) {
+	t.Helper()
+	src := NewPlanner(Options{})
+	probe, err := src.ProbePlan(q, cat, k)
+	if err != nil {
+		t.Fatalf("ProbePlan: %v", err)
+	}
+	want := planJSON(t, src, q, cat, k)
+
+	rec, ok := src.ExportPlan(probe.Key)
+	if !ok {
+		t.Fatalf("ExportPlan: computed entry not resident under its probe key")
+	}
+	wire, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded PlanRecord
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewPlanner(Options{})
+	if err := dst.ImportPlan(probe.Key, &decoded); err != nil {
+		t.Fatalf("ImportPlan: %v", err)
+	}
+	// The import must be a warm answer: LookupPlan, not a search.
+	dprobe, err := dst.ProbePlan(q, cat, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dprobe.Key != probe.Key {
+		t.Fatalf("probe keys diverge across planners:\n  %q\n  %q", dprobe.Key, probe.Key)
+	}
+	plan, ok, err := dst.LookupPlan(dprobe)
+	if err != nil || !ok {
+		t.Fatalf("LookupPlan after import: ok=%v err=%v", ok, err)
+	}
+	got, err := json.Marshal(engine.SerializeDecomposition(plan.Decomp, plan.NodeCosts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("imported plan deviates from local computation:\n  got  %s\n  want %s", got, want)
+	}
+	if st := dst.Stats(); st.Plans.Computations != 0 {
+		t.Fatalf("import triggered a search: %+v", st.Plans)
+	}
+
+	// A variable-renamed caller hits the imported entry too, byte-for-byte
+	// against the source planner's answer for the same renamed query.
+	ren := cqgen.Renamed(q, "rt")
+	wantRen := planJSON(t, src, ren, cat, k)
+	gotRen := planJSON(t, dst, ren, cat, k)
+	if !bytes.Equal(gotRen, wantRen) {
+		t.Fatalf("renamed caller deviates after import:\n  got  %s\n  want %s", gotRen, wantRen)
+	}
+}
+
+func TestProbeLookupComputeMatchesPlanCached(t *testing.T) {
+	cat := q1Catalog(t)
+	q := cq.Q1()
+	p := NewPlanner(Options{})
+	probe, err := p.ProbePlan(q, cat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := p.LookupPlan(probe); ok || err != nil {
+		t.Fatalf("cold lookup: ok=%v err=%v", ok, err)
+	}
+	plan, shared, err := p.ComputePlan(probe)
+	if err != nil || shared {
+		t.Fatalf("ComputePlan: shared=%v err=%v", shared, err)
+	}
+	plan2, ok, err := p.LookupPlan(probe)
+	if !ok || err != nil {
+		t.Fatalf("warm lookup: ok=%v err=%v", ok, err)
+	}
+	a, _ := json.Marshal(engine.SerializeDecomposition(plan.Decomp, plan.NodeCosts))
+	b, _ := json.Marshal(engine.SerializeDecomposition(plan2.Decomp, plan2.NodeCosts))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("lookup deviates from compute:\n  %s\n  %s", a, b)
+	}
+}
+
+func TestNegativeImportExport(t *testing.T) {
+	// The triangle at k=1 is genuinely infeasible.
+	q := cq.MustParse("ans(X) :- r0(X,Y), r1(Y,Z), r2(Z,X).")
+	rng := rand.New(rand.NewSource(5))
+	cat, err := db.GenerateCatalog(rng, []db.Spec{
+		{Name: "r0", Attrs: []string{"a", "b"}, Card: 6, Distinct: map[string]int{"a": 4, "b": 4}},
+		{Name: "r1", Attrs: []string{"a", "b"}, Card: 6, Distinct: map[string]int{"a": 4, "b": 4}},
+		{Name: "r2", Attrs: []string{"a", "b"}, Card: 6, Distinct: map[string]int{"a": 4, "b": 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	src := NewPlanner(Options{})
+	probe, err := src.ProbePlan(q, cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.ComputePlan(probe); !errors.Is(err, core.ErrNoDecomposition) {
+		t.Fatalf("triangle at k=1: %v", err)
+	}
+	if !src.ExportInfeasible(probe.NegKey) {
+		t.Fatal("infeasibility verdict not exported")
+	}
+	dst := NewPlanner(Options{})
+	dst.ImportInfeasible(probe.NegKey)
+	if _, ok, err := dst.LookupPlan(probe); !ok || !errors.Is(err, core.ErrNoDecomposition) {
+		t.Fatalf("imported verdict not honored: ok=%v err=%v", ok, err)
+	}
+	if st := dst.Stats(); st.Infeasible.Computations != 0 {
+		t.Fatalf("import counted a computation: %+v", st.Infeasible)
+	}
+}
+
+func TestImportRejectsCorruptRecords(t *testing.T) {
+	p := NewPlanner(Options{})
+	cases := []*PlanRecord{
+		nil,
+		{},
+		{Edges: []RecordEdge{{Name: "e", Vars: []string{"X"}}}}, // no root
+		{Edges: []RecordEdge{{Name: "e", Vars: []string{"X"}}},
+			Root: &engine.PlanNode{Lambda: []string{"missing"}, Chi: []string{"X"}}},
+		{Edges: []RecordEdge{{Name: "e", Vars: []string{"X"}}},
+			Root: &engine.PlanNode{Lambda: []string{"e"}, Chi: []string{"Y"}}},
+		{Edges: []RecordEdge{{Name: "e", Vars: []string{"X"}}, {Name: "e", Vars: []string{"X"}}},
+			Root: &engine.PlanNode{Lambda: []string{"e"}, Chi: []string{"X"}}},
+	}
+	for i, rec := range cases {
+		if err := p.ImportPlan("key", rec); err == nil {
+			t.Fatalf("case %d: corrupt record imported without error", i)
+		}
+	}
+	if st := p.Stats(); st.Plans.Entries != 0 {
+		t.Fatalf("corrupt import left entries: %+v", st.Plans)
+	}
+}
+
+func TestUncacheableProbe(t *testing.T) {
+	p := NewPlanner(Options{})
+	// Duplicate atom names cannot be canonicalized.
+	q := &cq.Query{Head: "ans", Atoms: []cq.Atom{
+		{Predicate: "r", Vars: []string{"X", "Y"}},
+		{Predicate: "r", Vars: []string{"Y", "Z"}},
+	}}
+	if _, err := p.ProbePlan(q, db.NewCatalog(), 2); !errors.Is(err, ErrUncacheable) {
+		t.Fatalf("duplicate atoms: got %v, want ErrUncacheable", err)
+	}
+}

@@ -157,55 +157,22 @@ func (p *Planner) Plan(q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, error) 
 // ErrNoDecomposition outcome — was served without running a new search: a
 // plan-cache or negative-cache hit, or a joined in-flight computation.
 func (p *Planner) PlanCached(q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
-	qc, err := CanonicalizeQuery(q)
+	probe, err := p.ProbePlan(q, cat, k)
 	if err != nil {
-		// Not canonicalizable (duplicate atom names — unaliased self-joins):
-		// bypass the cache and let the direct path produce its usual error
-		// (or, if planning such a query ever becomes legal, its plan).
-		plan, err := cost.CostKDecomp(q, cat, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
-		return plan, false, err
-	}
-	if p.knownInfeasible(planNegKey(qc.Key, k)) {
-		return nil, true, core.ErrNoDecomposition
-	}
-	fq := q.WithFreshVariables()
-	ests, err := cost.EdgeEstimates(fq, cat)
-	if err != nil {
+		if errors.Is(err, ErrUncacheable) {
+			// Not canonicalizable (duplicate atom names — unaliased
+			// self-joins): bypass the cache and let the direct path produce
+			// its usual error (or, if planning such a query ever becomes
+			// legal, its plan).
+			plan, derr := cost.CostKDecomp(q, cat, k, core.Options{MaxKVertices: p.opts.MaxKVertices})
+			return plan, false, derr
+		}
 		return nil, false, err
 	}
-	canonEsts := canonicalizeEstimates(ests, qc)
-	key := planKey(qc, k, canonEsts)
-	if v, ok := p.plans.get(key); ok {
-		plan, err := remapPlan(v.(*cost.Plan), qc, q)
+	if plan, ok, err := p.LookupPlan(probe); ok {
 		return plan, true, err
 	}
-	v, shared, err := p.planFlight.do(key, func() (any, error) {
-		p.plans.computations.Add(1)
-		ps, err := p.searchFor(qc, k)
-		if err != nil {
-			return nil, err
-		}
-		model := cost.NewModelFromEstimates(ps.FQ, canonEsts)
-		var plan *cost.Plan
-		if p.opts.Workers > 1 {
-			plan, err = ps.RunParallel(model, core.ParallelOptions{Workers: p.opts.Workers})
-		} else {
-			plan, err = ps.Run(model, core.Options{})
-		}
-		if err != nil {
-			if errors.Is(err, core.ErrNoDecomposition) {
-				p.recordInfeasible(planNegKey(qc.Key, k))
-			}
-			return nil, err
-		}
-		p.plans.add(key, plan)
-		return plan, nil
-	})
-	if err != nil {
-		return nil, shared, err
-	}
-	plan, err := remapPlan(v.(*cost.Plan), qc, q)
-	return plan, shared, err
+	return p.ComputePlan(probe)
 }
 
 // Decompose is the cached equivalent of core.DecomposeK: some width-≤k

@@ -57,8 +57,18 @@ const (
 	// ServerShutdown fires on the graceful-shutdown path before the HTTP
 	// server begins draining.
 	ServerShutdown
+	// ClusterPeerRPC fires in the peer RPC client before each call to
+	// another replica. Delay injects inter-node latency; Fail simulates a
+	// network partition (the call errors without touching the wire), so
+	// peer fetches must fall back to the local cold path.
+	ClusterPeerRPC
+	// StoreAppend fires in the persistent plan store before each record
+	// append. Delay stalls the write; Drop tears it — only a prefix of the
+	// record reaches the segment and the store behaves as crashed (all
+	// later appends fail), so recovery-on-reopen is the only way forward.
+	StoreAppend
 
-	numPoints = int(ServerShutdown) + 1
+	numPoints = int(StoreAppend) + 1
 )
 
 var pointNames = [numPoints]string{
@@ -71,6 +81,8 @@ var pointNames = [numPoints]string{
 	"server.batch",
 	"server.catalog.put",
 	"server.shutdown",
+	"cluster.peer.rpc",
+	"store.append",
 }
 
 func (p Point) String() string {

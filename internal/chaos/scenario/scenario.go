@@ -31,7 +31,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +41,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/cq/cqgen"
@@ -108,6 +111,9 @@ type Scenario struct {
 	WantEvictions bool
 	// Want429 requires at least one 429 (limiter-starvation scenarios).
 	Want429 bool
+	// Cluster boots a 2-replica distributed tier (consistent-hash sharded,
+	// store-backed) and round-robins the load across both replicas.
+	Cluster bool
 }
 
 // Scenarios returns the standing suite, in execution order.
@@ -207,6 +213,19 @@ func Scenarios() []Scenario {
 			},
 			Require:     []chaos.Point{chaos.ServerHandler, chaos.ServerShutdown},
 			MidShutdown: true,
+		},
+		{
+			Name:        "peer-partition",
+			Description: "peer RPCs stall and partition mid-plan while the store lags; replicas fall back to local search and plans stay byte-identical",
+			Rules: func(seed int64) []chaos.Rule {
+				return []chaos.Rule{
+					{Point: chaos.ClusterPeerRPC, Prob: 0.4, Effect: chaos.Delay, Jitter: 5 * time.Millisecond},
+					{Point: chaos.ClusterPeerRPC, Prob: 0.3, Effect: chaos.Fail},
+					{Point: chaos.StoreAppend, Prob: 0.3, Effect: chaos.Delay, Jitter: 2 * time.Millisecond},
+				}
+			},
+			Require: []chaos.Point{chaos.ClusterPeerRPC, chaos.StoreAppend},
+			Cluster: true,
 		},
 	}
 }
@@ -366,28 +385,72 @@ func Run(sc Scenario, opt Options) error {
 		return fmt.Errorf("scenario %q seed %d [%s]: %s", sc.Name, opt.Seed, sched, fmt.Sprintf(format, args...))
 	}
 
-	// Serve on a real listener through the full lifecycle path, so the
-	// shutdown drain is the one production takes.
-	s := server.New(cfg)
+	// Serve on real listeners through the full lifecycle path, so the
+	// shutdown drain is the one production takes. A cluster scenario boots
+	// two replicas with pre-bound peer listeners and a store each, and the
+	// load round-robins across them.
+	nodes := 1
+	var members []cluster.Member
+	var peerLns []net.Listener
+	if sc.Cluster {
+		nodes = 2
+		for i := 0; i < nodes; i++ {
+			ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+			if lerr != nil {
+				return fail("peer listener: %v", lerr)
+			}
+			members = append(members, cluster.Member{ID: fmt.Sprintf("node-%d", i), Addr: ln.Addr().String()})
+			peerLns = append(peerLns, ln)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- s.ListenAndServe(ctx, "127.0.0.1:0") }()
-	bindDeadline := time.Now().Add(5 * time.Second)
-	for s.Addr() == nil {
-		if time.Now().After(bindDeadline) {
-			return fail("server never bound")
+	servers := make([]*server.Server, nodes)
+	serveErr := make(chan error, nodes)
+	for i := 0; i < nodes; i++ {
+		ncfg := cfg
+		if sc.Cluster {
+			dir, derr := os.MkdirTemp("", "chaos-store-*")
+			if derr != nil {
+				return fail("store dir: %v", derr)
+			}
+			defer os.RemoveAll(dir)
+			ncfg.DataDir = dir
+			ncfg.Cluster = &server.ClusterConfig{
+				NodeID:       members[i].ID,
+				Members:      members,
+				PeerListener: peerLns[i],
+			}
 		}
-		time.Sleep(time.Millisecond)
+		s, serr := server.Open(ncfg)
+		if serr != nil {
+			return fail("open replica %d: %v", i, serr)
+		}
+		servers[i] = s
+		go func(s *server.Server) { serveErr <- s.ListenAndServe(ctx, "127.0.0.1:0") }(s)
 	}
-	base := "http://" + s.Addr().String()
+	bases := make([]string, nodes)
+	bindDeadline := time.Now().Add(5 * time.Second)
+	for i, s := range servers {
+		for s.Addr() == nil {
+			if time.Now().After(bindDeadline) {
+				return fail("server never bound")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		bases[i] = "http://" + s.Addr().String()
+	}
 	client := &http.Client{Timeout: 15 * time.Second}
 	defer client.CloseIdleConnections()
 
-	// Upload every tenant's catalog before faults start.
+	// Upload every tenant's catalog to every replica before faults start
+	// (catalogs are replica-local; plan keys derive from the statistics, so
+	// they match across replicas).
 	for _, it := range items {
-		if _, err := putCatalog(client, base, it.tenant, it.catalogText); err != nil {
-			return fail("catalog upload %s: %v", it.tenant, err)
+		for _, base := range bases {
+			if _, err := putCatalog(client, base, it.tenant, it.catalogText); err != nil {
+				return fail("catalog upload %s: %v", it.tenant, err)
+			}
 		}
 	}
 
@@ -414,7 +477,7 @@ func Run(sc Scenario, opt Options) error {
 						return
 					default:
 					}
-					v, err := putCatalog(client, base, it.tenant, it.catalogText)
+					v, err := putCatalog(client, bases[0], it.tenant, it.catalogText)
 					if err != nil {
 						// Tolerated: churn may race shutdown.
 						return
@@ -447,7 +510,7 @@ func Run(sc Scenario, opt Options) error {
 			it := items[i%len(items)]
 			execute := i%4 == 3
 			cancelled := sc.ClientCancelEvery > 0 && i%sc.ClientCancelEvery == 0
-			fireRequest(client, base, it, execute, cancelled, sc, tal)
+			fireRequest(client, bases[i%len(bases)], it, execute, cancelled, sc, tal)
 		}(i)
 	}
 	wg.Wait()
@@ -477,29 +540,34 @@ func Run(sc Scenario, opt Options) error {
 		failures = append(failures, "no request succeeded before mid-flight shutdown")
 	}
 
-	// Post-load invariants on the still-running server.
+	// Post-load invariants on the still-running servers.
 	if !sc.MidShutdown {
 		// A cancelled client returns before its server handler does, so the
 		// handler may legitimately hold its admission slot a little longer;
 		// the invariant is that every slot is eventually released.
-		for end := time.Now().Add(3 * time.Second); s.LimiterInUse() != 0 && time.Now().Before(end); {
-			time.Sleep(5 * time.Millisecond)
-		}
-		if n := s.LimiterInUse(); n != 0 {
-			failures = append(failures, fmt.Sprintf("limiter leak: %d slots still held after drain", n))
+		for _, s := range servers {
+			for end := time.Now().Add(3 * time.Second); s.LimiterInUse() != 0 && time.Now().Before(end); {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if n := s.LimiterInUse(); n != 0 {
+				failures = append(failures, fmt.Sprintf("limiter leak: %d slots still held after drain", n))
+			}
 		}
 		if sc.WantEvictions {
-			st := s.PlannerStats()
+			st := servers[0].PlannerStats()
 			if st.Plans.Evictions+st.Decompositions.Evictions+st.Searches.Evictions+st.Infeasible.Evictions == 0 {
 				failures = append(failures, "eviction scenario recorded no evictions")
 			}
 		}
-		// Verification pass with chaos off: every query answers its ground
-		// truth — injected evictions recomputed correctly, injected
-		// failures retried cleanly, the negative cache poisoned nothing.
+		// Verification pass with chaos off: every replica answers every
+		// query's ground truth — injected evictions recomputed correctly,
+		// injected failures retried cleanly, the negative cache poisoned
+		// nothing, and peer-filled or store-persisted plans deviate nowhere.
 		unregister()
 		for _, it := range items {
-			verifyOnce(client, base, it, tal)
+			for _, base := range bases {
+				verifyOnce(client, base, it, tal)
+			}
 		}
 	}
 
@@ -524,13 +592,15 @@ func Run(sc Scenario, opt Options) error {
 			}
 		}
 	}()
-	select {
-	case err := <-serveErr:
-		if err != nil {
-			failures = append(failures, fmt.Sprintf("shutdown did not drain cleanly: Serve returned %v", err))
+	for i := 0; i < nodes; i++ {
+		select {
+		case err := <-serveErr:
+			if err != nil {
+				failures = append(failures, fmt.Sprintf("shutdown did not drain cleanly: Serve returned %v", err))
+			}
+		case <-time.After(cfg.ShutdownTimeout + 5*time.Second):
+			failures = append(failures, "Serve did not return after shutdown")
 		}
-	case <-time.After(cfg.ShutdownTimeout + 5*time.Second):
-		failures = append(failures, "Serve did not return after shutdown")
 	}
 	close(drained)
 	if el := time.Since(start); el > cfg.ShutdownTimeout+3*time.Second {

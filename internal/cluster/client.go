@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// ClientOptions tunes the peer client. Zero values select the defaults.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/response exchange (default 5s).
+	CallTimeout time.Duration
+	// PingInterval is the health-probe period (default 1s). Negative
+	// disables the background prober entirely — health then tracks only
+	// the outcomes of real calls, which some tests rely on for
+	// determinism.
+	PingInterval time.Duration
+	// FailThreshold is the number of consecutive failures after which a
+	// peer is considered unhealthy (default 3). Any success resets it.
+	FailThreshold int
+	// MaxIdleConns bounds the pooled persistent connections per peer
+	// (default 4); excess connections close after their exchange.
+	MaxIdleConns int
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 5 * time.Second
+	}
+	if o.PingInterval == 0 {
+		o.PingInterval = time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.MaxIdleConns <= 0 {
+		o.MaxIdleConns = 4
+	}
+	return o
+}
+
+// ErrUnknownPeer is returned for calls addressed to an ID outside the
+// configured membership.
+var ErrUnknownPeer = errors.New("cluster: unknown peer")
+
+// peer is the client-side state for one remote replica: a free list of
+// persistent connections and a health counter.
+type peer struct {
+	member Member
+
+	mu      sync.Mutex
+	idle    []net.Conn
+	fails   int  // consecutive failures
+	healthy bool // hysteresis state reported by Healthy
+}
+
+// Client maintains pooled persistent connections and health state for
+// every peer of one replica. It is safe for concurrent use.
+type Client struct {
+	opts  ClientOptions
+	peers map[string]*peer
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// NewClient builds a client for the given peers (the local member, if
+// present in the list, must be excluded by the caller). Peers start
+// healthy — optimism costs one failed call at worst, pessimism costs a
+// cold boot where every replica ignores every other.
+func NewClient(peers []Member, opts ClientOptions) *Client {
+	c := &Client{
+		opts:  opts.withDefaults(),
+		peers: make(map[string]*peer, len(peers)),
+		stop:  make(chan struct{}),
+	}
+	for _, m := range peers {
+		c.peers[m.ID] = &peer{member: m, healthy: true}
+	}
+	if c.opts.PingInterval > 0 {
+		c.wg.Add(1)
+		go c.pingLoop()
+	}
+	return c
+}
+
+// pingLoop probes every peer each interval so partitions are noticed (and
+// healed peers re-admitted) even when no plan traffic flows toward them.
+func (c *Client) pingLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.PingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			for _, p := range c.peers {
+				_, _, err := c.call(p, opPing, "", nil)
+				_ = err // call already updated the health counter
+			}
+		}
+	}
+}
+
+// Healthy reports whether the peer is currently considered reachable.
+// Unknown IDs are unhealthy.
+func (c *Client) Healthy(id string) bool {
+	p, ok := c.peers[id]
+	if !ok {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy
+}
+
+// Get fetches the answer for a full plan key from the peer's warm tier:
+// (record, false, true, nil) for a plan, (nil, true, true, nil) for an
+// infeasibility verdict, ok=false for a miss. negKey rides along so the
+// peer can also answer from its negative cache.
+func (c *Client) Get(id, key, negKey string) (rec []byte, negative bool, ok bool, err error) {
+	p, perr := c.peer(id)
+	if perr != nil {
+		return nil, false, false, perr
+	}
+	status, payload, err := c.call(p, opGet, key, []byte(negKey))
+	if err != nil {
+		return nil, false, false, err
+	}
+	switch status {
+	case statusPlan:
+		return payload, false, true, nil
+	case statusNegative:
+		return nil, true, true, nil
+	case statusMiss:
+		return nil, false, false, nil
+	case statusErr:
+		return nil, false, false, fmt.Errorf("cluster: peer %s: %s", id, payload)
+	}
+	return nil, false, false, fmt.Errorf("%w: status %d for get", errFrame, status)
+}
+
+// Put installs a plan record on the peer (the write-through push a
+// non-owner sends the owner after a cold computation).
+func (c *Client) Put(id, key string, rec []byte) error {
+	return c.ack(id, opPut, key, rec)
+}
+
+// PutNegative installs an infeasibility verdict on the peer.
+func (c *Client) PutNegative(id, key string) error {
+	return c.ack(id, opPutNeg, key, nil)
+}
+
+// Ping performs one explicit liveness probe.
+func (c *Client) Ping(id string) error {
+	return c.ack(id, opPing, "", nil)
+}
+
+func (c *Client) ack(id string, op byte, key string, val []byte) error {
+	p, err := c.peer(id)
+	if err != nil {
+		return err
+	}
+	status, payload, err := c.call(p, op, key, val)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("cluster: peer %s: %s", id, payload)
+	}
+	return nil
+}
+
+func (c *Client) peer(id string) (*peer, error) {
+	p, ok := c.peers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, id)
+	}
+	return p, nil
+}
+
+// call performs one request/response exchange with the peer, reusing a
+// pooled connection when one is idle. A pooled connection that fails is
+// retried once on a fresh dial — the common benign failure is the peer
+// having closed an idle connection. Every outcome feeds the health
+// counter. The chaos site fires before the wire is touched: Fail models a
+// partition (the peer never sees the request), Delay models inter-node
+// latency.
+func (c *Client) call(p *peer, op byte, key string, val []byte) (status byte, payload []byte, err error) {
+	if chaos.Hit(chaos.ClusterPeerRPC, chaos.Delay|chaos.Fail)&chaos.Fail != 0 {
+		p.noteFailure(c.opts.FailThreshold)
+		return 0, nil, chaos.ErrInjected
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		var conn net.Conn
+		pooled := false
+		if attempt == 0 {
+			conn, pooled = p.takeIdle()
+		}
+		if conn == nil {
+			conn, err = net.DialTimeout("tcp", p.member.Addr, c.opts.DialTimeout)
+			if err != nil {
+				p.noteFailure(c.opts.FailThreshold)
+				return 0, nil, err
+			}
+		}
+		status, payload, err = c.exchange(conn, op, key, val)
+		if err == nil {
+			p.putIdle(conn, c.opts.MaxIdleConns)
+			p.noteSuccess()
+			return status, payload, nil
+		}
+		conn.Close()
+		if !pooled {
+			break // fresh connection failed: the peer is genuinely unwell
+		}
+	}
+	p.noteFailure(c.opts.FailThreshold)
+	return 0, nil, err
+}
+
+func (c *Client) exchange(conn net.Conn, op byte, key string, val []byte) (byte, []byte, error) {
+	if err := conn.SetDeadline(time.Now().Add(c.opts.CallTimeout)); err != nil {
+		return 0, nil, err
+	}
+	if err := writeRequest(conn, op, key, val); err != nil {
+		return 0, nil, err
+	}
+	return readResponse(bufio.NewReader(conn))
+}
+
+func (p *peer) takeIdle() (net.Conn, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.idle); n > 0 {
+		conn := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		return conn, true
+	}
+	return nil, false
+}
+
+func (p *peer) putIdle(conn net.Conn, max int) {
+	p.mu.Lock()
+	if len(p.idle) < max {
+		p.idle = append(p.idle, conn)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	conn.Close()
+}
+
+func (p *peer) noteFailure(threshold int) {
+	p.mu.Lock()
+	p.fails++
+	if p.fails >= threshold {
+		p.healthy = false
+	}
+	p.mu.Unlock()
+}
+
+func (p *peer) noteSuccess() {
+	p.mu.Lock()
+	p.fails = 0
+	p.healthy = true
+	p.mu.Unlock()
+}
+
+// Close stops the health prober and closes every pooled connection.
+func (c *Client) Close() {
+	c.closeOnce.Do(func() {
+		close(c.stop)
+	})
+	c.wg.Wait()
+	for _, p := range c.peers {
+		p.mu.Lock()
+		for _, conn := range p.idle {
+			conn.Close()
+		}
+		p.idle = nil
+		p.mu.Unlock()
+	}
+}

@@ -1,0 +1,402 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func threeMembers() []Member {
+	return []Member{
+		{ID: "a", Addr: "127.0.0.1:1"},
+		{ID: "b", Addr: "127.0.0.1:2"},
+		{ID: "c", Addr: "127.0.0.1:3"},
+	}
+}
+
+func TestRingDeterministicAndOrderInvariant(t *testing.T) {
+	ms := threeMembers()
+	r1, err := NewRing(ms, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same members, reversed configuration order.
+	rev := []Member{ms[2], ms[0], ms[1]}
+	r2, err := NewRing(rev, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("plan-key-%d-%d", i, rng.Int63())
+		if o1, o2 := r1.Owner(key), r2.Owner(key); o1 != o2 {
+			t.Fatalf("owner differs across configuration orders: %v vs %v for %q", o1, o2, key)
+		}
+	}
+}
+
+func TestRingDistributionAndShare(t *testing.T) {
+	r, err := NewRing(threeMembers(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i)).ID]++
+	}
+	var shareSum float64
+	for _, m := range r.Members() {
+		share := r.Share(m.ID)
+		shareSum += share
+		got := float64(counts[m.ID]) / n
+		if share < 0.10 || share > 0.60 {
+			t.Fatalf("member %s owns a degenerate share %.3f", m.ID, share)
+		}
+		if diff := got - share; diff < -0.05 || diff > 0.05 {
+			t.Fatalf("member %s: empirical share %.3f far from ring share %.3f", m.ID, got, share)
+		}
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Fatalf("shares do not cover the circle: %f", shareSum)
+	}
+	if s := r.Share("nobody"); s != 0 {
+		t.Fatalf("unknown member owns %f", s)
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r, err := NewRing([]Member{{ID: "solo", Addr: "x"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Share("solo"); s != 1 {
+		t.Fatalf("single member share = %f, want 1", s)
+	}
+	if o := r.Owner("anything"); o.ID != "solo" {
+		t.Fatalf("owner = %v", o)
+	}
+}
+
+// TestRingConsistency pins the property the construction exists for:
+// removing one member only remaps that member's keys.
+func TestRingConsistency(t *testing.T) {
+	full, err := NewRing(threeMembers(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(threeMembers()[:2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before.ID != "c" && before.ID != after.ID {
+			t.Fatalf("key %q moved from surviving member %s to %s", key, before.ID, after.ID)
+		}
+		if before.ID == "c" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned nothing; test is vacuous")
+	}
+}
+
+func TestRingConfigErrors(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]Member{{ID: "a"}, {ID: "a"}}, 8); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := NewRing([]Member{{ID: ""}}, 8); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("a=127.0.0.1:7001, b=127.0.0.1:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].ID != "a" || ms[1].Addr != "127.0.0.1:7002" {
+		t.Fatalf("parsed %+v", ms)
+	}
+	for _, bad := range []string{"", "a=", "=x", "a=1,,b=2", "justanid"} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Fatalf("malformed %q accepted", bad)
+		}
+	}
+}
+
+// memBackend is an in-memory Backend for RPC tests.
+type memBackend struct {
+	mu   sync.Mutex
+	recs map[string][]byte
+	negs map[string]bool
+	err  error // forced PutRecord failure
+}
+
+func newMemBackend() *memBackend {
+	return &memBackend{recs: map[string][]byte{}, negs: map[string]bool{}}
+}
+
+func (b *memBackend) GetRecord(key, negKey string) ([]byte, bool, bool) {
+	if negKey != "" && func() bool { b.mu.Lock(); defer b.mu.Unlock(); return b.negs[negKey] }() {
+		return nil, true, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.negs[key] {
+		return nil, true, true
+	}
+	if rec, ok := b.recs[key]; ok {
+		return rec, false, true
+	}
+	return nil, false, false
+}
+
+func (b *memBackend) PutRecord(key string, rec []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	b.recs[key] = append([]byte(nil), rec...)
+	return nil
+}
+
+func (b *memBackend) PutNegative(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.negs[key] = true
+	return nil
+}
+
+// startPeer boots a PeerServer on a loopback listener and returns its
+// address plus a stop function.
+func startPeer(t *testing.T, b Backend) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewPeerServer(b)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	return ln.Addr().String(), func() {
+		srv.Close()
+		<-done
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	backend := newMemBackend()
+	addr, stop := startPeer(t, backend)
+	defer stop()
+
+	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{PingInterval: -1})
+	defer c.Close()
+
+	if err := c.Ping("p"); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, _, ok, err := c.Get("p", "nothing", ""); ok || err != nil {
+		t.Fatalf("cold get: ok=%v err=%v", ok, err)
+	}
+	rec := bytes.Repeat([]byte(`{"plan":true}`), 100)
+	if err := c.Put("p", "k1", rec); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, negative, ok, err := c.Get("p", "k1", "")
+	if err != nil || !ok || negative || !bytes.Equal(got, rec) {
+		t.Fatalf("get after put: ok=%v neg=%v err=%v bytes-equal=%v", ok, negative, err, bytes.Equal(got, rec))
+	}
+	if err := c.PutNegative("p", "dead"); err != nil {
+		t.Fatalf("putneg: %v", err)
+	}
+	if _, negative, ok, err := c.Get("p", "dead", ""); !ok || !negative || err != nil {
+		t.Fatalf("negative get: ok=%v neg=%v err=%v", ok, negative, err)
+	}
+	// Server-side failures surface as errors, not silent acks.
+	backend.mu.Lock()
+	backend.err = errors.New("backend refused")
+	backend.mu.Unlock()
+	if err := c.Put("p", "k2", rec); err == nil {
+		t.Fatal("failed put acked")
+	}
+	if _, err := c.peer("ghost"); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("unknown peer: %v", err)
+	}
+}
+
+func TestRPCConcurrentCalls(t *testing.T) {
+	backend := newMemBackend()
+	addr, stop := startPeer(t, backend)
+	defer stop()
+	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{PingInterval: -1})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			val := []byte(fmt.Sprintf("v%d", i))
+			if err := c.Put("p", key, val); err != nil {
+				errs <- err
+				return
+			}
+			got, _, ok, err := c.Get("p", key, "")
+			if err != nil || !ok || !bytes.Equal(got, val) {
+				errs <- fmt.Errorf("get %s: ok=%v err=%v", key, ok, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthTransitions(t *testing.T) {
+	backend := newMemBackend()
+	addr, stop := startPeer(t, backend)
+
+	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{
+		PingInterval:  -1,
+		FailThreshold: 2,
+		DialTimeout:   200 * time.Millisecond,
+		CallTimeout:   200 * time.Millisecond,
+	})
+	defer c.Close()
+
+	if !c.Healthy("p") {
+		t.Fatal("peer not optimistically healthy at boot")
+	}
+	if err := c.Ping("p"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition: server goes away; below the threshold the peer is still
+	// considered healthy, at the threshold it flips.
+	stop()
+	if err := c.Ping("p"); err == nil {
+		t.Fatal("ping succeeded against a stopped server")
+	}
+	if !c.Healthy("p") {
+		t.Fatal("one failure below threshold flipped health")
+	}
+	c.Ping("p")
+	if c.Healthy("p") {
+		t.Fatal("threshold failures left peer healthy")
+	}
+
+	// Heal: a new server on the same address; one success re-admits.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	srv := NewPeerServer(backend)
+	go srv.Serve(ln)
+	defer srv.Close()
+	if err := c.Ping("p"); err != nil {
+		t.Fatalf("ping after heal: %v", err)
+	}
+	if !c.Healthy("p") {
+		t.Fatal("success did not restore health")
+	}
+	if c.Healthy("ghost") {
+		t.Fatal("unknown peer reported healthy")
+	}
+}
+
+// partitionInjector fails every ClusterPeerRPC hit.
+type partitionInjector struct{ hits int }
+
+func (pi *partitionInjector) Act(p chaos.Point, allowed chaos.Effect) chaos.Effect {
+	if p == chaos.ClusterPeerRPC {
+		pi.hits++
+		return chaos.Fail & allowed
+	}
+	return 0
+}
+
+func TestChaosPartitionNeverTouchesWire(t *testing.T) {
+	backend := newMemBackend()
+	addr, stop := startPeer(t, backend)
+	defer stop()
+	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{PingInterval: -1, FailThreshold: 1})
+	defer c.Close()
+
+	inj := &partitionInjector{}
+	unregister := chaos.Register(inj)
+	err := c.Put("p", "k", []byte("v"))
+	unregister()
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("partitioned put: %v", err)
+	}
+	if inj.hits != 1 {
+		t.Fatalf("injector hits = %d", inj.hits)
+	}
+	backend.mu.Lock()
+	stored := len(backend.recs)
+	backend.mu.Unlock()
+	if stored != 0 {
+		t.Fatal("partitioned call reached the backend")
+	}
+	if c.Healthy("p") {
+		t.Fatal("injected partition not reflected in health")
+	}
+	// Without the injector the same call lands and heals the peer.
+	if err := c.Put("p", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Healthy("p") {
+		t.Fatal("peer not healed")
+	}
+}
+
+func TestPooledConnectionReuseSurvivesServerRestart(t *testing.T) {
+	backend := newMemBackend()
+	addr, stop := startPeer(t, backend)
+	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{
+		PingInterval: -1,
+		DialTimeout:  200 * time.Millisecond,
+		CallTimeout:  200 * time.Millisecond,
+	})
+	defer c.Close()
+	if err := c.Ping("p"); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server: the pooled connection is now dead, and the call
+	// path must retry on a fresh dial rather than fail.
+	stop()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	srv := NewPeerServer(backend)
+	go srv.Serve(ln)
+	defer srv.Close()
+	if err := c.Ping("p"); err != nil {
+		t.Fatalf("ping over stale pooled conn did not retry: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package cluster is the distribution layer of the plan tier: a
+// consistent-hash ring with virtual nodes over the canonical plan-cache
+// key (the stable byte serialization the cache layer produces — two
+// replicas probing isomorphic queries over equal statistics compute equal
+// keys, so the ring agrees on ownership without coordination), plus a
+// compact persistent-connection RPC the replicas use to exchange plan
+// records, and a health-checked peer client that routes around partitions.
+//
+// Membership is static: the member set comes from flags/config at boot and
+// every replica is configured with the same set, so all rings agree. The
+// wire format for plan values is the cache layer's PlanRecord JSON — the
+// same representation the HTTP edge serves — framed in a minimal binary
+// envelope (one op byte, uvarint-length key and value) over raw TCP.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Member is one replica of the plan tier: a stable identifier and the
+// address its peer RPC listener is reachable at.
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash   uint64
+	member int // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash ring: each member is hashed onto
+// the circle at vnodes points, and a key belongs to the member owning the
+// first point at or clockwise after the key's hash. Immutability is the
+// concurrency story — replicas build the ring once at boot and only read.
+type Ring struct {
+	members []Member
+	points  []ringPoint
+}
+
+// DefaultVnodes is the virtual-node count used when a configuration does
+// not specify one. 64 points per member keeps the ownership imbalance of
+// small static clusters within a few percent.
+const DefaultVnodes = 64
+
+// NewRing builds a ring over the given members. The member list is
+// defensively copied and sorted by ID, so rings built from differently
+// ordered configurations are identical. Duplicate IDs, empty IDs, and an
+// empty member set are configuration errors.
+func NewRing(members []Member, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, errors.New("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	ms := make([]Member, len(members))
+	copy(ms, members)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	for i, m := range ms {
+		if m.ID == "" {
+			return nil, errors.New("cluster: member with empty id")
+		}
+		if i > 0 && ms[i-1].ID == m.ID {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID)
+		}
+	}
+	r := &Ring{members: ms, points: make([]ringPoint, 0, len(ms)*vnodes)}
+	for i, m := range ms {
+		for v := 0; v < vnodes; v++ {
+			h := hash64(fmt.Sprintf("%s#%d", m.ID, v))
+			r.points = append(r.points, ringPoint{hash: h, member: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties broken by member index (itself ID-sorted) so the ring is a
+		// pure function of the configuration.
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Owner returns the member owning key: the one whose virtual node is first
+// at or clockwise after hash(key).
+func (r *Ring) Owner(key string) Member {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point the circle restarts
+	}
+	return r.members[r.points[i].member]
+}
+
+// Members returns the ID-sorted member set (a copy).
+func (r *Ring) Members() []Member {
+	ms := make([]Member, len(r.members))
+	copy(ms, r.members)
+	return ms
+}
+
+// Share returns the fraction of the hash circle owned by the member with
+// the given ID — the expected share of uniformly hashed keys it serves.
+// Unknown IDs own nothing.
+func (r *Ring) Share(id string) float64 {
+	if len(r.points) == 0 {
+		return 0
+	}
+	if len(r.points) == 1 {
+		if r.members[r.points[0].member].ID == id {
+			return 1
+		}
+		return 0
+	}
+	// Each point owns the arc back to its predecessor; the first point's
+	// arc wraps around zero. Arcs are accumulated in float64 — the full
+	// circle is 2^64, which a uint64 accumulator cannot hold.
+	var owned float64
+	prev := r.points[len(r.points)-1].hash
+	for _, pt := range r.points {
+		arc := pt.hash - prev // uint64 wraparound handles the zero crossing
+		if r.members[pt.member].ID == id {
+			owned += float64(arc)
+		}
+		prev = pt.hash
+	}
+	return owned / (1 << 63) / 2
+}
+
+// hash64 is FNV-1a run through a splitmix64-style finalizer. Raw FNV on
+// short, similar strings (vnode labels like "a#0".."a#63") lands points
+// unevenly on the circle; the finalizer's avalanche restores balance. The
+// ring needs a stable, well-mixed 64-bit hash, not a cryptographic one —
+// ownership is an optimization, never a trust boundary.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// ParseMembers parses a static membership string of the form
+// "id=host:port,id=host:port". Whitespace around entries is ignored;
+// empty entries are rejected so typos fail loudly at boot.
+func ParseMembers(s string) ([]Member, error) {
+	var ms []Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("cluster: empty member entry in %q", s)
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: malformed member entry %q (want id=addr)", part)
+		}
+		ms = append(ms, Member{ID: id, Addr: addr})
+	}
+	return ms, nil
+}

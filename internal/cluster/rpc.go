@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The peer RPC is a minimal length-prefixed binary protocol over
+// persistent TCP connections. A request is one op byte followed by a
+// uvarint-length key and a uvarint-length value; a response is one status
+// byte followed by a uvarint-length payload. There is no pipelining —
+// each connection carries one request/response exchange at a time, and
+// the client pools connections for concurrency instead.
+
+// Request ops.
+const (
+	opPing   byte = 1 // liveness probe; empty key and value
+	opGet    byte = 2 // fetch the plan record for a full plan key
+	opPut    byte = 3 // install a plan record under a full plan key
+	opPutNeg byte = 4 // install an infeasibility verdict for a negative key
+	maxOp         = opPutNeg
+)
+
+// Response statuses.
+const (
+	statusOK       byte = 0 // ack (ping, put, putneg); empty payload
+	statusPlan     byte = 1 // get hit; payload is the PlanRecord JSON
+	statusNegative byte = 2 // get hit on the negative cache; empty payload
+	statusMiss     byte = 3 // get miss; empty payload
+	statusErr      byte = 4 // server-side failure; payload is the message
+)
+
+// Wire limits. Keys are canonical plan keys (well under a kilobyte for
+// realistic queries); values are PlanRecord JSON. Frames beyond these
+// bounds indicate a corrupt or hostile peer and poison the connection.
+const (
+	maxKeyLen = 1 << 16
+	maxValLen = 16 << 20
+)
+
+var errFrame = errors.New("cluster: malformed rpc frame")
+
+// appendString appends a uvarint-length-prefixed byte string.
+func appendString(buf []byte, s []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// readString reads a uvarint-length-prefixed byte string bounded by max.
+func readString(r *bufio.Reader, max int) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(max) {
+		return nil, fmt.Errorf("%w: length %d exceeds %d", errFrame, n, max)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// writeRequest frames one request onto w.
+func writeRequest(w io.Writer, op byte, key string, val []byte) error {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64*2+len(key)+len(val))
+	buf = append(buf, op)
+	buf = appendString(buf, []byte(key))
+	buf = appendString(buf, val)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readRequest parses one request off r. io.EOF before the op byte is a
+// clean connection close.
+func readRequest(r *bufio.Reader) (op byte, key string, val []byte, err error) {
+	op, err = r.ReadByte()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if op == 0 || op > maxOp {
+		return 0, "", nil, fmt.Errorf("%w: unknown op %d", errFrame, op)
+	}
+	k, err := readString(r, maxKeyLen)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	val, err = readString(r, maxValLen)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return op, string(k), val, nil
+}
+
+// writeResponse frames one response onto w.
+func writeResponse(w io.Writer, status byte, payload []byte) error {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(payload))
+	buf = append(buf, status)
+	buf = appendString(buf, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readResponse parses one response off r.
+func readResponse(r *bufio.Reader) (status byte, payload []byte, err error) {
+	status, err = r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	if status > statusErr {
+		return 0, nil, fmt.Errorf("%w: unknown status %d", errFrame, status)
+	}
+	payload, err = readString(r, maxValLen)
+	if err != nil {
+		return 0, nil, err
+	}
+	return status, payload, nil
+}
+
+// Backend is what a replica exposes to its peers: the byte-level view of
+// its warm tier. Implementations must be safe for concurrent use; values
+// are PlanRecord JSON, opaque at this layer.
+type Backend interface {
+	// GetRecord fetches the resident answer for a full plan key:
+	// (record, false, true) for a cached plan, (nil, true, true) for a
+	// recorded infeasibility verdict, ok=false for a miss. negKey is the
+	// plan key's negative-cache key (infeasibility is keyed by structure
+	// and width, not statistics); it rides the request's value slot.
+	GetRecord(key, negKey string) (rec []byte, negative bool, ok bool)
+	// PutRecord installs a plan record computed by a peer.
+	PutRecord(key string, rec []byte) error
+	// PutNegative installs an infeasibility verdict learned by a peer.
+	PutNegative(key string) error
+}
+
+// PeerServer serves the peer RPC protocol over a listener, dispatching to
+// a Backend. One goroutine per connection; connections are persistent and
+// processed one request at a time.
+type PeerServer struct {
+	backend Backend
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPeerServer returns a server dispatching to b.
+func NewPeerServer(b Backend) *PeerServer {
+	return &PeerServer{backend: b, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts connections on ln until Close. It blocks; run it in a
+// goroutine. After Close it returns nil.
+func (s *PeerServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("cluster: peer server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *PeerServer) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		op, key, val, err := readRequest(r)
+		if err != nil {
+			return // EOF, poisoned frame, or closed conn — drop it either way
+		}
+		status, payload := s.dispatch(op, key, val)
+		if err := writeResponse(conn, status, payload); err != nil {
+			return
+		}
+	}
+}
+
+func (s *PeerServer) dispatch(op byte, key string, val []byte) (byte, []byte) {
+	switch op {
+	case opPing:
+		return statusOK, nil
+	case opGet:
+		rec, negative, ok := s.backend.GetRecord(key, string(val))
+		switch {
+		case !ok:
+			return statusMiss, nil
+		case negative:
+			return statusNegative, nil
+		default:
+			return statusPlan, rec
+		}
+	case opPut:
+		if err := s.backend.PutRecord(key, val); err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, nil
+	case opPutNeg:
+		if err := s.backend.PutNegative(key); err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, nil
+	}
+	return statusErr, []byte("unknown op")
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// per-connection goroutines to exit. Idempotent.
+func (s *PeerServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,482 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/store"
+)
+
+// This file is the distributed plan tier of the server: consistent-hash
+// routing over the canonical plan key, peer warm-fill over the cluster
+// RPC, write-through pushes to the owning replica, and the crash-safe
+// persistent store that warm-loads the cache on boot. The tier is
+// strictly additive — with no ClusterConfig and no DataDir, the server
+// behaves exactly as before, and every distributed step degrades to the
+// local cold path on failure.
+
+// ClusterConfig wires a Server into a static-membership cluster.
+type ClusterConfig struct {
+	// NodeID is this replica's identity; it must appear in Members.
+	NodeID string
+	// Members is the full cluster membership, including this node. Every
+	// replica must be configured with the same set (order is irrelevant —
+	// the ring sorts by ID).
+	Members []cluster.Member
+	// PeerListen is the address the peer RPC listener binds ("host:port";
+	// port 0 picks a free port). Ignored when PeerListener is set.
+	PeerListen string
+	// PeerListener, when non-nil, is a pre-bound listener for the peer
+	// RPC — in-process clusters and tests bind first so the membership
+	// table can be built before any node boots.
+	PeerListener net.Listener
+	// Vnodes is the virtual-node count per member (default
+	// cluster.DefaultVnodes).
+	Vnodes int
+	// Client tunes the peer RPC client (timeouts, health thresholds).
+	Client cluster.ClientOptions
+}
+
+// pushItem is one write-through destined for the owning replica.
+type pushItem struct {
+	owner    string
+	key      string
+	rec      []byte // nil for a negative verdict
+	negative bool
+}
+
+// distTier holds the distribution state of one Server.
+type distTier struct {
+	planner *cache.Planner // the shared planner (distribution requires shared mode)
+	log     *log.Logger
+
+	// Cluster half (nil/zero when not clustered).
+	self    cluster.Member
+	ring    *cluster.Ring
+	client  *cluster.Client
+	peerSrv *cluster.PeerServer
+	peerLn  net.Listener
+
+	// Store half (nil when no DataDir).
+	store       *store.Store
+	loadSeconds float64
+	loadedPlans int
+	loadedNegs  int
+
+	// Write-through push queue toward owners.
+	pushq      chan pushItem
+	pushMu     sync.Mutex
+	pushClosed bool
+	pushWG     sync.WaitGroup
+
+	// Counters (Prometheus + /v1/stats).
+	peerFillHits   atomic.Uint64 // plans imported from the owner and served warm
+	peerFillNegs   atomic.Uint64 // infeasibility verdicts imported from the owner
+	peerFillMisses atomic.Uint64 // owner asked, had nothing
+	peerFillErrors atomic.Uint64 // RPC or record failure; fell back to cold
+	peerServes     atomic.Uint64 // gets answered for peers
+	peerImports    atomic.Uint64 // records installed by peer pushes
+	pushSent       atomic.Uint64
+	pushDropped    atomic.Uint64
+	pushErrors     atomic.Uint64
+	appendErrors   atomic.Uint64
+}
+
+// newDistTier builds the tier: opens and replays the store, then boots the
+// peer server, client, and push queue. Partial failures tear down what was
+// already started.
+func newDistTier(cfg Config, planner *cache.Planner) (*distTier, error) {
+	d := &distTier{planner: planner, log: cfg.Log}
+	if cfg.DataDir != "" {
+		start := time.Now()
+		st, err := store.Open(cfg.DataDir, cfg.StoreOptions, func(r store.Record) {
+			switch r.Kind {
+			case store.KindPlan:
+				var rec cache.PlanRecord
+				if json.Unmarshal(r.Val, &rec) == nil && planner.ImportPlan(r.Key, &rec) == nil {
+					d.loadedPlans++
+				}
+			case store.KindNegative:
+				planner.ImportInfeasible(r.Key)
+				d.loadedNegs++
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening plan store: %w", err)
+		}
+		d.store = st
+		d.loadSeconds = time.Since(start).Seconds()
+		if d.log != nil {
+			d.log.Printf("plan store %s: %d plans, %d negatives warm-loaded in %.3fs",
+				cfg.DataDir, d.loadedPlans, d.loadedNegs, d.loadSeconds)
+		}
+	}
+	if cc := cfg.Cluster; cc != nil {
+		ring, err := cluster.NewRing(cc.Members, cc.Vnodes)
+		if err != nil {
+			d.teardown()
+			return nil, err
+		}
+		var self *cluster.Member
+		var peers []cluster.Member
+		for _, m := range ring.Members() {
+			if m.ID == cc.NodeID {
+				mm := m
+				self = &mm
+			} else {
+				peers = append(peers, m)
+			}
+		}
+		if self == nil {
+			d.teardown()
+			return nil, fmt.Errorf("server: node id %q not in cluster membership", cc.NodeID)
+		}
+		ln := cc.PeerListener
+		if ln == nil {
+			if cc.PeerListen == "" {
+				d.teardown()
+				return nil, errors.New("server: cluster config needs PeerListen or PeerListener")
+			}
+			ln, err = net.Listen("tcp", cc.PeerListen)
+			if err != nil {
+				d.teardown()
+				return nil, fmt.Errorf("server: binding peer listener: %w", err)
+			}
+		}
+		d.self = *self
+		d.ring = ring
+		d.client = cluster.NewClient(peers, cc.Client)
+		d.peerSrv = cluster.NewPeerServer(peerBackend{d})
+		d.peerLn = ln
+		go d.peerSrv.Serve(ln)
+		d.pushq = make(chan pushItem, 256)
+		d.pushWG.Add(1)
+		go d.drainPushes()
+		if d.log != nil {
+			d.log.Printf("cluster node %s: peer rpc on %s, %d peers, owned share %.3f",
+				d.self.ID, ln.Addr(), len(peers), ring.Share(d.self.ID))
+		}
+	}
+	return d, nil
+}
+
+// nodeID returns this replica's identity, or "" outside a cluster.
+func (d *distTier) nodeID() string {
+	if d == nil || d.ring == nil {
+		return ""
+	}
+	return d.self.ID
+}
+
+// plan is the distributed serve flow: local warm lookup, peer warm-fill
+// from the key's owner, then the local cold path (micro-batcher and all)
+// with write-through persistence and an async push to the owner.
+func (d *distTier) plan(s *Server, ctx context.Context, tenant string, version uint64, queryText string, q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
+	probe, err := d.planner.ProbePlan(q, cat, k)
+	if err != nil {
+		if errors.Is(err, cache.ErrUncacheable) {
+			// Uncacheable queries bypass the cache, the ring, and the store.
+			return s.planLocal(ctx, tenant, version, queryText, q, cat, k)
+		}
+		return nil, false, err
+	}
+	if plan, ok, lerr := d.planner.LookupPlan(probe); ok {
+		return plan, true, lerr
+	}
+	if hit, plan, herr := d.peerFill(probe); hit {
+		return plan, true, herr
+	}
+	plan, hit, err := s.planLocal(ctx, tenant, version, queryText, q, cat, k)
+	if err != nil {
+		if errors.Is(err, core.ErrNoDecomposition) {
+			// The cold compute recorded the verdict locally; persist it and
+			// teach the owner.
+			d.persist(store.KindNegative, probe.NegKey, nil)
+			d.pushToOwner(probe, nil, true)
+		}
+		return plan, hit, err
+	}
+	if rec, ok := d.planner.ExportPlan(probe.Key); ok {
+		if raw, jerr := json.Marshal(rec); jerr == nil {
+			d.persist(store.KindPlan, probe.Key, raw)
+			d.pushToOwner(probe, raw, false)
+		}
+	}
+	return plan, hit, err
+}
+
+// peerFill tries the owning replica's warm cache before any local search.
+// hit reports whether the request was answered (herr is
+// core.ErrNoDecomposition for an imported infeasibility verdict); on
+// (false, ...) the caller proceeds to the cold path.
+func (d *distTier) peerFill(probe *cache.PlanProbe) (hit bool, plan *cost.Plan, herr error) {
+	if d.ring == nil {
+		return false, nil, nil
+	}
+	owner := d.ring.Owner(probe.Key)
+	if owner.ID == d.self.ID || !d.client.Healthy(owner.ID) {
+		return false, nil, nil
+	}
+	raw, negative, ok, err := d.client.Get(owner.ID, probe.Key, probe.NegKey)
+	switch {
+	case err != nil:
+		d.peerFillErrors.Add(1)
+	case negative:
+		d.peerFillNegs.Add(1)
+		d.planner.ImportInfeasible(probe.NegKey)
+		d.persist(store.KindNegative, probe.NegKey, nil)
+		return true, nil, core.ErrNoDecomposition
+	case ok:
+		var rec cache.PlanRecord
+		if uerr := json.Unmarshal(raw, &rec); uerr == nil {
+			if ierr := d.planner.ImportPlan(probe.Key, &rec); ierr == nil {
+				// Serve through the exact remapping path a local hit takes,
+				// so the peer-filled plan is byte-identical to a local one.
+				if plan, lok, lerr := d.planner.LookupPlan(probe); lok {
+					d.peerFillHits.Add(1)
+					d.persist(store.KindPlan, probe.Key, raw)
+					return true, plan, lerr
+				}
+			}
+		}
+		d.peerFillErrors.Add(1)
+	default:
+		d.peerFillMisses.Add(1)
+	}
+	return false, nil, nil
+}
+
+// persist appends one record to the store, if one is configured. Store
+// failures (including injected torn writes) never fail serving — the
+// store is a warm-boot accelerator, not the source of truth.
+func (d *distTier) persist(kind store.Kind, key string, val []byte) {
+	if d.store == nil {
+		return
+	}
+	if err := d.store.Append(kind, key, val); err != nil {
+		d.appendErrors.Add(1)
+	}
+}
+
+// pushToOwner enqueues an async write-through so the key's owner learns a
+// result this (non-owning) replica computed cold. Best-effort: a full
+// queue drops the push, the owner recomputes on demand.
+func (d *distTier) pushToOwner(probe *cache.PlanProbe, raw []byte, negative bool) {
+	if d.ring == nil {
+		return
+	}
+	owner := d.ring.Owner(probe.Key)
+	if owner.ID == d.self.ID {
+		return
+	}
+	it := pushItem{owner: owner.ID, negative: negative}
+	if negative {
+		it.key = probe.NegKey
+	} else {
+		it.key = probe.Key
+		it.rec = raw
+	}
+	d.pushMu.Lock()
+	defer d.pushMu.Unlock()
+	if d.pushClosed {
+		return
+	}
+	select {
+	case d.pushq <- it:
+	default:
+		d.pushDropped.Add(1)
+	}
+}
+
+func (d *distTier) drainPushes() {
+	defer d.pushWG.Done()
+	for it := range d.pushq {
+		var err error
+		if it.negative {
+			err = d.client.PutNegative(it.owner, it.key)
+		} else {
+			err = d.client.Put(it.owner, it.key, it.rec)
+		}
+		if err != nil {
+			d.pushErrors.Add(1)
+		} else {
+			d.pushSent.Add(1)
+		}
+	}
+}
+
+// teardown releases everything the tier started. Idempotent enough for
+// both the construction error path and Close.
+func (d *distTier) teardown() {
+	if d.pushq != nil {
+		d.pushMu.Lock()
+		if !d.pushClosed {
+			d.pushClosed = true
+			close(d.pushq)
+		}
+		d.pushMu.Unlock()
+		d.pushWG.Wait()
+	}
+	if d.client != nil {
+		d.client.Close()
+	}
+	if d.peerSrv != nil {
+		d.peerSrv.Close()
+	}
+	if d.store != nil {
+		d.store.Close()
+	}
+}
+
+// peerBackend exposes the planner's warm tier to peers over the cluster
+// RPC.
+type peerBackend struct{ d *distTier }
+
+func (b peerBackend) GetRecord(key, negKey string) ([]byte, bool, bool) {
+	d := b.d
+	if negKey != "" && d.planner.ExportInfeasible(negKey) {
+		d.peerServes.Add(1)
+		return nil, true, true
+	}
+	rec, ok := d.planner.ExportPlan(key)
+	if !ok {
+		return nil, false, false
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return nil, false, false
+	}
+	d.peerServes.Add(1)
+	return raw, false, true
+}
+
+func (b peerBackend) PutRecord(key string, raw []byte) error {
+	var rec cache.PlanRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return fmt.Errorf("server: peer push: %w", err)
+	}
+	if err := b.d.planner.ImportPlan(key, &rec); err != nil {
+		return err
+	}
+	b.d.peerImports.Add(1)
+	b.d.persist(store.KindPlan, key, raw)
+	return nil
+}
+
+func (b peerBackend) PutNegative(key string) error {
+	b.d.planner.ImportInfeasible(key)
+	b.d.peerImports.Add(1)
+	b.d.persist(store.KindNegative, key, nil)
+	return nil
+}
+
+// clusterStats assembles the /v1/stats cluster section.
+func (d *distTier) clusterStats() *ClusterStatsResponse {
+	if d == nil || d.ring == nil {
+		return nil
+	}
+	hits := d.peerFillHits.Load()
+	negs := d.peerFillNegs.Load()
+	misses := d.peerFillMisses.Load()
+	errs := d.peerFillErrors.Load()
+	resp := &ClusterStatsResponse{
+		Node:           d.self.ID,
+		PeerAddr:       d.peerLn.Addr().String(),
+		Members:        d.ring.Members(),
+		OwnedShare:     d.ring.Share(d.self.ID),
+		PeerHealthy:    map[string]bool{},
+		PeerFills:      hits + negs,
+		PeerFillMisses: misses,
+		PeerFillErrors: errs,
+		PeerServes:     d.peerServes.Load(),
+		PeerImports:    d.peerImports.Load(),
+		PushesSent:     d.pushSent.Load(),
+		PushesDropped:  d.pushDropped.Load(),
+		PushErrors:     d.pushErrors.Load(),
+	}
+	if attempts := hits + negs + misses + errs; attempts > 0 {
+		resp.PeerFillHitRate = float64(hits+negs) / float64(attempts)
+	}
+	for _, m := range resp.Members {
+		if m.ID != d.self.ID {
+			resp.PeerHealthy[m.ID] = d.client.Healthy(m.ID)
+		}
+	}
+	return resp
+}
+
+// storeStats assembles the /v1/stats store section.
+func (d *distTier) storeStats() *StoreStatsResponse {
+	if d == nil || d.store == nil {
+		return nil
+	}
+	return &StoreStatsResponse{
+		Stats:           d.store.Stats(),
+		LoadSeconds:     d.loadSeconds,
+		LoadedPlans:     d.loadedPlans,
+		LoadedNegatives: d.loadedNegs,
+		AppendErrors:    d.appendErrors.Load(),
+	}
+}
+
+// writeMetrics appends the tier's Prometheus series to the exposition.
+func (d *distTier) writeMetrics(w io.Writer) {
+	if d.ring != nil {
+		fmt.Fprintln(w, "# HELP planserver_cluster_owned_share Fraction of the plan keyspace this node owns.")
+		fmt.Fprintln(w, "# TYPE planserver_cluster_owned_share gauge")
+		fmt.Fprintf(w, "planserver_cluster_owned_share{node=%q} %g\n", d.self.ID, d.ring.Share(d.self.ID))
+		fmt.Fprintln(w, "# HELP planserver_peer_fetches_total Peer warm-fill attempts by outcome.")
+		fmt.Fprintln(w, "# TYPE planserver_peer_fetches_total counter")
+		fmt.Fprintf(w, "planserver_peer_fetches_total{outcome=\"hit\"} %d\n", d.peerFillHits.Load())
+		fmt.Fprintf(w, "planserver_peer_fetches_total{outcome=\"negative\"} %d\n", d.peerFillNegs.Load())
+		fmt.Fprintf(w, "planserver_peer_fetches_total{outcome=\"miss\"} %d\n", d.peerFillMisses.Load())
+		fmt.Fprintf(w, "planserver_peer_fetches_total{outcome=\"error\"} %d\n", d.peerFillErrors.Load())
+		fmt.Fprintln(w, "# HELP planserver_peer_serves_total Warm answers served to peers.")
+		fmt.Fprintln(w, "# TYPE planserver_peer_serves_total counter")
+		fmt.Fprintf(w, "planserver_peer_serves_total %d\n", d.peerServes.Load())
+		fmt.Fprintln(w, "# HELP planserver_peer_imports_total Records installed by peer pushes.")
+		fmt.Fprintln(w, "# TYPE planserver_peer_imports_total counter")
+		fmt.Fprintf(w, "planserver_peer_imports_total %d\n", d.peerImports.Load())
+		fmt.Fprintln(w, "# HELP planserver_peer_pushes_total Write-through pushes toward owners by outcome.")
+		fmt.Fprintln(w, "# TYPE planserver_peer_pushes_total counter")
+		fmt.Fprintf(w, "planserver_peer_pushes_total{outcome=\"sent\"} %d\n", d.pushSent.Load())
+		fmt.Fprintf(w, "planserver_peer_pushes_total{outcome=\"dropped\"} %d\n", d.pushDropped.Load())
+		fmt.Fprintf(w, "planserver_peer_pushes_total{outcome=\"error\"} %d\n", d.pushErrors.Load())
+	}
+	if d.store != nil {
+		st := d.store.Stats()
+		fmt.Fprintln(w, "# HELP planserver_store_segments Plan store segment count.")
+		fmt.Fprintln(w, "# TYPE planserver_store_segments gauge")
+		fmt.Fprintf(w, "planserver_store_segments %d\n", st.Segments)
+		fmt.Fprintln(w, "# HELP planserver_store_bytes Plan store size in bytes.")
+		fmt.Fprintln(w, "# TYPE planserver_store_bytes gauge")
+		fmt.Fprintf(w, "planserver_store_bytes %d\n", st.Bytes)
+		fmt.Fprintln(w, "# HELP planserver_store_records Records replayed at open plus appended since.")
+		fmt.Fprintln(w, "# TYPE planserver_store_records gauge")
+		fmt.Fprintf(w, "planserver_store_records %d\n", st.Records)
+		fmt.Fprintln(w, "# HELP planserver_store_load_seconds Time spent warm-loading the store at boot.")
+		fmt.Fprintln(w, "# TYPE planserver_store_load_seconds gauge")
+		fmt.Fprintf(w, "planserver_store_load_seconds %g\n", d.loadSeconds)
+		fmt.Fprintln(w, "# HELP planserver_store_loaded_records Records imported at boot by kind.")
+		fmt.Fprintln(w, "# TYPE planserver_store_loaded_records gauge")
+		fmt.Fprintf(w, "planserver_store_loaded_records{kind=\"plan\"} %d\n", d.loadedPlans)
+		fmt.Fprintf(w, "planserver_store_loaded_records{kind=\"negative\"} %d\n", d.loadedNegs)
+		fmt.Fprintln(w, "# HELP planserver_store_append_errors_total Store appends that failed (serving continued).")
+		fmt.Fprintln(w, "# TYPE planserver_store_append_errors_total counter")
+		fmt.Fprintf(w, "planserver_store_append_errors_total %d\n", d.appendErrors.Load())
+	}
+}

@@ -1,0 +1,474 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/store"
+)
+
+const chainQuery = "ans(W) :- r(X,Y), s(Y,Z), t(Z,W)."
+const pathQuery = "ans(X,Z) :- r(X,Y), s(Y,Z)."
+
+// clusterNode is one replica of an in-process test cluster.
+type clusterNode struct {
+	srv *Server
+	ts  *httptest.Server
+	id  string
+}
+
+// startCluster boots n replicas with pre-bound peer listeners (so the
+// membership table exists before any node does) and, when dataDirs is
+// non-nil, a persistent store each. Health probing is disabled: tests
+// drive every transition explicitly.
+func startCluster(t *testing.T, n int, dataDirs []string) ([]clusterNode, []cluster.Member) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	members := make([]cluster.Member, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		members[i] = cluster.Member{ID: fmt.Sprintf("node-%d", i), Addr: ln.Addr().String()}
+	}
+	nodes := make([]clusterNode, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{Cluster: &ClusterConfig{
+			NodeID:       members[i].ID,
+			Members:      members,
+			PeerListener: listeners[i],
+			Client:       cluster.ClientOptions{PingInterval: -1},
+		}}
+		if dataDirs != nil {
+			cfg.DataDir = dataDirs[i]
+		}
+		srv, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("Open node %d: %v", i, err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		nodes[i] = clusterNode{srv: srv, ts: ts, id: members[i].ID}
+		t.Cleanup(func() {
+			ts.Close()
+			srv.Close()
+		})
+	}
+	return nodes, members
+}
+
+// planOn plans query on one node and returns the response.
+func planOn(t *testing.T, ts *httptest.Server, query string, k int) PlanResponse {
+	t.Helper()
+	resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: query, K: k})
+	return decodeAs[PlanResponse](t, resp, http.StatusOK)
+}
+
+// planBytes marshals the plan tree of a response — the byte-identity
+// oracle of the distributed tier.
+func planBytes(t *testing.T, r PlanResponse) string {
+	t.Helper()
+	b, err := json.Marshal(r.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// ownerOf resolves which member owns a query's plan key, by recomputing
+// the probe exactly as the replicas do (same catalog text, same analysis,
+// same canonicalization).
+func ownerOf(t *testing.T, members []cluster.Member, query string, k int) (string, string, string) {
+	t.Helper()
+	cat, err := db.ReadCatalog(strings.NewReader(triangleCatalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := cq.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := cache.NewPlanner(cache.Options{}).ProbePlan(q, cat, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := cluster.NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring.Owner(probe.Key).ID, probe.Key, probe.NegKey
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestClusterPeerFill is the tentpole acceptance path: a plan computed
+// cold on one replica is served warm (cacheHit) from the others via the
+// owning replica, byte-identical everywhere.
+func TestClusterPeerFill(t *testing.T) {
+	nodes, members := startCluster(t, 3, nil)
+	for _, n := range nodes {
+		uploadCatalog(t, n.ts, "acme", triangleCatalog)
+	}
+	ownerID, _, _ := ownerOf(t, members, triangleQuery, 3)
+
+	first := planOn(t, nodes[0].ts, triangleQuery, 3)
+	if first.CacheHit {
+		t.Fatal("first plan was warm on a cold cluster")
+	}
+	if first.Node != nodes[0].id {
+		t.Fatalf("response node = %q, want %q", first.Node, nodes[0].id)
+	}
+	want := planBytes(t, first)
+
+	// Every other replica eventually answers warm: directly (it is the
+	// owner and received the push) or via a peer fill from the owner.
+	for i := 1; i < 3; i++ {
+		var got PlanResponse
+		waitFor(t, fmt.Sprintf("warm answer from node %d", i), func() bool {
+			got = planOn(t, nodes[i].ts, triangleQuery, 3)
+			return got.CacheHit
+		})
+		if pb := planBytes(t, got); pb != want {
+			t.Fatalf("node %d plan deviates:\n  got  %s\n  want %s", i, pb, want)
+		}
+		if got.Node != nodes[i].id {
+			t.Fatalf("node %d response carries node %q", i, got.Node)
+		}
+	}
+
+	// At least one non-owner answered via an actual peer fetch, and the
+	// counters saw it.
+	var fills, serves uint64
+	for _, n := range nodes {
+		st := getStats(t, n.ts)
+		if st.Cluster == nil {
+			t.Fatal("stats missing cluster section")
+		}
+		fills += st.Cluster.PeerFills
+		serves += st.Cluster.PeerServes
+		if n.id == ownerID && st.Cluster.OwnedShare <= 0 {
+			t.Fatalf("owner %s reports share %f", n.id, st.Cluster.OwnedShare)
+		}
+	}
+	if fills == 0 || serves == 0 {
+		t.Fatalf("no peer fill observed: fills=%d serves=%d", fills, serves)
+	}
+}
+
+// TestClusterNegativePeerFill: an infeasibility verdict learned on one
+// replica spreads the same way and is served without a local search.
+func TestClusterNegativePeerFill(t *testing.T) {
+	nodes, members := startCluster(t, 2, nil)
+	for _, n := range nodes {
+		uploadCatalog(t, n.ts, "acme", triangleCatalog)
+	}
+	ownerID, _, _ := ownerOf(t, members, triangleQuery, 1)
+	// Learn infeasibility on the owner so the other node's fill is
+	// deterministic (no async push to wait for).
+	ownerIdx := 0
+	if nodes[1].id == ownerID {
+		ownerIdx = 1
+	}
+	resp := postJSON(t, nodes[ownerIdx].ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 1})
+	decodeAs[ErrorResponse](t, resp, http.StatusUnprocessableEntity)
+
+	other := 1 - ownerIdx
+	resp = postJSON(t, nodes[other].ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 1})
+	decodeAs[ErrorResponse](t, resp, http.StatusUnprocessableEntity)
+	st := getStats(t, nodes[other].ts)
+	if st.Planner.Infeasible.Computations != 0 {
+		t.Fatalf("non-owner ran its own infeasibility search: %+v", st.Planner.Infeasible)
+	}
+	if st.Cluster.PeerFills == 0 {
+		t.Fatal("negative verdict not served via peer fill")
+	}
+}
+
+// TestStoreWarmLoadAcrossRestart: a restarted replica answers warm from
+// its persistent store — plans byte-identical, negative verdicts intact,
+// zero searches.
+func TestStoreWarmLoadAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := Open(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+	wantTri := planBytes(t, planOn(t, ts, triangleQuery, 3))
+	wantPath := planBytes(t, planOn(t, ts, pathQuery, 3))
+	resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 1})
+	decodeAs[ErrorResponse](t, resp, http.StatusUnprocessableEntity)
+	ts.Close()
+	srv.Close()
+
+	srv2, err := Open(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+	uploadCatalog(t, ts2, "acme", triangleCatalog)
+
+	st := getStats(t, ts2)
+	if st.Store == nil || st.Store.LoadedPlans != 2 || st.Store.LoadedNegatives != 1 {
+		t.Fatalf("warm-load stats = %+v", st.Store)
+	}
+	tri := planOn(t, ts2, triangleQuery, 3)
+	if !tri.CacheHit || planBytes(t, tri) != wantTri {
+		t.Fatalf("restarted triangle plan: hit=%v identical=%v", tri.CacheHit, planBytes(t, tri) == wantTri)
+	}
+	path := planOn(t, ts2, pathQuery, 3)
+	if !path.CacheHit || planBytes(t, path) != wantPath {
+		t.Fatalf("restarted path plan: hit=%v identical=%v", path.CacheHit, planBytes(t, path) == wantPath)
+	}
+	resp = postJSON(t, ts2, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 1})
+	decodeAs[ErrorResponse](t, resp, http.StatusUnprocessableEntity)
+	st = getStats(t, ts2)
+	if c := st.Planner.Plans.Computations + st.Planner.Infeasible.Computations; c != 0 {
+		t.Fatalf("restarted replica ran %d searches for warm-loaded answers", c)
+	}
+}
+
+// TestClusterOwnerKillRestart: the owner of a key dies and comes back with
+// its store; a replica that never saw the plan then gets it warm from the
+// restarted owner.
+func TestClusterOwnerKillRestart(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	nodes, members := startCluster(t, 3, dirs)
+	for _, n := range nodes {
+		uploadCatalog(t, n.ts, "acme", triangleCatalog)
+	}
+	ownerID, _, _ := ownerOf(t, members, triangleQuery, 3)
+	ownerIdx := 0
+	for i, n := range nodes {
+		if n.id == ownerID {
+			ownerIdx = i
+		}
+	}
+	// Compute on the owner itself so its store holds the record without
+	// waiting on an async push.
+	want := planBytes(t, planOn(t, nodes[ownerIdx].ts, triangleQuery, 3))
+
+	// Kill the owner, then restart it on the same peer address with the
+	// same data dir.
+	nodes[ownerIdx].ts.Close()
+	nodes[ownerIdx].srv.Close()
+	var ln net.Listener
+	waitFor(t, "peer address rebind", func() bool {
+		var err error
+		ln, err = net.Listen("tcp", members[ownerIdx].Addr)
+		return err == nil
+	})
+	srv, err := Open(Config{
+		DataDir: dirs[ownerIdx],
+		Cluster: &ClusterConfig{
+			NodeID:       ownerID,
+			Members:      members,
+			PeerListener: ln,
+			Client:       cluster.ClientOptions{PingInterval: -1},
+		},
+	})
+	if err != nil {
+		t.Fatalf("restart owner: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+	back := planOn(t, ts, triangleQuery, 3)
+	if !back.CacheHit || planBytes(t, back) != want {
+		t.Fatalf("restarted owner not warm: hit=%v identical=%v", back.CacheHit, planBytes(t, back) == want)
+	}
+
+	// A replica that never planned this query fills from the restarted
+	// owner — the full kill-and-restart survival path.
+	fresh := (ownerIdx + 1) % 3
+	got := planOn(t, nodes[fresh].ts, triangleQuery, 3)
+	if !got.CacheHit || planBytes(t, got) != want {
+		t.Fatalf("peer fill from restarted owner: hit=%v identical=%v", got.CacheHit, planBytes(t, got) == want)
+	}
+	if st := getStats(t, nodes[fresh].ts); st.Cluster.PeerFills == 0 {
+		t.Fatal("fresh replica did not peer-fill")
+	}
+}
+
+// tearNthAppend tears the nth StoreAppend it sees.
+type tearNthAppend struct{ n, hits int }
+
+func (ti *tearNthAppend) Act(p chaos.Point, allowed chaos.Effect) chaos.Effect {
+	if p != chaos.StoreAppend {
+		return 0
+	}
+	ti.hits++
+	if ti.hits == ti.n {
+		return chaos.Drop & allowed
+	}
+	return 0
+}
+
+// TestStoreTornWriteCrashRecovery is the crash-restart recovery check: a
+// chaos-injected torn record mid-write must not corrupt serving, and a
+// restart must recover to the last valid record — warm hits stay correct,
+// the negative cache stays sound, and only the torn record is cold again.
+func TestStoreTornWriteCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := Open(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+
+	wantTri := planBytes(t, planOn(t, ts, triangleQuery, 3))
+	resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 1})
+	decodeAs[ErrorResponse](t, resp, http.StatusUnprocessableEntity)
+
+	// Tear the next store append mid-write — the chain plan's record only
+	// half-reaches disk. Serving must not notice.
+	unregister := chaos.Register(&tearNthAppend{n: 1})
+	torn := planOn(t, ts, chainQuery, 3)
+	unregister()
+	if torn.CacheHit {
+		t.Fatal("cold plan reported as hit")
+	}
+	wantChain := planBytes(t, torn)
+	st := getStats(t, ts)
+	if st.Store.AppendErrors == 0 {
+		t.Fatalf("torn append not counted: %+v", st.Store)
+	}
+	// The plan is still served warm from memory after the tear.
+	if again := planOn(t, ts, chainQuery, 3); !again.CacheHit {
+		t.Fatal("in-memory entry lost after store tear")
+	}
+	ts.Close()
+	srv.Close()
+
+	// "Crash" and restart: recovery truncates the torn tail and replays
+	// everything before it.
+	srv2, err := Open(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen after tear: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+	uploadCatalog(t, ts2, "acme", triangleCatalog)
+
+	st = getStats(t, ts2)
+	if st.Store.LoadedPlans != 1 || st.Store.LoadedNegatives != 1 {
+		t.Fatalf("recovery replayed %+v, want the 1 plan + 1 negative before the tear", st.Store)
+	}
+	if st.Store.TruncatedBytes == 0 {
+		t.Fatal("recovery truncated nothing")
+	}
+	tri := planOn(t, ts2, triangleQuery, 3)
+	if !tri.CacheHit || planBytes(t, tri) != wantTri {
+		t.Fatalf("recovered plan: hit=%v identical=%v", tri.CacheHit, planBytes(t, tri) == wantTri)
+	}
+	resp = postJSON(t, ts2, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 1})
+	decodeAs[ErrorResponse](t, resp, http.StatusUnprocessableEntity)
+	if st := getStats(t, ts2); st.Planner.Infeasible.Computations != 0 {
+		t.Fatal("negative verdict lost by recovery")
+	}
+	// The torn record is the only casualty: cold again, same plan bytes.
+	chain := planOn(t, ts2, chainQuery, 3)
+	if chain.CacheHit {
+		t.Fatal("torn record survived as a warm entry")
+	}
+	if planBytes(t, chain) != wantChain {
+		t.Fatal("recomputed chain plan deviates from pre-crash plan")
+	}
+	// And its recomputation persisted cleanly on the recovered store.
+	if st := getStats(t, ts2); st.Store.AppendErrors != 0 {
+		t.Fatalf("recovered store still failing appends: %+v", st.Store)
+	}
+}
+
+func TestDistConfigValidation(t *testing.T) {
+	if _, err := Open(Config{DataDir: t.TempDir(), IsolateTenants: true}); err == nil {
+		t.Fatal("store with isolated tenants accepted")
+	}
+	if _, err := Open(Config{Cluster: &ClusterConfig{
+		NodeID:  "ghost",
+		Members: []cluster.Member{{ID: "a", Addr: "127.0.0.1:1"}},
+	}}); err == nil {
+		t.Fatal("node id outside membership accepted")
+	}
+	if _, err := Open(Config{Cluster: &ClusterConfig{
+		NodeID:  "a",
+		Members: []cluster.Member{{ID: "a", Addr: "127.0.0.1:1"}},
+	}}); err == nil {
+		t.Fatal("cluster without a peer listener accepted")
+	}
+}
+
+// TestClusterMetricsExposition: the Prometheus exposition carries the
+// tier's series on a distributed replica.
+func TestClusterMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	nodes, _ := startCluster(t, 2, []string{dir, t.TempDir()})
+	uploadCatalog(t, nodes[0].ts, "acme", triangleCatalog)
+	planOn(t, nodes[0].ts, triangleQuery, 3)
+	resp, err := nodes[0].ts.Client().Get(nodes[0].ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"planserver_cluster_owned_share",
+		"planserver_peer_fetches_total",
+		"planserver_peer_pushes_total",
+		"planserver_store_segments",
+		"planserver_store_load_seconds",
+		"planserver_store_loaded_records",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %s", want)
+		}
+	}
+	// The store actually recorded the plan.
+	if st := getStats(t, nodes[0].ts); st.Store.Records == 0 {
+		t.Fatalf("store empty after a cold plan: %+v", st.Store)
+	}
+	_ = store.Options{} // keep the import honest if assertions above change
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/engine"
 	"repro/internal/hypergraph"
+	"repro/internal/store"
 )
 
 // Config tunes a Server. The zero value selects sensible defaults.
@@ -72,6 +73,18 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// Cluster, when non-nil, joins this server to a static-membership
+	// cluster: plan keys are sharded over the members by consistent
+	// hashing, and misses try the owning replica's warm cache before a
+	// cold search. Requires the default shared-planner mode (plan records
+	// are tenant-agnostic; the key already embeds statistics).
+	Cluster *ClusterConfig
+	// DataDir, when non-empty, persists plan and negative-cache records
+	// to an append-only store there and warm-loads the cache from it at
+	// construction. Also requires shared-planner mode.
+	DataDir string
+	// StoreOptions tunes the persistent store (segment size, retention).
+	StoreOptions store.Options
 	// Log receives lifecycle messages; nil disables logging.
 	Log *log.Logger
 }
@@ -116,13 +129,28 @@ type Server struct {
 	metrics  *metricsRegistry
 	batcher  *planBatcher
 	limiter  chan struct{}
+	dist     *distTier // nil unless Cluster or DataDir is configured
 
 	addr      atomic.Value // net.Addr, set by Serve
 	closeOnce sync.Once
 }
 
-// New returns a Server with the given configuration.
+// New returns a Server with the given configuration. It panics if the
+// distributed tier (Cluster/DataDir) is configured but cannot start; use
+// Open to handle those errors. Configurations without a distributed tier
+// never fail.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open returns a Server with the given configuration, starting the
+// distributed tier (persistent store warm-load, peer RPC listener, health
+// prober) when one is configured.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -138,7 +166,30 @@ func New(cfg Config) *Server {
 	if cfg.BatchWindow > 0 {
 		s.batcher = newPlanBatcher(cfg.BatchWindow, cfg.MaxBatch)
 	}
-	return s
+	if cfg.Cluster != nil || cfg.DataDir != "" {
+		if cfg.IsolateTenants {
+			s.Close()
+			return nil, errors.New("server: clustering/persistence requires the shared-planner mode (IsolateTenants=false)")
+		}
+		dist, err := newDistTier(cfg, s.planners.For(""))
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.dist = dist
+	}
+	return s, nil
+}
+
+// NodeID returns this replica's cluster identity, or "" outside a cluster.
+func (s *Server) NodeID() string { return s.dist.nodeID() }
+
+// PeerAddr returns the bound peer RPC address, or "" outside a cluster.
+func (s *Server) PeerAddr() string {
+	if s.dist == nil || s.dist.peerLn == nil {
+		return ""
+	}
+	return s.dist.peerLn.Addr().String()
 }
 
 // PlannerStats snapshots the aggregate planner counters (summed over
@@ -234,11 +285,16 @@ func (s *Server) Addr() net.Addr {
 	return a
 }
 
-// Close releases background resources (idempotent; Serve calls it).
+// Close releases background resources — the batcher, the push queue, the
+// peer RPC server and client, and the persistent store (idempotent; Serve
+// calls it).
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		if s.batcher != nil {
 			s.batcher.close()
+		}
+		if s.dist != nil {
+			s.dist.teardown()
 		}
 	})
 }
@@ -358,9 +414,20 @@ func batchKey(tenant string, version uint64, k int, query string) string {
 	return tenant + "\x1f" + strconv.FormatUint(version, 10) + "\x1f" + strconv.Itoa(k) + "\x1f" + query
 }
 
-// plan runs the planning path shared by /v1/plan and /v1/execute: through
-// the micro-batcher when enabled, else straight into the Planner.
+// plan runs the planning path shared by /v1/plan and /v1/execute. With a
+// distributed tier it is warm-local → peer warm-fill → cold-local (with
+// write-through persistence and owner push); without one it goes straight
+// to the local path.
 func (s *Server) plan(ctx context.Context, tenant string, version uint64, queryText string, q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
+	if s.dist != nil {
+		return s.dist.plan(s, ctx, tenant, version, queryText, q, cat, k)
+	}
+	return s.planLocal(ctx, tenant, version, queryText, q, cat, k)
+}
+
+// planLocal is the in-process planning path: through the micro-batcher
+// when enabled, else straight into the Planner.
+func (s *Server) planLocal(ctx context.Context, tenant string, version uint64, queryText string, q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
 	planner := s.planners.For(tenant)
 	if s.batcher != nil {
 		o := s.batcher.submit(ctx, &batchReq{
@@ -394,6 +461,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.nodeHeader(w)
 	plan, hit, err := s.plan(r.Context(), req.Tenant, ver, req.Query, q, cat, k)
 	if err != nil {
 		planError(w, err)
@@ -406,8 +474,18 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		EstimatedCost:  plan.EstimatedCost,
 		CacheHit:       hit,
 		CatalogVersion: ver,
+		Node:           s.dist.nodeID(),
 		Plan:           engine.SerializeDecomposition(plan.Decomp, plan.NodeCosts),
 	})
+}
+
+// nodeHeader stamps the serving replica's identity on the response, so
+// load-balanced clients can tell which node answered (and assert peer
+// fills in the cluster smoke tests).
+func (s *Server) nodeHeader(w http.ResponseWriter) {
+	if id := s.dist.nodeID(); id != "" {
+		w.Header().Set("X-Planserver-Node", id)
+	}
 }
 
 func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
@@ -455,6 +533,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.nodeHeader(w)
 	plan, hit, err := s.plan(r.Context(), req.Tenant, ver, req.Query, q, cat, k)
 	if err != nil {
 		planError(w, err)
@@ -471,6 +550,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		K:             k,
 		EstimatedCost: plan.EstimatedCost,
 		CacheHit:      hit,
+		Node:          s.dist.nodeID(),
 		RowCount:      res.Card(),
 		Metrics: ExecuteMetrics{
 			Joins:              m.Joins,
@@ -553,12 +633,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.planners.Isolated() {
 		resp.PerTenant = s.planners.StatsByTenant()
 	}
+	if s.dist != nil {
+		resp.Cluster = s.dist.clusterStats()
+		resp.Store = s.dist.storeStats()
+	}
+	s.nodeHeader(w)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, s.planners.Aggregate(), s.catalogs.Len())
+	if s.dist != nil {
+		s.dist.writeMetrics(w)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -2,7 +2,9 @@ package server
 
 import (
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/store"
 )
 
 // Wire types of the HTTP/JSON API. Field names are the contract; see the
@@ -27,6 +29,7 @@ type PlanResponse struct {
 	EstimatedCost  float64          `json:"estimatedCost"`
 	CacheHit       bool             `json:"cacheHit"`
 	CatalogVersion uint64           `json:"catalogVersion"`
+	Node           string           `json:"node,omitempty"` // serving replica's cluster id
 	Plan           *engine.PlanNode `json:"plan"`
 }
 
@@ -68,6 +71,7 @@ type ExecuteResponse struct {
 	K             int            `json:"k"`
 	EstimatedCost float64        `json:"estimatedCost"`
 	CacheHit      bool           `json:"cacheHit"`
+	Node          string         `json:"node,omitempty"` // serving replica's cluster id
 	Columns       []string       `json:"columns,omitempty"`
 	Rows          [][]int32      `json:"rows,omitempty"`
 	RowCount      int            `json:"rowCount"`
@@ -89,13 +93,46 @@ type CatalogListResponse struct {
 }
 
 // StatsResponse is GET /v1/stats: aggregate planner counters, per-tenant
-// counters when tenants are isolated, and server-level gauges.
+// counters when tenants are isolated, server-level gauges, and — on a
+// distributed replica — the cluster and store sections.
 type StatsResponse struct {
 	Planner   cache.Stats            `json:"planner"`
 	PerTenant map[string]cache.Stats `json:"perTenant,omitempty"`
 	Catalogs  []string               `json:"catalogs"`
 	InFlight  int64                  `json:"inFlight"`
 	UptimeSec float64                `json:"uptimeSec"`
+	Cluster   *ClusterStatsResponse  `json:"cluster,omitempty"`
+	Store     *StoreStatsResponse    `json:"store,omitempty"`
+}
+
+// ClusterStatsResponse is the cluster section of /v1/stats: this node's
+// identity and keyspace share, the ring membership, peer health, and the
+// warm-fill/push counters.
+type ClusterStatsResponse struct {
+	Node            string           `json:"node"`
+	PeerAddr        string           `json:"peerAddr"`
+	Members         []cluster.Member `json:"members"`
+	OwnedShare      float64          `json:"ownedShare"`
+	PeerHealthy     map[string]bool  `json:"peerHealthy"`
+	PeerFills       uint64           `json:"peerFills"` // plans + negatives served warm from a peer
+	PeerFillMisses  uint64           `json:"peerFillMisses"`
+	PeerFillErrors  uint64           `json:"peerFillErrors"`
+	PeerFillHitRate float64          `json:"peerFillHitRate"` // fills / fetch attempts
+	PeerServes      uint64           `json:"peerServes"`      // warm answers served to peers
+	PeerImports     uint64           `json:"peerImports"`     // records installed by peer pushes
+	PushesSent      uint64           `json:"pushesSent"`
+	PushesDropped   uint64           `json:"pushesDropped"`
+	PushErrors      uint64           `json:"pushErrors"`
+}
+
+// StoreStatsResponse is the store section of /v1/stats: the on-disk shape
+// plus the boot-time warm-load outcome.
+type StoreStatsResponse struct {
+	store.Stats
+	LoadSeconds     float64 `json:"loadSeconds"`
+	LoadedPlans     int     `json:"loadedPlans"`
+	LoadedNegatives int     `json:"loadedNegatives"`
+	AppendErrors    uint64  `json:"appendErrors"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON reply.

@@ -1,0 +1,389 @@
+// Package store is the disk-backed canonical plan store behind a
+// planserver replica: an append-only log of checksummed records, split
+// into bounded segments, that survives crashes mid-write. A restarted
+// replica replays the log to warm-load its plan LRU and its negative
+// cache, so it answers hot instead of re-searching — the persistence half
+// of the distributed plan tier (the consistent-hash ring in
+// internal/cluster is the other half).
+//
+// Records are opaque (key, value) pairs tagged with a Kind: the cache
+// layer stores the canonical plan key with a serialized cache.PlanRecord
+// as the value, and negative-cache keys with an empty value. The store
+// never interprets either.
+//
+// Crash safety is torn-write tolerance, not synchronous durability: a
+// record is framed as
+//
+//	[kind 1B][key-len uvarint][key][val-len uvarint][val][crc32c 4B]
+//
+// and recovery on Open scans each segment sequentially, stops at the
+// first frame that fails its checksum or runs past the end of the file,
+// and truncates the tail segment back to the last valid record. A crash
+// (or an injected chaos.StoreAppend tear) therefore loses at most the
+// record being written; everything before it replays intact. Set
+// Options.Sync for fsync-per-append when durability matters more than
+// append latency.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/chaos"
+)
+
+// Kind tags a record's meaning for the replay callback.
+type Kind uint8
+
+const (
+	// KindPlan records carry a serialized canonical plan keyed by the full
+	// plan-cache key.
+	KindPlan Kind = 1
+	// KindNegative records carry an infeasibility verdict: the key is a
+	// negative-cache key, the value is empty.
+	KindNegative Kind = 2
+)
+
+// Record is one replayed entry.
+type Record struct {
+	Kind Kind
+	Key  string
+	Val  []byte
+}
+
+// Options tunes a Store. The zero value selects defaults.
+type Options struct {
+	// SegmentBytes rolls the active segment once it reaches this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// MaxSegments prunes the oldest segments beyond this count (default
+	// 64; negative disables pruning). Pruned records are the coldest —
+	// newer appends of the same key override older ones at replay.
+	MaxSegments int
+	// Sync fsyncs after every append (durable, slow). Off by default: the
+	// store's contract is torn-write tolerance, not power-loss durability.
+	Sync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.MaxSegments == 0 {
+		o.MaxSegments = 64
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the store's shape, exposed through
+// /v1/stats and the Prometheus exposition.
+type Stats struct {
+	Segments       int   `json:"segments"`
+	Bytes          int64 `json:"bytes"`
+	Records        int64 `json:"records"`        // replayed at open + appended since
+	TruncatedBytes int64 `json:"truncatedBytes"` // torn tail dropped by recovery
+	PrunedSegments int   `json:"prunedSegments"` // segments removed by the retention cap
+}
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("store: closed")
+
+// errTorn marks a store that took an injected torn write: like a crashed
+// process, it accepts no further appends — reopening (which runs recovery)
+// is the only way forward.
+var errTorn = errors.New("store: torn write; reopen to recover")
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".log"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Store is an append-only segmented record log. Safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	active     *os.File
+	activeSeq  int
+	activeSize int64
+	segments   []segment // completed segments + the active one, oldest first
+	records    int64
+	truncated  int64
+	pruned     int
+	closed     bool
+	torn       bool
+}
+
+type segment struct {
+	seq  int
+	size int64
+}
+
+func segName(seq int) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+
+// Open opens (creating if needed) the store in dir, replaying every valid
+// record — oldest segment first, so later records for a key supersede
+// earlier ones — through replay before returning. A torn or corrupt tail
+// is truncated back to the last valid record; appends continue from there.
+func Open(dir string, opts Options, replay func(Record)) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range entries {
+		name := e.Name()
+		var seq int
+		if _, err := fmt.Sscanf(name, segPrefix+"%d"+segSuffix, &seq); err == nil &&
+			name == segName(seq) {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+
+	s := &Store{dir: dir, opts: opts}
+	for i, seq := range seqs {
+		size, n, err := s.replaySegment(seq, i == len(seqs)-1, replay)
+		if err != nil {
+			return nil, err
+		}
+		s.records += n
+		s.segments = append(s.segments, segment{seq: seq, size: size})
+	}
+
+	nextSeq := 1
+	if n := len(s.segments); n > 0 {
+		last := s.segments[n-1]
+		if last.size < opts.SegmentBytes {
+			// Reopen the tail segment for append (recovery already truncated
+			// any torn bytes).
+			f, err := os.OpenFile(filepath.Join(dir, segName(last.seq)), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			s.active = f
+			s.activeSeq = last.seq
+			s.activeSize = last.size
+			return s, nil
+		}
+		nextSeq = last.seq + 1
+	}
+	if err := s.roll(nextSeq); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// replaySegment scans one segment, invoking replay per valid record, and
+// returns the valid byte length and record count. When tail is set, the
+// file is truncated back to the valid length (torn-write recovery).
+func (s *Store) replaySegment(seq int, tail bool, replay func(Record)) (int64, int64, error) {
+	path := filepath.Join(s.dir, segName(seq))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	var off int64
+	var n int64
+	for {
+		rec, next, ok := decodeRecord(data, off)
+		if !ok {
+			break
+		}
+		if replay != nil {
+			replay(rec)
+		}
+		n++
+		off = next
+	}
+	if off < int64(len(data)) {
+		s.truncated += int64(len(data)) - off
+		if tail {
+			if err := os.Truncate(path, off); err != nil {
+				return 0, 0, fmt.Errorf("store: truncating torn tail of %s: %w", segName(seq), err)
+			}
+		}
+		// A non-tail segment with trailing garbage keeps its length on disk
+		// (it is never appended to again); the invalid suffix is simply not
+		// replayed.
+	}
+	return off, n, nil
+}
+
+// decodeRecord parses one frame at off. ok is false on any truncation,
+// overrun, or checksum mismatch — recovery treats all three as "the log
+// ends here".
+func decodeRecord(data []byte, off int64) (Record, int64, bool) {
+	p := data[off:]
+	if len(p) < 1 {
+		return Record{}, 0, false
+	}
+	kind := Kind(p[0])
+	i := 1
+	klen, n := binary.Uvarint(p[i:])
+	if n <= 0 || klen > uint64(len(p)) {
+		return Record{}, 0, false
+	}
+	i += n
+	if uint64(len(p)-i) < klen {
+		return Record{}, 0, false
+	}
+	key := p[i : i+int(klen)]
+	i += int(klen)
+	vlen, n := binary.Uvarint(p[i:])
+	if n <= 0 || vlen > uint64(len(p)) {
+		return Record{}, 0, false
+	}
+	i += n
+	if uint64(len(p)-i) < vlen+4 {
+		return Record{}, 0, false
+	}
+	val := p[i : i+int(vlen)]
+	i += int(vlen)
+	sum := binary.LittleEndian.Uint32(p[i:])
+	if crc32.Checksum(p[:i], crcTable) != sum {
+		return Record{}, 0, false
+	}
+	i += 4
+	out := Record{Kind: kind, Key: string(key)}
+	if vlen > 0 {
+		out.Val = append([]byte(nil), val...)
+	}
+	return out, off + int64(i), true
+}
+
+// encodeRecord renders the full frame including the trailing checksum.
+func encodeRecord(kind Kind, key string, val []byte) []byte {
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(val)+4)
+	buf = append(buf, byte(kind))
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(val)))
+	buf = append(buf, val...)
+	sum := crc32.Checksum(buf, crcTable)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// Append writes one record. It is torn-write tolerant, not atomic: a
+// crash mid-write loses only this record. Under an injected
+// chaos.StoreAppend tear, a prefix of the frame reaches disk and the
+// store refuses all further appends, modelling the crash the tear stands
+// in for; Open recovers.
+func (s *Store) Append(kind Kind, key string, val []byte) error {
+	buf := encodeRecord(kind, key, val)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.torn:
+		return errTorn
+	}
+	// Chaos: Delay stalls the append (holding the store lock, as a slow disk
+	// would serialize writers); Drop tears the frame.
+	if chaos.Hit(chaos.StoreAppend, chaos.Delay|chaos.Drop)&chaos.Drop != 0 {
+		s.torn = true
+		if _, err := s.active.Write(buf[:len(buf)/2]); err != nil {
+			return err
+		}
+		return chaos.ErrInjected
+	}
+	if _, err := s.active.Write(buf); err != nil {
+		return err
+	}
+	if s.opts.Sync {
+		if err := s.active.Sync(); err != nil {
+			return err
+		}
+	}
+	s.activeSize += int64(len(buf))
+	s.records++
+	s.segments[len(s.segments)-1].size = s.activeSize
+	if s.activeSize >= s.opts.SegmentBytes {
+		if err := s.roll(s.activeSeq + 1); err != nil {
+			return err
+		}
+		s.prune()
+	}
+	return nil
+}
+
+// roll closes the active segment (if any) and starts a new one. Caller
+// holds s.mu (or is Open, pre-publication).
+func (s *Store) roll(seq int) error {
+	if s.active != nil {
+		if err := s.active.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(seq)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.active = f
+	s.activeSeq = seq
+	s.activeSize = 0
+	s.segments = append(s.segments, segment{seq: seq})
+	return nil
+}
+
+// prune enforces MaxSegments by deleting the oldest completed segments.
+// Caller holds s.mu.
+func (s *Store) prune() {
+	if s.opts.MaxSegments < 0 {
+		return
+	}
+	for len(s.segments) > s.opts.MaxSegments {
+		old := s.segments[0]
+		if err := os.Remove(filepath.Join(s.dir, segName(old.seq))); err != nil && !os.IsNotExist(err) {
+			return // keep the segment; retry on the next roll
+		}
+		s.segments = s.segments[1:]
+		s.pruned++
+	}
+}
+
+// Stats snapshots the store's shape.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Segments:       len(s.segments),
+		Records:        s.records,
+		TruncatedBytes: s.truncated,
+		PrunedSegments: s.pruned,
+	}
+	for _, seg := range s.segments {
+		st.Bytes += seg.size
+	}
+	return st
+}
+
+// Close flushes and closes the active segment. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.active == nil {
+		return nil
+	}
+	err := s.active.Close()
+	s.active = nil
+	return err
+}
