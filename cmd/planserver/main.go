@@ -12,22 +12,32 @@
 //
 // A replica joins a cluster with -node-id, -peers, and -peer-listen: the
 // static membership is consistent-hash sharded over the canonical plan
-// key, and a replica that misses locally warm-fills from the key's owner
+// key, every key is replicated to -replicas owners, and a replica that
+// misses locally warm-fills from the key's owners in preference order
 // before falling back to a cold search. -data-dir adds the crash-safe
-// persistent plan store, warm-loading the cache on boot:
+// persistent plan store (and the on-disk hinted-handoff log), warm-loading
+// the cache on boot:
 //
 //	planserver -node-id a -peer-listen 127.0.0.1:9001 \
 //	    -peers 'a=127.0.0.1:9001,b=127.0.0.1:9002' -data-dir /var/lib/planserver
 //
 // Both require the shared-planner mode (no -isolate-tenants).
+//
+// Tenant-aware overload protection is opt-in: -tenant-rate/-tenant-burst
+// bound each tenant's plan-serving demand with a token bucket, and
+// -tenant-priority assigns shed-order classes (0 = never priority-shed);
+// shed requests get 429 + Retry-After.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,6 +45,27 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/server"
 )
+
+// parsePriorities turns "acme=0,bulk=8" into a tenant → priority-class
+// map for AdmissionConfig.TenantPriority.
+func parsePriorities(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		tenant, class, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("-tenant-priority: bad entry %q (want tenant=class)", part)
+		}
+		n, err := strconv.Atoi(class)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-tenant-priority: bad class in %q", part)
+		}
+		out[tenant] = n
+	}
+	return out, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -54,7 +85,12 @@ func main() {
 	peers := flag.String("peers", "", "static cluster membership as id=host:port,... (including this node)")
 	peerListen := flag.String("peer-listen", "", "peer RPC listen address (default: this node's address from -peers)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default)")
+	replicas := flag.Int("replicas", 0, "owners per plan key (0 = default 2, clamped to the member count)")
 	dataDir := flag.String("data-dir", "", "persistent plan store directory (empty = in-memory only)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant plan requests/sec budget (0 = no tenant budgets)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant burst capacity (0 = 2x -tenant-rate)")
+	tenantPriority := flag.String("tenant-priority", "", "tenant shed-priority classes as tenant=class,... (0 = highest; lower classes shed last)")
+	defaultPriority := flag.Int("default-priority", 0, "priority class for tenants not listed in -tenant-priority")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -72,6 +108,20 @@ func main() {
 		MaxBatch:       *maxBatch,
 		DataDir:        *dataDir,
 		Log:            log.Default(),
+	}
+	if *tenantRate > 0 {
+		prio, err := parsePriorities(*tenantPriority)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Admission = server.AdmissionConfig{
+			TenantRate:      *tenantRate,
+			TenantBurst:     *tenantBurst,
+			TenantPriority:  prio,
+			DefaultPriority: *defaultPriority,
+		}
+	} else if *tenantPriority != "" {
+		log.Fatal("-tenant-priority requires -tenant-rate")
 	}
 	if (*nodeID == "") != (*peers == "") {
 		log.Fatal("-node-id and -peers must be set together")
@@ -94,6 +144,7 @@ func main() {
 			Members:    members,
 			PeerListen: listen,
 			Vnodes:     *vnodes,
+			Replicas:   *replicas,
 		}
 	}
 

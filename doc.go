@@ -85,24 +85,36 @@
 //	err := srv.ListenAndServe(ctx, ":8080")   // or embed srv.Handler()
 //
 // Replicas scale horizontally: a static membership consistent-hash shards
-// the canonical plan keyspace, a replica that misses locally fetches the
-// plan from the key's owner over a compact persistent-connection RPC
-// before falling back to a cold search, and cold results are pushed to
-// their owner so the next replica's fetch hits. Plans travel as canonical
-// records and are re-served through the planner's own remapping path, so a
-// peer-filled answer is byte-identical to a locally computed one. With a
-// data directory configured, every plan and infeasibility verdict also
-// lands in an append-only checksummed store that warm-loads the cache on
-// boot; a torn tail from a crash is truncated to the last valid record.
-// Clustering and persistence are configured on the serving layer
-// (internal/server's Config.Cluster and Config.DataDir, or planserver's
-// -node-id/-peers/-data-dir flags) and require the shared-planner mode.
+// the canonical plan keyspace, each key is replicated to R owners (the
+// ring's distinct-successor list), a replica that misses locally fetches
+// the plan from the key's owners in preference order over a compact
+// persistent-connection RPC before falling back to a cold search, and
+// cold results are pushed to every owner so the next replica's fetch
+// hits even after one owner dies. Plans travel as canonical records and
+// are re-served through the planner's own remapping path, so a
+// peer-filled answer is byte-identical to a locally computed one. Peer
+// calls carry the request's remaining deadline, retry within a budget
+// under decorrelated-jitter backoff, and pass a per-peer circuit breaker
+// (error rate over a sliding window, half-open probes after a cooldown);
+// with all owners unreachable the replica serves the cold result locally
+// and queues it as a bounded on-disk hint, which a background drainer
+// replays once the owner is reachable again — a healed partition
+// converges without operator action. With a data directory configured,
+// every plan and infeasibility verdict also lands in an append-only
+// checksummed store that warm-loads the cache on boot; a torn tail from
+// a crash is truncated to the last valid record. Per-tenant token-bucket
+// budgets with priority shedding (429 + Retry-After) protect the edge
+// under overload. Clustering and persistence are configured on the
+// serving layer (internal/server's Config.Cluster, Config.Admission, and
+// Config.DataDir, or planserver's -node-id/-peers/-replicas/-data-dir/
+// -tenant-rate flags) and require the shared-planner mode.
 //
 // The concurrent layers are threaded with chaos injection points
 // (internal/chaos): a seed-deterministic fault schedule can crash or stall
 // a parallel-search worker mid-wave, delay or fail a singleflight compute,
 // drop cache inserts, inflate handler latency, stall shutdown, partition
-// or delay peer RPCs, and tear store appends mid-write. Each
+// or delay peer RPCs, deny breaker half-open probes, fail hint-drain
+// passes, and tear store appends mid-write. Each
 // site declares which effects it can absorb, and with no injector
 // registered a hook is a single atomic load and branch — the hot path pays
 // nothing. The harness in internal/chaos/scenario replays generated

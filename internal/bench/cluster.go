@@ -33,6 +33,7 @@ type ServerBenchRow struct {
 	Endpoint   string  `json:"endpoint"`
 	Requests   int     `json:"requests"`
 	Errors     int     `json:"errors"`
+	Shed       int     `json:"shed"` // 429s absorbed by honoring Retry-After
 	Warm       int     `json:"warm"` // 200s served with cacheHit:true
 	TotalNs    int64   `json:"totalNs"`
 	Throughput float64 `json:"reqPerSec"`
@@ -64,6 +65,7 @@ type ServerBenchReport struct {
 	Rows            []ServerBenchRow  `json:"rows"`
 	NodeStats       []ServerBenchNode `json:"nodeStats"`
 	PeerFillHitRate float64           `json:"peerFillHitRate"` // cluster-wide fills / fetch attempts
+	ShedRate        float64           `json:"shedRate"`        // 429s / HTTP attempts across all rows
 }
 
 // RunClusterExperiment drives `requests` plan calls plus requests/10
@@ -209,12 +211,13 @@ func RunClusterExperiment(requests, concurrency int) (*ServerBenchReport, error)
 
 	// fire round-robins n requests across every replica endpoint. A 422 is
 	// a served answer (the workload may contain genuinely infeasible
-	// structures and negative-cache serves are part of the distribution);
-	// anything else non-200 is an error.
+	// structures and negative-cache serves are part of the distribution); a
+	// 429 is honored (Retry-After, then retried) and counted as shed, not
+	// failed; anything else non-200 is an error.
 	fire := func(endpoint string, n int) ServerBenchRow {
 		lat := make([]time.Duration, n)
 		var mu sync.Mutex
-		errors, warm := 0, 0
+		errors, warm, shed := 0, 0, 0
 		sem := make(chan struct{}, concurrency)
 		var wg sync.WaitGroup
 		start := time.Now()
@@ -227,32 +230,29 @@ func RunClusterExperiment(requests, concurrency int) (*ServerBenchReport, error)
 				it := items[i%len(items)]
 				url := endpoints[i%nodes].URL + endpoint
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(it.payload))
+				status, raw, sheds, err := postServed(client, url, it.payload)
 				lat[i] = time.Since(t0)
+				mu.Lock()
+				defer mu.Unlock()
+				shed += sheds
 				if err != nil {
-					mu.Lock()
 					errors++
-					mu.Unlock()
 					return
 				}
-				raw, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				switch resp.StatusCode {
+				switch status {
 				case http.StatusOK:
 					var pr struct {
 						CacheHit bool `json:"cacheHit"`
 					}
 					if json.Unmarshal(raw, &pr) == nil && pr.CacheHit {
-						mu.Lock()
 						warm++
-						mu.Unlock()
 					}
 				case http.StatusUnprocessableEntity:
 					// Negative-cache serve: counted as served, never warm.
 				default:
-					mu.Lock()
+					// Includes a request still shed after the retry budget:
+					// the client honored Retry-After and gave up.
 					errors++
-					mu.Unlock()
 				}
 			}(i)
 		}
@@ -263,6 +263,7 @@ func RunClusterExperiment(requests, concurrency int) (*ServerBenchReport, error)
 			Endpoint:   endpoint,
 			Requests:   n,
 			Errors:     errors,
+			Shed:       shed,
 			Warm:       warm,
 			TotalNs:    total.Nanoseconds(),
 			Throughput: float64(n) / total.Seconds(),
@@ -272,7 +273,7 @@ func RunClusterExperiment(requests, concurrency int) (*ServerBenchReport, error)
 	}
 
 	rep := &ServerBenchReport{
-		Schema:      "server-bench/1",
+		Schema:      "server-bench/2",
 		Nodes:       nodes,
 		Tenants:     tenants,
 		Concurrency: concurrency,
@@ -321,17 +322,25 @@ func RunClusterExperiment(requests, concurrency int) (*ServerBenchReport, error)
 	if attempts > 0 {
 		rep.PeerFillHitRate = float64(fills) / float64(attempts)
 	}
+	var sheds, httpAttempts int
+	for _, r := range rep.Rows {
+		sheds += r.Shed
+		httpAttempts += r.Requests + r.Shed
+	}
+	if httpAttempts > 0 {
+		rep.ShedRate = float64(sheds) / float64(httpAttempts)
+	}
 	return rep, nil
 }
 
 // FormatServerBench renders the report as a console table.
 func FormatServerBench(rep *ServerBenchReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %9s %7s %6s %12s %10s %10s\n",
-		"endpoint", "requests", "errors", "warm", "req/s", "p50", "p99")
+	fmt.Fprintf(&b, "%-12s %9s %7s %6s %6s %12s %10s %10s\n",
+		"endpoint", "requests", "errors", "shed", "warm", "req/s", "p50", "p99")
 	for _, r := range rep.Rows {
-		fmt.Fprintf(&b, "%-12s %9d %7d %6d %12.0f %10v %10v\n",
-			r.Endpoint, r.Requests, r.Errors, r.Warm, r.Throughput,
+		fmt.Fprintf(&b, "%-12s %9d %7d %6d %6d %12.0f %10v %10v\n",
+			r.Endpoint, r.Requests, r.Errors, r.Shed, r.Warm, r.Throughput,
 			time.Duration(r.P50Ns).Round(time.Microsecond),
 			time.Duration(r.P99Ns).Round(time.Microsecond))
 	}
@@ -340,7 +349,7 @@ func FormatServerBench(rep *ServerBenchReport) string {
 			n.Node, n.OwnedShare, n.PeerFills, n.PeerFillMisses, n.PeerFillErrors,
 			n.PeerServes, n.PeerImports, n.PlanHits, n.PlanMisses, n.Computations)
 	}
-	fmt.Fprintf(&b, "cluster peer-fill hit rate: %.2f\n", rep.PeerFillHitRate)
+	fmt.Fprintf(&b, "cluster peer-fill hit rate: %.2f, shed rate: %.3f\n", rep.PeerFillHitRate, rep.ShedRate)
 	return b.String()
 }
 

@@ -15,15 +15,22 @@ func TestClusterExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "server-bench/1" {
+	if rep.Schema != "server-bench/2" {
 		t.Fatalf("schema %q", rep.Schema)
 	}
 	if len(rep.Rows) != 2 || len(rep.NodeStats) != rep.Nodes {
 		t.Fatalf("report shape: %d rows, %d node stats", len(rep.Rows), len(rep.NodeStats))
 	}
+	// Admission is off in the bench cluster, so nothing may be shed.
+	if rep.ShedRate != 0 {
+		t.Fatalf("shed rate %f with admission disabled", rep.ShedRate)
+	}
 	for _, r := range rep.Rows {
 		if r.Errors != 0 {
 			t.Fatalf("%s: %d errors", r.Endpoint, r.Errors)
+		}
+		if r.Shed != 0 {
+			t.Fatalf("%s: %d shed with admission disabled", r.Endpoint, r.Shed)
 		}
 		if r.Throughput <= 0 || r.P50Ns <= 0 || r.P99Ns < r.P50Ns {
 			t.Fatalf("%s: degenerate latency row %+v", r.Endpoint, r)

@@ -1,9 +1,76 @@
 package bench
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
+
+// TestPostServedHonorsRetryAfter: the loadgen absorbs 429s by waiting the
+// advertised Retry-After and retrying, instead of recording them as
+// failures — and reports how many sheds it rode out.
+func TestPostServedHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var lastGap atomic.Int64
+	var prev atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if p := prev.Swap(now); p != 0 {
+			lastGap.Store(now - p)
+		}
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	status, raw, sheds, err := postServed(ts.Client(), ts.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || sheds != 2 {
+		t.Fatalf("status=%d sheds=%d, want 200 after 2 sheds", status, sheds)
+	}
+	if !strings.Contains(string(raw), "ok") {
+		t.Fatalf("final body lost: %q", raw)
+	}
+	// Two honored Retry-After: 1 waits ⇒ at least ~2s of pacing.
+	if el := time.Since(start); el < 1900*time.Millisecond {
+		t.Fatalf("Retry-After not honored: total %v", el)
+	}
+	if gap := time.Duration(lastGap.Load()); gap < 900*time.Millisecond {
+		t.Fatalf("inter-attempt gap %v, want >= Retry-After", gap)
+	}
+}
+
+// TestRetryAfterHint pins the header parsing: seconds honored, capped, and
+// a sane default when absent or malformed.
+func TestRetryAfterHint(t *testing.T) {
+	h := http.Header{}
+	if d := retryAfterHint(h, 2*time.Second); d != 50*time.Millisecond {
+		t.Fatalf("absent header: %v", d)
+	}
+	h.Set("Retry-After", "nonsense")
+	if d := retryAfterHint(h, 2*time.Second); d != 50*time.Millisecond {
+		t.Fatalf("malformed header: %v", d)
+	}
+	h.Set("Retry-After", "1")
+	if d := retryAfterHint(h, 2*time.Second); d != time.Second {
+		t.Fatalf("1s header: %v", d)
+	}
+	h.Set("Retry-After", "3600")
+	if d := retryAfterHint(h, 2*time.Second); d != 2*time.Second {
+		t.Fatalf("uncapped wait: %v", d)
+	}
+}
 
 func TestRunServerExperimentSmoke(t *testing.T) {
 	if testing.Short() {

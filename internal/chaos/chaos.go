@@ -67,8 +67,19 @@ const (
 	// record reaches the segment and the store behaves as crashed (all
 	// later appends fail), so recovery-on-reopen is the only way forward.
 	StoreAppend
+	// ClusterPeerBreaker fires when a peer's circuit breaker would admit a
+	// half-open probe after its cooldown. Fail denies the probe — the
+	// breaker stays open, modelling a flapping link that keeps failing
+	// health probes while real traffic would succeed. Delay stalls the
+	// admission decision.
+	ClusterPeerBreaker
+	// ServerHintDrain fires in the hinted-handoff drainer before each
+	// queued hint is replayed toward its owner. Delay stalls the drain;
+	// Fail fails the replay attempt (the hint stays queued for the next
+	// pass), so convergence after a heal must tolerate a lossy drain path.
+	ServerHintDrain
 
-	numPoints = int(StoreAppend) + 1
+	numPoints = int(ServerHintDrain) + 1
 )
 
 var pointNames = [numPoints]string{
@@ -83,6 +94,8 @@ var pointNames = [numPoints]string{
 	"server.shutdown",
 	"cluster.peer.rpc",
 	"store.append",
+	"cluster.peer.breaker",
+	"server.hint.drain",
 }
 
 func (p Point) String() string {

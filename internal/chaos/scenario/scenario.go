@@ -89,6 +89,9 @@ type Scenario struct {
 	Rules func(seed int64) []chaos.Rule
 	// Tune adjusts the server config (limits, batching, workers).
 	Tune func(cfg *server.Config)
+	// TuneCluster adjusts each replica's cluster config (breaker windows,
+	// hint-drain cadence); only consulted when Cluster is set.
+	TuneCluster func(cfg *server.ClusterConfig)
 	// Require names the points that must have been consulted by the end of
 	// the run; a scenario whose faults never fire is a broken scenario.
 	Require []chaos.Point
@@ -114,6 +117,10 @@ type Scenario struct {
 	// Cluster boots a 2-replica distributed tier (consistent-hash sharded,
 	// store-backed) and round-robins the load across both replicas.
 	Cluster bool
+	// WantConverge requires, after the load, that hinted handoff actually
+	// engaged (hints were queued) and fully converged (every queued hint
+	// replayed, none pending) — the partition-heal invariant.
+	WantConverge bool
 }
 
 // Scenarios returns the standing suite, in execution order.
@@ -225,6 +232,49 @@ func Scenarios() []Scenario {
 				}
 			},
 			Require: []chaos.Point{chaos.ClusterPeerRPC, chaos.StoreAppend},
+			Cluster: true,
+		},
+		{
+			Name:        "partition-heal-converge",
+			Description: "a hard partition severs the peers, then heals; pushes park as hints and the drainer replays every one — the healed cluster converges",
+			Rules: func(seed int64) []chaos.Rule {
+				return []chaos.Rule{
+					// The first 40 peer RPCs fail outright: breakers trip,
+					// fills fall back to local search, pushes park as hints.
+					// Then the link heals for good.
+					{Point: chaos.ClusterPeerRPC, Prob: 1, Effect: chaos.Fail, Limit: 40},
+					// The first replays fail too — hints must survive a failed
+					// drain pass and be retried, not dropped.
+					{Point: chaos.ServerHintDrain, Prob: 1, Effect: chaos.Fail, Limit: 2},
+				}
+			},
+			TuneCluster: func(cfg *server.ClusterConfig) {
+				// No retries: each injected fault is a failed call, so the
+				// partition actually bites instead of being ridden out.
+				cfg.Client.Retries = -1
+				cfg.Client.Breaker = cluster.BreakerOptions{Window: 4, MinSamples: 2, ErrorRate: 0.5, Cooldown: 15 * time.Millisecond}
+				cfg.HintDrainInterval = 10 * time.Millisecond
+			},
+			Require:      []chaos.Point{chaos.ClusterPeerRPC, chaos.ServerHintDrain},
+			Cluster:      true,
+			WantConverge: true,
+		},
+		{
+			Name:        "breaker-flap",
+			Description: "a flapping link fails peer RPCs at random and denies half the half-open probes; breakers cycle while every answer stays local-or-correct",
+			Rules: func(seed int64) []chaos.Rule {
+				return []chaos.Rule{
+					{Point: chaos.ClusterPeerRPC, Prob: 0.4, Effect: chaos.Fail},
+					{Point: chaos.ClusterPeerRPC, Prob: 0.3, Effect: chaos.Delay, Jitter: 4 * time.Millisecond},
+					{Point: chaos.ClusterPeerBreaker, Prob: 0.5, Effect: chaos.Fail},
+				}
+			},
+			TuneCluster: func(cfg *server.ClusterConfig) {
+				cfg.Client.Retries = -1
+				cfg.Client.Breaker = cluster.BreakerOptions{Window: 4, MinSamples: 2, ErrorRate: 0.5, Cooldown: 10 * time.Millisecond}
+				cfg.HintDrainInterval = 10 * time.Millisecond
+			},
+			Require: []chaos.Point{chaos.ClusterPeerRPC, chaos.ClusterPeerBreaker},
 			Cluster: true,
 		},
 	}
@@ -421,6 +471,9 @@ func Run(sc Scenario, opt Options) error {
 				Members:      members,
 				PeerListener: peerLns[i],
 			}
+			if sc.TuneCluster != nil {
+				sc.TuneCluster(ncfg.Cluster)
+			}
 		}
 		s, serr := server.Open(ncfg)
 		if serr != nil {
@@ -558,6 +611,9 @@ func Run(sc Scenario, opt Options) error {
 			if st.Plans.Evictions+st.Decompositions.Evictions+st.Searches.Evictions+st.Infeasible.Evictions == 0 {
 				failures = append(failures, "eviction scenario recorded no evictions")
 			}
+		}
+		if sc.WantConverge {
+			failures = append(failures, awaitConvergence(client, bases)...)
 		}
 		// Verification pass with chaos off: every replica answers every
 		// query's ground truth — injected evictions recomputed correctly,
@@ -770,6 +826,60 @@ func verifyOnce(client *http.Client, base string, it workloadItem, tal *tally) {
 			tal.fail("verify %s k=%d: cached state poisoned, plan deviates:\n  got  %s\n  want %s", it.tenant, it.k, got, it.planJSON)
 		}
 	}
+}
+
+// awaitConvergence polls every replica's cluster stats until hinted
+// handoff has fully drained, then asserts it actually engaged: a
+// partition-heal scenario where no push ever needed a hint is a broken
+// scenario, and a pending hint after the deadline means the healed
+// cluster never converged.
+func awaitConvergence(client *http.Client, bases []string) []string {
+	var queued, replayed uint64
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		queued, replayed = 0, 0
+		pending := 0
+		ok := true
+		for _, base := range bases {
+			st, err := fetchStats(client, base)
+			if err != nil || st.Cluster == nil {
+				ok = false
+				break
+			}
+			queued += st.Cluster.HintsQueued
+			replayed += st.Cluster.HintsReplayed
+			pending += st.Cluster.HintsPending
+		}
+		if ok && pending == 0 && queued > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return []string{fmt.Sprintf("hinted handoff did not converge: queued=%d replayed=%d pending=%d", queued, replayed, pending)}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var failures []string
+	if replayed == 0 {
+		failures = append(failures, "hints drained without a single replay")
+	}
+	return failures
+}
+
+func fetchStats(client *http.Client, base string) (server.StatsResponse, error) {
+	var st server.StatsResponse
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	return st, json.Unmarshal(raw, &st)
 }
 
 func putCatalog(client *http.Client, base, tenant, text string) (uint64, error) {

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// The per-peer circuit breaker replaces the old consecutive-failure health
+// bit. The old bit had two failure modes this design removes: a single
+// slow success amid a storm of failures reset the counter (so a flapping
+// peer was never quarantined), and once unhealthy a peer was only
+// re-admitted by the background prober (so with probing disabled a healed
+// peer stayed dark forever). The breaker instead trips on the error *rate*
+// over a sliding window of recent call outcomes, and re-admits itself:
+// after a cooldown it lets a bounded number of half-open probes through,
+// and one probe outcome decides — success closes the breaker, failure
+// reopens it for another cooldown.
+
+// BreakerState is a peer breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: calls flow normally; outcomes feed the error window.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; a bounded number of probe
+	// calls are admitted to test the peer.
+	BreakerHalfOpen
+	// BreakerOpen: the error rate tripped the breaker; calls fast-fail
+	// without touching the wire until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerOptions tunes a peer circuit breaker. Zero values select the
+// defaults.
+type BreakerOptions struct {
+	// Window is the number of most recent call outcomes the error rate is
+	// computed over (count-based, so tests are time-independent; default 16).
+	Window int
+	// MinSamples is the minimum outcomes in the window before the breaker
+	// may trip (default 4) — a cold window never trips on its first error.
+	MinSamples int
+	// ErrorRate is the failure fraction at or above which the breaker
+	// opens (default 0.5).
+	ErrorRate float64
+	// Cooldown is how long an open breaker waits before admitting
+	// half-open probes (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds the probe calls admitted concurrently while
+	// half-open (default 1).
+	HalfOpenProbes int
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Window <= 0 {
+		o.Window = 16
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 4
+	}
+	if o.MinSamples > o.Window {
+		o.MinSamples = o.Window
+	}
+	if o.ErrorRate <= 0 {
+		o.ErrorRate = 0.5
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = time.Second
+	}
+	if o.HalfOpenProbes <= 0 {
+		o.HalfOpenProbes = 1
+	}
+	return o
+}
+
+// breaker is one peer's circuit breaker. Safe for concurrent use.
+type breaker struct {
+	opts BreakerOptions
+
+	mu       sync.Mutex
+	state    BreakerState
+	outcomes []bool // ring buffer of recent call outcomes (true = failure)
+	next     int    // ring write cursor
+	filled   int    // outcomes recorded, capped at len(outcomes)
+	failures int    // failures currently in the window
+	openedAt time.Time
+	probes   int // half-open probes currently in flight
+}
+
+func newBreaker(opts BreakerOptions) *breaker {
+	opts = opts.withDefaults()
+	return &breaker{opts: opts, outcomes: make([]bool, opts.Window)}
+}
+
+// allow reports whether a call may proceed, and whether it counts as a
+// half-open probe (the caller must report the outcome either way; probe
+// outcomes drive the half-open → closed/open transition). An open breaker
+// whose cooldown has elapsed transitions to half-open here — allow is the
+// transition driver, so breakers re-admit healed peers even with the
+// background prober disabled. The chaos site fires on the half-open
+// admission: Fail denies the probe, modelling a flapping link.
+func (b *breaker) allow() (ok, probe bool) {
+	b.mu.Lock()
+	switch b.state {
+	case BreakerClosed:
+		b.mu.Unlock()
+		return true, false
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.opts.Cooldown {
+			b.mu.Unlock()
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probes = 0
+		fallthrough
+	default: // BreakerHalfOpen
+		if b.probes >= b.opts.HalfOpenProbes {
+			b.mu.Unlock()
+			return false, false
+		}
+		b.probes++
+		b.mu.Unlock()
+		// The chaos decision happens outside the lock: an injected Delay
+		// must not serialize every other call against this peer.
+		if chaos.Hit(chaos.ClusterPeerBreaker, chaos.Delay|chaos.Fail)&chaos.Fail != 0 {
+			b.mu.Lock()
+			b.probes--
+			b.mu.Unlock()
+			return false, false
+		}
+		return true, true
+	}
+}
+
+// record feeds one call outcome. Half-open probes resolve the probe state:
+// success closes the breaker (window reset — history from before the
+// outage is meaningless), failure reopens it for a fresh cooldown. Closed
+// outcomes maintain the sliding window and trip on the error rate.
+func (b *breaker) record(failed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !probe {
+			// A non-probe call that straddled the transition; its outcome
+			// is stale by construction. Ignore it.
+			return
+		}
+		if failed {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+		} else {
+			b.state = BreakerClosed
+			b.reset()
+		}
+		return
+	}
+	if b.state == BreakerOpen {
+		// Outcomes of calls admitted before the trip; the breaker already
+		// decided.
+		return
+	}
+	if b.outcomes[b.next] && b.filled == len(b.outcomes) {
+		b.failures--
+	}
+	b.outcomes[b.next] = failed
+	b.next = (b.next + 1) % len(b.outcomes)
+	if b.filled < len(b.outcomes) {
+		b.filled++
+	}
+	if failed {
+		b.failures++
+	}
+	if b.filled >= b.opts.MinSamples &&
+		float64(b.failures)/float64(b.filled) >= b.opts.ErrorRate {
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// release returns an admitted slot without deciding an outcome — used when
+// an admitted call never reached the wire (the caller's budget expired
+// first), which is evidence about the caller, not the peer.
+func (b *breaker) release(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+	b.mu.Unlock()
+}
+
+// reset clears the outcome window. Caller holds b.mu.
+func (b *breaker) reset() {
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+	b.next, b.filled, b.failures = 0, 0, 0
+}
+
+// currentState snapshots the state, performing the open → half-open
+// transition if the cooldown has elapsed (so stats surfaces report
+// "half-open" as soon as probes would be admitted).
+func (b *breaker) currentState() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && time.Since(b.openedAt) >= b.opts.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+	}
+	return b.state
+}

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -13,18 +15,31 @@ import (
 
 // ClientOptions tunes the peer client. Zero values select the defaults.
 type ClientOptions struct {
-	// DialTimeout bounds connection establishment (default 2s).
+	// DialTimeout bounds connection establishment (default 2s). The
+	// effective dial timeout is further capped by the caller's remaining
+	// context budget.
 	DialTimeout time.Duration
-	// CallTimeout bounds one request/response exchange (default 5s).
+	// CallTimeout bounds one request/response attempt (default 5s). The
+	// effective attempt deadline is min(now+CallTimeout, ctx deadline) —
+	// a peer call never outlives the request it serves.
 	CallTimeout time.Duration
 	// PingInterval is the health-probe period (default 1s). Negative
-	// disables the background prober entirely — health then tracks only
-	// the outcomes of real calls, which some tests rely on for
+	// disables the background prober entirely — breaker state then tracks
+	// only the outcomes of real calls, which some tests rely on for
 	// determinism.
 	PingInterval time.Duration
-	// FailThreshold is the number of consecutive failures after which a
-	// peer is considered unhealthy (default 3). Any success resets it.
-	FailThreshold int
+	// Retries is the retry budget per call beyond the first attempt
+	// (default 2; negative disables retries). Retries never extend past
+	// the context deadline and are skipped entirely when the breaker
+	// denied the call.
+	Retries int
+	// RetryBackoff is the base of the decorrelated-jitter backoff between
+	// attempts (default 25ms). Successive sleeps are drawn uniformly from
+	// [base, 3·prev], capped at 20× base, so concurrent retriers against
+	// one struggling peer spread out instead of stampeding in lockstep.
+	RetryBackoff time.Duration
+	// Breaker tunes the per-peer circuit breaker.
+	Breaker BreakerOptions
 	// MaxIdleConns bounds the pooled persistent connections per peer
 	// (default 4); excess connections close after their exchange.
 	MaxIdleConns int
@@ -40,8 +55,14 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	if o.PingInterval == 0 {
 		o.PingInterval = time.Second
 	}
-	if o.FailThreshold <= 0 {
-		o.FailThreshold = 3
+	switch {
+	case o.Retries == 0:
+		o.Retries = 2
+	case o.Retries < 0:
+		o.Retries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 25 * time.Millisecond
 	}
 	if o.MaxIdleConns <= 0 {
 		o.MaxIdleConns = 4
@@ -53,18 +74,23 @@ func (o ClientOptions) withDefaults() ClientOptions {
 // configured membership.
 var ErrUnknownPeer = errors.New("cluster: unknown peer")
 
+// ErrBreakerOpen is returned when a call is denied locally because the
+// peer's circuit breaker is open: the wire is never touched and the error
+// returns in microseconds, so callers can move on to the next replica
+// without burning their deadline budget on a peer known to be dark.
+var ErrBreakerOpen = errors.New("cluster: peer breaker open")
+
 // peer is the client-side state for one remote replica: a free list of
-// persistent connections and a health counter.
+// persistent connections and a circuit breaker.
 type peer struct {
 	member Member
+	brk    *breaker
 
-	mu      sync.Mutex
-	idle    []net.Conn
-	fails   int  // consecutive failures
-	healthy bool // hysteresis state reported by Healthy
+	mu   sync.Mutex
+	idle []net.Conn
 }
 
-// Client maintains pooled persistent connections and health state for
+// Client maintains pooled persistent connections and breaker state for
 // every peer of one replica. It is safe for concurrent use.
 type Client struct {
 	opts  ClientOptions
@@ -77,8 +103,8 @@ type Client struct {
 }
 
 // NewClient builds a client for the given peers (the local member, if
-// present in the list, must be excluded by the caller). Peers start
-// healthy — optimism costs one failed call at worst, pessimism costs a
+// present in the list, must be excluded by the caller). Breakers start
+// closed — optimism costs one failed call at worst, pessimism costs a
 // cold boot where every replica ignores every other.
 func NewClient(peers []Member, opts ClientOptions) *Client {
 	c := &Client{
@@ -87,7 +113,7 @@ func NewClient(peers []Member, opts ClientOptions) *Client {
 		stop:  make(chan struct{}),
 	}
 	for _, m := range peers {
-		c.peers[m.ID] = &peer{member: m, healthy: true}
+		c.peers[m.ID] = &peer{member: m, brk: newBreaker(c.opts.Breaker)}
 	}
 	if c.opts.PingInterval > 0 {
 		c.wg.Add(1)
@@ -97,7 +123,8 @@ func NewClient(peers []Member, opts ClientOptions) *Client {
 }
 
 // pingLoop probes every peer each interval so partitions are noticed (and
-// healed peers re-admitted) even when no plan traffic flows toward them.
+// healed peers re-admitted via half-open probes) even when no plan traffic
+// flows toward them.
 func (c *Client) pingLoop() {
 	defer c.wg.Done()
 	t := time.NewTicker(c.opts.PingInterval)
@@ -108,35 +135,44 @@ func (c *Client) pingLoop() {
 			return
 		case <-t.C:
 			for _, p := range c.peers {
-				_, _, err := c.call(p, opPing, "", nil)
-				_ = err // call already updated the health counter
+				ctx, cancel := context.WithTimeout(context.Background(), c.opts.CallTimeout)
+				_, _, _ = c.call(ctx, p, opPing, "", nil)
+				cancel()
 			}
 		}
 	}
 }
 
-// Healthy reports whether the peer is currently considered reachable.
-// Unknown IDs are unhealthy.
+// Healthy reports whether the peer's breaker currently admits calls (it is
+// not open). Unknown IDs are unhealthy.
 func (c *Client) Healthy(id string) bool {
 	p, ok := c.peers[id]
 	if !ok {
 		return false
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.healthy
+	return p.brk.currentState() != BreakerOpen
+}
+
+// BreakerStates snapshots every peer's breaker state, keyed by member ID —
+// the stats/metrics view of the client's routing decisions.
+func (c *Client) BreakerStates() map[string]BreakerState {
+	states := make(map[string]BreakerState, len(c.peers))
+	for id, p := range c.peers {
+		states[id] = p.brk.currentState()
+	}
+	return states
 }
 
 // Get fetches the answer for a full plan key from the peer's warm tier:
 // (record, false, true, nil) for a plan, (nil, true, true, nil) for an
 // infeasibility verdict, ok=false for a miss. negKey rides along so the
 // peer can also answer from its negative cache.
-func (c *Client) Get(id, key, negKey string) (rec []byte, negative bool, ok bool, err error) {
+func (c *Client) Get(ctx context.Context, id, key, negKey string) (rec []byte, negative bool, ok bool, err error) {
 	p, perr := c.peer(id)
 	if perr != nil {
 		return nil, false, false, perr
 	}
-	status, payload, err := c.call(p, opGet, key, []byte(negKey))
+	status, payload, err := c.call(ctx, p, opGet, key, []byte(negKey))
 	if err != nil {
 		return nil, false, false, err
 	}
@@ -155,26 +191,26 @@ func (c *Client) Get(id, key, negKey string) (rec []byte, negative bool, ok bool
 
 // Put installs a plan record on the peer (the write-through push a
 // non-owner sends the owner after a cold computation).
-func (c *Client) Put(id, key string, rec []byte) error {
-	return c.ack(id, opPut, key, rec)
+func (c *Client) Put(ctx context.Context, id, key string, rec []byte) error {
+	return c.ack(ctx, id, opPut, key, rec)
 }
 
 // PutNegative installs an infeasibility verdict on the peer.
-func (c *Client) PutNegative(id, key string) error {
-	return c.ack(id, opPutNeg, key, nil)
+func (c *Client) PutNegative(ctx context.Context, id, key string) error {
+	return c.ack(ctx, id, opPutNeg, key, nil)
 }
 
 // Ping performs one explicit liveness probe.
-func (c *Client) Ping(id string) error {
-	return c.ack(id, opPing, "", nil)
+func (c *Client) Ping(ctx context.Context, id string) error {
+	return c.ack(ctx, id, opPing, "", nil)
 }
 
-func (c *Client) ack(id string, op byte, key string, val []byte) error {
+func (c *Client) ack(ctx context.Context, id string, op byte, key string, val []byte) error {
 	p, err := c.peer(id)
 	if err != nil {
 		return err
 	}
-	status, payload, err := c.call(p, op, key, val)
+	status, payload, err := c.call(ctx, p, op, key, val)
 	if err != nil {
 		return err
 	}
@@ -192,35 +228,110 @@ func (c *Client) peer(id string) (*peer, error) {
 	return p, nil
 }
 
-// call performs one request/response exchange with the peer, reusing a
-// pooled connection when one is idle. A pooled connection that fails is
-// retried once on a fresh dial — the common benign failure is the peer
-// having closed an idle connection. Every outcome feeds the health
-// counter. The chaos site fires before the wire is touched: Fail models a
-// partition (the peer never sees the request), Delay models inter-node
-// latency.
-func (c *Client) call(p *peer, op byte, key string, val []byte) (status byte, payload []byte, err error) {
+// call performs one logical exchange with the peer: breaker admission,
+// then up to 1+Retries attempts under the context's deadline budget with
+// decorrelated-jitter backoff between them. One logical call feeds the
+// breaker one outcome, however many attempts it took — retries are an
+// implementation detail of the call, not independent evidence against the
+// peer. A call denied budget before its first attempt records nothing:
+// that is evidence about the caller's deadline, not the peer.
+func (c *Client) call(ctx context.Context, p *peer, op byte, key string, val []byte) (status byte, payload []byte, err error) {
+	allowed, probe := p.brk.allow()
+	if !allowed {
+		return 0, nil, fmt.Errorf("%w: %s", ErrBreakerOpen, p.member.ID)
+	}
+	backoff := c.opts.RetryBackoff
+	attempts := 1 + c.opts.Retries
+	if probe {
+		// A half-open probe is a question, not a workload: one attempt,
+		// and its outcome decides the breaker.
+		attempts = 1
+	}
+	attempted := false
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			var ok bool
+			if backoff, ok = c.sleepBackoff(ctx, backoff); !ok {
+				break
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		attempted = true
+		status, payload, err = c.attempt(ctx, p, op, key, val)
+		if err == nil {
+			p.brk.record(false, probe)
+			return status, payload, nil
+		}
+	}
+	if !attempted {
+		p.brk.release(probe)
+		return 0, nil, context.Cause(ctx)
+	}
+	p.brk.record(true, probe)
+	return 0, nil, err
+}
+
+// sleepBackoff sleeps for the current decorrelated-jitter interval and
+// returns the next one; ok is false if the context expired first. The
+// sleep never extends past the context deadline: a retry that cannot
+// finish is not worth starting, but the final slice of budget still gets
+// its attempt.
+func (c *Client) sleepBackoff(ctx context.Context, prev time.Duration) (next time.Duration, ok bool) {
+	base := c.opts.RetryBackoff
+	next = base + time.Duration(rand.Int64N(int64(3*prev)))
+	if maxSleep := 20 * base; next > maxSleep {
+		next = maxSleep
+	}
+	sleep := next
+	if dl, dok := ctx.Deadline(); dok {
+		if remaining := time.Until(dl); remaining < sleep {
+			sleep = remaining
+		}
+	}
+	if sleep > 0 {
+		t := time.NewTimer(sleep)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return next, false
+		case <-t.C:
+		}
+	}
+	return next, ctx.Err() == nil
+}
+
+// attempt performs one wire attempt, reusing a pooled connection when one
+// is idle. A pooled connection that fails is retried once on a fresh dial
+// within the same attempt — the common benign failure is the peer having
+// closed an idle connection, which says nothing about its health. The
+// chaos site fires before the wire is touched: Fail models a partition
+// (the peer never sees the request), Delay models inter-node latency.
+func (c *Client) attempt(ctx context.Context, p *peer, op byte, key string, val []byte) (status byte, payload []byte, err error) {
 	if chaos.Hit(chaos.ClusterPeerRPC, chaos.Delay|chaos.Fail)&chaos.Fail != 0 {
-		p.noteFailure(c.opts.FailThreshold)
 		return 0, nil, chaos.ErrInjected
 	}
-	for attempt := 0; attempt < 2; attempt++ {
+	deadline := time.Now().Add(c.opts.CallTimeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	for reuse := 0; reuse < 2; reuse++ {
 		var conn net.Conn
 		pooled := false
-		if attempt == 0 {
+		if reuse == 0 {
 			conn, pooled = p.takeIdle()
 		}
 		if conn == nil {
-			conn, err = net.DialTimeout("tcp", p.member.Addr, c.opts.DialTimeout)
+			d := net.Dialer{Timeout: c.opts.DialTimeout, Deadline: deadline}
+			conn, err = d.DialContext(ctx, "tcp", p.member.Addr)
 			if err != nil {
-				p.noteFailure(c.opts.FailThreshold)
 				return 0, nil, err
 			}
 		}
-		status, payload, err = c.exchange(conn, op, key, val)
+		status, payload, err = c.exchange(conn, deadline, op, key, val)
 		if err == nil {
 			p.putIdle(conn, c.opts.MaxIdleConns)
-			p.noteSuccess()
 			return status, payload, nil
 		}
 		conn.Close()
@@ -228,12 +339,11 @@ func (c *Client) call(p *peer, op byte, key string, val []byte) (status byte, pa
 			break // fresh connection failed: the peer is genuinely unwell
 		}
 	}
-	p.noteFailure(c.opts.FailThreshold)
 	return 0, nil, err
 }
 
-func (c *Client) exchange(conn net.Conn, op byte, key string, val []byte) (byte, []byte, error) {
-	if err := conn.SetDeadline(time.Now().Add(c.opts.CallTimeout)); err != nil {
+func (c *Client) exchange(conn net.Conn, deadline time.Time, op byte, key string, val []byte) (byte, []byte, error) {
+	if err := conn.SetDeadline(deadline); err != nil {
 		return 0, nil, err
 	}
 	if err := writeRequest(conn, op, key, val); err != nil {
@@ -262,22 +372,6 @@ func (p *peer) putIdle(conn net.Conn, max int) {
 	}
 	p.mu.Unlock()
 	conn.Close()
-}
-
-func (p *peer) noteFailure(threshold int) {
-	p.mu.Lock()
-	p.fails++
-	if p.fails >= threshold {
-		p.healthy = false
-	}
-	p.mu.Unlock()
-}
-
-func (p *peer) noteSuccess() {
-	p.mu.Lock()
-	p.fails = 0
-	p.healthy = true
-	p.mu.Unlock()
 }
 
 // Close stops the health prober and closes every pooled connection.

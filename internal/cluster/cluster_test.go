@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -113,6 +114,80 @@ func TestRingConsistency(t *testing.T) {
 	}
 }
 
+func TestRingOwnersDistinctPrefixAndClamp(t *testing.T) {
+	r, err := NewRing(threeMembers(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%q, 2) returned %d members", key, len(owners))
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners(%q)[0] = %v, Owner = %v", key, owners[0], r.Owner(key))
+		}
+		if owners[0].ID == owners[1].ID {
+			t.Fatalf("Owners(%q, 2) repeated member %s", key, owners[0].ID)
+		}
+	}
+	// n beyond the membership clamps; n <= 0 yields the primary alone.
+	if got := r.Owners("k", 99); len(got) != 3 {
+		t.Fatalf("Owners(k, 99) returned %d members, want all 3", len(got))
+	}
+	if got := r.Owners("k", 0); len(got) != 1 || got[0] != r.Owner("k") {
+		t.Fatalf("Owners(k, 0) = %v", got)
+	}
+	seen := map[string]bool{}
+	for _, m := range r.Owners("k", 3) {
+		if seen[m.ID] {
+			t.Fatalf("full replica set repeats member %s", m.ID)
+		}
+		seen[m.ID] = true
+	}
+}
+
+// TestRingRebalanceShare pins the rebalance property the consistent hash
+// exists for: adding one member to an n-member ring moves only about a
+// 1/(n+1) share of the keyspace, and every move lands on the new member.
+func TestRingRebalanceShare(t *testing.T) {
+	base := []Member{
+		{ID: "a", Addr: "x"}, {ID: "b", Addr: "x"},
+		{ID: "c", Addr: "x"}, {ID: "d", Addr: "x"},
+	}
+	before, err := NewRing(base, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(append(base[:4:4], Member{ID: "e", Addr: "x"}), DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("rebalance-key-%d", i)
+		b, a := before.Owner(key), after.Owner(key)
+		if b.ID != a.ID {
+			if a.ID != "e" {
+				t.Fatalf("key %q moved between surviving members %s -> %s", key, b.ID, a.ID)
+			}
+			moved++
+		}
+	}
+	movedFrac := float64(moved) / n
+	share := after.Share("e")
+	// The moved fraction is exactly the new member's ring share; both sit
+	// near 1/5 with vnode-level noise.
+	if diff := movedFrac - share; diff < -0.03 || diff > 0.03 {
+		t.Fatalf("moved fraction %.3f far from new member's share %.3f", movedFrac, share)
+	}
+	if movedFrac < 0.08 || movedFrac > 0.35 {
+		t.Fatalf("adding 1 of 5 members moved %.1f%% of keys, want ~20%%", 100*movedFrac)
+	}
+}
+
 func TestRingConfigErrors(t *testing.T) {
 	if _, err := NewRing(nil, 8); err == nil {
 		t.Fatal("empty membership accepted")
@@ -211,32 +286,33 @@ func TestRPCRoundTrip(t *testing.T) {
 
 	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{PingInterval: -1})
 	defer c.Close()
+	ctx := context.Background()
 
-	if err := c.Ping("p"); err != nil {
+	if err := c.Ping(ctx, "p"); err != nil {
 		t.Fatalf("ping: %v", err)
 	}
-	if _, _, ok, err := c.Get("p", "nothing", ""); ok || err != nil {
+	if _, _, ok, err := c.Get(ctx, "p", "nothing", ""); ok || err != nil {
 		t.Fatalf("cold get: ok=%v err=%v", ok, err)
 	}
 	rec := bytes.Repeat([]byte(`{"plan":true}`), 100)
-	if err := c.Put("p", "k1", rec); err != nil {
+	if err := c.Put(ctx, "p", "k1", rec); err != nil {
 		t.Fatalf("put: %v", err)
 	}
-	got, negative, ok, err := c.Get("p", "k1", "")
+	got, negative, ok, err := c.Get(ctx, "p", "k1", "")
 	if err != nil || !ok || negative || !bytes.Equal(got, rec) {
 		t.Fatalf("get after put: ok=%v neg=%v err=%v bytes-equal=%v", ok, negative, err, bytes.Equal(got, rec))
 	}
-	if err := c.PutNegative("p", "dead"); err != nil {
+	if err := c.PutNegative(ctx, "p", "dead"); err != nil {
 		t.Fatalf("putneg: %v", err)
 	}
-	if _, negative, ok, err := c.Get("p", "dead", ""); !ok || !negative || err != nil {
+	if _, negative, ok, err := c.Get(ctx, "p", "dead", ""); !ok || !negative || err != nil {
 		t.Fatalf("negative get: ok=%v neg=%v err=%v", ok, negative, err)
 	}
 	// Server-side failures surface as errors, not silent acks.
 	backend.mu.Lock()
 	backend.err = errors.New("backend refused")
 	backend.mu.Unlock()
-	if err := c.Put("p", "k2", rec); err == nil {
+	if err := c.Put(ctx, "p", "k2", rec); err == nil {
 		t.Fatal("failed put acked")
 	}
 	if _, err := c.peer("ghost"); !errors.Is(err, ErrUnknownPeer) {
@@ -259,11 +335,11 @@ func TestRPCConcurrentCalls(t *testing.T) {
 			defer wg.Done()
 			key := fmt.Sprintf("k%d", i)
 			val := []byte(fmt.Sprintf("v%d", i))
-			if err := c.Put("p", key, val); err != nil {
+			if err := c.Put(context.Background(), "p", key, val); err != nil {
 				errs <- err
 				return
 			}
-			got, _, ok, err := c.Get("p", key, "")
+			got, _, ok, err := c.Get(context.Background(), "p", key, "")
 			if err != nil || !ok || !bytes.Equal(got, val) {
 				errs <- fmt.Errorf("get %s: ok=%v err=%v", key, ok, err)
 			}
@@ -276,40 +352,56 @@ func TestRPCConcurrentCalls(t *testing.T) {
 	}
 }
 
-func TestHealthTransitions(t *testing.T) {
+func TestBreakerTransitions(t *testing.T) {
 	backend := newMemBackend()
 	addr, stop := startPeer(t, backend)
+	ctx := context.Background()
 
 	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{
-		PingInterval:  -1,
-		FailThreshold: 2,
-		DialTimeout:   200 * time.Millisecond,
-		CallTimeout:   200 * time.Millisecond,
+		PingInterval: -1,
+		Retries:      -1, // deterministic outcome counting
+		DialTimeout:  200 * time.Millisecond,
+		CallTimeout:  200 * time.Millisecond,
+		Breaker: BreakerOptions{
+			Window:     4,
+			MinSamples: 2,
+			ErrorRate:  0.5,
+			Cooldown:   30 * time.Millisecond,
+		},
 	})
 	defer c.Close()
 
 	if !c.Healthy("p") {
-		t.Fatal("peer not optimistically healthy at boot")
+		t.Fatal("peer breaker not closed at boot")
 	}
-	if err := c.Ping("p"); err != nil {
+	if err := c.Ping(ctx, "p"); err != nil {
 		t.Fatal(err)
 	}
 
-	// Partition: server goes away; below the threshold the peer is still
-	// considered healthy, at the threshold it flips.
+	// Partition: the server goes away. MinSamples failures trip the
+	// breaker; subsequent calls fast-fail without touching the wire.
 	stop()
-	if err := c.Ping("p"); err == nil {
-		t.Fatal("ping succeeded against a stopped server")
+	for i := 0; i < 2; i++ {
+		if err := c.Ping(ctx, "p"); err == nil {
+			t.Fatal("ping succeeded against a stopped server")
+		}
 	}
-	if !c.Healthy("p") {
-		t.Fatal("one failure below threshold flipped health")
-	}
-	c.Ping("p")
 	if c.Healthy("p") {
-		t.Fatal("threshold failures left peer healthy")
+		t.Fatal("error-rate window did not trip the breaker")
+	}
+	if st := c.BreakerStates()["p"]; st != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+	start := time.Now()
+	if err := c.Ping(ctx, "p"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("breaker denial touched the wire")
 	}
 
-	// Heal: a new server on the same address; one success re-admits.
+	// Heal: rebind the address, wait out the cooldown; the half-open probe
+	// succeeds and closes the breaker.
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		t.Skipf("could not rebind %s: %v", addr, err)
@@ -317,14 +409,129 @@ func TestHealthTransitions(t *testing.T) {
 	srv := NewPeerServer(backend)
 	go srv.Serve(ln)
 	defer srv.Close()
-	if err := c.Ping("p"); err != nil {
-		t.Fatalf("ping after heal: %v", err)
+	time.Sleep(40 * time.Millisecond)
+	if err := c.Ping(ctx, "p"); err != nil {
+		t.Fatalf("half-open probe after heal: %v", err)
 	}
-	if !c.Healthy("p") {
-		t.Fatal("success did not restore health")
+	if st := c.BreakerStates()["p"]; st != BreakerClosed {
+		t.Fatalf("breaker state after successful probe = %v, want closed", st)
 	}
 	if c.Healthy("ghost") {
 		t.Fatal("unknown peer reported healthy")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	backend := newMemBackend()
+	addr, stop := startPeer(t, backend)
+	ctx := context.Background()
+	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{
+		PingInterval: -1,
+		Retries:      -1,
+		DialTimeout:  100 * time.Millisecond,
+		CallTimeout:  100 * time.Millisecond,
+		Breaker:      BreakerOptions{Window: 2, MinSamples: 1, ErrorRate: 0.5, Cooldown: 20 * time.Millisecond},
+	})
+	defer c.Close()
+	if err := c.Ping(ctx, "p"); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := c.Ping(ctx, "p"); err == nil {
+		t.Fatal("ping succeeded against a stopped server")
+	}
+	if st := c.BreakerStates()["p"]; st != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+	// Cooldown elapses but the peer is still dead: the probe fails and the
+	// breaker reopens for another cooldown.
+	time.Sleep(30 * time.Millisecond)
+	if err := c.Ping(ctx, "p"); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("half-open probe err = %v, want a wire failure", err)
+	}
+	if st := c.BreakerStates()["p"]; st != BreakerOpen {
+		t.Fatalf("breaker state after failed probe = %v, want open", st)
+	}
+}
+
+func TestCallDeadlineBudget(t *testing.T) {
+	// A listener that accepts and never answers: the peer is a black hole.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	c := NewClient([]Member{{ID: "p", Addr: ln.Addr().String()}}, ClientOptions{
+		PingInterval: -1,
+		CallTimeout:  5 * time.Second, // would dominate without the ctx budget
+		Retries:      3,
+	})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := c.Ping(ctx, "p"); err == nil {
+		t.Fatal("ping of a black hole succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("call outlived its deadline budget: %v", elapsed)
+	}
+}
+
+// flakyInjector fails the first n ClusterPeerRPC hits, then passes.
+type flakyInjector struct {
+	mu   sync.Mutex
+	n    int
+	hits int
+}
+
+func (fi *flakyInjector) Act(p chaos.Point, allowed chaos.Effect) chaos.Effect {
+	if p != chaos.ClusterPeerRPC {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.hits++
+	if fi.hits <= fi.n {
+		return chaos.Fail & allowed
+	}
+	return 0
+}
+
+func TestRetriesRideOutTransientFailures(t *testing.T) {
+	backend := newMemBackend()
+	addr, stop := startPeer(t, backend)
+	defer stop()
+	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{
+		PingInterval: -1,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+	})
+	defer c.Close()
+
+	inj := &flakyInjector{n: 2}
+	unregister := chaos.Register(inj)
+	err := c.Put(context.Background(), "p", "k", []byte("v"))
+	unregister()
+	if err != nil {
+		t.Fatalf("put with 2 transient failures and 2 retries: %v", err)
+	}
+	if inj.hits != 3 {
+		t.Fatalf("injector hits = %d, want 3 (2 failures + 1 success)", inj.hits)
+	}
+	// One logical call, one breaker outcome: the transient flaps must not
+	// have tripped anything.
+	if st := c.BreakerStates()["p"]; st != BreakerClosed {
+		t.Fatalf("breaker state = %v, want closed", st)
 	}
 }
 
@@ -343,12 +550,16 @@ func TestChaosPartitionNeverTouchesWire(t *testing.T) {
 	backend := newMemBackend()
 	addr, stop := startPeer(t, backend)
 	defer stop()
-	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{PingInterval: -1, FailThreshold: 1})
+	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{
+		PingInterval: -1,
+		Retries:      -1,
+		Breaker:      BreakerOptions{Window: 2, MinSamples: 1, ErrorRate: 0.5, Cooldown: 20 * time.Millisecond},
+	})
 	defer c.Close()
 
 	inj := &partitionInjector{}
 	unregister := chaos.Register(inj)
-	err := c.Put("p", "k", []byte("v"))
+	err := c.Put(context.Background(), "p", "k", []byte("v"))
 	unregister()
 	if !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("partitioned put: %v", err)
@@ -363,14 +574,78 @@ func TestChaosPartitionNeverTouchesWire(t *testing.T) {
 		t.Fatal("partitioned call reached the backend")
 	}
 	if c.Healthy("p") {
-		t.Fatal("injected partition not reflected in health")
+		t.Fatal("injected partition not reflected in breaker state")
 	}
-	// Without the injector the same call lands and heals the peer.
-	if err := c.Put("p", "k", []byte("v")); err != nil {
+	// Without the injector — and past the cooldown — the half-open probe
+	// lands and heals the peer.
+	time.Sleep(30 * time.Millisecond)
+	if err := c.Put(context.Background(), "p", "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	if !c.Healthy("p") {
 		t.Fatal("peer not healed")
+	}
+}
+
+// probeDenier fails every ClusterPeerBreaker hit: the flapping-link model
+// where half-open probes keep being denied admission.
+type probeDenier struct {
+	mu   sync.Mutex
+	hits int
+}
+
+func (pd *probeDenier) Act(p chaos.Point, allowed chaos.Effect) chaos.Effect {
+	if p == chaos.ClusterPeerBreaker {
+		pd.mu.Lock()
+		pd.hits++
+		pd.mu.Unlock()
+		return chaos.Fail & allowed
+	}
+	return 0
+}
+
+func TestChaosBreakerProbeDenialKeepsPeerDark(t *testing.T) {
+	backend := newMemBackend()
+	addr, stop := startPeer(t, backend)
+	defer stop()
+	ctx := context.Background()
+	c := NewClient([]Member{{ID: "p", Addr: addr}}, ClientOptions{
+		PingInterval: -1,
+		Retries:      -1,
+		Breaker:      BreakerOptions{Window: 2, MinSamples: 1, ErrorRate: 0.5, Cooldown: 5 * time.Millisecond},
+	})
+	defer c.Close()
+
+	// Trip the breaker with one injected partition.
+	part := chaos.Register(&partitionInjector{})
+	_ = c.Put(ctx, "p", "k", []byte("v"))
+	part()
+	if c.Healthy("p") {
+		t.Fatal("breaker did not trip")
+	}
+
+	// With probes denied, the cooldown elapsing never re-admits traffic —
+	// every call keeps fast-failing even though the server is fine.
+	inj := &probeDenier{}
+	unregister := chaos.Register(inj)
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(ctx, "p"); !errors.Is(err, ErrBreakerOpen) {
+			unregister()
+			t.Fatalf("denied probe admitted a call: %v", err)
+		}
+	}
+	unregister()
+	if inj.hits == 0 {
+		t.Fatal("probe-denial site never fired")
+	}
+	// Once the flap stops, the next probe closes the breaker.
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Ping(ctx, "p"); err != nil {
+		t.Fatalf("probe after flap: %v", err)
+	}
+	if !c.Healthy("p") {
+		t.Fatal("peer not healed after flap ended")
 	}
 }
 
@@ -383,7 +658,7 @@ func TestPooledConnectionReuseSurvivesServerRestart(t *testing.T) {
 		CallTimeout:  200 * time.Millisecond,
 	})
 	defer c.Close()
-	if err := c.Ping("p"); err != nil {
+	if err := c.Ping(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 	// Restart the server: the pooled connection is now dead, and the call
@@ -396,7 +671,7 @@ func TestPooledConnectionReuseSurvivesServerRestart(t *testing.T) {
 	srv := NewPeerServer(backend)
 	go srv.Serve(ln)
 	defer srv.Close()
-	if err := c.Ping("p"); err != nil {
+	if err := c.Ping(context.Background(), "p"); err != nil {
 		t.Fatalf("ping over stale pooled conn did not retry: %v", err)
 	}
 }

@@ -98,6 +98,34 @@ func (r *Ring) Owner(key string) Member {
 	return r.members[r.points[i].member]
 }
 
+// Owners returns the n distinct members forming key's replica set: the
+// owner plus the next distinct members walking clockwise from the key's
+// point. The list is in preference order — Owners(key, n)[0] == Owner(key)
+// — and every member agrees on it, so readers try replicas in the same
+// order writers populated them. n is clamped to the member count; n <= 0
+// yields the primary owner alone.
+func (r *Ring) Owners(key string, n int) []Member {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]Member, 0, n)
+	seen := make(map[int]bool, n)
+	for scanned := 0; scanned < len(r.points) && len(owners) < n; scanned++ {
+		pt := r.points[(i+scanned)%len(r.points)]
+		if seen[pt.member] {
+			continue
+		}
+		seen[pt.member] = true
+		owners = append(owners, r.members[pt.member])
+	}
+	return owners
+}
+
 // Members returns the ID-sorted member set (a copy).
 func (r *Ring) Members() []Member {
 	ms := make([]Member, len(r.members))

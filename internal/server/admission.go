@@ -1,0 +1,215 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tenant-aware overload protection, layered on the global in-flight
+// limiter. Two independent mechanisms decide a shed, both answering with
+// 429 + Retry-After so well-behaved clients back off instead of retrying
+// hot:
+//
+//   - Budgets: a token bucket per tenant (rate + burst) bounds how much
+//     plan-serving work one tenant can demand, whatever the cluster's
+//     spare capacity — the noisy neighbor pays, not the fleet.
+//   - Priority shedding: when the global limiter nears saturation, lower
+//     priority classes are shed first. A class-p request (p=0 highest)
+//     needs a free-capacity fraction of at least p/8 (capped at 1/2), so
+//     as load climbs the classes brown out in strict priority order and
+//     class 0 only ever sees the global limit itself.
+//
+// The decision happens in the plan-serving handlers, after the body is
+// decoded — the tenant is in the body — so a shed request has already
+// held an admission slot briefly; the slot is released with the 429.
+
+// AdmissionConfig tunes per-tenant admission. The zero value disables
+// budgets and priority shedding.
+type AdmissionConfig struct {
+	// TenantRate is the sustained plan-serving requests/sec each tenant
+	// may issue (<= 0 disables tenant budgets).
+	TenantRate float64
+	// TenantBurst is the token-bucket capacity (default 2×TenantRate,
+	// minimum 1): short bursts above the sustained rate are fine.
+	TenantBurst float64
+	// TenantPriority maps tenant → priority class (0 = highest). Tenants
+	// not listed get DefaultPriority.
+	TenantPriority map[string]int
+	// DefaultPriority is the class of unlisted tenants (default 0).
+	DefaultPriority int
+	// MaxTenants bounds the tracked token buckets (default 4096). At the
+	// bound, requests from untracked new tenants are admitted rather than
+	// shed — an unbounded attacker can at worst opt out of budgets for
+	// tenants beyond the bound, not evict existing ones.
+	MaxTenants int
+}
+
+func (c AdmissionConfig) enabled() bool {
+	return c.TenantRate > 0 || len(c.TenantPriority) > 0 || c.DefaultPriority > 0
+}
+
+// tenantBucket is one tenant's token bucket. Guarded by admission.mu.
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admission is the server's tenant-admission state.
+type admission struct {
+	cfg     AdmissionConfig
+	limiter chan struct{} // the global limiter, for free-capacity reads
+
+	mu      sync.Mutex
+	buckets map[string]*tenantBucket
+
+	shedBudget   atomic.Uint64
+	shedPriority atomic.Uint64
+
+	shedMu       sync.Mutex
+	shedByTenant map[string]uint64
+}
+
+func newAdmission(cfg AdmissionConfig, limiter chan struct{}) *admission {
+	if !cfg.enabled() {
+		return nil
+	}
+	if cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = 2 * cfg.TenantRate
+	}
+	if cfg.TenantBurst < 1 {
+		cfg.TenantBurst = 1
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 4096
+	}
+	return &admission{
+		cfg:          cfg,
+		limiter:      limiter,
+		buckets:      make(map[string]*tenantBucket),
+		shedByTenant: make(map[string]uint64),
+	}
+}
+
+// priority resolves a tenant's class.
+func (a *admission) priority(tenant string) int {
+	if p, ok := a.cfg.TenantPriority[tenant]; ok {
+		return p
+	}
+	return a.cfg.DefaultPriority
+}
+
+// admit decides one plan-serving request. retryAfter is meaningful only
+// when ok is false: for a budget shed it is the time until the bucket
+// refills one token; for a priority shed a flat second — the saturation
+// that caused it has no schedule.
+func (a *admission) admit(tenant string) (ok bool, reason string, retryAfter time.Duration) {
+	if a == nil {
+		return true, "", 0
+	}
+	if a.cfg.TenantRate > 0 {
+		if ok, retryAfter = a.takeToken(tenant, time.Now()); !ok {
+			a.noteShed(tenant)
+			a.shedBudget.Add(1)
+			return false, "budget", retryAfter
+		}
+	}
+	if p := a.priority(tenant); p > 0 && a.limiter != nil {
+		capacity := cap(a.limiter)
+		free := float64(capacity-len(a.limiter)) / float64(capacity)
+		if need := math.Min(float64(p)/8, 0.5); free < need {
+			a.noteShed(tenant)
+			a.shedPriority.Add(1)
+			return false, "priority", time.Second
+		}
+	}
+	return true, "", 0
+}
+
+// takeToken draws one token from the tenant's bucket, refilling by wall
+// clock first. now is a parameter for the tests.
+func (a *admission) takeToken(tenant string, now time.Time) (bool, time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.buckets[tenant]
+	if !ok {
+		if len(a.buckets) >= a.cfg.MaxTenants {
+			return true, 0 // untracked overflow tenant: admit, don't evict
+		}
+		b = &tenantBucket{tokens: a.cfg.TenantBurst, last: now}
+		a.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(a.cfg.TenantBurst, b.tokens+dt*a.cfg.TenantRate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / a.cfg.TenantRate * float64(time.Second))
+	return false, wait
+}
+
+func (a *admission) noteShed(tenant string) {
+	a.shedMu.Lock()
+	a.shedByTenant[tenant]++
+	a.shedMu.Unlock()
+}
+
+// stats assembles the /v1/stats admission section.
+func (a *admission) stats() *AdmissionStatsResponse {
+	if a == nil {
+		return nil
+	}
+	resp := &AdmissionStatsResponse{
+		ShedBudget:   a.shedBudget.Load(),
+		ShedPriority: a.shedPriority.Load(),
+		PerTenant:    map[string]uint64{},
+	}
+	a.shedMu.Lock()
+	for t, n := range a.shedByTenant {
+		resp.PerTenant[t] = n
+	}
+	a.shedMu.Unlock()
+	return resp
+}
+
+// writeMetrics appends the admission series to the Prometheus exposition.
+func (a *admission) writeMetrics(w io.Writer) {
+	if a == nil {
+		return
+	}
+	fmt.Fprintln(w, "# HELP planserver_tenant_shed_total Plan-serving requests shed per tenant by cause.")
+	fmt.Fprintln(w, "# TYPE planserver_tenant_shed_total counter")
+	a.shedMu.Lock()
+	tenants := make([]string, 0, len(a.shedByTenant))
+	for t := range a.shedByTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		fmt.Fprintf(w, "planserver_tenant_shed_total{tenant=%q} %d\n", t, a.shedByTenant[t])
+	}
+	a.shedMu.Unlock()
+	fmt.Fprintln(w, "# HELP planserver_shed_total Requests shed by cause across tenants.")
+	fmt.Fprintln(w, "# TYPE planserver_shed_total counter")
+	fmt.Fprintf(w, "planserver_shed_total{cause=\"budget\"} %d\n", a.shedBudget.Load())
+	fmt.Fprintf(w, "planserver_shed_total{cause=\"priority\"} %d\n", a.shedPriority.Load())
+}
+
+// shed writes the 429, stamping Retry-After in whole seconds (minimum 1 —
+// the header has no sub-second form).
+func shed(w http.ResponseWriter, tenant, reason string, retryAfter time.Duration) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, http.StatusTooManyRequests, "tenant %q shed (%s); retry after %ds", tenant, reason, secs)
+}

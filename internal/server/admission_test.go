@@ -1,0 +1,182 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAdmissionBudgetShed: a tenant that exhausts its token bucket gets
+// 429 + Retry-After while the shed counters attribute the overage to it.
+func TestAdmissionBudgetShed(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Admission: AdmissionConfig{TenantRate: 0.0001, TenantBurst: 2},
+	})
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+		decodeAs[PlanResponse](t, resp, http.StatusOK)
+	}
+	resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: status %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want whole seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	st := getStats(t, ts)
+	if st.Admission == nil || st.Admission.ShedBudget != 1 || st.Admission.PerTenant["acme"] != 1 {
+		t.Fatalf("admission stats = %+v", st.Admission)
+	}
+
+	metrics, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	raw, _ := io.ReadAll(metrics.Body)
+	for _, want := range []string{
+		`planserver_tenant_shed_total{tenant="acme"} 1`,
+		`planserver_shed_total{cause="budget"} 1`,
+		`planserver_shed_total{cause="priority"} 0`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestAdmissionPriorityShed: with the limiter saturated by the request
+// itself (MaxInFlight 1), a low-priority tenant is shed while a default
+// (class 0) tenant is never priority-shed.
+func TestAdmissionPriorityShed(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		MaxInFlight: 1,
+		Admission:   AdmissionConfig{TenantPriority: map[string]int{"bulk": 8}},
+	})
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+
+	resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "bulk", Query: triangleQuery, K: 3})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("low-priority request under load: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("priority shed missing Retry-After")
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	ok := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+	decodeAs[PlanResponse](t, ok, http.StatusOK)
+
+	st := getStats(t, ts)
+	if st.Admission == nil || st.Admission.ShedPriority != 1 || st.Admission.ShedBudget != 0 {
+		t.Fatalf("admission stats = %+v", st.Admission)
+	}
+}
+
+// TestAdmissionDisabled: the zero config keeps the admission layer out of
+// the path and out of /v1/stats.
+func TestAdmissionDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+	resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+	decodeAs[PlanResponse](t, resp, http.StatusOK)
+	if st := getStats(t, ts); st.Admission != nil {
+		t.Fatalf("disabled admission still reports stats: %+v", st.Admission)
+	}
+}
+
+// TestTakeTokenRefill pins the bucket arithmetic with a controlled clock:
+// burst spends down to zero, refill is proportional to elapsed time, and
+// the retry hint covers the remaining deficit.
+func TestTakeTokenRefill(t *testing.T) {
+	a := newAdmission(AdmissionConfig{TenantRate: 2, TenantBurst: 2}, nil)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := a.takeToken("t", now); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, wait := a.takeToken("t", now)
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry hint %v, want (0, 1s] at rate 2/s", wait)
+	}
+	// 500ms refills one token at 2/s.
+	if ok, _ := a.takeToken("t", now.Add(500*time.Millisecond)); !ok {
+		t.Fatal("refilled token refused")
+	}
+}
+
+// TestReadyz covers the readiness surface: a plain server is ready with
+// unconfigured subsystems reported as "none", the /v1/healthz alias is
+// live, and a saturated limiter flips readiness to 503 without killing
+// liveness.
+func TestReadyz(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1})
+
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := decodeAs[ReadyzResponse](t, resp, http.StatusOK)
+	if !ready.Ready || ready.Checks["store"] != "none" || ready.Checks["cluster"] != "none" || ready.Checks["limiter"] != "ok" {
+		t.Fatalf("readyz = %+v", ready)
+	}
+
+	// Saturate the limiter: readiness degrades, liveness does not.
+	s.limiter <- struct{}{}
+	resp, err = ts.Client().Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	notReady := decodeAs[ReadyzResponse](t, resp, http.StatusServiceUnavailable)
+	if notReady.Ready || notReady.Checks["limiter"] != "saturated" {
+		t.Fatalf("saturated readyz = %+v", notReady)
+	}
+	live, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during saturation: status %d", live.StatusCode)
+	}
+	<-s.limiter
+}
+
+// TestReadyzCluster: on a distributed replica the store and cluster checks
+// report ok.
+func TestReadyzCluster(t *testing.T) {
+	nodes, _ := startCluster(t, 2, []string{t.TempDir(), t.TempDir()})
+	resp, err := nodes[0].ts.Client().Get(nodes[0].ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := decodeAs[ReadyzResponse](t, resp, http.StatusOK)
+	if !ready.Ready || ready.Checks["store"] != "ok" || ready.Checks["cluster"] != "ok" {
+		t.Fatalf("cluster readyz = %+v", ready)
+	}
+}

@@ -8,11 +8,13 @@ import (
 	"io"
 	"log"
 	"net"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -47,8 +49,19 @@ type ClusterConfig struct {
 	// Vnodes is the virtual-node count per member (default
 	// cluster.DefaultVnodes).
 	Vnodes int
-	// Client tunes the peer RPC client (timeouts, health thresholds).
+	// Replicas is the number of distinct owners per plan key (default 2,
+	// clamped to the member count). Warm-fills try owners in preference
+	// order; cold results are pushed to every owner, so a key's plan
+	// survives any single node loss.
+	Replicas int
+	// Client tunes the peer RPC client (timeouts, retries, breakers).
 	Client cluster.ClientOptions
+	// HintQueueCap bounds the hinted-handoff queue (default 1024). Hints
+	// beyond the cap are dropped — the owner recomputes on demand.
+	HintQueueCap int
+	// HintDrainInterval is the period of the background hint drainer
+	// (default 200ms; negative disables it — tests drain explicitly).
+	HintDrainInterval time.Duration
 }
 
 // pushItem is one write-through destined for the owning replica.
@@ -65,11 +78,18 @@ type distTier struct {
 	log     *log.Logger
 
 	// Cluster half (nil/zero when not clustered).
-	self    cluster.Member
-	ring    *cluster.Ring
-	client  *cluster.Client
-	peerSrv *cluster.PeerServer
-	peerLn  net.Listener
+	self     cluster.Member
+	ring     *cluster.Ring
+	replicas int
+	client   *cluster.Client
+	peerSrv  *cluster.PeerServer
+	peerLn   net.Listener
+
+	// Hinted handoff (nil when not clustered).
+	hints     *hintQueue
+	closing   atomic.Bool
+	drainStop chan struct{}
+	drainWG   sync.WaitGroup
 
 	// Store half (nil when no DataDir).
 	store       *store.Store
@@ -94,6 +114,10 @@ type distTier struct {
 	pushDropped    atomic.Uint64
 	pushErrors     atomic.Uint64
 	appendErrors   atomic.Uint64
+	hintsQueued    atomic.Uint64 // pushes parked as hints
+	hintsDropped   atomic.Uint64 // hints refused by the queue cap
+	hintsReplayed  atomic.Uint64 // hints delivered by the drainer
+	hintErrors     atomic.Uint64 // drain attempts that failed (hint kept)
 }
 
 // newDistTier builds the tier: opens and replays the store, then boots the
@@ -159,6 +183,23 @@ func newDistTier(cfg Config, planner *cache.Planner) (*distTier, error) {
 		}
 		d.self = *self
 		d.ring = ring
+		d.replicas = cc.Replicas
+		if d.replicas <= 0 {
+			d.replicas = 2
+		}
+		if n := len(ring.Members()); d.replicas > n {
+			d.replicas = n
+		}
+		hintDir := ""
+		if cfg.DataDir != "" {
+			hintDir = filepath.Join(cfg.DataDir, "hints")
+		}
+		hints, err := openHintQueue(hintDir, cfg.StoreOptions, cc.HintQueueCap)
+		if err != nil {
+			d.teardown()
+			return nil, fmt.Errorf("server: opening hint log: %w", err)
+		}
+		d.hints = hints
 		d.client = cluster.NewClient(peers, cc.Client)
 		d.peerSrv = cluster.NewPeerServer(peerBackend{d})
 		d.peerLn = ln
@@ -166,9 +207,18 @@ func newDistTier(cfg Config, planner *cache.Planner) (*distTier, error) {
 		d.pushq = make(chan pushItem, 256)
 		d.pushWG.Add(1)
 		go d.drainPushes()
+		if cc.HintDrainInterval >= 0 {
+			interval := cc.HintDrainInterval
+			if interval == 0 {
+				interval = 200 * time.Millisecond
+			}
+			d.drainStop = make(chan struct{})
+			d.drainWG.Add(1)
+			go d.hintDrainLoop(interval)
+		}
 		if d.log != nil {
-			d.log.Printf("cluster node %s: peer rpc on %s, %d peers, owned share %.3f",
-				d.self.ID, ln.Addr(), len(peers), ring.Share(d.self.ID))
+			d.log.Printf("cluster node %s: peer rpc on %s, %d peers, %d replicas, owned share %.3f",
+				d.self.ID, ln.Addr(), len(peers), d.replicas, ring.Share(d.self.ID))
 		}
 	}
 	return d, nil
@@ -197,65 +247,69 @@ func (d *distTier) plan(s *Server, ctx context.Context, tenant string, version u
 	if plan, ok, lerr := d.planner.LookupPlan(probe); ok {
 		return plan, true, lerr
 	}
-	if hit, plan, herr := d.peerFill(probe); hit {
+	if hit, plan, herr := d.peerFill(ctx, probe); hit {
 		return plan, true, herr
 	}
 	plan, hit, err := s.planLocal(ctx, tenant, version, queryText, q, cat, k)
 	if err != nil {
 		if errors.Is(err, core.ErrNoDecomposition) {
 			// The cold compute recorded the verdict locally; persist it and
-			// teach the owner.
+			// teach the owners.
 			d.persist(store.KindNegative, probe.NegKey, nil)
-			d.pushToOwner(probe, nil, true)
+			d.pushToOwners(probe, nil, true)
 		}
 		return plan, hit, err
 	}
 	if rec, ok := d.planner.ExportPlan(probe.Key); ok {
 		if raw, jerr := json.Marshal(rec); jerr == nil {
 			d.persist(store.KindPlan, probe.Key, raw)
-			d.pushToOwner(probe, raw, false)
+			d.pushToOwners(probe, raw, false)
 		}
 	}
 	return plan, hit, err
 }
 
-// peerFill tries the owning replica's warm cache before any local search.
-// hit reports whether the request was answered (herr is
-// core.ErrNoDecomposition for an imported infeasibility verdict); on
-// (false, ...) the caller proceeds to the cold path.
-func (d *distTier) peerFill(probe *cache.PlanProbe) (hit bool, plan *cost.Plan, herr error) {
+// peerFill tries the key's owners — in ring preference order — before any
+// local search. The first owner that answers wins; an owner that errors or
+// misses (including a breaker-open fast failure) just advances to the
+// next, and exhausting the replica set falls back to the cold path: peer
+// trouble degrades latency, never availability. hit reports whether the
+// request was answered (herr is core.ErrNoDecomposition for an imported
+// infeasibility verdict).
+func (d *distTier) peerFill(ctx context.Context, probe *cache.PlanProbe) (hit bool, plan *cost.Plan, herr error) {
 	if d.ring == nil {
 		return false, nil, nil
 	}
-	owner := d.ring.Owner(probe.Key)
-	if owner.ID == d.self.ID || !d.client.Healthy(owner.ID) {
-		return false, nil, nil
-	}
-	raw, negative, ok, err := d.client.Get(owner.ID, probe.Key, probe.NegKey)
-	switch {
-	case err != nil:
-		d.peerFillErrors.Add(1)
-	case negative:
-		d.peerFillNegs.Add(1)
-		d.planner.ImportInfeasible(probe.NegKey)
-		d.persist(store.KindNegative, probe.NegKey, nil)
-		return true, nil, core.ErrNoDecomposition
-	case ok:
-		var rec cache.PlanRecord
-		if uerr := json.Unmarshal(raw, &rec); uerr == nil {
-			if ierr := d.planner.ImportPlan(probe.Key, &rec); ierr == nil {
-				// Serve through the exact remapping path a local hit takes,
-				// so the peer-filled plan is byte-identical to a local one.
-				if plan, lok, lerr := d.planner.LookupPlan(probe); lok {
-					d.peerFillHits.Add(1)
-					d.persist(store.KindPlan, probe.Key, raw)
-					return true, plan, lerr
+	for _, owner := range d.ring.Owners(probe.Key, d.replicas) {
+		if owner.ID == d.self.ID {
+			continue
+		}
+		raw, negative, ok, err := d.client.Get(ctx, owner.ID, probe.Key, probe.NegKey)
+		switch {
+		case err != nil:
+			d.peerFillErrors.Add(1)
+		case negative:
+			d.peerFillNegs.Add(1)
+			d.planner.ImportInfeasible(probe.NegKey)
+			d.persist(store.KindNegative, probe.NegKey, nil)
+			return true, nil, core.ErrNoDecomposition
+		case ok:
+			var rec cache.PlanRecord
+			if uerr := json.Unmarshal(raw, &rec); uerr == nil {
+				if ierr := d.planner.ImportPlan(probe.Key, &rec); ierr == nil {
+					// Serve through the exact remapping path a local hit takes,
+					// so the peer-filled plan is byte-identical to a local one.
+					if plan, lok, lerr := d.planner.LookupPlan(probe); lok {
+						d.peerFillHits.Add(1)
+						d.persist(store.KindPlan, probe.Key, raw)
+						return true, plan, lerr
+					}
 				}
 			}
+			d.peerFillErrors.Add(1)
+		default:
+			d.peerFillMisses.Add(1)
 		}
-		d.peerFillErrors.Add(1)
-	default:
-		d.peerFillMisses.Add(1)
 	}
 	return false, nil, nil
 }
@@ -272,56 +326,145 @@ func (d *distTier) persist(kind store.Kind, key string, val []byte) {
 	}
 }
 
-// pushToOwner enqueues an async write-through so the key's owner learns a
-// result this (non-owning) replica computed cold. Best-effort: a full
-// queue drops the push, the owner recomputes on demand.
-func (d *distTier) pushToOwner(probe *cache.PlanProbe, raw []byte, negative bool) {
+// pushToOwners enqueues an async write-through to every owner of the key
+// so a result this replica computed cold lands on the whole replica set.
+// A full queue parks the push as a hint instead of dropping it.
+func (d *distTier) pushToOwners(probe *cache.PlanProbe, raw []byte, negative bool) {
 	if d.ring == nil {
 		return
 	}
-	owner := d.ring.Owner(probe.Key)
-	if owner.ID == d.self.ID {
-		return
-	}
-	it := pushItem{owner: owner.ID, negative: negative}
-	if negative {
-		it.key = probe.NegKey
-	} else {
-		it.key = probe.Key
-		it.rec = raw
-	}
-	d.pushMu.Lock()
-	defer d.pushMu.Unlock()
-	if d.pushClosed {
-		return
-	}
-	select {
-	case d.pushq <- it:
-	default:
-		d.pushDropped.Add(1)
+	for _, owner := range d.ring.Owners(probe.Key, d.replicas) {
+		if owner.ID == d.self.ID {
+			continue
+		}
+		it := pushItem{owner: owner.ID, negative: negative}
+		if negative {
+			it.key = probe.NegKey
+		} else {
+			it.key = probe.Key
+			it.rec = raw
+		}
+		d.pushMu.Lock()
+		if d.pushClosed {
+			d.pushMu.Unlock()
+			d.hint(it)
+			continue
+		}
+		select {
+		case d.pushq <- it:
+		default:
+			d.pushDropped.Add(1)
+			d.hint(it)
+		}
+		d.pushMu.Unlock()
 	}
 }
 
 func (d *distTier) drainPushes() {
 	defer d.pushWG.Done()
 	for it := range d.pushq {
+		if d.closing.Load() {
+			// Teardown: don't burn dial timeouts on a dying process — park
+			// the remainder as hints; a persistent hint log carries them
+			// across the restart.
+			d.hint(it)
+			continue
+		}
 		var err error
 		if it.negative {
-			err = d.client.PutNegative(it.owner, it.key)
+			err = d.client.PutNegative(context.Background(), it.owner, it.key)
 		} else {
-			err = d.client.Put(it.owner, it.key, it.rec)
+			err = d.client.Put(context.Background(), it.owner, it.key, it.rec)
 		}
 		if err != nil {
 			d.pushErrors.Add(1)
+			d.hint(it)
 		} else {
 			d.pushSent.Add(1)
 		}
 	}
 }
 
+// hint parks one undeliverable push in the handoff queue.
+func (d *distTier) hint(it pushItem) {
+	if d.hints == nil {
+		return
+	}
+	switch d.hints.add(it) {
+	case hintAdded:
+		d.hintsQueued.Add(1)
+	case hintDropped:
+		d.hintsDropped.Add(1)
+	}
+}
+
+// hintDrainLoop periodically replays parked hints toward their owners.
+func (d *distTier) hintDrainLoop(interval time.Duration) {
+	defer d.drainWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.drainStop:
+			return
+		case <-t.C:
+			d.drainHints()
+		}
+	}
+}
+
+// drainHints attempts one replay pass over the queued hints. An owner
+// whose breaker is open (or whose first replay fails) is skipped for the
+// rest of the pass — its hints wait for the breaker's half-open probe to
+// readmit traffic. The pass tolerates loss: a failed replay keeps the
+// hint, and the backing log is compacted only when the queue fully drains.
+func (d *distTier) drainHints() {
+	if d.hints == nil || d.closing.Load() {
+		return
+	}
+	skip := make(map[string]bool)
+	for _, it := range d.hints.snapshot() {
+		if skip[it.owner] {
+			continue
+		}
+		// Chaos: a lossy drain path — Fail keeps the hint queued for the
+		// next pass, Delay stalls the drainer mid-pass.
+		if chaos.Hit(chaos.ServerHintDrain, chaos.Delay|chaos.Fail)&chaos.Fail != 0 {
+			d.hintErrors.Add(1)
+			continue
+		}
+		var err error
+		if it.negative {
+			err = d.client.PutNegative(context.Background(), it.owner, it.key)
+		} else {
+			err = d.client.Put(context.Background(), it.owner, it.key, it.rec)
+		}
+		switch {
+		case err == nil:
+			d.hintsReplayed.Add(1)
+			d.hints.remove(it)
+		case errors.Is(err, cluster.ErrBreakerOpen):
+			// Expected while the owner is dark; not an error, just not yet.
+			skip[it.owner] = true
+		default:
+			d.hintErrors.Add(1)
+			skip[it.owner] = true
+		}
+	}
+	if d.hints.pending() == 0 {
+		d.hints.compact()
+	}
+}
+
 // teardown releases everything the tier started. Idempotent enough for
 // both the construction error path and Close.
 func (d *distTier) teardown() {
+	d.closing.Store(true)
+	if d.drainStop != nil {
+		close(d.drainStop)
+		d.drainWG.Wait()
+		d.drainStop = nil
+	}
 	if d.pushq != nil {
 		d.pushMu.Lock()
 		if !d.pushClosed {
@@ -336,6 +479,9 @@ func (d *distTier) teardown() {
 	}
 	if d.peerSrv != nil {
 		d.peerSrv.Close()
+	}
+	if d.hints != nil {
+		d.hints.close()
 	}
 	if d.store != nil {
 		d.store.Close()
@@ -397,8 +543,10 @@ func (d *distTier) clusterStats() *ClusterStatsResponse {
 		Node:           d.self.ID,
 		PeerAddr:       d.peerLn.Addr().String(),
 		Members:        d.ring.Members(),
+		Replicas:       d.replicas,
 		OwnedShare:     d.ring.Share(d.self.ID),
 		PeerHealthy:    map[string]bool{},
+		PeerBreaker:    map[string]string{},
 		PeerFills:      hits + negs,
 		PeerFillMisses: misses,
 		PeerFillErrors: errs,
@@ -407,14 +555,18 @@ func (d *distTier) clusterStats() *ClusterStatsResponse {
 		PushesSent:     d.pushSent.Load(),
 		PushesDropped:  d.pushDropped.Load(),
 		PushErrors:     d.pushErrors.Load(),
+		HintsQueued:    d.hintsQueued.Load(),
+		HintsDropped:   d.hintsDropped.Load(),
+		HintsReplayed:  d.hintsReplayed.Load(),
+		HintErrors:     d.hintErrors.Load(),
+		HintsPending:   d.hints.pending(),
 	}
 	if attempts := hits + negs + misses + errs; attempts > 0 {
 		resp.PeerFillHitRate = float64(hits+negs) / float64(attempts)
 	}
-	for _, m := range resp.Members {
-		if m.ID != d.self.ID {
-			resp.PeerHealthy[m.ID] = d.client.Healthy(m.ID)
-		}
+	for id, st := range d.client.BreakerStates() {
+		resp.PeerHealthy[id] = st != cluster.BreakerOpen
+		resp.PeerBreaker[id] = st.String()
 	}
 	return resp
 }
@@ -456,6 +608,23 @@ func (d *distTier) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "planserver_peer_pushes_total{outcome=\"sent\"} %d\n", d.pushSent.Load())
 		fmt.Fprintf(w, "planserver_peer_pushes_total{outcome=\"dropped\"} %d\n", d.pushDropped.Load())
 		fmt.Fprintf(w, "planserver_peer_pushes_total{outcome=\"error\"} %d\n", d.pushErrors.Load())
+		fmt.Fprintln(w, "# HELP planserver_peer_breaker_state Per-peer circuit breaker state (0=closed, 1=half-open, 2=open).")
+		fmt.Fprintln(w, "# TYPE planserver_peer_breaker_state gauge")
+		states := d.client.BreakerStates()
+		for _, m := range d.ring.Members() {
+			if m.ID != d.self.ID {
+				fmt.Fprintf(w, "planserver_peer_breaker_state{peer=%q} %d\n", m.ID, int(states[m.ID]))
+			}
+		}
+		fmt.Fprintln(w, "# HELP planserver_hints_total Hinted-handoff events by kind.")
+		fmt.Fprintln(w, "# TYPE planserver_hints_total counter")
+		fmt.Fprintf(w, "planserver_hints_total{event=\"queued\"} %d\n", d.hintsQueued.Load())
+		fmt.Fprintf(w, "planserver_hints_total{event=\"dropped\"} %d\n", d.hintsDropped.Load())
+		fmt.Fprintf(w, "planserver_hints_total{event=\"replayed\"} %d\n", d.hintsReplayed.Load())
+		fmt.Fprintf(w, "planserver_hints_total{event=\"error\"} %d\n", d.hintErrors.Load())
+		fmt.Fprintln(w, "# HELP planserver_hints_pending Hints currently queued for handoff.")
+		fmt.Fprintln(w, "# TYPE planserver_hints_pending gauge")
+		fmt.Fprintf(w, "planserver_hints_pending %d\n", d.hints.pending())
 	}
 	if d.store != nil {
 		st := d.store.Stats()

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Hinted handoff: when a write-through push cannot reach a key's owner —
+// the push queue overflowed, the RPC failed, the owner's breaker is open,
+// or the server is shutting down — the push is parked here as a *hint*
+// instead of being lost. A background drainer replays hints once the owner
+// is reachable again (the breaker re-admits traffic via half-open probes),
+// so a healed cluster converges to the same warm state as a
+// never-partitioned one.
+//
+// The queue is bounded and deduplicating: one hint per (owner, key), newest
+// record wins — replaying a plan twice is harmless (peer Put is
+// idempotent), missing one is not. With a data directory configured the
+// queue is also backed by an append-only log reusing internal/store's
+// framing, so hints survive a restart mid-outage. An append-only log
+// cannot delete drained entries, so the log is compacted by store.Reset
+// whenever the queue fully drains; entries drained just before a crash are
+// replayed and re-sent, which idempotence absorbs.
+
+// hintSep joins owner and plan key into the log key. The plan key is the
+// cache's canonical serialization and the unit separator cannot appear in
+// a member ID parsed from flags, so the split is unambiguous.
+const hintSep = "\x1f"
+
+// hintAddResult classifies an add for the tier's counters.
+type hintAddResult int
+
+const (
+	hintAdded hintAddResult = iota
+	hintDuplicate
+	hintDropped
+)
+
+// hintQueue is the bounded deduplicating hint buffer. Safe for concurrent
+// use.
+type hintQueue struct {
+	cap int
+
+	mu    sync.Mutex
+	log   *store.Store // nil → memory-only hints
+	items map[string]pushItem
+	order []string // FIFO of map keys; stale entries pruned lazily
+}
+
+// openHintQueue builds the queue, replaying the on-disk hint log when dir
+// is non-empty. Replayed entries beyond cap are dropped oldest-first by
+// construction (the log replays in append order and add refuses past cap).
+func openHintQueue(dir string, opts store.Options, capacity int) (*hintQueue, error) {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	q := &hintQueue{cap: capacity, items: make(map[string]pushItem)}
+	if dir == "" {
+		return q, nil
+	}
+	log, err := store.Open(dir, opts, func(r store.Record) {
+		owner, key, ok := strings.Cut(r.Key, hintSep)
+		if !ok {
+			return
+		}
+		q.add(pushItem{owner: owner, key: key, rec: r.Val, negative: r.Kind == store.KindNegative})
+	})
+	if err != nil {
+		return nil, err
+	}
+	q.log = log
+	return q, nil
+}
+
+// add parks one undeliverable push. The queue persists the hint when a log
+// is configured; log append failures degrade the hint to memory-only
+// rather than dropping it.
+func (q *hintQueue) add(it pushItem) hintAddResult {
+	mk := it.owner + hintSep + it.key
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, dup := q.items[mk]; dup {
+		q.items[mk] = it // newest record wins
+		q.logLocked(mk, it)
+		return hintDuplicate
+	}
+	if len(q.items) >= q.cap {
+		return hintDropped
+	}
+	q.items[mk] = it
+	q.order = append(q.order, mk)
+	q.logLocked(mk, it)
+	return hintAdded
+}
+
+// logLocked appends one hint to the backing log (replay order makes the
+// last append for a key win, matching the in-memory newest-wins dedup).
+// Callers hold q.mu.
+func (q *hintQueue) logLocked(mk string, it pushItem) {
+	if q.log == nil {
+		return
+	}
+	kind := store.KindPlan
+	if it.negative {
+		kind = store.KindNegative
+	}
+	_ = q.log.Append(kind, mk, it.rec)
+}
+
+// remove settles one hint after a successful replay.
+func (q *hintQueue) remove(it pushItem) {
+	q.mu.Lock()
+	delete(q.items, it.owner+hintSep+it.key)
+	q.mu.Unlock()
+}
+
+// snapshot returns the queued hints in FIFO order, pruning settled entries
+// from the order list. The drainer works the snapshot without holding the
+// lock, so new hints queue freely during a drain pass.
+func (q *hintQueue) snapshot() []pushItem {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	live := q.order[:0]
+	out := make([]pushItem, 0, len(q.items))
+	for _, mk := range q.order {
+		it, ok := q.items[mk]
+		if !ok {
+			continue
+		}
+		live = append(live, mk)
+		out = append(out, it)
+	}
+	q.order = live
+	return out
+}
+
+// pending reports the queued hint count.
+func (q *hintQueue) pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// compact resets the backing log when the queue has fully drained — the
+// append-only log's only delete. No-op while hints remain or without a
+// log.
+func (q *hintQueue) compact() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.log == nil || len(q.items) > 0 {
+		return
+	}
+	_ = q.log.Reset()
+}
+
+// close releases the backing log.
+func (q *hintQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.log != nil {
+		q.log.Close()
+		q.log = nil
+	}
+}

@@ -16,7 +16,8 @@
 //	GET  /v1/catalogs           list tenants
 //	GET  /v1/stats              planner + server counters (JSON)
 //	GET  /metrics               Prometheus text exposition
-//	GET  /healthz               liveness probe
+//	GET  /healthz               liveness probe (alias /v1/healthz)
+//	GET  /v1/readyz             readiness probe (store, ring, limiter)
 package server
 
 import (
@@ -66,6 +67,9 @@ type Config struct {
 	// MaxInFlight bounds concurrently served requests; excess requests are
 	// rejected with 429 (default 256; negative disables).
 	MaxInFlight int
+	// Admission layers per-tenant token-bucket budgets and priority
+	// shedding on top of the global limiter. The zero value disables both.
+	Admission AdmissionConfig
 	// BatchWindow, when > 0, enables micro-batching of /v1/plan: concurrent
 	// requests are collected for the window and identical ones planned once.
 	BatchWindow time.Duration
@@ -129,7 +133,8 @@ type Server struct {
 	metrics  *metricsRegistry
 	batcher  *planBatcher
 	limiter  chan struct{}
-	dist     *distTier // nil unless Cluster or DataDir is configured
+	admit    *admission // nil unless Config.Admission enables it
+	dist     *distTier  // nil unless Cluster or DataDir is configured
 
 	addr      atomic.Value // net.Addr, set by Serve
 	closeOnce sync.Once
@@ -157,12 +162,13 @@ func Open(cfg Config) (*Server, error) {
 		planners: cache.NewPlannerSet(cfg.Planner, cfg.IsolateTenants),
 		catalogs: db.NewRegistry(),
 		metrics: newMetricsRegistry([]string{
-			"plan", "decompose", "execute", "catalogs", "stats", "metrics", "healthz",
+			"plan", "decompose", "execute", "catalogs", "stats", "metrics", "healthz", "readyz",
 		}),
 	}
 	if cfg.MaxInFlight > 0 {
 		s.limiter = make(chan struct{}, cfg.MaxInFlight)
 	}
+	s.admit = newAdmission(cfg.Admission, s.limiter)
 	if cfg.BatchWindow > 0 {
 		s.batcher = newPlanBatcher(cfg.BatchWindow, cfg.MaxBatch)
 	}
@@ -218,6 +224,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/stats", s.route("stats", false, s.handleStats))
 	mux.Handle("GET /metrics", s.route("metrics", false, s.handleMetrics))
 	mux.Handle("GET /healthz", s.route("healthz", false, s.handleHealthz))
+	mux.Handle("GET /v1/healthz", s.route("healthz", false, s.handleHealthz))
+	mux.Handle("GET /v1/readyz", s.route("readyz", false, s.handleReadyz))
 	return mux
 }
 
@@ -332,6 +340,7 @@ func (s *Server) instrument(endpoint string, limited bool, h http.Handler) http.
 				// of instant 429s would drag the percentiles toward zero
 				// exactly when the latency of served requests matters.
 				s.metrics.count(endpoint, http.StatusTooManyRequests)
+				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.MaxInFlight)
 				return
 			}
@@ -448,6 +457,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	if ok, reason, retry := s.admit.admit(req.Tenant); !ok {
+		shed(w, req.Tenant, reason, retry)
+		return
+	}
 	q, err := cq.Parse(req.Query)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -518,6 +531,10 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	var req ExecuteRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if ok, reason, retry := s.admit.admit(req.Tenant); !ok {
+		shed(w, req.Tenant, reason, retry)
 		return
 	}
 	q, err := cq.Parse(req.Query)
@@ -633,6 +650,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.planners.Isolated() {
 		resp.PerTenant = s.planners.StatsByTenant()
 	}
+	resp.Admission = s.admit.stats()
 	if s.dist != nil {
 		resp.Cluster = s.dist.clusterStats()
 		resp.Store = s.dist.storeStats()
@@ -644,6 +662,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, s.planners.Aggregate(), s.catalogs.Len())
+	s.admit.writeMetrics(w)
 	if s.dist != nil {
 		s.dist.writeMetrics(w)
 	}
@@ -652,4 +671,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe for load-balancer integration.
+// Liveness (healthz) answers "is the process up"; readiness answers "should
+// this replica receive traffic": the persistent store warm-loaded, the
+// ring membership resolved (both settled at construction — a Server that
+// failed either never came up), and the admission limiter not saturated.
+// A saturated replica stays alive but asks the balancer to route around it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	checks := map[string]string{"store": "none", "cluster": "none", "limiter": "ok"}
+	if s.dist != nil && s.dist.store != nil {
+		checks["store"] = "ok"
+	}
+	if s.dist != nil && s.dist.ring != nil {
+		checks["cluster"] = "ok"
+	}
+	ready := true
+	if s.limiter != nil && len(s.limiter) >= cap(s.limiter) {
+		checks["limiter"] = "saturated"
+		ready = false
+	}
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, ReadyzResponse{Ready: ready, Checks: checks})
 }

@@ -96,33 +96,50 @@ type CatalogListResponse struct {
 // counters when tenants are isolated, server-level gauges, and — on a
 // distributed replica — the cluster and store sections.
 type StatsResponse struct {
-	Planner   cache.Stats            `json:"planner"`
-	PerTenant map[string]cache.Stats `json:"perTenant,omitempty"`
-	Catalogs  []string               `json:"catalogs"`
-	InFlight  int64                  `json:"inFlight"`
-	UptimeSec float64                `json:"uptimeSec"`
-	Cluster   *ClusterStatsResponse  `json:"cluster,omitempty"`
-	Store     *StoreStatsResponse    `json:"store,omitempty"`
+	Planner   cache.Stats             `json:"planner"`
+	PerTenant map[string]cache.Stats  `json:"perTenant,omitempty"`
+	Catalogs  []string                `json:"catalogs"`
+	InFlight  int64                   `json:"inFlight"`
+	UptimeSec float64                 `json:"uptimeSec"`
+	Admission *AdmissionStatsResponse `json:"admission,omitempty"`
+	Cluster   *ClusterStatsResponse   `json:"cluster,omitempty"`
+	Store     *StoreStatsResponse     `json:"store,omitempty"`
+}
+
+// AdmissionStatsResponse is the tenant-admission section of /v1/stats:
+// how many plan-serving requests were shed, split by cause, plus the
+// per-tenant shed counters behind planserver_tenant_shed_total.
+type AdmissionStatsResponse struct {
+	ShedBudget   uint64            `json:"shedBudget"`   // tenant token bucket empty
+	ShedPriority uint64            `json:"shedPriority"` // priority class shed under load
+	PerTenant    map[string]uint64 `json:"perTenant,omitempty"`
 }
 
 // ClusterStatsResponse is the cluster section of /v1/stats: this node's
 // identity and keyspace share, the ring membership, peer health, and the
 // warm-fill/push counters.
 type ClusterStatsResponse struct {
-	Node            string           `json:"node"`
-	PeerAddr        string           `json:"peerAddr"`
-	Members         []cluster.Member `json:"members"`
-	OwnedShare      float64          `json:"ownedShare"`
-	PeerHealthy     map[string]bool  `json:"peerHealthy"`
-	PeerFills       uint64           `json:"peerFills"` // plans + negatives served warm from a peer
-	PeerFillMisses  uint64           `json:"peerFillMisses"`
-	PeerFillErrors  uint64           `json:"peerFillErrors"`
-	PeerFillHitRate float64          `json:"peerFillHitRate"` // fills / fetch attempts
-	PeerServes      uint64           `json:"peerServes"`      // warm answers served to peers
-	PeerImports     uint64           `json:"peerImports"`     // records installed by peer pushes
-	PushesSent      uint64           `json:"pushesSent"`
-	PushesDropped   uint64           `json:"pushesDropped"`
-	PushErrors      uint64           `json:"pushErrors"`
+	Node            string            `json:"node"`
+	PeerAddr        string            `json:"peerAddr"`
+	Members         []cluster.Member  `json:"members"`
+	Replicas        int               `json:"replicas"` // owners per plan key
+	OwnedShare      float64           `json:"ownedShare"`
+	PeerHealthy     map[string]bool   `json:"peerHealthy"` // breaker not open
+	PeerBreaker     map[string]string `json:"peerBreaker"` // closed | half-open | open
+	PeerFills       uint64            `json:"peerFills"`   // plans + negatives served warm from a peer
+	PeerFillMisses  uint64            `json:"peerFillMisses"`
+	PeerFillErrors  uint64            `json:"peerFillErrors"`
+	PeerFillHitRate float64           `json:"peerFillHitRate"` // fills / fetch attempts
+	PeerServes      uint64            `json:"peerServes"`      // warm answers served to peers
+	PeerImports     uint64            `json:"peerImports"`     // records installed by peer pushes
+	PushesSent      uint64            `json:"pushesSent"`
+	PushesDropped   uint64            `json:"pushesDropped"`
+	PushErrors      uint64            `json:"pushErrors"`
+	HintsQueued     uint64            `json:"hintsQueued"`   // pushes parked for handoff
+	HintsDropped    uint64            `json:"hintsDropped"`  // hints refused by the queue cap
+	HintsReplayed   uint64            `json:"hintsReplayed"` // hints delivered after a heal
+	HintErrors      uint64            `json:"hintErrors"`
+	HintsPending    int               `json:"hintsPending"`
 }
 
 // StoreStatsResponse is the store section of /v1/stats: the on-disk shape
@@ -133,6 +150,13 @@ type StoreStatsResponse struct {
 	LoadedPlans     int     `json:"loadedPlans"`
 	LoadedNegatives int     `json:"loadedNegatives"`
 	AppendErrors    uint64  `json:"appendErrors"`
+}
+
+// ReadyzResponse is GET /v1/readyz: overall readiness plus the individual
+// checks ("ok", "none" for an unconfigured subsystem, or a failure word).
+type ReadyzResponse struct {
+	Ready  bool              `json:"ready"`
+	Checks map[string]string `json:"checks"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON reply.

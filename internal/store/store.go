@@ -356,6 +356,37 @@ func (s *Store) prune() {
 	}
 }
 
+// Reset discards every record and segment and starts an empty log. It is
+// the compaction primitive for queue-shaped uses of the store (the hinted-
+// handoff log): an append-only log cannot delete individual records, so a
+// queue that fully drains resets the log instead of replaying settled
+// hints forever. A reset store accepts appends again even after an
+// injected torn write — the torn segment is deleted with the rest.
+func (s *Store) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.active != nil {
+		if err := s.active.Close(); err != nil {
+			return err
+		}
+		s.active = nil
+	}
+	next := 1
+	for _, seg := range s.segments {
+		if err := os.Remove(filepath.Join(s.dir, segName(seg.seq))); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		next = seg.seq + 1
+	}
+	s.segments = nil
+	s.records = 0
+	s.torn = false
+	return s.roll(next)
+}
+
 // Stats snapshots the store's shape.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
