@@ -166,6 +166,44 @@ func ExecutePlanMetered(p *Plan, cat *Catalog, m *Metrics) (*Relation, error) {
 	return engine.EvalDecomposition(p.Decomp, p.Query, cat, m)
 }
 
+// RowStream is an incremental query answer: batches of rows pulled from the
+// columnar streaming evaluator, at most BatchSize rows per Next call. The
+// full answer never has to be materialized — memory is bounded by the
+// reduced per-vertex relations plus a compact dedup set. Next returns
+// io.EOF after the last batch; Close releases the cursor early; RowsSeq
+// adapts it to a Go range-over-func iterator.
+type RowStream = engine.Stream
+
+// ColStore shares columnar conversions and per-(relation, key) hash
+// indexes across executions on one catalog snapshot — including across
+// aliases of a relation within a single self-join query.
+type ColStore = engine.ColStore
+
+// BatchSize is the row-chunk granularity of streamed answers.
+const BatchSize = engine.BatchSize
+
+// NewColStore returns a shared columnar store over cat. Reuse it across
+// ExecutePlanStream calls while cat is unchanged; drop it when the catalog
+// is replaced.
+func NewColStore(cat *Catalog) *ColStore { return engine.NewColStore(cat) }
+
+// ExecutePlanStream evaluates a cost-k-decomp plan with the streaming
+// vectorized engine: full Yannakakis reduction up front, then the answer
+// is enumerated incrementally as row batches. m may be nil.
+func ExecutePlanStream(p *Plan, cat *Catalog, m *Metrics) (*RowStream, error) {
+	return engine.EvalDecompositionStream(p.Decomp, p.Query, cat, m)
+}
+
+// ExecutePlanStreamWith is ExecutePlanStream reusing a shared ColStore,
+// whose catalog snapshot supplies the data (cross-request index reuse).
+func ExecutePlanStreamWith(cs *ColStore, p *Plan, m *Metrics) (*RowStream, error) {
+	return engine.EvalDecompositionStreamWith(cs, p.Decomp, p.Query, m)
+}
+
+// DrainStream collects a stream's remaining batches into a relation (the
+// buffered form; closes the stream).
+func DrainStream(s *RowStream) (*Relation, error) { return engine.Drain(s) }
+
 // BaselinePlan runs the quantitative-only Selinger baseline ("CommDB") and
 // returns its left-deep join order and estimated cost.
 func BaselinePlan(q *Query, cat *Catalog) (engine.LeftDeepPlan, float64, error) {

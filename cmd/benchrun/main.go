@@ -31,13 +31,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchrun: ")
-	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods|planner|server|solver|chaos")
+	exp := flag.String("exp", "all", "experiment: all|fig5|fig67|fig8a|fig8b|psi|methods|planner|server|solver|execute|chaos")
 	seed := flag.Int64("seed", 1, "random seed")
 	repeats := flag.Int("repeats", 1, "timing repetitions (minimum is reported)")
 	scale := flag.Float64("scale", 1.0, "relative database scale for fig8a/fig8b")
 	requests := flag.Int("requests", 200, "request count for the planner and server experiments")
 	concurrency := flag.Int("concurrency", 16, "client concurrency for the server experiment")
 	solverOut := flag.String("solverout", "BENCH_solver.json", "output path for the solver benchmark JSON")
+	executeOut := flag.String("executeout", "BENCH_execute.json", "output path for the execute streaming benchmark JSON")
 	serverOut := flag.String("serverout", "BENCH_server.json", "output path for the cluster loadgen JSON")
 	seeds := flag.Int64("seeds", 10, "seed count for the chaos soak")
 	chaosOut := flag.String("chaosout", "CHAOS_FAIL.txt", "output path for failing chaos seed/schedule lines")
@@ -143,6 +144,21 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *solverOut)
+	}
+	// The streaming-execute benchmark writes BENCH_execute.json; like
+	// solver, it runs only when requested explicitly. -scale 1 streams the
+	// full ~1M-row answer; -requests counts the cold + replay sweep.
+	if *exp == "execute" {
+		fmt.Printf("=== Streaming execute: /v2/execute NDJSON, scale %.2f, %d requests ===\n", *scale, 4)
+		rep, err := bench.RunExecuteExperiment(4, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatExecuteBench(rep))
+		if err := bench.WriteExecuteBenchJSON(*executeOut, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *executeOut)
 	}
 	if run("methods") {
 		fmt.Println("=== Section 1.1: structural method comparison (bicomp / treewidth / ghw / hw) ===")

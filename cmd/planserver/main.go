@@ -81,6 +81,7 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 256, "maximum concurrent requests (excess get 429)")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batching window for /v1/plan (0 = disabled)")
 	maxBatch := flag.Int("max-batch", 32, "maximum requests per micro-batch")
+	resultCacheBytes := flag.Int64("result-cache-bytes", 0, "result cache byte budget (0 = 64 MiB default, negative = disabled)")
 	nodeID := flag.String("node-id", "", "this replica's cluster id (requires -peers)")
 	peers := flag.String("peers", "", "static cluster membership as id=host:port,... (including this node)")
 	peerListen := flag.String("peer-listen", "", "peer RPC listen address (default: this node's address from -peers)")
@@ -99,15 +100,16 @@ func main() {
 			Workers:      *workers,
 			MaxKVertices: *maxPsi,
 		},
-		IsolateTenants: *isolate,
-		DefaultK:       *defaultK,
-		MaxK:           *maxK,
-		RequestTimeout: *timeout,
-		MaxInFlight:    *maxInFlight,
-		BatchWindow:    *batchWindow,
-		MaxBatch:       *maxBatch,
-		DataDir:        *dataDir,
-		Log:            log.Default(),
+		IsolateTenants:   *isolate,
+		DefaultK:         *defaultK,
+		MaxK:             *maxK,
+		RequestTimeout:   *timeout,
+		MaxInFlight:      *maxInFlight,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		ResultCacheBytes: *resultCacheBytes,
+		DataDir:          *dataDir,
+		Log:              log.Default(),
 	}
 	if *tenantRate > 0 {
 		prio, err := parsePriorities(*tenantPriority)

@@ -18,8 +18,8 @@
 //   - conjunctive queries, H(Q), the fresh-variable trick (internal/cq);
 //   - relations, statistics, synthetic data (internal/db);
 //   - the cost model cost_H(Q) and cost-k-decomp (internal/cost);
-//   - Yannakakis evaluation and a left-deep baseline runtime
-//     (internal/engine);
+//   - Yannakakis evaluation — columnar batched streaming engine plus a
+//     left-deep baseline runtime (internal/engine);
 //   - a Selinger-style quantitative-only baseline optimizer
 //     (internal/optimizer);
 //   - the canonical-form plan cache behind the Planner service
@@ -41,7 +41,24 @@
 //
 //	q, _ := htd.ParseQuery("ans(X) :- r(X,Y), s(Y,Z), t(Z,X)")
 //	plan, _ := htd.PlanQuery(q, cat, 2)       // cost-k-decomp
-//	res, _ := htd.ExecutePlan(plan, cat)      // Yannakakis
+//	res, _ := htd.ExecutePlan(plan, cat)      // Yannakakis, buffered
+//
+// Evaluation runs on a columnar engine: relations become dictionary-encoded
+// int32 column vectors with one shared hash index per base relation (built
+// once across aliases, reusable across queries via NewColStore), and the
+// answer is enumerated incrementally in ~BatchSize-row batches. For large
+// answers, pull the stream instead of buffering it:
+//
+//	s, _ := htd.ExecutePlanStream(plan, cat, nil)
+//	for row, err := range s.RowsSeq() { … }   // or s.Next() for raw batches
+//
+// Over HTTP the same stream is POST /v2/execute: chunked NDJSON frames
+// (header, row chunks, then a trailer carrying metrics and final status —
+// a mid-stream failure ends with an error trailer, never a silently
+// truncated 200). Complete answers are result-cached under the canonical
+// plan key plus the tenant's catalog version, so a repeat — or a renamed
+// variant — of a query replays rows without planning or evaluation, and a
+// catalog update invalidates exactly that tenant's cached answers.
 //
 // Self-joins are written with relation aliases — the alias names the atom
 // (hyperedge, fresh variable, bound relation) while the predicate names the
@@ -114,7 +131,8 @@
 // a parallel-search worker mid-wave, delay or fail a singleflight compute,
 // drop cache inserts, inflate handler latency, stall shutdown, partition
 // or delay peer RPCs, deny breaker half-open probes, fail hint-drain
-// passes, and tear store appends mid-write. Each
+// passes, tear store appends mid-write, and delay or fail the streaming
+// engine between row batches (mid-stream, after the HTTP 200). Each
 // site declares which effects it can absorb, and with no injector
 // registered a hook is a single atomic load and branch — the hot path pays
 // nothing. The harness in internal/chaos/scenario replays generated

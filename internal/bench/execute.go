@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/server"
+)
+
+// The execute experiment drives the streaming /v2/execute path end to end:
+// a two-atom join whose answer is ~scale²·1M rows is streamed through HTTP
+// NDJSON framing, measuring time-to-first-row (the latency a streaming
+// client observes before any data), sustained rows/sec, batch count, and —
+// over the repeat requests — the result-cache hit rate.
+
+// ExecuteBenchReport is the BENCH_execute.json document.
+type ExecuteBenchReport struct {
+	Schema             string  `json:"schema"` // bumped when fields change
+	Requests           int     `json:"requests"`
+	RowsPerRequest     int     `json:"rowsPerRequest"`
+	Batches            int64   `json:"batches"`    // cold-request batch count
+	ColdTTFRNs         int64   `json:"coldTTFRNs"` // first request: plan+reduce before first row
+	TTFRP50Ns          int64   `json:"ttfrP50Ns"`  // over all requests
+	TTFRP99Ns          int64   `json:"ttfrP99Ns"`
+	ColdRowsPerSec     float64 `json:"coldRowsPerSec"` // evaluated stream
+	WarmRowsPerSec     float64 `json:"warmRowsPerSec"` // result-cache replays
+	ResultCacheHitRate float64 `json:"resultCacheHitRate"`
+	HeapAllocMB        float64 `json:"heapAllocMB"` // server-process heap after the sweep
+}
+
+// executeCatalog builds the m:n join workload: r(a,b) ⋈ s(b,c) with n rows
+// per relation over 16 join values, so the answer has n²/16 distinct rows
+// (n = 4096 ⇒ 1,048,576).
+func executeCatalog(n int) *db.Catalog {
+	const groups = 16
+	r := db.NewRelation("r", "a", "b")
+	s := db.NewRelation("s", "b", "c")
+	for i := 0; i < n; i++ {
+		r.MustAppend(int32(i), int32(i%groups))
+		s.MustAppend(int32(i%groups), int32(i))
+	}
+	cat := db.NewCatalog()
+	cat.Put(r)
+	cat.Put(s)
+	return cat
+}
+
+// streamOnce executes the query over /v2/execute and reports rows, batches,
+// TTFR, total wall time, and whether the answer came from the result cache.
+func streamOnce(ts *httptest.Server, query string) (rows int, batches int64, ttfr, total time.Duration, cached bool, err error) {
+	body, _ := json.Marshal(server.ExecuteRequest{Tenant: "bench", Query: query, K: 2})
+	start := time.Now()
+	resp, err := ts.Client().Post(ts.URL+"/v2/execute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, 0, false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	sawTrailer := false
+	for sc.Scan() {
+		var probe struct {
+			Frame string `json:"frame"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return 0, 0, 0, 0, false, err
+		}
+		switch probe.Frame {
+		case "header":
+			var h server.ExecStreamHeader
+			if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+				return 0, 0, 0, 0, false, err
+			}
+			cached = h.ResultCached
+		case "rows":
+			if ttfr == 0 {
+				ttfr = time.Since(start)
+			}
+			var rf server.ExecStreamRows
+			if err := json.Unmarshal(sc.Bytes(), &rf); err != nil {
+				return 0, 0, 0, 0, false, err
+			}
+			rows += len(rf.Rows)
+		case "trailer":
+			var tr server.ExecStreamTrailer
+			if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+				return 0, 0, 0, 0, false, err
+			}
+			if tr.Status != "ok" {
+				return 0, 0, 0, 0, false, fmt.Errorf("error trailer: %+v", tr.Error)
+			}
+			if tr.RowCount != rows {
+				return 0, 0, 0, 0, false, fmt.Errorf("trailer rowCount %d, streamed %d", tr.RowCount, rows)
+			}
+			if tr.Metrics != nil {
+				batches = tr.Metrics.Batches
+			}
+			sawTrailer = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, 0, 0, false, err
+	}
+	if !sawTrailer {
+		return 0, 0, 0, 0, false, fmt.Errorf("stream ended without a trailer")
+	}
+	return rows, batches, ttfr, time.Since(start), cached, nil
+}
+
+// RunExecuteExperiment streams the workload `requests` times (first cold,
+// rest result-cache replays). scale 1.0 is the 1M-row acceptance workload;
+// lower scales shrink the relations (answer size falls quadratically).
+func RunExecuteExperiment(requests int, scale float64) (*ExecuteBenchReport, error) {
+	if requests < 2 {
+		requests = 2
+	}
+	n := int(4096 * scale)
+	if n < 64 {
+		n = 64
+	}
+	// Budget sized so the scale-1 answer (~32 MB) clears the quarter-budget
+	// per-entry cap; otherwise every request would evaluate cold.
+	srv := server.New(server.Config{ResultCacheBytes: 256 << 20})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var cbuf bytes.Buffer
+	if err := db.WriteCatalog(&cbuf, executeCatalog(n)); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/catalogs/bench", &cbuf)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("catalog upload: status %d", resp.StatusCode)
+	}
+
+	const query = "ans(A,C) :- r(A,B), s(B,C)."
+	rep := &ExecuteBenchReport{Schema: "execute-bench/1", Requests: requests}
+	var ttfrs []time.Duration
+	hits := 0
+	for i := 0; i < requests; i++ {
+		rows, batches, ttfr, total, cached, err := streamOnce(ts, query)
+		if err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+		ttfrs = append(ttfrs, ttfr)
+		rps := float64(rows) / total.Seconds()
+		if i == 0 {
+			if cached {
+				return nil, fmt.Errorf("first request claimed a result-cache hit")
+			}
+			rep.RowsPerRequest = rows
+			rep.Batches = batches
+			rep.ColdTTFRNs = ttfr.Nanoseconds()
+			rep.ColdRowsPerSec = rps
+		} else {
+			if cached {
+				hits++
+			}
+			rep.WarmRowsPerSec = rps // last replay wins; they are uniform
+		}
+	}
+	rep.ResultCacheHitRate = float64(hits) / float64(requests-1)
+	sort.Slice(ttfrs, func(i, j int) bool { return ttfrs[i] < ttfrs[j] })
+	rep.TTFRP50Ns = ttfrs[len(ttfrs)/2].Nanoseconds()
+	rep.TTFRP99Ns = ttfrs[(len(ttfrs)*99)/100].Nanoseconds()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep.HeapAllocMB = float64(ms.HeapAlloc) / (1 << 20)
+	return rep, nil
+}
+
+// WriteExecuteBenchJSON writes the report for CI artifact upload.
+func WriteExecuteBenchJSON(path string, rep *ExecuteBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatExecuteBench renders the report as console lines.
+func FormatExecuteBench(rep *ExecuteBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests            %d (1 cold + %d repeat)\n", rep.Requests, rep.Requests-1)
+	fmt.Fprintf(&b, "rows per request    %d in %d batches\n", rep.RowsPerRequest, rep.Batches)
+	fmt.Fprintf(&b, "cold TTFR           %s\n", time.Duration(rep.ColdTTFRNs))
+	fmt.Fprintf(&b, "TTFR p50 / p99      %s / %s\n", time.Duration(rep.TTFRP50Ns), time.Duration(rep.TTFRP99Ns))
+	fmt.Fprintf(&b, "rows/sec cold/warm  %.0f / %.0f\n", rep.ColdRowsPerSec, rep.WarmRowsPerSec)
+	fmt.Fprintf(&b, "result-cache hits   %.0f%%\n", 100*rep.ResultCacheHitRate)
+	fmt.Fprintf(&b, "heap after sweep    %.1f MB\n", rep.HeapAllocMB)
+	return b.String()
+}

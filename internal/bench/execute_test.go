@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// A scaled-down run of the execute experiment: the full 1M-row acceptance
+// workload belongs to benchrun/CI; here we just prove the harness streams,
+// counts, and hits the result cache.
+func TestRunExecuteExperimentSmall(t *testing.T) {
+	rep, err := RunExecuteExperiment(3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = max(64, 4096·0.05=204) = 204 ⇒ 204²/16 = 2601 distinct rows.
+	if rep.RowsPerRequest == 0 || rep.Batches == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	want := 0
+	n := 204
+	want = (n / 16) * (n / 16) * 16 // per-group cross product, 16 groups
+	// 204 % 16 = 12: twelve groups get one extra member per side.
+	exact := 0
+	for g := 0; g < 16; g++ {
+		cnt := n / 16
+		if g < n%16 {
+			cnt++
+		}
+		exact += cnt * cnt
+	}
+	if rep.RowsPerRequest != exact {
+		t.Fatalf("rows = %d, want %d (approx %d)", rep.RowsPerRequest, exact, want)
+	}
+	if rep.ResultCacheHitRate != 1.0 {
+		t.Fatalf("result-cache hit rate = %v, want 1.0", rep.ResultCacheHitRate)
+	}
+	if rep.ColdTTFRNs <= 0 || rep.TTFRP50Ns <= 0 || rep.TTFRP99Ns < rep.TTFRP50Ns {
+		t.Fatalf("TTFR fields: %+v", rep)
+	}
+	if FormatExecuteBench(rep) == "" {
+		t.Fatal("empty format")
+	}
+}

@@ -78,8 +78,15 @@ const (
 	// Fail fails the replay attempt (the hint stays queued for the next
 	// pass), so convergence after a heal must tolerate a lossy drain path.
 	ServerHintDrain
+	// EngineBatch fires in the streaming evaluator at the top of every
+	// batch pull — after the stream has been established and, typically,
+	// after some row frames are already on the wire. Delay stalls the
+	// stream mid-flight; Fail aborts it, which the serving layer must
+	// surface as a well-formed error trailer, never a silently truncated
+	// success.
+	EngineBatch
 
-	numPoints = int(ServerHintDrain) + 1
+	numPoints = int(EngineBatch) + 1
 )
 
 var pointNames = [numPoints]string{
@@ -96,6 +103,7 @@ var pointNames = [numPoints]string{
 	"store.append",
 	"cluster.peer.breaker",
 	"server.hint.drain",
+	"engine.batch",
 }
 
 func (p Point) String() string {

@@ -109,6 +109,12 @@ type Scenario struct {
 	// AllowInjectedFailures permits 400 responses whose body names the
 	// injected failure (scenarios with Fail rules).
 	AllowInjectedFailures bool
+	// StreamExecute routes the execute share of the load through the
+	// streaming POST /v2/execute instead of the buffered v1 shim, and
+	// validates the NDJSON framing: a complete stream must end in an "ok"
+	// trailer matching ground truth, and a faulted stream must end in a
+	// well-formed "error" trailer — never a silently truncated 200.
+	StreamExecute bool
 	// WantEvictions requires the planner caches to have recorded evictions
 	// (scenarios whose point is surviving cache loss).
 	WantEvictions bool
@@ -222,6 +228,20 @@ func Scenarios() []Scenario {
 			MidShutdown: true,
 		},
 		{
+			Name:        "stream-fault",
+			Description: "the streaming engine fails and stalls mid-batch; every /v2 stream ends in a well-formed trailer (ok matching ground truth, or a structured error), never a truncated 200",
+			Rules: func(seed int64) []chaos.Rule {
+				return []chaos.Rule{
+					{Point: chaos.EngineBatch, Prob: 0.35, Effect: chaos.Fail},
+					{Point: chaos.EngineBatch, Prob: 0.3, Effect: chaos.Delay, Jitter: 2 * time.Millisecond},
+					{Point: chaos.ServerHandler, Prob: 0.3, Effect: chaos.Delay, Jitter: 3 * time.Millisecond},
+				}
+			},
+			Require:               []chaos.Point{chaos.EngineBatch},
+			AllowInjectedFailures: true,
+			StreamExecute:         true,
+		},
+		{
 			Name:        "peer-partition",
 			Description: "peer RPCs stall and partition mid-plan while the store lags; replicas fall back to local search and plans stay byte-identical",
 			Rules: func(seed int64) []chaos.Rule {
@@ -291,7 +311,9 @@ type workloadItem struct {
 	infeasible  bool
 	planJSON    []byte
 	cost        float64
-	rows        int
+	rows        int  // answer rows (0 for a Boolean query)
+	boolean     bool // the query is Boolean; verdict is the answer
+	verdict     bool
 }
 
 // buildWorkload generates the seeded workload and computes ground truth
@@ -379,7 +401,12 @@ func groundTruth(baseline *cache.Planner, tenant, text string, k int, cat *db.Ca
 	if err != nil {
 		return workloadItem{}, fmt.Errorf("scenario: baseline eval %s: %w", text, err)
 	}
-	item.rows = res.Card()
+	if q.IsBoolean() {
+		item.boolean = true
+		item.verdict = engine.Answer(res)
+	} else {
+		item.rows = res.Card()
+	}
 	return item, nil
 }
 
@@ -695,6 +722,9 @@ func fireRequest(client *http.Client, base string, it workloadItem, execute, can
 	payload, _ := json.Marshal(body)
 	if execute {
 		path = "/v1/execute"
+		if sc.StreamExecute {
+			path = "/v2/execute"
+		}
 	}
 	ctx := context.Background()
 	if cancelled {
@@ -737,7 +767,95 @@ func fireRequest(client *http.Client, base string, it workloadItem, execute, can
 		return
 	}
 	tal.code(resp.StatusCode)
+	if execute && sc.StreamExecute {
+		verifyStream(path, it, resp.StatusCode, raw, sc, tal)
+		return
+	}
 	verifyResponse(path, it, execute, resp.StatusCode, raw, sc, tal)
+}
+
+// verifyStream validates a /v2/execute NDJSON response: pre-stream
+// failures are plain JSON errors handled like any endpoint's; a 200 must
+// be a header frame, optional row frames, and exactly one trailer — "ok"
+// matching ground truth, or a structured error naming the injected fault.
+// A 200 with no trailer is the cardinal sin: a silently truncated answer.
+func verifyStream(path string, it workloadItem, code int, raw []byte, sc Scenario, tal *tally) {
+	if code != http.StatusOK {
+		verifyResponse(path, it, false, code, raw, sc, tal)
+		return
+	}
+	if it.infeasible {
+		tal.fail("%s %s k=%d: 200 for an infeasible structure", path, it.tenant, it.k)
+		return
+	}
+	var trailer *server.ExecStreamTrailer
+	sawHeader, rows := false, 0
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if trailer != nil {
+			tal.fail("%s %s: frame after trailer: %s", path, it.tenant, line)
+			return
+		}
+		var probe struct {
+			Frame string `json:"frame"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			tal.fail("%s %s: bad frame %q: %v", path, it.tenant, line, err)
+			return
+		}
+		switch probe.Frame {
+		case "header":
+			sawHeader = true
+		case "rows":
+			if !sawHeader {
+				tal.fail("%s %s: rows before header", path, it.tenant)
+				return
+			}
+			var rf server.ExecStreamRows
+			if err := json.Unmarshal(line, &rf); err != nil {
+				tal.fail("%s %s: bad rows frame: %v", path, it.tenant, err)
+				return
+			}
+			rows += len(rf.Rows)
+		case "trailer":
+			var tr server.ExecStreamTrailer
+			if err := json.Unmarshal(line, &tr); err != nil {
+				tal.fail("%s %s: bad trailer: %v", path, it.tenant, err)
+				return
+			}
+			trailer = &tr
+		default:
+			tal.fail("%s %s: unknown frame %q", path, it.tenant, probe.Frame)
+			return
+		}
+	}
+	if !sawHeader || trailer == nil {
+		tal.fail("%s %s k=%d: truncated 200 stream (header=%v, trailer=%v) — a fault must surface as an error trailer",
+			path, it.tenant, it.k, sawHeader, trailer != nil)
+		return
+	}
+	switch trailer.Status {
+	case "ok":
+		if it.boolean {
+			if trailer.Boolean == nil || *trailer.Boolean != it.verdict {
+				tal.fail("%s %s k=%d: stream boolean %v, baseline %v", path, it.tenant, it.k, trailer.Boolean, it.verdict)
+			}
+		} else if trailer.RowCount != it.rows || rows != it.rows {
+			tal.fail("%s %s k=%d: stream rows %d (trailer %d), baseline %d", path, it.tenant, it.k, rows, trailer.RowCount, it.rows)
+		}
+	case "error":
+		if trailer.Error == nil {
+			tal.fail("%s %s: error trailer without an error object", path, it.tenant)
+			return
+		}
+		if !sc.AllowInjectedFailures || !strings.Contains(trailer.Error.Message, "injected") {
+			tal.fail("%s %s k=%d: unexpected stream error: %+v", path, it.tenant, it.k, trailer.Error)
+		}
+	default:
+		tal.fail("%s %s: trailer status %q", path, it.tenant, trailer.Status)
+	}
 }
 
 // verifyResponse checks one response against ground truth and the
@@ -755,7 +873,11 @@ func verifyResponse(path string, it workloadItem, execute bool, code int, raw []
 				tal.fail("%s %s: bad body: %v", path, it.tenant, err)
 				return
 			}
-			if er.RowCount != it.rows {
+			if it.boolean {
+				if er.Boolean == nil || *er.Boolean != it.verdict {
+					tal.fail("%s %s k=%d: boolean %v, baseline %v", path, it.tenant, it.k, er.Boolean, it.verdict)
+				}
+			} else if er.RowCount != it.rows {
 				tal.fail("%s %s k=%d: rowCount %d, baseline %d", path, it.tenant, it.k, er.RowCount, it.rows)
 			}
 			if er.EstimatedCost != it.cost {

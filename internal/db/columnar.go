@@ -1,0 +1,99 @@
+package db
+
+import "fmt"
+
+// ColRelation is the columnar twin of Relation: the same schema, with the
+// tuple data transposed into one dictionary-encoded vector per attribute.
+// The vectorized execution engine operates on these — per-column scans,
+// batched hash probes, and selection-vector filtering all want contiguous
+// value vectors, not row slices. Columns are immutable once built and may
+// be shared freely between readers (the engine shares them across aliases
+// of one base relation).
+type ColRelation struct {
+	Name  string
+	Attrs []string
+	Cols  [][]Value // len(Cols) == len(Attrs); all columns have equal length
+}
+
+// Columnar transposes r into its columnar form. The result does not alias
+// r's tuple storage; mutating r afterwards does not affect it.
+func Columnar(r *Relation) *ColRelation {
+	c := &ColRelation{
+		Name:  r.Name,
+		Attrs: append([]string(nil), r.Attrs...),
+		Cols:  make([][]Value, len(r.Attrs)),
+	}
+	n := len(r.Tuples)
+	for i := range c.Cols {
+		c.Cols[i] = make([]Value, n)
+	}
+	for ri, t := range r.Tuples {
+		for ci := range c.Cols {
+			c.Cols[ci][ri] = t[ci]
+		}
+	}
+	return c
+}
+
+// Len returns the number of rows.
+func (c *ColRelation) Len() int {
+	if len(c.Cols) == 0 {
+		return 0
+	}
+	return len(c.Cols[0])
+}
+
+// Arity returns the number of attributes.
+func (c *ColRelation) Arity() int { return len(c.Attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (c *ColRelation) AttrIndex(name string) int {
+	for i, a := range c.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rows transposes back into row form (tests and the buffered compatibility
+// path; the streaming engine never materializes this).
+func (c *ColRelation) Rows() *Relation {
+	out := NewRelation(c.Name, c.Attrs...)
+	n := c.Len()
+	out.Tuples = make([][]Value, n)
+	for ri := 0; ri < n; ri++ {
+		t := make([]Value, len(c.Cols))
+		for ci := range c.Cols {
+			t[ci] = c.Cols[ci][ri]
+		}
+		out.Tuples[ri] = t
+	}
+	return out
+}
+
+// WithRowID returns a columnar relation extending c with one extra column
+// whose value is the row index — the columnar realization of the
+// fresh-variable trick. The base columns are shared, not copied; rowid is
+// the caller-supplied vector (built once per base relation and shared
+// across aliases by the engine's ColStore).
+func (c *ColRelation) WithRowID(attr string, rowid []Value) (*ColRelation, error) {
+	if len(rowid) != c.Len() {
+		return nil, fmt.Errorf("db: rowid column has %d rows, relation %s has %d", len(rowid), c.Name, c.Len())
+	}
+	return &ColRelation{
+		Name:  c.Name,
+		Attrs: append(append([]string(nil), c.Attrs...), attr),
+		Cols:  append(append([][]Value(nil), c.Cols...), rowid),
+	}, nil
+}
+
+// RowIDColumn builds the canonical rowid vector 0..n-1 for an n-row
+// relation.
+func RowIDColumn(n int) []Value {
+	col := make([]Value, n)
+	for i := range col {
+		col[i] = Value(i)
+	}
+	return col
+}

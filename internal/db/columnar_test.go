@@ -1,0 +1,63 @@
+package db
+
+import "testing"
+
+func TestColumnarRoundTrip(t *testing.T) {
+	r := NewRelation("r", "a", "b")
+	r.MustAppend(1, 2)
+	r.MustAppend(3, 4)
+	r.MustAppend(5, 6)
+	c := Columnar(r)
+	if c.Len() != 3 || c.Arity() != 2 {
+		t.Fatalf("Len/Arity = %d/%d", c.Len(), c.Arity())
+	}
+	if c.AttrIndex("b") != 1 || c.AttrIndex("z") != -1 {
+		t.Fatal("AttrIndex wrong")
+	}
+	if c.Cols[0][1] != 3 || c.Cols[1][2] != 6 {
+		t.Fatalf("transpose wrong: %v", c.Cols)
+	}
+	back := c.Rows()
+	if !back.Equal(r) {
+		t.Fatalf("round trip lost rows: %v vs %v", back.Tuples, r.Tuples)
+	}
+	// Columnar copies: mutating the source later must not leak through.
+	r.Tuples[0][0] = 99
+	if c.Cols[0][0] != 1 {
+		t.Fatal("columnar form aliases source tuples")
+	}
+}
+
+func TestColumnarEmpty(t *testing.T) {
+	c := Columnar(NewRelation("empty", "x"))
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.Rows(); got.Card() != 0 || len(got.Attrs) != 1 {
+		t.Fatalf("Rows() = %v", got)
+	}
+}
+
+func TestColumnarWithRowID(t *testing.T) {
+	r := NewRelation("r", "a")
+	r.MustAppend(7)
+	r.MustAppend(8)
+	c := Columnar(r)
+	rowid := RowIDColumn(c.Len())
+	ext, err := c.WithRowID("__rowid", rowid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Arity() != 2 || ext.Attrs[1] != "__rowid" {
+		t.Fatalf("extended schema %v", ext.Attrs)
+	}
+	if ext.Cols[1][0] != 0 || ext.Cols[1][1] != 1 {
+		t.Fatalf("rowid column %v", ext.Cols[1])
+	}
+	if &ext.Cols[0][0] != &c.Cols[0][0] {
+		t.Fatal("WithRowID should share base columns, not copy them")
+	}
+	if _, err := c.WithRowID("x", RowIDColumn(5)); err == nil {
+		t.Fatal("mismatched rowid length should fail")
+	}
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/db"
+)
+
+// ColStore is the columnar view of a catalog: lazily transposed column
+// vectors, rowid columns for the fresh-variable trick, and — the PR 5
+// follow-up — ONE shared hash index per (base relation, key columns)
+// instead of one hash table per alias. Two aliases of a relation joining
+// on the same column positions probe the same index; so do two requests
+// against the same catalog when the serving layer caches the store per
+// catalog version. All methods are safe for concurrent use.
+//
+// A ColStore is bound to one immutable catalog snapshot. The serving
+// layer keys stores by (tenant, catalog version), so a catalog PUT simply
+// strands the old store for the collector.
+type ColStore struct {
+	cat *db.Catalog
+
+	mu      sync.Mutex
+	cols    map[string]*db.ColRelation
+	rowids  map[string][]db.Value
+	indexes map[string]*keyIndex
+
+	// Counters for the stats surface: conversions is the number of
+	// relations transposed, builds the number of indexes built, shares the
+	// number of Index calls answered by an already-built index — the
+	// measure of cross-alias (and cross-request) hash-table sharing.
+	conversions int
+	builds      int
+	shares      int
+	indexBytes  int
+}
+
+// NewColStore returns an empty columnar view over cat.
+func NewColStore(cat *db.Catalog) *ColStore {
+	return &ColStore{
+		cat:     cat,
+		cols:    make(map[string]*db.ColRelation),
+		rowids:  make(map[string][]db.Value),
+		indexes: make(map[string]*keyIndex),
+	}
+}
+
+// ColStoreStats snapshots a store's sharing counters.
+type ColStoreStats struct {
+	Conversions int `json:"conversions"`
+	IndexBuilds int `json:"indexBuilds"`
+	IndexShares int `json:"indexShares"`
+	IndexBytes  int `json:"indexBytes"`
+}
+
+// Stats snapshots the store's counters.
+func (cs *ColStore) Stats() ColStoreStats {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return ColStoreStats{
+		Conversions: cs.conversions,
+		IndexBuilds: cs.builds,
+		IndexShares: cs.shares,
+		IndexBytes:  cs.indexBytes,
+	}
+}
+
+// Relation returns the columnar form of the named base relation,
+// transposing it on first use.
+func (cs *ColStore) Relation(name string) (*db.ColRelation, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if c, ok := cs.cols[name]; ok {
+		return c, nil
+	}
+	r := cs.cat.Get(name)
+	if r == nil {
+		return nil, fmt.Errorf("engine: no relation %q in catalog", name)
+	}
+	c := db.Columnar(r)
+	cs.cols[name] = c
+	cs.conversions++
+	return c, nil
+}
+
+// RowIDs returns the shared rowid vector for the named base relation (the
+// fresh-variable column), building it on first use.
+func (cs *ColStore) RowIDs(name string) ([]db.Value, error) {
+	c, err := cs.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if col, ok := cs.rowids[name]; ok {
+		return col, nil
+	}
+	col := db.RowIDColumn(c.Len())
+	cs.rowids[name] = col
+	return col, nil
+}
+
+// Index returns the shared hash index of the named base relation on the
+// given column positions (positions into the base relation's own schema),
+// building it on first use. Every alias of the relation that joins on the
+// same positions gets the same index back.
+func (cs *ColStore) Index(name string, pos []int) (*keyIndex, error) {
+	c, err := cs.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pos {
+		if p < 0 || p >= len(c.Cols) {
+			return nil, fmt.Errorf("engine: index position %d out of range for %s", p, name)
+		}
+	}
+	key := indexKey(name, pos)
+	cs.mu.Lock()
+	if idx, ok := cs.indexes[key]; ok {
+		cs.shares++
+		cs.mu.Unlock()
+		return idx, nil
+	}
+	cs.mu.Unlock()
+	// Build outside the lock: index construction is the expensive part and
+	// two concurrent builders of the same index are rare and harmless (the
+	// second store wins are idempotent).
+	idx := buildKeyIndex(c.Cols, c.Len(), pos)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if prior, ok := cs.indexes[key]; ok {
+		cs.shares++
+		return prior, nil
+	}
+	cs.indexes[key] = idx
+	cs.builds++
+	cs.indexBytes += idx.sizeHint()
+	return idx, nil
+}
+
+func indexKey(name string, pos []int) string {
+	k := name
+	for _, p := range pos {
+		k += "\x00" + strconv.Itoa(p)
+	}
+	return k
+}

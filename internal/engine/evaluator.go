@@ -15,6 +15,7 @@ type Metrics struct {
 	Joins              int
 	Semijoins          int
 	IntermediateTuples int64
+	Batches            int64 // row batches emitted by the streaming evaluator
 }
 
 func (m *Metrics) note(r *db.Relation) *db.Relation {

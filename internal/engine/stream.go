@@ -1,0 +1,499 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"iter"
+
+	"repro/internal/chaos"
+	"repro/internal/cq"
+	"repro/internal/db"
+	"repro/internal/hypertree"
+)
+
+// Streaming, vectorized Yannakakis. EvalDecomposition materializes the
+// whole answer on the calling goroutine; this file is its pull-based twin.
+// Construction (phase A) is eager: atoms bind to columnar base storage
+// through a ColStore, each decomposition vertex computes E(p) =
+// π_χ(p)(⋈_{h∈λ(p)} rel(h)) with vectorized hash joins whose build side is
+// always the base atom (so the ColStore's one-index-per-base-relation is
+// shared across aliases — the self-join follow-up from the alias-cache PR),
+// and the bottom-up + top-down semijoin passes fully reduce every vertex.
+// Enumeration (phase B) is lazy: Next() walks a backtracking cursor over
+// the reduced vertices in preorder and yields output rows in batches of
+// BatchSize, deduplicating through a compact packed-row set. Full reduction
+// guarantees the walk never dead-ends, so the per-row cost is a handful of
+// hash lookups — and the only answer-proportional memory is the dedup
+// fingerprint arena, never the materialized answer.
+
+// valueSource locates an output variable: preorder vertex index + column.
+type valueSource struct{ node, col int }
+
+// vertexState is the per-decomposition-vertex runtime state of a stream.
+type vertexState struct {
+	node   *hypertree.Node
+	parent int // preorder index of the parent; -1 for the root
+	rel    *colRel
+	// Enumeration wiring: candidates for this vertex, given the parent's
+	// chosen row, are idx.lookup(key packed from the parent's columns at
+	// parentKey). By the connectedness condition the separator with the
+	// parent is the full join condition against every earlier vertex.
+	parentKey []int
+	idx       *keyIndex
+}
+
+// colAtom is an atom bound to columnar base storage: column vectors named
+// by the atom's variables. Columns alias the base relation's vectors (and
+// the shared rowid vector for a fresh final variable) — binding is
+// zero-copy, so k aliases of one relation scan one copy of the data.
+type colAtom struct {
+	base      string // catalog name of the base relation
+	baseArity int    // columns < baseArity map 1:1 onto base columns
+	rel       *colRel
+}
+
+// bindColAtoms is the columnar BindAtoms: every atom of q, keyed by atom
+// name, bound to its base relation's column vectors through cs.
+func bindColAtoms(q *cq.Query, cs *ColStore) (map[string]*colAtom, error) {
+	out := make(map[string]*colAtom, len(q.Atoms))
+	for _, a := range q.Atoms {
+		c, err := cs.Relation(a.Predicate)
+		if err != nil {
+			return nil, fmt.Errorf("engine: no relation for atom %s", a.Name())
+		}
+		cols := c.Cols
+		vars := a.Vars
+		if n := len(vars); n > 0 && cq.IsFreshVariable(vars[n-1]) {
+			rowid, err := cs.RowIDs(a.Predicate)
+			if err != nil {
+				return nil, err
+			}
+			cols = append(append([][]db.Value(nil), cols...), rowid)
+		}
+		if len(cols) != len(vars) {
+			return nil, fmt.Errorf("engine: atom %s has arity %d but relation has %d columns",
+				a.Name(), len(vars), len(cols))
+		}
+		out[a.Name()] = &colAtom{
+			base:      a.Predicate,
+			baseArity: c.Arity(),
+			rel:       &colRel{attrs: vars, cols: cols, n: c.Len()},
+		}
+	}
+	return out, nil
+}
+
+// atomIndex returns b's hash index on key positions si: the shared
+// per-base-relation index from the ColStore when every key column is a
+// base column (atom column positions equal base positions by construction),
+// a local build otherwise (a key touching the appended rowid column).
+func atomIndex(b *colAtom, si []int, cs *ColStore) (*keyIndex, error) {
+	for _, j := range si {
+		if j >= b.baseArity {
+			return buildKeyIndex(b.rel.cols, b.rel.length(), si), nil
+		}
+	}
+	return cs.Index(b.base, si)
+}
+
+// vecJoin hash-joins cur with the bound atom b, probing cur's rows against
+// b's index — built through the ColStore so aliases of one base relation
+// share one hash table.
+func vecJoin(cur *colRel, b *colAtom, cs *ColStore, m *Metrics) (*colRel, error) {
+	ri, si := sharedCols(cur, b.rel)
+	idx, err := atomIndex(b, si, cs)
+	if err != nil {
+		return nil, err
+	}
+	shared := make([]bool, len(b.rel.attrs))
+	for _, j := range si {
+		shared[j] = true
+	}
+	attrs := append([]string(nil), cur.attrs...)
+	var bKeep []int
+	for j, a := range b.rel.attrs {
+		if !shared[j] {
+			attrs = append(attrs, a)
+			bKeep = append(bKeep, j)
+		}
+	}
+	outCols := make([][]db.Value, len(attrs))
+	outN := 0
+	key := make([]byte, 0, 4*len(ri))
+	for row := 0; row < cur.length(); row++ {
+		key = appendRowKey(key[:0], cur.cols, ri, row)
+		for _, match := range idx.lookup(key) {
+			for ci := range cur.cols {
+				outCols[ci] = append(outCols[ci], cur.cols[ci][row])
+			}
+			for k, j := range bKeep {
+				outCols[len(cur.cols)+k] = append(outCols[len(cur.cols)+k], b.rel.cols[j][match])
+			}
+			outN++
+		}
+	}
+	if m != nil {
+		m.Joins++
+		m.IntermediateTuples += int64(outN)
+	}
+	return &colRel{attrs: attrs, cols: outCols, n: outN}, nil
+}
+
+// projectDistinct projects cur onto the named attributes with duplicate
+// elimination — the π of E(p).
+func projectDistinct(cur *colRel, names []string, m *Metrics) (*colRel, error) {
+	pos := make([]int, len(names))
+	for i, a := range names {
+		p := cur.attrIndex(a)
+		if p < 0 {
+			return nil, fmt.Errorf("engine: projection attribute %s not in relation", a)
+		}
+		pos[i] = p
+	}
+	seen := newRowSet(len(pos))
+	outCols := make([][]db.Value, len(pos))
+	kept := 0
+	key := make([]byte, 0, 4*len(pos))
+	for row := 0; row < cur.length(); row++ {
+		key = appendRowKey(key[:0], cur.cols, pos, row)
+		if !seen.insert(key) {
+			continue
+		}
+		for i, p := range pos {
+			outCols[i] = append(outCols[i], cur.cols[p][row])
+		}
+		kept++
+	}
+	if m != nil {
+		m.IntermediateTuples += int64(kept)
+	}
+	return &colRel{attrs: append([]string(nil), names...), cols: outCols, n: kept}, nil
+}
+
+// vecSemijoin filters left to the rows whose key on the shared attributes
+// appears in right (⋉). With no shared attributes this degenerates
+// correctly: left survives unchanged iff right is non-empty.
+func vecSemijoin(left, right *colRel, m *Metrics) *colRel {
+	ri, si := sharedCols(left, right)
+	idx := buildKeyIndex(right.cols, right.length(), si)
+	outCols := make([][]db.Value, len(left.cols))
+	kept := 0
+	key := make([]byte, 0, 4*len(ri))
+	for row := 0; row < left.length(); row++ {
+		key = appendRowKey(key[:0], left.cols, ri, row)
+		if !idx.contains(key) {
+			continue
+		}
+		for ci := range left.cols {
+			outCols[ci] = append(outCols[ci], left.cols[ci][row])
+		}
+		kept++
+	}
+	if m != nil {
+		m.Semijoins++
+		m.IntermediateTuples += int64(kept)
+	}
+	return &colRel{attrs: left.attrs, cols: outCols, n: kept}
+}
+
+// Stream is an incrementally-evaluated query answer: a pull cursor over the
+// fully reduced decomposition. It is not safe for concurrent use. Streams
+// hold no goroutines or file handles — Close just drops references.
+type Stream struct {
+	m      *Metrics
+	cols   []string // output column names (the query's head variables)
+	outSrc []valueSource
+	states []*vertexState
+
+	boolean bool
+	boolVal bool
+
+	started bool
+	done    bool
+	cands   [][]int32
+	cur     []int
+	rows    []int32
+	keyBuf  []byte
+	dedup   *rowSet
+	err     error
+}
+
+// EvalDecompositionStream is the streaming, vectorized counterpart of
+// EvalDecomposition: same complete-decomposition contract, same answer row
+// set, but the answer is yielded in batches through the returned Stream
+// instead of materialized. A fresh ColStore is built over cat; servers that
+// execute many queries against one catalog snapshot should share a store
+// via EvalDecompositionStreamWith.
+func EvalDecompositionStream(d *hypertree.Decomposition, q *cq.Query, cat *db.Catalog, m *Metrics) (*Stream, error) {
+	return EvalDecompositionStreamWith(NewColStore(cat), d, q, m)
+}
+
+// EvalDecompositionStreamWith evaluates over an existing ColStore (which
+// fixes the catalog snapshot), sharing columnar conversions and hash
+// indexes with every other evaluation on the same store.
+func EvalDecompositionStreamWith(cs *ColStore, d *hypertree.Decomposition, q *cq.Query, m *Metrics) (*Stream, error) {
+	if !d.IsComplete() {
+		return nil, fmt.Errorf("engine: decomposition is not complete")
+	}
+	bound, err := bindColAtoms(q, cs)
+	if err != nil {
+		return nil, err
+	}
+	h := d.H
+	chiNames := func(n *hypertree.Node) []string {
+		var names []string
+		n.Chi.ForEach(func(v int) { names = append(names, h.VarName(v)) })
+		return names
+	}
+
+	// Preorder vertex list with parent indices.
+	var states []*vertexState
+	parentIdx := map[*hypertree.Node]int{}
+	d.Walk(func(n, p *hypertree.Node) {
+		pi := -1
+		if p != nil {
+			pi = parentIdx[p]
+		}
+		parentIdx[n] = len(states)
+		states = append(states, &vertexState{node: n, parent: pi})
+	})
+
+	// Per-vertex expressions E(p), joined vectorized with the hash side
+	// always on the base atom so the ColStore's shared indexes serve every
+	// alias of a relation.
+	for _, st := range states {
+		var cur *colRel
+		for _, e := range st.node.Lambda {
+			b, ok := bound[h.EdgeName(e)]
+			if !ok {
+				return nil, fmt.Errorf("engine: edge %s has no bound relation", h.EdgeName(e))
+			}
+			if cur == nil {
+				cur = b.rel
+				continue
+			}
+			if cur, err = vecJoin(cur, b, cs, m); err != nil {
+				return nil, err
+			}
+		}
+		if st.rel, err = projectDistinct(cur, chiNames(st.node), m); err != nil {
+			return nil, err
+		}
+	}
+
+	// Bottom-up semijoin pass. Children follow their parent in preorder, so
+	// a reverse sweep reduces every child before its parent absorbs it.
+	for i := len(states) - 1; i >= 1; i-- {
+		st := states[i]
+		p := states[st.parent]
+		p.rel = vecSemijoin(p.rel, st.rel, m)
+	}
+
+	if q.IsBoolean() {
+		return &Stream{m: m, boolean: true, boolVal: states[0].rel.length() > 0}, nil
+	}
+
+	// Top-down semijoin pass: full reduction. A forward sweep visits every
+	// parent (already reduced from above) before its children.
+	for i := 1; i < len(states); i++ {
+		st := states[i]
+		st.rel = vecSemijoin(st.rel, states[st.parent].rel, m)
+	}
+
+	// Enumeration wiring: each non-root vertex indexed on its separator
+	// with the parent.
+	for i := 1; i < len(states); i++ {
+		st := states[i]
+		ri, si := sharedCols(states[st.parent].rel, st.rel)
+		st.parentKey = ri
+		st.idx = buildKeyIndex(st.rel.cols, st.rel.length(), si)
+	}
+
+	// Output sources: the first preorder vertex carrying each head variable.
+	outSrc := make([]valueSource, len(q.Out))
+	for oi, v := range q.Out {
+		found := false
+		for ni, st := range states {
+			if ci := st.rel.attrIndex(v); ci >= 0 {
+				outSrc[oi] = valueSource{node: ni, col: ci}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("engine: output variable %s not covered by the decomposition", v)
+		}
+	}
+
+	return &Stream{
+		m:      m,
+		cols:   append([]string(nil), q.Out...),
+		outSrc: outSrc,
+		states: states,
+		cands:  make([][]int32, len(states)),
+		cur:    make([]int, len(states)),
+		rows:   make([]int32, len(states)),
+		dedup:  newRowSet(len(q.Out)),
+	}, nil
+}
+
+// Columns returns the output column names (nil for a Boolean query).
+func (s *Stream) Columns() []string { return s.cols }
+
+// Boolean reports whether the stream answers a Boolean query and, if so,
+// the answer. A true Boolean stream still yields one empty row, so Drain
+// reconstructs the buffered evaluator's relation shape exactly.
+func (s *Stream) Boolean() (val, isBoolean bool) { return s.boolVal, s.boolean }
+
+// nextAssignment advances the backtracking cursor to the next complete
+// choice of one row per vertex. Full reduction means no branch dead-ends.
+func (s *Stream) nextAssignment() bool {
+	if s.done {
+		return false
+	}
+	L := len(s.states)
+	var l int
+	if !s.started {
+		s.started = true
+		l = 0
+		root := s.states[0].rel
+		all := make([]int32, root.length())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		s.cands[0] = all
+		s.cur[0] = -1
+	} else {
+		l = L - 1
+	}
+	for {
+		s.cur[l]++
+		if s.cur[l] >= len(s.cands[l]) {
+			l--
+			if l < 0 {
+				s.done = true
+				return false
+			}
+			continue
+		}
+		s.rows[l] = s.cands[l][s.cur[l]]
+		if l == L-1 {
+			return true
+		}
+		l++
+		st := s.states[l]
+		p := s.states[st.parent]
+		s.keyBuf = appendRowKey(s.keyBuf[:0], p.rel.cols, st.parentKey, int(s.rows[st.parent]))
+		s.cands[l] = st.idx.lookup(s.keyBuf)
+		s.cur[l] = -1
+	}
+}
+
+// Next returns the next batch of at most BatchSize output rows; io.EOF
+// signals a completed stream. Returned rows are freshly allocated and owned
+// by the caller. Every pull consults the EngineBatch chaos point
+// (Delay|Fail), so injected mid-stream faults surface here as errors the
+// serving layer must turn into an error trailer.
+func (s *Stream) Next() ([][]db.Value, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if eff := chaos.Hit(chaos.EngineBatch, chaos.Delay|chaos.Fail); eff&chaos.Fail != 0 {
+		s.err = fmt.Errorf("engine: batch pull: %w", chaos.ErrInjected)
+		return nil, s.err
+	}
+	if s.boolean {
+		if s.done {
+			return nil, io.EOF
+		}
+		s.done = true
+		if !s.boolVal {
+			return nil, io.EOF
+		}
+		if s.m != nil {
+			s.m.Batches++
+		}
+		return [][]db.Value{{}}, nil
+	}
+	var batch [][]db.Value
+	for len(batch) < BatchSize {
+		if !s.nextAssignment() {
+			break
+		}
+		s.keyBuf = s.keyBuf[:0]
+		for _, src := range s.outSrc {
+			v := s.states[src.node].rel.cols[src.col][s.rows[src.node]]
+			s.keyBuf = append(s.keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		if !s.dedup.insert(s.keyBuf) {
+			continue
+		}
+		row := make([]db.Value, len(s.outSrc))
+		for i, src := range s.outSrc {
+			row[i] = s.states[src.node].rel.cols[src.col][s.rows[src.node]]
+		}
+		batch = append(batch, row)
+	}
+	if len(batch) == 0 {
+		return nil, io.EOF
+	}
+	if s.m != nil {
+		s.m.Batches++
+	}
+	return batch, nil
+}
+
+// Close releases the stream's state. Streams are pull-based — no goroutines
+// to stop — so Close only drops references; further Next calls return
+// io.EOF. Always safe to call, including after an error.
+func (s *Stream) Close() error {
+	s.done = true
+	if s.err == nil {
+		s.err = io.EOF
+	}
+	s.states = nil
+	s.cands = nil
+	s.dedup = nil
+	return nil
+}
+
+// RowsSeq adapts the stream to a range-over-func iterator yielding one row
+// at a time. A stream error (never io.EOF) is yielded once as (nil, err)
+// and terminates the sequence.
+func (s *Stream) RowsSeq() iter.Seq2[[]db.Value, error] {
+	return func(yield func([]db.Value, error) bool) {
+		for {
+			batch, err := s.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			for _, row := range batch {
+				if !yield(row, nil) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Drain pulls the stream to completion and materializes the relation the
+// buffered evaluator would have returned — the v1 compatibility path and
+// the differential-test bridge. The stream is closed either way.
+func Drain(s *Stream) (*db.Relation, error) {
+	defer s.Close()
+	out := db.NewRelation("ans", s.cols...)
+	for {
+		batch, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Tuples = append(out.Tuples, batch...)
+	}
+}

@@ -1,0 +1,395 @@
+package engine
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/cq/cqgen"
+	"repro/internal/db"
+)
+
+// The streaming vectorized evaluator agrees with the naive oracle on the
+// same fixture family the buffered evaluator is pinned on.
+func TestStreamAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	queries := []string{
+		"ans(A,B,C) :- r(A,B), s(B,C), t(C,A)",
+		"ans :- r(A,B), s(B,C), t(C,A)",
+		"ans(A,D) :- r(A,B), s(B,C), t(C,D), u(D,A)",
+		"ans(B) :- r(A,B), s(B,C), t(C,D), u(D,A), v(A,C)",
+		"ans :- r(A,B), s(B,C), t(C,D), u(B,D)",
+	}
+	for _, qs := range queries {
+		q := cq.MustParse(qs)
+		for trial := 0; trial < 8; trial++ {
+			cat := db.NewCatalog()
+			for _, a := range q.Atoms {
+				attrs := make([]string, len(a.Vars))
+				dist := map[string]int{}
+				card := 5 + rng.Intn(25)
+				for i := range attrs {
+					attrs[i] = "c" + string(rune('0'+i))
+					dist[attrs[i]] = 1 + rng.Intn(4)
+				}
+				cat.Put(db.MustGenerate(rng, db.Spec{
+					Name: a.Predicate, Attrs: attrs, Card: card, Distinct: dist,
+				}))
+			}
+			h, err := q.Hypergraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, d, err := core.HypertreeWidth(h, 3, core.Options{Rand: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd := d.Complete()
+			var m Metrics
+			st, err := EvalDecompositionStream(cd, q, cat, &m)
+			if err != nil {
+				t.Fatalf("%s: %v", qs, err)
+			}
+			got, err := Drain(st)
+			if err != nil {
+				t.Fatalf("%s: %v", qs, err)
+			}
+			want, err := EvalNaive(q, cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.IsBoolean() {
+				if Answer(got) != (want.Card() > 0) {
+					t.Fatalf("%s: boolean answer %v, want %v", qs, Answer(got), want.Card() > 0)
+				}
+			} else if !got.Equal(want) {
+				t.Fatalf("%s: stream eval %v != naive %v", qs, got.Tuples, want.Tuples)
+			}
+			if !q.IsBoolean() && got.Card() > 0 && m.Batches == 0 {
+				t.Fatalf("%s: %d rows emitted but zero batches recorded", qs, got.Card())
+			}
+		}
+	}
+}
+
+// 200-query cqgen differential corpus, self-joins and cycles included: the
+// streaming evaluator over the fresh-augmented decomposition must agree
+// with the naive oracle on the original query, row-set-identically.
+func TestStreamCqgenCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	configs := []cqgen.Config{
+		{},
+		{Atoms: 3, SelfJoin: 0.6},
+		{Atoms: 5, Cyclic: true, SelfJoin: 0.3},
+		{Atoms: 4, MaxArity: 4, MaxOut: 3},
+	}
+	evaluated := 0
+	for i := 0; i < 200; i++ {
+		inst := cqgen.MustGenerate(rng, configs[i%len(configs)])
+		q, cat := inst.Query, inst.Catalog
+		fq := q.WithFreshVariables()
+		h, err := fq.Hypergraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, d, err := core.HypertreeWidth(h, 4, core.Options{Rand: rng})
+		if errors.Is(err, core.ErrNoDecomposition) {
+			continue // width > 4: out of scope for this corpus
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Metrics
+		st, err := EvalDecompositionStream(d, fq, cat, &m)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", i, q, err)
+		}
+		got, err := Drain(st)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", i, q, err)
+		}
+		want, err := EvalNaive(q, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.IsBoolean() {
+			if Answer(got) != (want.Card() > 0) {
+				t.Fatalf("query %d (%s): boolean %v, want %v", i, q, Answer(got), want.Card() > 0)
+			}
+		} else if !got.Equal(want) {
+			t.Fatalf("query %d (%s): stream %v != naive %v", i, q, got.Tuples, want.Tuples)
+		}
+		evaluated++
+	}
+	if evaluated < 150 {
+		t.Fatalf("only %d/200 corpus queries were decomposable at k ≤ 4; corpus too thin", evaluated)
+	}
+}
+
+// A ColStore builds each (relation, key columns) hash index once and then
+// serves it shared — across aliases within a query and across queries on
+// the same store.
+func TestColStoreSharesIndexes(t *testing.T) {
+	cat := smallCatalog()
+	cs := NewColStore(cat)
+	if _, err := cs.Index("r", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Index("r", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Index("r", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	st := cs.Stats()
+	if st.IndexBuilds != 2 || st.IndexShares != 1 {
+		t.Fatalf("stats = %+v, want 2 builds and 1 share", st)
+	}
+	if _, err := cs.Index("r", []int{7}); err == nil {
+		t.Fatal("out-of-range index position should fail")
+	}
+	if _, err := cs.Relation("missing"); err == nil {
+		t.Fatal("missing relation should fail")
+	}
+}
+
+// Two evaluations of renamed-variant self-join queries on one shared
+// ColStore: the second run converts no relations and builds no indexes —
+// every hash table is served shared.
+func TestStreamSharedStoreAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cat := db.NewCatalog()
+	cat.Put(db.MustGenerate(rng, db.Spec{
+		Name: "e", Attrs: []string{"c0", "c1"}, Card: 40,
+		Distinct: map[string]int{"c0": 6, "c1": 6},
+	}))
+	run := func(cs *ColStore, qs string) *db.Relation {
+		t.Helper()
+		q := cq.MustParse(qs)
+		h, err := q.Hypergraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deterministic search: renamed-isomorphic queries decompose into
+		// isomorphic trees, so both runs want the same (relation, positions)
+		// indexes. The triangle needs width 2, so some vertex joins two
+		// aliases — the ColStore index path.
+		_, d, err := core.HypertreeWidth(h, 3, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := EvalDecompositionStreamWith(cs, d.Complete(), q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Drain(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cs := NewColStore(cat)
+	got1 := run(cs, "ans(X,Z) :- e AS e1(X,Y), e AS e2(Y,Z), e AS e3(X,Z)")
+	after1 := cs.Stats()
+	if after1.Conversions != 1 {
+		t.Fatalf("self-join over one base relation converted %d relations, want 1", after1.Conversions)
+	}
+	if after1.IndexBuilds == 0 {
+		t.Fatalf("width-2 self-join built no shared indexes: %+v", after1)
+	}
+	got2 := run(cs, "ans(A,C) :- e AS f1(A,B), e AS f2(B,C), e AS f3(A,C)")
+	after2 := cs.Stats()
+	if after2.Conversions != after1.Conversions || after2.IndexBuilds != after1.IndexBuilds {
+		t.Fatalf("renamed re-run built new state: %+v then %+v", after1, after2)
+	}
+	if after2.IndexShares <= after1.IndexShares {
+		t.Fatalf("renamed re-run did not share indexes: %+v then %+v", after1, after2)
+	}
+	q := cq.MustParse("ans(X,Z) :- e AS e1(X,Y), e AS e2(Y,Z), e AS e3(X,Z)")
+	want, err := EvalNaive(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got1.Equal(want) {
+		t.Fatalf("shared-store eval differs from naive: %v vs %v", got1.Tuples, want.Tuples)
+	}
+	got2.Attrs = got1.Attrs // renamed head, same rows
+	if !got2.Equal(got1) {
+		t.Fatalf("renamed variant differs: %v vs %v", got2.Tuples, got1.Tuples)
+	}
+}
+
+// Streams batch: a >BatchSize answer arrives in ≤BatchSize chunks whose
+// concatenation is the full answer, with Metrics.Batches counting them.
+func TestStreamBatching(t *testing.T) {
+	cat := db.NewCatalog()
+	r := db.NewRelation("r", "c0", "c1")
+	s := db.NewRelation("s", "c0", "c1")
+	for i := 0; i < 64; i++ {
+		r.MustAppend(db.Value(i), 1)
+		s.MustAppend(1, db.Value(i))
+	}
+	cat.Put(r)
+	cat.Put(s)
+	q := cq.MustParse("ans(A,B,C) :- r(A,B), s(B,C)")
+	h, err := q.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d, err := core.HypertreeWidth(h, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	st, err := EvalDecompositionStream(d.Complete(), q, cat, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, batches := 0, 0
+	for {
+		batch, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 || len(batch) > BatchSize {
+			t.Fatalf("batch of %d rows (BatchSize %d)", len(batch), BatchSize)
+		}
+		total += len(batch)
+		batches++
+	}
+	if total != 64*64 {
+		t.Fatalf("streamed %d rows, want %d", total, 64*64)
+	}
+	if batches < 2 {
+		t.Fatalf("a %d-row answer should take multiple batches, got %d", total, batches)
+	}
+	if m.Batches != int64(batches) {
+		t.Fatalf("Metrics.Batches = %d, want %d", m.Batches, batches)
+	}
+	// Exhausted streams stay exhausted.
+	if _, err := st.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamBooleanAndClose(t *testing.T) {
+	cat := smallCatalog()
+	eval := func(qs string) *Stream {
+		t.Helper()
+		q := cq.MustParse(qs)
+		h, err := q.Hypergraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, d, err := core.HypertreeWidth(h, 3, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := EvalDecompositionStream(d.Complete(), q, cat, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := eval("ans :- r(A,B), s(B,C), t(C,A)")
+	if val, isBool := st.Boolean(); !isBool || !val {
+		t.Fatalf("Boolean() = (%v,%v), want (true,true)", val, isBool)
+	}
+	got, err := Drain(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Answer(got) || len(got.Attrs) != 0 {
+		t.Fatalf("boolean drain = %v attrs %v", got.Tuples, got.Attrs)
+	}
+
+	// Empty non-Boolean answer: immediate EOF, zero batches.
+	stEmpty := eval("ans(A) :- r(A,B), s(B,A)")
+	if _, err := stEmpty.Next(); err != io.EOF {
+		t.Fatalf("empty stream Next = %v, want io.EOF", err)
+	}
+
+	// Close mid-stream: later pulls report EOF, Drain-after-Close is empty.
+	stc := eval("ans(A,B) :- r(A,B)")
+	if err := stc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stc.Next(); err != io.EOF {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamRowsSeq(t *testing.T) {
+	cat := smallCatalog()
+	q := cq.MustParse("ans(A,B) :- r(A,B)")
+	h, err := q.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d, err := core.HypertreeWidth(h, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := EvalDecompositionStream(d.Complete(), q, cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for row, err := range st.RowsSeq() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(row) != 2 {
+			t.Fatalf("row arity %d", len(row))
+		}
+		rows++
+	}
+	if rows != 3 {
+		t.Fatalf("iterated %d rows, want 3", rows)
+	}
+}
+
+type failBatchInjector struct{}
+
+func (failBatchInjector) Act(p chaos.Point, allowed chaos.Effect) chaos.Effect {
+	if p == chaos.EngineBatch {
+		return chaos.Fail
+	}
+	return 0
+}
+
+// A chaos Fail at engine.batch surfaces as a stream error wrapping
+// ErrInjected, and the error is sticky.
+func TestStreamChaosBatchFail(t *testing.T) {
+	cat := smallCatalog()
+	q := cq.MustParse("ans(A,B) :- r(A,B)")
+	h, err := q.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d, err := core.HypertreeWidth(h, 1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := EvalDecompositionStream(d.Complete(), q, cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unregister := chaos.Register(failBatchInjector{})
+	_, err = st.Next()
+	unregister()
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("Next under injection = %v, want ErrInjected", err)
+	}
+	if _, err2 := st.Next(); !errors.Is(err2, chaos.ErrInjected) {
+		t.Fatalf("stream error not sticky: %v", err2)
+	}
+}

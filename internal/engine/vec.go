@@ -1,0 +1,221 @@
+package engine
+
+import "repro/internal/db"
+
+// Vectorized execution primitives: fixed-size row batches, packed join
+// keys over column vectors, and a compact row set for streaming duplicate
+// elimination. Everything here operates on db.ColRelation column vectors —
+// the engine's unit of work is a batch of row indices, not a tuple.
+
+// BatchSize is the number of rows a streaming operator hands downstream at
+// a time. 1024 keeps a batch of typical arity inside the L2 cache while
+// amortizing per-batch overhead (chaos hook, flush, JSON framing) over a
+// thousand rows.
+const BatchSize = 1024
+
+// colRel is a run-time columnar relation: column vectors named by query
+// variables. Instances are immutable after construction; columns may alias
+// base-relation storage (zero-copy scans) or be engine-materialized.
+type colRel struct {
+	attrs []string
+	cols  [][]db.Value
+	n     int // explicit row count: a zero-attribute relation can still hold rows
+}
+
+func (r *colRel) length() int { return r.n }
+
+func (r *colRel) attrIndex(name string) int {
+	for i, a := range r.attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// sharedCols returns the positions of the attributes r and s have in
+// common, as aligned position pairs.
+func sharedCols(r, s *colRel) (ri, si []int) {
+	for i, a := range r.attrs {
+		if j := s.attrIndex(a); j >= 0 {
+			ri = append(ri, i)
+			si = append(si, j)
+		}
+	}
+	return ri, si
+}
+
+// appendRowKey packs the values of row `row` at column positions `pos`
+// into dst (4 bytes per value, little-endian). The packing is injective,
+// so byte-equal keys mean value-equal tuples.
+func appendRowKey(dst []byte, cols [][]db.Value, pos []int, row int) []byte {
+	for _, p := range pos {
+		v := cols[p][row]
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}
+
+// hashKey is a 64-bit mix of a packed key (FNV-1a folded through a final
+// avalanche), used to bucket rows before exact byte comparison.
+func hashKey(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	// splitmix64-style finalizer: FNV alone clusters short integer keys.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// rowSet is a compact set of packed rows for streaming duplicate
+// elimination: a hash bucketing 64-bit fingerprints over an append-only
+// byte arena holding the exact packed rows. Compared to map[string]struct{}
+// it stores one arena offset per row instead of one string header plus
+// allocation, so a million distinct emitted rows of arity 3 cost ~12 MB of
+// arena plus the bucket table — the only answer-set-proportional state the
+// streaming evaluator keeps.
+type rowSet struct {
+	width   int // packed bytes per row (4 × arity)
+	arena   []byte
+	buckets map[uint64][]uint32 // hash → arena offsets of rows with that hash
+}
+
+func newRowSet(arity int) *rowSet {
+	return &rowSet{width: 4 * arity, buckets: make(map[uint64][]uint32)}
+}
+
+// insert adds the packed row if absent and reports whether it was added.
+// Zero-arity rows (Boolean answers) collapse onto one sentinel entry.
+func (s *rowSet) insert(key []byte) bool {
+	h := hashKey(key)
+	offs := s.buckets[h]
+	for _, off := range offs {
+		if bytesEqual(s.arena[off:off+uint32(s.width)], key) {
+			return false
+		}
+	}
+	off := uint32(len(s.arena))
+	s.arena = append(s.arena, key...)
+	s.buckets[h] = append(offs, off)
+	return true
+}
+
+func (s *rowSet) len() int {
+	n := 0
+	for _, offs := range s.buckets {
+		n += len(offs)
+	}
+	return n
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// keyIndex is a hash index from packed keys to the row ids bearing them —
+// the build side of the vectorized hash join and the probe set of the
+// vectorized semijoin. Built once per (relation, key columns); the
+// ColStore shares instances across aliases and requests.
+type keyIndex struct {
+	width   int
+	arena   []byte              // packed keys, one per distinct key
+	buckets map[uint64][]uint32 // hash → offsets into entries
+	entries []keyEntry
+	rows    []int32 // concatenated row-id lists; entries slice into it
+}
+
+type keyEntry struct {
+	keyOff     uint32 // offset of the packed key in arena
+	start, end uint32 // rows[start:end] are the row ids with this key
+}
+
+// buildKeyIndex indexes the rows of cols (all columns equal length) on the
+// key column positions pos.
+func buildKeyIndex(cols [][]db.Value, n int, pos []int) *keyIndex {
+	idx := &keyIndex{
+		width:   4 * len(pos),
+		buckets: make(map[uint64][]uint32, 1+n/2),
+	}
+	// First pass: group row ids per distinct key using a temporary map of
+	// per-entry row lists; sized with a power-of-two hint to limit rehashing.
+	type group struct {
+		keyOff uint32
+		rows   []int32
+	}
+	var groups []group
+	key := make([]byte, 0, idx.width)
+	for row := 0; row < n; row++ {
+		key = appendRowKey(key[:0], cols, pos, row)
+		h := hashKey(key)
+		found := false
+		for _, gi := range idx.buckets[h] {
+			g := &groups[gi]
+			if bytesEqual(idx.arena[g.keyOff:g.keyOff+uint32(idx.width)], key) {
+				g.rows = append(g.rows, int32(row))
+				found = true
+				break
+			}
+		}
+		if !found {
+			off := uint32(len(idx.arena))
+			idx.arena = append(idx.arena, key...)
+			idx.buckets[h] = append(idx.buckets[h], uint32(len(groups)))
+			groups = append(groups, group{keyOff: off, rows: []int32{int32(row)}})
+		}
+	}
+	// Second pass: flatten into the compact entries/rows layout.
+	idx.entries = make([]keyEntry, len(groups))
+	total := 0
+	for _, g := range groups {
+		total += len(g.rows)
+	}
+	idx.rows = make([]int32, 0, total)
+	for i, g := range groups {
+		start := uint32(len(idx.rows))
+		idx.rows = append(idx.rows, g.rows...)
+		idx.entries[i] = keyEntry{keyOff: g.keyOff, start: start, end: uint32(len(idx.rows))}
+	}
+	return idx
+}
+
+// lookup returns the row ids matching the packed key (nil when absent).
+func (idx *keyIndex) lookup(key []byte) []int32 {
+	h := hashKey(key)
+	for _, gi := range idx.buckets[h] {
+		e := idx.entries[gi]
+		if bytesEqual(idx.arena[e.keyOff:e.keyOff+uint32(idx.width)], key) {
+			return idx.rows[e.start:e.end]
+		}
+	}
+	return nil
+}
+
+// contains reports whether any row bears the packed key (semijoin probe).
+func (idx *keyIndex) contains(key []byte) bool { return idx.lookup(key) != nil }
+
+// distinctKeys returns the number of distinct keys indexed.
+func (idx *keyIndex) distinctKeys() int { return len(idx.entries) }
+
+// sizeHint reports the approximate retained bytes of the index, for the
+// ColStore accounting surface.
+func (idx *keyIndex) sizeHint() int {
+	return len(idx.arena) + 16*len(idx.entries) + 4*len(idx.rows) + 16*len(idx.buckets)
+}

@@ -211,5 +211,5 @@ func shed(w http.ResponseWriter, tenant, reason string, retryAfter time.Duration
 		secs = 1
 	}
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-	writeError(w, http.StatusTooManyRequests, "tenant %q shed (%s); retry after %ds", tenant, reason, secs)
+	writeErrorRetry(w, http.StatusTooManyRequests, secs, "tenant %q shed (%s); retry after %ds", tenant, reason, secs)
 }

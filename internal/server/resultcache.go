@@ -1,0 +1,249 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/engine"
+)
+
+// The result cache closes the loop the plan cache opens: a plan-cache hit
+// still pays evaluation, but two executes whose (canonical structure, k,
+// statistics) plan key AND catalog version coincide must produce the same
+// answer, so the answer itself is cacheable. The key embeds the tenant and
+// the catalog version, which makes invalidation structural: a catalog PUT
+// bumps the version, new keys stop matching, and the PUT additionally
+// purges the tenant's stale entries eagerly so the byte budget is never
+// held by unreachable answers.
+//
+// Rows are stored in head-variable positional order. The plan key embeds
+// the canonical head (the "|out:" section of the canonical query key), so
+// two queries sharing a key have positionally equivalent heads modulo
+// renaming — cached rows replay verbatim for a renamed variant; only the
+// column names are re-labeled from the requesting query.
+
+// resultKey builds the cache key. The probe key is tenant-agnostic (it
+// canonicalizes structure + statistics); results depend on the data, so
+// tenant and catalog version join the key here.
+func resultKey(tenant string, version uint64, planKey string) string {
+	return tenant + "\x1f" + strconv.FormatUint(version, 10) + "\x1f" + planKey
+}
+
+// resultEntry is one cached answer: rows in head positional order, or the
+// Boolean verdict. estimatedCost rides along so a result hit can answer
+// without re-planning.
+type resultEntry struct {
+	key           string
+	rows          [][]db.Value
+	boolean       *bool
+	estimatedCost float64
+	size          int64
+}
+
+func entrySize(rows [][]db.Value, key string) int64 {
+	size := int64(len(key)) + 64
+	for _, r := range rows {
+		size += 24 + 4*int64(len(r))
+	}
+	return size
+}
+
+// resultCache is a byte-budget LRU over complete query answers. Safe for
+// concurrent use.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // front = most recent; values are *resultEntry
+	byKey  map[string]*list.Element
+
+	hits, misses, inserts, evictions, tooLarge uint64
+}
+
+func newResultCache(budget int64) *resultCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &resultCache{budget: budget, lru: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the cached entry, refreshing recency. Nil receiver = miss.
+func (c *resultCache) get(key string) (*resultEntry, bool) {
+	if c == nil || key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*resultEntry), true
+}
+
+// put inserts a complete answer, evicting from the cold end to fit the
+// budget. Answers above a quarter of the budget are not cached (one giant
+// answer must not wipe the working set).
+func (c *resultCache) put(key string, rows [][]db.Value, boolean *bool, estimatedCost float64) {
+	if c == nil || key == "" {
+		return
+	}
+	size := entrySize(rows, key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget/4 {
+		c.tooLarge++
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		// Same key ⇒ same answer; refresh recency only.
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.used+size > c.budget {
+		cold := c.lru.Back()
+		if cold == nil {
+			break
+		}
+		c.removeLocked(cold)
+		c.evictions++
+	}
+	e := &resultEntry{key: key, rows: rows, boolean: boolean, estimatedCost: estimatedCost, size: size}
+	c.byKey[key] = c.lru.PushFront(e)
+	c.used += size
+	c.inserts++
+}
+
+func (c *resultCache) removeLocked(el *list.Element) {
+	e := c.lru.Remove(el).(*resultEntry)
+	delete(c.byKey, e.key)
+	c.used -= e.size
+}
+
+// purgeTenant drops every entry of the tenant (all versions). Called on
+// catalog PUT: the version bump already prevents stale serves; the purge
+// just returns the bytes immediately.
+func (c *resultCache) purgeTenant(tenant string) {
+	if c == nil {
+		return
+	}
+	prefix := tenant + "\x1f"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if strings.HasPrefix(el.Value.(*resultEntry).key, prefix) {
+			c.removeLocked(el)
+		}
+		el = next
+	}
+}
+
+func (c *resultCache) stats() *ResultCacheStats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &ResultCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Inserts:   c.inserts,
+		Evictions: c.evictions,
+		TooLarge:  c.tooLarge,
+		Entries:   c.lru.Len(),
+		Bytes:     c.used,
+	}
+}
+
+// writeMetrics renders the result-cache counters in exposition format.
+func (c *resultCache) writeMetrics(w io.Writer) {
+	if c == nil {
+		return
+	}
+	st := c.stats()
+	fmt.Fprintln(w, "# HELP planserver_result_cache_events_total Result cache events by kind.")
+	fmt.Fprintln(w, "# TYPE planserver_result_cache_events_total counter")
+	for _, kv := range []struct {
+		kind string
+		v    uint64
+	}{
+		{"hit", st.Hits}, {"miss", st.Misses}, {"insert", st.Inserts},
+		{"eviction", st.Evictions}, {"too_large", st.TooLarge},
+	} {
+		fmt.Fprintf(w, "planserver_result_cache_events_total{kind=%q} %d\n", kv.kind, kv.v)
+	}
+	fmt.Fprintln(w, "# HELP planserver_result_cache_bytes Bytes held by cached query answers.")
+	fmt.Fprintln(w, "# TYPE planserver_result_cache_bytes gauge")
+	fmt.Fprintf(w, "planserver_result_cache_bytes %d\n", st.Bytes)
+	fmt.Fprintln(w, "# HELP planserver_result_cache_entries Cached query answers resident.")
+	fmt.Fprintln(w, "# TYPE planserver_result_cache_entries gauge")
+	fmt.Fprintf(w, "planserver_result_cache_entries %d\n", st.Entries)
+}
+
+// colStoreCache keeps one engine.ColStore per (tenant, catalog version) so
+// consecutive executes against a catalog snapshot share columnar
+// conversions and hash indexes — across requests, not just across aliases
+// within one query. A small LRU bounds how many snapshots stay columnar.
+type colStoreCache struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // most recent last
+	byKey map[string]*engine.ColStore
+}
+
+func newColStoreCache(capacity int) *colStoreCache {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	return &colStoreCache{cap: capacity, byKey: map[string]*engine.ColStore{}}
+}
+
+// storeFor returns the shared ColStore of the tenant's catalog snapshot,
+// creating it on first use.
+func (c *colStoreCache) storeFor(tenant string, version uint64, cat *db.Catalog) *engine.ColStore {
+	key := tenant + "\x1f" + strconv.FormatUint(version, 10)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cs, ok := c.byKey[key]; ok {
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+				break
+			}
+		}
+		return cs
+	}
+	cs := engine.NewColStore(cat)
+	c.byKey[key] = cs
+	c.order = append(c.order, key)
+	if len(c.order) > c.cap {
+		delete(c.byKey, c.order[0])
+		c.order = c.order[1:]
+	}
+	return cs
+}
+
+// purgeTenant drops the tenant's stores (a catalog PUT supersedes them).
+func (c *colStoreCache) purgeTenant(tenant string) {
+	prefix := tenant + "\x1f"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.order[:0]
+	for _, k := range c.order {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.byKey, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	c.order = kept
+}

@@ -10,7 +10,8 @@
 //
 //	POST /v1/plan               query text + k → serialized optimal plan
 //	POST /v1/decompose          hypergraph text + k → NF decomposition
-//	POST /v1/execute            query against a tenant catalog → rows/answer
+//	POST /v1/execute            buffered execute (deprecated; drains /v2)
+//	POST /v2/execute            streaming execute (NDJSON header/rows/trailer)
 //	PUT  /v1/catalogs/{tenant}  upload a catalog (db wire format)
 //	GET  /v1/catalogs/{tenant}  download the catalog (db wire format)
 //	GET  /v1/catalogs           list tenants
@@ -77,6 +78,11 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// ResultCacheBytes bounds the result cache: complete query answers
+	// keyed by (tenant, catalog version, plan key), so a repeat — or
+	// renamed-variant — execute skips planning and evaluation entirely.
+	// 0 selects the 64 MiB default; negative disables result caching.
+	ResultCacheBytes int64
 	// Cluster, when non-nil, joins this server to a static-membership
 	// cluster: plan keys are sharded over the members by consistent
 	// hashing, and misses try the owning replica's warm cache before a
@@ -121,20 +127,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 64 << 20
+	}
 	return c
 }
 
 // Server serves the planner and engine over HTTP. Construct with New; all
 // methods are safe for concurrent use.
 type Server struct {
-	cfg      Config
-	planners *cache.PlannerSet
-	catalogs *db.Registry
-	metrics  *metricsRegistry
-	batcher  *planBatcher
-	limiter  chan struct{}
-	admit    *admission // nil unless Config.Admission enables it
-	dist     *distTier  // nil unless Cluster or DataDir is configured
+	cfg       Config
+	planners  *cache.PlannerSet
+	catalogs  *db.Registry
+	metrics   *metricsRegistry
+	batcher   *planBatcher
+	limiter   chan struct{}
+	admit     *admission     // nil unless Config.Admission enables it
+	dist      *distTier      // nil unless Cluster or DataDir is configured
+	results   *resultCache   // nil when ResultCacheBytes < 0
+	colstores *colStoreCache // shared columnar snapshots per (tenant, version)
 
 	addr      atomic.Value // net.Addr, set by Serve
 	closeOnce sync.Once
@@ -162,8 +173,10 @@ func Open(cfg Config) (*Server, error) {
 		planners: cache.NewPlannerSet(cfg.Planner, cfg.IsolateTenants),
 		catalogs: db.NewRegistry(),
 		metrics: newMetricsRegistry([]string{
-			"plan", "decompose", "execute", "catalogs", "stats", "metrics", "healthz", "readyz",
+			"plan", "decompose", "execute", "execute_stream", "catalogs", "stats", "metrics", "healthz", "readyz",
 		}),
+		results:   newResultCache(cfg.ResultCacheBytes),
+		colstores: newColStoreCache(0),
 	}
 	if cfg.MaxInFlight > 0 {
 		s.limiter = make(chan struct{}, cfg.MaxInFlight)
@@ -218,6 +231,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/plan", s.route("plan", true, s.handlePlan))
 	mux.Handle("POST /v1/decompose", s.route("decompose", true, s.handleDecompose))
 	mux.Handle("POST /v1/execute", s.route("execute", true, s.handleExecute))
+	// /v2/execute streams: it must not run under http.TimeoutHandler, which
+	// buffers the whole response and hides http.Flusher. A context-deadline
+	// wrapper bounds it instead, checked between row batches.
+	mux.Handle("POST /v2/execute", s.instrument("execute_stream", true,
+		s.streamDeadline(http.HandlerFunc(s.handleExecuteStream))))
 	mux.Handle("PUT /v1/catalogs/{tenant}", s.route("catalogs", true, s.handleCatalogPut))
 	mux.Handle("GET /v1/catalogs/{tenant}", s.route("catalogs", true, s.handleCatalogGet))
 	mux.Handle("GET /v1/catalogs", s.route("catalogs", true, s.handleCatalogList))
@@ -238,7 +256,8 @@ func (s *Server) route(endpoint string, limited bool, h http.HandlerFunc) http.H
 
 func (s *Server) routeHandler(endpoint string, limited bool, h http.Handler) http.Handler {
 	if s.cfg.RequestTimeout > 0 {
-		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+		h = http.TimeoutHandler(h, s.cfg.RequestTimeout,
+			`{"error":{"code":"timeout","message":"request timed out"}}`)
 	}
 	return s.instrument(endpoint, limited, h)
 }
@@ -327,6 +346,15 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush passes through so streaming handlers can push NDJSON frames as
+// they are produced (http.ResponseWriter's Flusher would otherwise be
+// hidden by the wrapper).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with admission control (when limited) and
 // request metrics.
 func (s *Server) instrument(endpoint string, limited bool, h http.Handler) http.Handler {
@@ -341,7 +369,7 @@ func (s *Server) instrument(endpoint string, limited bool, h http.Handler) http.
 				// exactly when the latency of served requests matters.
 				s.metrics.count(endpoint, http.StatusTooManyRequests)
 				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.MaxInFlight)
+				writeErrorRetry(w, http.StatusTooManyRequests, 1, "server at capacity (%d in flight)", s.cfg.MaxInFlight)
 				return
 			}
 		}
@@ -370,8 +398,40 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// errorCode maps an HTTP status onto the envelope's stable machine code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusUnprocessableEntity:
+		return "infeasible"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
+}
+
+func errorObject(status int, format string, args ...any) ErrorObject {
+	return ErrorObject{Code: errorCode(status), Message: fmt.Sprintf(format, args...)}
+}
+
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, ErrorResponse{Error: errorObject(code, format, args...)})
+}
+
+// writeErrorRetry is writeError plus the advised backoff, mirrored in the
+// envelope and (by the callers) the Retry-After header.
+func writeErrorRetry(w http.ResponseWriter, code, retrySecs int, format string, args ...any) {
+	obj := errorObject(code, format, args...)
+	obj.RetryAfter = retrySecs
+	writeJSON(w, code, ErrorResponse{Error: obj})
 }
 
 // decode reads a JSON body into v, reporting (and writing) failures.
@@ -528,59 +588,63 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleExecute is the deprecated buffered POST /v1/execute, kept as a
+// shim over the streaming engine: it drains the same pipeline /v2/execute
+// streams, buffers the rows, and answers in the old body shape. New
+// clients should follow the Link header to /v2/execute.
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
-	var req ExecuteRequest
-	if !s.decode(w, r, &req) {
-		return
-	}
-	if ok, reason, retry := s.admit.admit(req.Tenant); !ok {
-		shed(w, req.Tenant, reason, retry)
-		return
-	}
-	q, err := cq.Parse(req.Query)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	k, ok := s.widthBound(w, req.K)
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v2/execute>; rel="successor-version"`)
+	p, ok := s.prepareExecute(w, r)
 	if !ok {
 		return
 	}
-	cat, ver, ok := s.tenantCatalog(w, req.Tenant)
-	if !ok {
-		return
+	resp := ExecuteResponse{
+		Tenant: p.req.Tenant,
+		K:      p.k,
+		Node:   s.dist.nodeID(),
 	}
-	s.nodeHeader(w)
-	plan, hit, err := s.plan(r.Context(), req.Tenant, ver, req.Query, q, cat, k)
-	if err != nil {
-		planError(w, err)
+	if p.cached != nil {
+		resp.EstimatedCost = p.cached.estimatedCost
+		resp.CacheHit = true
+		resp.ResultCached = true
+		resp.RowCount = len(p.cached.rows)
+		resp.Boolean = p.cached.boolean
+		if !p.q.IsBoolean() {
+			resp.Columns = p.q.Out
+			resp.Rows = p.cached.rows
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	var m engine.Metrics
-	res, err := engine.EvalDecomposition(plan.Decomp, plan.Query, cat, &m)
+	st, err := s.openStream(p, &m)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	resp := ExecuteResponse{
-		Tenant:        req.Tenant,
-		K:             k,
-		EstimatedCost: plan.EstimatedCost,
-		CacheHit:      hit,
-		Node:          s.dist.nodeID(),
-		RowCount:      res.Card(),
-		Metrics: ExecuteMetrics{
-			Joins:              m.Joins,
-			Semijoins:          m.Semijoins,
-			IntermediateTuples: m.IntermediateTuples,
-		},
+	res, err := engine.Drain(st)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
-	if q.IsBoolean() {
+	resp.EstimatedCost = p.plan.EstimatedCost
+	resp.CacheHit = p.planHit
+	resp.Metrics = ExecuteMetrics{
+		Joins:              m.Joins,
+		Semijoins:          m.Semijoins,
+		IntermediateTuples: m.IntermediateTuples,
+		Batches:            m.Batches,
+	}
+	if p.q.IsBoolean() {
 		ans := engine.Answer(res)
 		resp.Boolean = &ans
+		s.cacheResult(p, nil, &ans, p.plan.EstimatedCost)
 	} else {
 		resp.Columns = res.Attrs
 		resp.Rows = res.Tuples
+		resp.RowCount = res.Card()
+		s.cacheResult(p, res.Tuples, nil, p.plan.EstimatedCost)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -613,6 +677,11 @@ func (s *Server) handleCatalogPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	// The version bump already keeps new executes from matching old result
+	// keys; purge eagerly so stale answers and columnar snapshots stop
+	// holding memory the moment they become unreachable.
+	s.results.purgeTenant(tenant)
+	s.colstores.purgeTenant(tenant)
 	tuples := 0
 	for _, n := range cat.Names() {
 		tuples += cat.Get(n).Card()
@@ -651,6 +720,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.PerTenant = s.planners.StatsByTenant()
 	}
 	resp.Admission = s.admit.stats()
+	resp.Results = s.results.stats()
 	if s.dist != nil {
 		resp.Cluster = s.dist.clusterStats()
 		resp.Store = s.dist.storeStats()
@@ -663,6 +733,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, s.planners.Aggregate(), s.catalogs.Len())
 	s.admit.writeMetrics(w)
+	s.results.writeMetrics(w)
 	if s.dist != nil {
 		s.dist.writeMetrics(w)
 	}

@@ -62,21 +62,63 @@ type ExecuteMetrics struct {
 	Joins              int   `json:"joins"`
 	Semijoins          int   `json:"semijoins"`
 	IntermediateTuples int64 `json:"intermediateTuples"`
+	Batches            int64 `json:"batches,omitempty"` // streaming engine row batches
 }
 
 // ExecuteResponse carries the query answer: rows for a non-Boolean query,
-// Boolean for a Boolean one.
+// Boolean for a Boolean one. This is the body of the deprecated buffered
+// POST /v1/execute; POST /v2/execute streams the same answer as NDJSON
+// frames (ExecStreamHeader / ExecStreamRows / ExecStreamTrailer).
 type ExecuteResponse struct {
 	Tenant        string         `json:"tenant"`
 	K             int            `json:"k"`
 	EstimatedCost float64        `json:"estimatedCost"`
-	CacheHit      bool           `json:"cacheHit"`
-	Node          string         `json:"node,omitempty"` // serving replica's cluster id
+	CacheHit      bool           `json:"cacheHit"`               // plan served from the plan cache
+	ResultCached  bool           `json:"resultCached,omitempty"` // answer served from the result cache
+	Node          string         `json:"node,omitempty"`         // serving replica's cluster id
 	Columns       []string       `json:"columns,omitempty"`
 	Rows          [][]int32      `json:"rows,omitempty"`
 	RowCount      int            `json:"rowCount"`
 	Boolean       *bool          `json:"boolean,omitempty"`
 	Metrics       ExecuteMetrics `json:"metrics"`
+}
+
+// ExecStreamHeader is the first NDJSON frame of a POST /v2/execute
+// response: everything known before the first row batch. IsBoolean
+// distinguishes "Boolean query" (answer arrives in the trailer) from "zero
+// columns".
+type ExecStreamHeader struct {
+	Frame          string   `json:"frame"` // "header"
+	Tenant         string   `json:"tenant"`
+	K              int      `json:"k"`
+	EstimatedCost  float64  `json:"estimatedCost"`
+	CacheHit       bool     `json:"cacheHit"`
+	ResultCached   bool     `json:"resultCached,omitempty"`
+	CatalogVersion uint64   `json:"catalogVersion"`
+	Node           string   `json:"node,omitempty"`
+	Columns        []string `json:"columns,omitempty"`
+	IsBoolean      bool     `json:"isBoolean,omitempty"`
+}
+
+// ExecStreamRows is a row-chunk frame: at most the engine's batch size of
+// answer rows, in column order of the header frame.
+type ExecStreamRows struct {
+	Frame string    `json:"frame"` // "rows"
+	Rows  [][]int32 `json:"rows"`
+}
+
+// ExecStreamTrailer is the final NDJSON frame: terminal status, the row
+// count actually streamed, the Boolean answer when applicable, evaluation
+// metrics, and — status "error" — the error envelope. A response without a
+// trailer (or with status "error") must never be treated as a complete
+// answer, whatever rows preceded it.
+type ExecStreamTrailer struct {
+	Frame    string          `json:"frame"`  // "trailer"
+	Status   string          `json:"status"` // "ok" | "error"
+	RowCount int             `json:"rowCount"`
+	Boolean  *bool           `json:"boolean,omitempty"`
+	Metrics  *ExecuteMetrics `json:"metrics,omitempty"`
+	Error    *ErrorObject    `json:"error,omitempty"`
 }
 
 // CatalogResponse acknowledges PUT /v1/catalogs/{tenant}.
@@ -102,8 +144,20 @@ type StatsResponse struct {
 	InFlight  int64                   `json:"inFlight"`
 	UptimeSec float64                 `json:"uptimeSec"`
 	Admission *AdmissionStatsResponse `json:"admission,omitempty"`
+	Results   *ResultCacheStats       `json:"results,omitempty"`
 	Cluster   *ClusterStatsResponse   `json:"cluster,omitempty"`
 	Store     *StoreStatsResponse     `json:"store,omitempty"`
+}
+
+// ResultCacheStats is the result-cache section of /v1/stats.
+type ResultCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Inserts   uint64 `json:"inserts"`
+	Evictions uint64 `json:"evictions"`
+	TooLarge  uint64 `json:"tooLarge"` // answers skipped for exceeding the per-entry cap
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
 }
 
 // AdmissionStatsResponse is the tenant-admission section of /v1/stats:
@@ -159,7 +213,21 @@ type ReadyzResponse struct {
 	Checks map[string]string `json:"checks"`
 }
 
-// ErrorResponse is the body of every non-2xx JSON reply.
+// ErrorObject is the error envelope shared by every endpoint, v1 and v2:
+// a stable machine-readable code, a human-readable message, and — for
+// rate-limited requests — the advised backoff in whole seconds (mirroring
+// the Retry-After header).
+//
+// Codes: bad_request, not_found, infeasible, rate_limited, timeout,
+// unavailable, internal.
+type ErrorObject struct {
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	RetryAfter int    `json:"retryAfter,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON reply; on /v2/execute
+// the same envelope rides inside the error trailer frame instead.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error ErrorObject `json:"error"`
 }
