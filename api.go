@@ -234,6 +234,23 @@ func ReadCatalog(r io.Reader) (*Catalog, error) { return db.ReadCatalog(r) }
 // WriteCatalog serializes every relation of the catalog.
 func WriteCatalog(w io.Writer, c *Catalog) error { return db.WriteCatalog(w, c) }
 
+// CatalogDelta is a per-relation catalog change set: relation blocks
+// replace one relation's data (re-ANALYZEd on apply), analyze blocks
+// override one relation's statistics without touching tuples. Apply with
+// Catalog.ApplyDelta — on a Catalog.Clone when the original must stay
+// immutable (the server's PATCH endpoint publishes clones via
+// compare-and-put so concurrent readers keep a consistent snapshot).
+type CatalogDelta = db.CatalogDelta
+
+// ReadCatalogDelta parses a delta from the same line-oriented text format
+// as ReadCatalog, extended with `analyze <relation> card <n>` blocks (see
+// WriteCatalogDelta).
+func ReadCatalogDelta(r io.Reader) (*CatalogDelta, error) { return db.ReadCatalogDelta(r) }
+
+// WriteCatalogDelta serializes a delta in the wire format ReadCatalogDelta
+// parses.
+func WriteCatalogDelta(w io.Writer, d *CatalogDelta) error { return db.WriteCatalogDelta(w, d) }
+
 // Server is the plan-as-a-service HTTP layer: the Planner and engine behind
 // a JSON API with per-tenant catalogs, request coalescing, admission
 // control, and Prometheus metrics export. Construct with NewServer, then

@@ -60,6 +60,18 @@
 // variant — of a query replays rows without planning or evaluation, and a
 // catalog update invalidates exactly that tenant's cached answers.
 //
+// Catalogs are live. A wholesale PUT replaces a tenant's catalog and drops
+// every derived artifact; PATCH applies a per-relation CatalogDelta —
+// relation blocks replace one relation's data, analyze blocks override one
+// relation's statistics — to a copy-on-write clone published by
+// compare-and-put (optionally pinned with ?ifVersion, answering 409 on a
+// lost race), and invalidation is adaptive: a stats-only delta re-keys hot
+// plan-cache entries in place and carries cached answers to the new
+// version (renamed-variant hits survive with zero new searches), while a
+// data delta drops only the answers whose plans reference the changed
+// relation and clones the columnar store so untouched relations keep
+// their column vectors and shared hash indexes.
+//
 // Self-joins are written with relation aliases — the alias names the atom
 // (hyperedge, fresh variable, bound relation) while the predicate names the
 // base relation supplying statistics and tuples; bare duplicate predicates

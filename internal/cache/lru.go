@@ -152,6 +152,22 @@ func (c *lru) add(key string, val any) {
 	}
 }
 
+// keys snapshots the resident keys without touching recency or counters.
+// The snapshot is per-shard consistent, not globally atomic — concurrent
+// adds and evictions may or may not appear, which is fine for maintenance
+// sweeps like re-keying.
+func (c *lru) keys() []string {
+	var out []string
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for k := range s.items {
+			out = append(out, k)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // len returns the number of resident entries.
 func (c *lru) len() int {
 	n := 0

@@ -1,0 +1,200 @@
+package cache
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/db"
+)
+
+// In-place re-keying after a stats-only catalog delta. A plan key is
+//
+//	<structure> \x00 k<width> \x00 <atom stats> \x00 <atom stats> ...
+//
+// and a stats-only change leaves the structure — and therefore the cached
+// canonical plan's validity — untouched: only the trailing statistics
+// segments move. Rather than letting every warm entry go cold (the old
+// wholesale-PUT behaviour), the planner can recompute just the statistics
+// component of each resident key against the new catalog and alias the
+// entry under its new key. The structural part is losslessly parseable —
+// canonical variable v<N> is exactly integer id N in first-occurrence
+// order, and predicate names can never contain '(', '#', or ';' — so no
+// side table from keys to queries is needed.
+
+// splitPlanKey splits a full plan-cache key into its canonical structural
+// key and width bound, discarding the statistics segments.
+func splitPlanKey(key string) (structKey string, k int, err error) {
+	parts := strings.Split(key, "\x00")
+	if len(parts) < 2 || !strings.HasPrefix(parts[1], "k") {
+		return "", 0, fmt.Errorf("cache: not a plan key")
+	}
+	k, err = strconv.Atoi(parts[1][1:])
+	if err != nil || k < 1 {
+		return "", 0, fmt.Errorf("cache: bad width in plan key: %q", parts[1])
+	}
+	return parts[0], k, nil
+}
+
+// parseCanonQuery rebuilds the canonical query a structural key renders.
+// It inverts CanonicalizeQuery's key renderer: atoms "pred(ids);" or
+// "pred#ord(ids);" followed by "|out:ids", with canonical variable names
+// v<id>.
+func parseCanonQuery(structKey string) (*cq.Query, error) {
+	body, out, ok := strings.Cut(structKey, "|out:")
+	if !ok {
+		return nil, fmt.Errorf("cache: structural key missing output marker")
+	}
+	q := &cq.Query{Head: "ans"}
+	for _, seg := range strings.Split(body, ";") {
+		if seg == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(seg, "(")
+		args, isAtom := strings.CutSuffix(rest, ")")
+		if !ok || !isAtom || name == "" {
+			return nil, fmt.Errorf("cache: malformed atom %q in structural key", seg)
+		}
+		a := cq.Atom{Predicate: name}
+		if pred, ord, aliased := strings.Cut(name, "#"); aliased {
+			if pred == "" || ord == "" {
+				return nil, fmt.Errorf("cache: malformed alias %q in structural key", name)
+			}
+			a.Predicate, a.Alias = pred, name
+		}
+		if args != "" {
+			for _, id := range strings.Split(args, ",") {
+				if _, err := strconv.Atoi(id); err != nil {
+					return nil, fmt.Errorf("cache: bad variable id %q in structural key", id)
+				}
+				a.Vars = append(a.Vars, "v"+id)
+			}
+		}
+		q.Atoms = append(q.Atoms, a)
+	}
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("cache: structural key has no atoms")
+	}
+	if out != "" {
+		for _, id := range strings.Split(out, ",") {
+			if _, err := strconv.Atoi(id); err != nil {
+				return nil, fmt.Errorf("cache: bad output id %q in structural key", id)
+			}
+			q.Out = append(q.Out, "v"+id)
+		}
+	}
+	return q, nil
+}
+
+// PlanKeyRelations lists the distinct base relations a plan-cache key's
+// structure references, in canonical atom order. This is what lets the
+// serving tier classify derived artifacts by the relations a delta touched.
+func PlanKeyRelations(key string) ([]string, error) {
+	structKey, _, err := splitPlanKey(key)
+	if err != nil {
+		return nil, err
+	}
+	q, err := parseCanonQuery(structKey)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(q.Atoms))
+	var out []string
+	for _, a := range q.Atoms {
+		if !seen[a.Predicate] {
+			seen[a.Predicate] = true
+			out = append(out, a.Predicate)
+		}
+	}
+	return out, nil
+}
+
+// RestatPlanKey recomputes the statistics component of a plan-cache key
+// against cat, keeping the structural component and width bound: the key
+// the same canonical structure would probe under the new statistics. Every
+// referenced relation must exist (and be analyzed) in cat.
+func RestatPlanKey(key string, cat *db.Catalog) (string, error) {
+	structKey, k, err := splitPlanKey(key)
+	if err != nil {
+		return "", err
+	}
+	q, err := parseCanonQuery(structKey)
+	if err != nil {
+		return "", err
+	}
+	qc, err := CanonicalizeQuery(q)
+	if err != nil {
+		return "", err
+	}
+	if qc.Key != structKey {
+		// The parsed query must canonicalize back to the exact structural
+		// key, or the recomputed statistics would attach to permuted atoms.
+		return "", fmt.Errorf("cache: structural key %q is not a canonical fixpoint", structKey)
+	}
+	ests, err := cost.EdgeEstimates(q.WithFreshVariables(), cat)
+	if err != nil {
+		return "", err
+	}
+	return planKey(qc, k, canonicalizeEstimates(ests, qc)), nil
+}
+
+// RekeyPlans aliases resident plan entries onto the keys they answer to
+// under cat's statistics, after a delta changed only the statistics of
+// statsChanged. Entries whose structure references none of statsChanged
+// keep their exact key (still warm, nothing to do); entries referencing a
+// relation in dataChanged are skipped — their decomposition was optimized
+// against data that no longer exists, so a fresh search is the right call
+// and the stale entry simply ages out of the LRU. For the rest, the entry
+// is added under its recomputed key while the old key is left to age out:
+// in shared-planner deployments another tenant with the old statistics may
+// still be probing it. An entry already resident at the new key wins over
+// the alias (it was computed for exactly those statistics). Returns how
+// many entries were re-keyed.
+//
+// The aliased plan is the canonical decomposition chosen under the old
+// statistics: still a valid plan for the structure, possibly no longer the
+// cost-optimal one. That is the point of the stats-only path — trading
+// bounded cost staleness for fleet warmth instead of recomputing the world.
+func (p *Planner) RekeyPlans(cat *db.Catalog, statsChanged, dataChanged []string) (rekeyed int) {
+	if len(statsChanged) == 0 {
+		return 0
+	}
+	statsSet := make(map[string]bool, len(statsChanged))
+	for _, r := range statsChanged {
+		statsSet[r] = true
+	}
+	dataSet := make(map[string]bool, len(dataChanged))
+	for _, r := range dataChanged {
+		dataSet[r] = true
+	}
+	for _, key := range p.plans.keys() {
+		rels, err := PlanKeyRelations(key)
+		if err != nil {
+			continue
+		}
+		touchesStats, touchesData := false, false
+		for _, r := range rels {
+			touchesStats = touchesStats || statsSet[r]
+			touchesData = touchesData || dataSet[r]
+		}
+		if !touchesStats || touchesData {
+			continue
+		}
+		newKey, err := RestatPlanKey(key, cat)
+		if err != nil || newKey == key {
+			continue
+		}
+		if _, ok := p.plans.peek(newKey); ok {
+			continue
+		}
+		v, ok := p.plans.peek(key)
+		if !ok {
+			continue
+		}
+		p.plans.add(newKey, v)
+		rekeyed++
+	}
+	return rekeyed
+}

@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/db"
+)
+
+func probeCycle(t *testing.T, p *Planner, cat *db.Catalog, vars [4]string) *PlanProbe {
+	t.Helper()
+	probe, err := p.ProbePlan(cycleQuery(t, vars), cat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return probe
+}
+
+func TestPlanKeyParsing(t *testing.T) {
+	cat := cycleCatalog(t, 11)
+	p := NewPlanner(Options{})
+	probe := probeCycle(t, p, cat, [4]string{"A", "B", "C", "D"})
+
+	structKey, k, err := splitPlanKey(probe.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("width = %d, want 2", k)
+	}
+	q, err := parseCanonQuery(structKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parsed query must be a canonical fixpoint: re-canonicalizing it
+	// reproduces the structural key exactly.
+	qc, err := CanonicalizeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qc.Key != structKey {
+		t.Fatalf("parsed query canonicalizes to %q, want %q", qc.Key, structKey)
+	}
+	rels, err := PlanKeyRelations(probe.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rels, []string{"r", "s", "t", "u"}) {
+		t.Fatalf("PlanKeyRelations = %v", rels)
+	}
+	for _, bad := range []string{"", "nokey", "r(0);|out:0", probe.NegKey} {
+		if _, err := PlanKeyRelations(bad); err == nil {
+			t.Errorf("PlanKeyRelations(%q): no error", bad)
+		}
+	}
+}
+
+// RestatPlanKey against the same catalog must be the identity — the
+// foundation of the rekey path's correctness.
+func TestRestatPlanKeyIdentity(t *testing.T) {
+	cat := cycleCatalog(t, 12)
+	p := NewPlanner(Options{})
+	probe := probeCycle(t, p, cat, [4]string{"A", "B", "C", "D"})
+	got, err := RestatPlanKey(probe.Key, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != probe.Key {
+		t.Fatalf("RestatPlanKey changed an unchanged key:\n got %q\nwant %q", got, probe.Key)
+	}
+}
+
+// Self-join aliases render as pred#ord atoms; the parser must invert them.
+func TestRestatPlanKeyIdentityAliases(t *testing.T) {
+	r := db.NewRelation("e", "x", "y")
+	for _, tup := range [][2]int{{1, 2}, {2, 3}, {3, 1}, {1, 3}} {
+		if err := r.Append(db.Value(tup[0]), db.Value(tup[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := db.NewCatalog()
+	cat.Put(r)
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	q := mustParseQuery(t, "ans(X,Z) :- e AS e1(X,Y), e AS e2(Y,Z).")
+	p := NewPlanner(Options{})
+	probe, err := p.ProbePlan(q, cat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RestatPlanKey(probe.Key, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != probe.Key {
+		t.Fatalf("RestatPlanKey changed an unchanged aliased key:\n got %q\nwant %q", got, probe.Key)
+	}
+	rels, err := PlanKeyRelations(probe.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rels, []string{"e"}) {
+		t.Fatalf("PlanKeyRelations = %v, want [e]", rels)
+	}
+}
+
+// The acceptance criterion of the stats-only delta path: a warm plan —
+// probed through a *renamed* variant — survives an ANALYZE override with
+// zero new computations once RekeyPlans has aliased it under the new key.
+func TestRekeyPlansStatsOnlyKeepsRenamedVariantWarm(t *testing.T) {
+	cat := cycleCatalog(t, 13)
+	p := NewPlanner(Options{})
+	if _, err := p.Plan(cycleQuery(t, [4]string{"A", "B", "C", "D"}), cat, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Plans.Computations != 1 {
+		t.Fatalf("warmup computations = %d, want 1", st.Plans.Computations)
+	}
+
+	// Stats-only override of r, applied copy-on-write as the server does.
+	cat2 := cat.Clone()
+	cat2.SetStats("r", &db.TableStats{Card: 4000, Distinct: map[string]int{"a": 120, "b": 100}})
+
+	renamed := cycleQuery(t, [4]string{"P", "Q", "R", "S"})
+	probe, err := p.ProbePlan(renamed, cat2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := p.LookupPlan(probe); ok {
+		t.Fatal("new-stats probe hit before rekey; stats change did not move the key")
+	}
+
+	if n := p.RekeyPlans(cat2, []string{"r"}, nil); n != 1 {
+		t.Fatalf("RekeyPlans = %d, want 1", n)
+	}
+	plan, ok, err := p.LookupPlan(probe)
+	if err != nil || !ok || plan == nil {
+		t.Fatalf("renamed variant cold after rekey (ok=%v, err=%v)", ok, err)
+	}
+	if st := p.Stats(); st.Plans.Computations != 1 {
+		t.Fatalf("computations = %d after rekey, want still 1", st.Plans.Computations)
+	}
+	// The rekeyed plan remaps onto the renamed query's variables.
+	for _, v := range plan.Query.Out {
+		if v != "P" && v != "R" {
+			t.Fatalf("remapped Out = %v, want [P R]", plan.Query.Out)
+		}
+	}
+	// Idempotent: running the same rekey again finds the entry resident.
+	if n := p.RekeyPlans(cat2, []string{"r"}, nil); n != 0 {
+		t.Fatalf("second RekeyPlans = %d, want 0", n)
+	}
+}
+
+// Data-changed relations disqualify an entry from re-keying: its
+// decomposition was optimized against data that no longer exists, so the
+// entry must go cold and a fresh search run.
+func TestRekeyPlansSkipsDataChanged(t *testing.T) {
+	cat := cycleCatalog(t, 14)
+	p := NewPlanner(Options{})
+	if _, err := p.Plan(cycleQuery(t, [4]string{"A", "B", "C", "D"}), cat, 2); err != nil {
+		t.Fatal(err)
+	}
+	cat2 := cat.Clone()
+	cat2.SetStats("s", &db.TableStats{Card: 999, Distinct: map[string]int{"b": 5, "c": 5}})
+	if n := p.RekeyPlans(cat2, []string{"s"}, []string{"r"}); n != 0 {
+		t.Fatalf("RekeyPlans = %d for an entry referencing a data-changed relation, want 0", n)
+	}
+}
+
+// Entries whose structure does not reference the changed relation keep
+// their exact key — no aliasing needed, the probe still hits.
+func TestRekeyPlansUntouchedStructureStaysWarm(t *testing.T) {
+	cat := cycleCatalog(t, 15)
+	extra := db.NewRelation("w", "p", "q")
+	if err := extra.Append(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	cat.Put(extra)
+	if err := cat.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlanner(Options{})
+	if _, err := p.Plan(cycleQuery(t, [4]string{"A", "B", "C", "D"}), cat, 2); err != nil {
+		t.Fatal(err)
+	}
+	cat2 := cat.Clone()
+	cat2.SetStats("w", &db.TableStats{Card: 777, Distinct: map[string]int{"p": 7, "q": 7}})
+	if n := p.RekeyPlans(cat2, []string{"w"}, nil); n != 0 {
+		t.Fatalf("RekeyPlans = %d for a delta not touching the cached structure, want 0", n)
+	}
+	probe := probeCycle(t, p, cat2, [4]string{"A", "B", "C", "D"})
+	if _, ok, _ := p.LookupPlan(probe); !ok {
+		t.Fatal("untouched structure went cold under a foreign stats delta")
+	}
+}

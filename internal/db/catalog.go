@@ -26,13 +26,34 @@ func NewCatalog() *Catalog {
 }
 
 // Put stores (or replaces) a relation; statistics are invalidated until the
-// next Analyze.
+// next Analyze. A name already registered — as a relation or as a
+// stats-only entry via SetStats — keeps its single slot in the insertion
+// order, so Names never reports duplicates.
 func (c *Catalog) Put(r *Relation) {
-	if _, exists := c.rels[r.Name]; !exists {
+	if !c.registered(r.Name) {
 		c.order = append(c.order, r.Name)
 	}
 	c.rels[r.Name] = r
 	delete(c.stats, r.Name)
+}
+
+// Upsert is Put, reporting whether an existing relation was replaced (as
+// opposed to a first registration). The delta-application path uses the
+// distinction to tell "data changed" from "relation added".
+func (c *Catalog) Upsert(r *Relation) (replaced bool) {
+	_, replaced = c.rels[r.Name]
+	c.Put(r)
+	return replaced
+}
+
+// registered reports whether the name occupies a slot in the insertion
+// order — either as a real relation or as a stats-only entry.
+func (c *Catalog) registered(name string) bool {
+	if _, ok := c.rels[name]; ok {
+		return true
+	}
+	_, ok := c.stats[name]
+	return ok
 }
 
 // Get returns the named relation, or nil.
@@ -74,15 +95,35 @@ func (c *Catalog) Stats(name string) *TableStats { return c.stats[name] }
 
 // SetStats installs statistics directly, bypassing Analyze. Used to run the
 // cost model with the paper's published Fig 5 numbers independent of the
-// generated data.
+// generated data, and by stats-only catalog deltas to override a
+// relation's ANALYZE output.
 func (c *Catalog) SetStats(name string, st *TableStats) {
-	if _, exists := c.rels[name]; !exists && c.Get(name) == nil {
-		// Allow stats-only entries: register the name for ordering.
-		if _, seen := c.stats[name]; !seen {
-			c.order = append(c.order, name)
-		}
+	if !c.registered(name) {
+		// A stats-only entry still claims a slot in the insertion order.
+		c.order = append(c.order, name)
 	}
 	c.stats[name] = st
+}
+
+// Clone returns a copy-on-write snapshot: the maps and the insertion order
+// are copied, the *Relation and *TableStats values are shared. Mutating
+// the clone (Put, Upsert, SetStats, Analyze) rebinds map entries without
+// touching the original, which is what lets a catalog delta be applied to
+// a published — and therefore immutable — registry snapshot: untouched
+// relations keep the exact pointers the old snapshot serves.
+func (c *Catalog) Clone() *Catalog {
+	out := &Catalog{
+		rels:  make(map[string]*Relation, len(c.rels)),
+		stats: make(map[string]*TableStats, len(c.stats)),
+		order: append([]string(nil), c.order...),
+	}
+	for n, r := range c.rels {
+		out.rels[n] = r
+	}
+	for n, st := range c.stats {
+		out.stats[n] = st
+	}
+	return out
 }
 
 // StatsTable renders statistics in the layout of Fig 5, one block per

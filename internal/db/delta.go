@@ -1,0 +1,249 @@
+package db
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Catalog deltas: the wire form of a partial catalog update. Where a full
+// catalog upload replaces a tenant wholesale, a delta carries only the
+// relations that changed — either with new data (a `relation` block,
+// identical to the full-catalog format) or with new statistics alone (an
+// `analyze` block, the paper's ANALYZE output in Fig 5 layout). The text
+// format stays line-oriented:
+//
+//	relation r (a,b)
+//	1,2
+//	end
+//	analyze s card 120
+//	b 50
+//	c 60
+//	end
+//
+// Blank lines and '#' comments are ignored between blocks.
+
+// CatalogDelta is a parsed partial catalog update.
+type CatalogDelta struct {
+	// Relations are wholesale per-relation data replacements; each is
+	// re-analyzed when the delta is applied.
+	Relations []*Relation
+	// Stats are stats-only overrides: the named relation keeps its data
+	// and gets the given ANALYZE output installed verbatim.
+	Stats []StatsPatch
+}
+
+// StatsPatch is one stats-only entry of a delta.
+type StatsPatch struct {
+	Name  string
+	Stats *TableStats
+}
+
+// Empty reports whether the delta carries no change at all.
+func (d *CatalogDelta) Empty() bool {
+	return d == nil || (len(d.Relations) == 0 && len(d.Stats) == 0)
+}
+
+// DataNames lists the relations whose data the delta replaces.
+func (d *CatalogDelta) DataNames() []string {
+	out := make([]string, 0, len(d.Relations))
+	for _, r := range d.Relations {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+// StatsNames lists the relations the delta touches stats-only.
+func (d *CatalogDelta) StatsNames() []string {
+	out := make([]string, 0, len(d.Stats))
+	for _, sp := range d.Stats {
+		out = append(out, sp.Name)
+	}
+	return out
+}
+
+// ReadCatalogDelta parses a delta from the line-oriented text format.
+func ReadCatalogDelta(r io.Reader) (*CatalogDelta, error) {
+	d := &CatalogDelta{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var curRel *Relation
+	var curStats *StatsPatch
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "relation "):
+			if curRel != nil || curStats != nil {
+				return nil, fmt.Errorf("db: line %d: block not terminated by 'end'", lineNo)
+			}
+			rel, err := parseRelationHeader(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			curRel = rel
+		case strings.HasPrefix(line, "analyze "):
+			if curRel != nil || curStats != nil {
+				return nil, fmt.Errorf("db: line %d: block not terminated by 'end'", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[2] != "card" {
+				return nil, fmt.Errorf("db: line %d: want 'analyze <name> card <N>'", lineNo)
+			}
+			card, err := strconv.Atoi(fields[3])
+			if err != nil || card < 0 {
+				return nil, fmt.Errorf("db: line %d: bad cardinality %q", lineNo, fields[3])
+			}
+			curStats = &StatsPatch{Name: fields[1], Stats: &TableStats{Card: card, Distinct: map[string]int{}}}
+		case line == "end":
+			switch {
+			case curRel != nil:
+				d.Relations = append(d.Relations, curRel)
+				curRel = nil
+			case curStats != nil:
+				d.Stats = append(d.Stats, *curStats)
+				curStats = nil
+			default:
+				return nil, fmt.Errorf("db: line %d: 'end' outside block", lineNo)
+			}
+		default:
+			switch {
+			case curRel != nil:
+				if err := parseTupleLine(curRel, line, lineNo); err != nil {
+					return nil, err
+				}
+			case curStats != nil:
+				fields := strings.Fields(line)
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("db: line %d: want '<attr> <distinct>'", lineNo)
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("db: line %d: bad selectivity %q", lineNo, fields[1])
+				}
+				curStats.Stats.Distinct[fields[0]] = n
+			default:
+				return nil, fmt.Errorf("db: line %d: content outside block", lineNo)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if curRel != nil || curStats != nil {
+		return nil, fmt.Errorf("db: delta block not terminated by 'end'")
+	}
+	return d, nil
+}
+
+// parseRelationHeader parses a "relation <name> (<attrs>)" line into an
+// empty relation (shared with ReadCatalog's grammar).
+func parseRelationHeader(line string, lineNo int) (*Relation, error) {
+	rest := strings.TrimPrefix(line, "relation ")
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeIdx < open {
+		return nil, fmt.Errorf("db: line %d: malformed relation header", lineNo)
+	}
+	name := strings.TrimSpace(rest[:open])
+	var attrs []string
+	for _, a := range strings.Split(rest[open+1:closeIdx], ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("db: line %d: empty attribute", lineNo)
+		}
+		attrs = append(attrs, a)
+	}
+	return NewRelation(name, attrs...), nil
+}
+
+// parseTupleLine appends one comma-separated tuple to the relation.
+func parseTupleLine(r *Relation, line string, lineNo int) error {
+	fields := strings.Split(line, ",")
+	tup := make([]Value, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("db: line %d: bad value %q", lineNo, f)
+		}
+		tup[i] = Value(v)
+	}
+	if err := r.Append(tup...); err != nil {
+		return fmt.Errorf("db: line %d: %w", lineNo, err)
+	}
+	return nil
+}
+
+// WriteCatalogDelta serializes a delta in the format ReadCatalogDelta
+// parses (attributes of analyze blocks sorted for determinism).
+func WriteCatalogDelta(w io.Writer, d *CatalogDelta) error {
+	for _, r := range d.Relations {
+		if err := WriteRelation(w, r); err != nil {
+			return err
+		}
+	}
+	for _, sp := range d.Stats {
+		if _, err := fmt.Fprintf(w, "analyze %s card %d\n", sp.Name, sp.Stats.Card); err != nil {
+			return err
+		}
+		attrs := make([]string, 0, len(sp.Stats.Distinct))
+		for a := range sp.Stats.Distinct {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			if _, err := fmt.Fprintf(w, "%s %d\n", a, sp.Stats.Distinct[a]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "end"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyDelta applies d to the catalog in place: data relations are
+// upserted and immediately re-analyzed (only the touched relations — the
+// point of a delta is that nothing else is re-ANALYZEd), then stats-only
+// patches override the named relations' statistics without touching data.
+// A name appearing in both halves ends with the patched statistics. It
+// returns the relation names whose data changed and those whose statistics
+// alone changed (disjoint lists). Apply to a Clone of a published catalog,
+// never to the published snapshot itself.
+func (c *Catalog) ApplyDelta(d *CatalogDelta) (dataChanged, statsChanged []string, err error) {
+	for _, r := range d.Relations {
+		c.Upsert(r)
+		if _, err := c.Analyze(r.Name); err != nil {
+			return nil, nil, err
+		}
+		dataChanged = append(dataChanged, r.Name)
+	}
+	inData := make(map[string]bool, len(dataChanged))
+	for _, n := range dataChanged {
+		inData[n] = true
+	}
+	for _, sp := range d.Stats {
+		r := c.Get(sp.Name)
+		if r == nil {
+			return nil, nil, fmt.Errorf("db: stats-only delta for unknown relation %q", sp.Name)
+		}
+		for a := range sp.Stats.Distinct {
+			if !r.HasAttr(a) {
+				return nil, nil, fmt.Errorf("db: stats-only delta for %s names unknown attribute %q", sp.Name, a)
+			}
+		}
+		c.SetStats(sp.Name, sp.Stats)
+		if !inData[sp.Name] {
+			statsChanged = append(statsChanged, sp.Name)
+		}
+	}
+	return dataChanged, statsChanged, nil
+}

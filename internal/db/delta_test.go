@@ -1,0 +1,278 @@
+package db
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Regression: a name first registered stats-only via SetStats used to get a
+// second slot in the insertion order when a real relation was later Put,
+// duplicating Names() and StatsTable blocks.
+func TestSetStatsThenPutNoDuplicateOrder(t *testing.T) {
+	c := NewCatalog()
+	c.SetStats("r", &TableStats{Card: 10, Distinct: map[string]int{"a": 5}})
+	r := NewRelation("r", "a", "b")
+	if err := r.Append(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(r)
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"r"}) {
+		t.Fatalf("Names after SetStats→Put = %v, want [r]", got)
+	}
+	// Put invalidates the stats-only entry; Analyze recomputes from data.
+	if c.Stats("r") != nil {
+		t.Fatalf("stats survived Put, want invalidated")
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatalf("AnalyzeAll after dedup: %v", err)
+	}
+	if n := strings.Count(c.StatsTable(), "atom r,"); n != 1 {
+		t.Fatalf("StatsTable has %d blocks for r, want 1", n)
+	}
+}
+
+func TestUpsertReportsReplacement(t *testing.T) {
+	c := NewCatalog()
+	r1 := NewRelation("r", "a")
+	if replaced := c.Upsert(r1); replaced {
+		t.Fatal("first Upsert reported replacement")
+	}
+	r2 := NewRelation("r", "a")
+	if replaced := c.Upsert(r2); !replaced {
+		t.Fatal("second Upsert did not report replacement")
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"r"}) {
+		t.Fatalf("Names = %v, want [r]", got)
+	}
+}
+
+func TestCloneCopyOnWrite(t *testing.T) {
+	c := NewCatalog()
+	r := NewRelation("r", "a")
+	if err := r.Append(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(r)
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Clone()
+	// Shared pointers before mutation.
+	if cl.Get("r") != c.Get("r") || cl.Stats("r") != c.Stats("r") {
+		t.Fatal("clone does not share pointers")
+	}
+	// Mutating the clone leaves the original untouched.
+	r2 := NewRelation("r", "a")
+	if err := r2.Append(2); err != nil {
+		t.Fatal(err)
+	}
+	cl.Put(r2)
+	cl.SetStats("s", &TableStats{Card: 1, Distinct: map[string]int{}})
+	if c.Get("r") != r || c.Stats("r") == nil {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"r"}) {
+		t.Fatalf("original Names = %v, want [r]", got)
+	}
+	if got := cl.Names(); !reflect.DeepEqual(got, []string{"r", "s"}) {
+		t.Fatalf("clone Names = %v, want [r s]", got)
+	}
+}
+
+const sampleDelta = `# data replacement for r
+relation r (a,b)
+1,2
+3,4
+end
+
+# stats-only override for s
+analyze s card 120
+b 50
+c 60
+end
+`
+
+func TestReadCatalogDelta(t *testing.T) {
+	d, err := ReadCatalogDelta(strings.NewReader(sampleDelta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.DataNames(), []string{"r"}) {
+		t.Fatalf("DataNames = %v", d.DataNames())
+	}
+	if !reflect.DeepEqual(d.StatsNames(), []string{"s"}) {
+		t.Fatalf("StatsNames = %v", d.StatsNames())
+	}
+	if d.Relations[0].Card() != 2 {
+		t.Fatalf("r card = %d, want 2", d.Relations[0].Card())
+	}
+	st := d.Stats[0].Stats
+	if st.Card != 120 || st.Distinct["b"] != 50 || st.Distinct["c"] != 60 {
+		t.Fatalf("stats patch = %+v", st)
+	}
+}
+
+func TestCatalogDeltaRoundTrip(t *testing.T) {
+	d, err := ReadCatalogDelta(strings.NewReader(sampleDelta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteCatalogDelta(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadCatalogDelta(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-read serialized delta: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(d2.StatsNames(), d.StatsNames()) || !reflect.DeepEqual(d2.DataNames(), d.DataNames()) {
+		t.Fatal("round trip changed the delta")
+	}
+	if !d2.Relations[0].Equal(d.Relations[0]) {
+		t.Fatal("round trip changed relation data")
+	}
+	if !reflect.DeepEqual(d2.Stats[0], d.Stats[0]) {
+		t.Fatal("round trip changed stats patch")
+	}
+}
+
+func TestReadCatalogDeltaErrors(t *testing.T) {
+	bad := []string{
+		"analyze s card\nend",                   // missing count
+		"analyze s card -1\nend",                // negative card
+		"analyze s card 5\nb\nend",              // malformed attr line
+		"analyze s card 5\nb -2\n",              // negative distinct
+		"relation r (a)\n1\n",                   // unterminated block
+		"end",                                   // end outside block
+		"1,2",                                   // content outside block
+		"relation r (a\n1\nend",                 // malformed header
+		"relation r ()\nend",                    // empty attribute
+		"relation r (a)\n1,2\nend",              // arity mismatch
+		"relation r (a)\nx\nend",                // non-integer value
+		"relation r (a)\nanalyze s card 5\nend", // nested block start
+	}
+	for _, in := range bad {
+		if _, err := ReadCatalogDelta(strings.NewReader(in)); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestApplyDelta(t *testing.T) {
+	c := NewCatalog()
+	for _, spec := range []struct {
+		name  string
+		attrs []string
+	}{{"r", []string{"a", "b"}}, {"s", []string{"b", "c"}}, {"t", []string{"c", "a"}}} {
+		rel := NewRelation(spec.name, spec.attrs...)
+		if err := rel.Append(1, 2); err != nil {
+			t.Fatal(err)
+		}
+		c.Put(rel)
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	oldS, oldT := c.Get("s"), c.Stats("t")
+
+	d, err := ReadCatalogDelta(strings.NewReader(sampleDelta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataChanged, statsChanged, err := c.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dataChanged, []string{"r"}) || !reflect.DeepEqual(statsChanged, []string{"s"}) {
+		t.Fatalf("changed = %v / %v, want [r] / [s]", dataChanged, statsChanged)
+	}
+	// r re-analyzed from its new data.
+	if st := c.Stats("r"); st == nil || st.Card != 2 {
+		t.Fatalf("r stats = %+v, want card 2", c.Stats("r"))
+	}
+	// s keeps its data, gets the patched stats.
+	if c.Get("s") != oldS {
+		t.Fatal("stats-only delta replaced s's data")
+	}
+	if st := c.Stats("s"); st.Card != 120 || st.Distinct["b"] != 50 {
+		t.Fatalf("s stats = %+v, want patched", st)
+	}
+	// t untouched entirely.
+	if c.Stats("t") != oldT {
+		t.Fatal("delta touched t's stats")
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"r", "s", "t"}) {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestApplyDeltaStatsForUnknownRelation(t *testing.T) {
+	c := NewCatalog()
+	d := &CatalogDelta{Stats: []StatsPatch{{Name: "ghost", Stats: &TableStats{Card: 1, Distinct: map[string]int{}}}}}
+	if _, _, err := c.ApplyDelta(d); err == nil {
+		t.Fatal("no error for stats-only delta on unknown relation")
+	}
+	r := NewRelation("r", "a")
+	c.Put(r)
+	d = &CatalogDelta{Stats: []StatsPatch{{Name: "r", Stats: &TableStats{Card: 1, Distinct: map[string]int{"zz": 3}}}}}
+	if _, _, err := c.ApplyDelta(d); err == nil {
+		t.Fatal("no error for stats patch naming unknown attribute")
+	}
+}
+
+func TestRegistryGetAfterDeleteReportsVersionZero(t *testing.T) {
+	r := NewRegistry()
+	c := NewCatalog()
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("acme", c); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delete("acme") {
+		t.Fatal("Delete reported absent")
+	}
+	got, v, ok := r.Get("acme")
+	if ok || got != nil || v != 0 {
+		t.Fatalf("Get after Delete = (%v, %d, %v), want (nil, 0, false)", got, v, ok)
+	}
+	// The counter still survives internally: re-upload continues from it.
+	v2, err := r.Put("acme", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2 {
+		t.Fatalf("re-upload version = %d, want 2", v2)
+	}
+}
+
+func TestRegistryCompareAndPut(t *testing.T) {
+	r := NewRegistry()
+	c := NewCatalog()
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CompareAndPut("acme", 0, c); err != ErrVersionConflict {
+		t.Fatalf("CompareAndPut on absent tenant: %v, want conflict", err)
+	}
+	v1, err := r.Put("acme", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := c.Clone()
+	v2, err := r.CompareAndPut("acme", v1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v1+1 {
+		t.Fatalf("version = %d, want %d", v2, v1+1)
+	}
+	if _, err := r.CompareAndPut("acme", v1, c2); err != ErrVersionConflict {
+		t.Fatalf("stale CompareAndPut: %v, want conflict", err)
+	}
+	got, v, _ := r.Get("acme")
+	if got != c2 || v != v2 {
+		t.Fatalf("Get = (%p, %d), want (%p, %d)", got, v, c2, v2)
+	}
+}

@@ -1,10 +1,15 @@
 package db
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// ErrVersionConflict is returned by CompareAndPut when the tenant's catalog
+// changed (or disappeared) between the caller's read and its publish.
+var ErrVersionConflict = errors.New("db: registry: catalog version conflict")
 
 // Registry is a concurrent-safe set of catalogs keyed by tenant — the
 // multi-tenant storage layer of the serving subsystem. A Catalog itself is
@@ -29,10 +34,8 @@ func NewRegistry() *Registry {
 // first upload). It fails if some relation is not analyzed: analysis is a
 // mutation, so it must happen before publication, never on the read path.
 func (r *Registry) Put(tenant string, c *Catalog) (uint64, error) {
-	for _, name := range c.Names() {
-		if c.Stats(name) == nil {
-			return 0, fmt.Errorf("db: registry: relation %q of tenant %q not analyzed", name, tenant)
-		}
+	if err := validateAnalyzed(tenant, c); err != nil {
+		return 0, err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -41,12 +44,49 @@ func (r *Registry) Put(tenant string, c *Catalog) (uint64, error) {
 	return r.versions[tenant], nil
 }
 
-// Get returns tenant's catalog and version, or ok=false.
+// CompareAndPut publishes c only if the tenant currently has a catalog at
+// exactly version base, returning the new version. It fails with
+// ErrVersionConflict when another writer (or a Delete) got there first —
+// the compare-and-swap that lets catalog deltas be applied to a snapshot
+// without a writer lock spanning the whole read-modify-publish sequence.
+func (r *Registry) CompareAndPut(tenant string, base uint64, c *Catalog) (uint64, error) {
+	if err := validateAnalyzed(tenant, c); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.catalogs[tenant]; !ok || r.versions[tenant] != base {
+		return 0, ErrVersionConflict
+	}
+	r.versions[tenant]++
+	r.catalogs[tenant] = c
+	return r.versions[tenant], nil
+}
+
+// validateAnalyzed enforces the publish contract: analysis is a mutation,
+// so every relation must be analyzed before publication, never on the
+// read path.
+func validateAnalyzed(tenant string, c *Catalog) error {
+	for _, name := range c.Names() {
+		if c.Stats(name) == nil {
+			return fmt.Errorf("db: registry: relation %q of tenant %q not analyzed", name, tenant)
+		}
+	}
+	return nil
+}
+
+// Get returns tenant's catalog and version, or ok=false. An absent tenant
+// reports version 0 even when an internal version counter survives a
+// Delete, so callers that (wrongly) ignore ok never observe a live-looking
+// version for a deleted catalog.
 func (r *Registry) Get(tenant string) (c *Catalog, version uint64, ok bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	c, ok = r.catalogs[tenant]
-	return c, r.versions[tenant], ok
+	if !ok {
+		return nil, 0, false
+	}
+	return c, r.versions[tenant], true
 }
 
 // Delete removes tenant's catalog, reporting whether one was present. The

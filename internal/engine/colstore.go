@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/db"
@@ -138,6 +139,52 @@ func (cs *ColStore) Index(name string, pos []int) (*keyIndex, error) {
 	cs.builds++
 	cs.indexBytes += idx.sizeHint()
 	return idx, nil
+}
+
+// CloneFor returns a new store bound to cat, carrying over the columnar
+// transpositions, rowid vectors, and hash indexes of every relation that
+// is unchanged between the two catalogs — pointer-identical *Relation, the
+// exact sharing contract of db.Catalog.Clone — and not named in
+// invalidate. This is the delta path of the serving layer's store cache: a
+// data change to one relation builds a store where only that relation's
+// artifacts are rebuilt on demand, instead of stranding the whole warm
+// store. The receiver is left untouched — in-flight evaluations holding it
+// keep a consistent single-version view. The clone's counters start at
+// zero except indexBytes, which accounts the carried indexes; a carried
+// index served by the clone counts as a share, not a build.
+func (cs *ColStore) CloneFor(cat *db.Catalog, invalidate []string) *ColStore {
+	bad := make(map[string]bool, len(invalidate))
+	for _, n := range invalidate {
+		bad[n] = true
+	}
+	out := NewColStore(cat)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	keep := func(name string) bool {
+		if bad[name] {
+			return false
+		}
+		r := cat.Get(name)
+		return r != nil && r == cs.cat.Get(name)
+	}
+	for name, c := range cs.cols {
+		if keep(name) {
+			out.cols[name] = c
+		}
+	}
+	for name, col := range cs.rowids {
+		if keep(name) {
+			out.rowids[name] = col
+		}
+	}
+	for key, idx := range cs.indexes {
+		name, _, _ := strings.Cut(key, "\x00")
+		if keep(name) {
+			out.indexes[key] = idx
+			out.indexBytes += idx.sizeHint()
+		}
+	}
+	return out
 }
 
 func indexKey(name string, pos []int) string {

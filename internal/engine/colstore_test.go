@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/db"
+)
+
+// CloneFor carries warm artifacts for unchanged relations into a store
+// bound to the new catalog snapshot, rebuilding only what a delta touched.
+func TestColStoreCloneForCarriesUnchanged(t *testing.T) {
+	cat := smallCatalog()
+	cs := NewColStore(cat)
+	for _, name := range []string{"r", "s", "t"} {
+		if _, err := cs.Index(name, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cs.RowIDs(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := cs.Stats()
+	if before.IndexBuilds != 3 || before.Conversions != 3 {
+		t.Fatalf("warmup stats = %+v", before)
+	}
+
+	// Delta: replace r's data on a copy-on-write clone; s and t keep their
+	// exact *Relation pointers.
+	cat2 := cat.Clone()
+	r2 := db.NewRelation("r", "c0", "c1")
+	r2.MustAppend(8, 9)
+	cat2.Put(r2)
+
+	cs2 := cs.CloneFor(cat2, []string{"r"})
+
+	// Unchanged relations are served from carried state: shares, no builds.
+	if _, err := cs2.Index("s", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs2.Index("t", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	st := cs2.Stats()
+	if st.IndexBuilds != 0 || st.IndexShares != 2 || st.Conversions != 0 {
+		t.Fatalf("unchanged relations not carried: %+v", st)
+	}
+	if st.IndexBytes == 0 {
+		t.Fatal("carried indexes not accounted in IndexBytes")
+	}
+
+	// The invalidated relation rebuilds — against the *new* data.
+	rc, err := cs2.Relation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Len() != 1 {
+		t.Fatalf("clone serves stale r: len %d, want 1", rc.Len())
+	}
+	if _, err := cs2.Index("r", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	st = cs2.Stats()
+	if st.IndexBuilds != 1 || st.Conversions != 1 {
+		t.Fatalf("invalidated relation did not rebuild exactly once: %+v", st)
+	}
+
+	// The old store is untouched: in-flight evaluations keep the old view.
+	rOld, err := cs.Relation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOld.Len() != 3 {
+		t.Fatalf("old store mutated: r len %d, want 3", rOld.Len())
+	}
+	if after := cs.Stats(); after != before {
+		t.Fatalf("old store counters moved: %+v -> %+v", before, after)
+	}
+}
+
+// Pointer identity is the carry-over test: a relation rebound on the new
+// catalog — even outside the invalidate list — must not be carried.
+func TestColStoreCloneForDropsRebound(t *testing.T) {
+	cat := smallCatalog()
+	cs := NewColStore(cat)
+	if _, err := cs.Index("s", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	cat2 := cat.Clone()
+	s2 := db.NewRelation("s", "c0", "c1")
+	s2.MustAppend(5, 6)
+	cat2.Put(s2)
+	cs2 := cs.CloneFor(cat2, nil) // caller forgot to invalidate s
+	rc, err := cs2.Relation("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Len() != 1 {
+		t.Fatalf("rebound relation carried stale columns: len %d, want 1", rc.Len())
+	}
+}

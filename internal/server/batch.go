@@ -9,26 +9,22 @@ import (
 	"repro/internal/cache"
 	"repro/internal/chaos"
 	"repro/internal/cost"
-	"repro/internal/cq"
-	"repro/internal/db"
 )
 
-// Micro-batching for /v1/plan. Concurrent plan requests are collected for a
-// short window (or until the batch fills) and grouped by (tenant, catalog
-// version, k, query text): each distinct group is planned once and the
-// result fanned out to every member, so N identical concurrent requests pay
-// one canonicalization pass and one cache interaction instead of N. Groups
-// within a batch run concurrently; distinct structures still coalesce
-// further down in the Planner's singleflight layer.
+// Micro-batching for /v1/plan. Concurrent plan requests arrive already
+// canonicalized (the server probes once per request) and are collected for
+// a short window (or until the batch fills), then grouped by (planner,
+// canonical plan key): each distinct group runs one search and every
+// member remaps the cached canonical entry onto its own variable names. A
+// renamed or alias-renamed variant of a structure in flight therefore
+// coalesces into the same batch slot, not just the same singleflight —
+// coalescing happens before any per-request work beyond the probe.
 
 var errBatcherClosed = errors.New("server: shutting down")
 
 type batchReq struct {
-	key     string
 	planner *cache.Planner
-	q       *cq.Query
-	cat     *db.Catalog
-	k       int
+	probe   *cache.PlanProbe
 	out     chan batchOut // buffered(1): the batch loop never blocks on delivery
 }
 
@@ -136,13 +132,19 @@ func (b *planBatcher) loop() {
 	}
 }
 
-// dispatch groups the batch by key and plans each group once, concurrently
-// across groups. It does not wait for the groups: the loop goes straight
-// back to collecting, so slow searches never stall the next batch.
+// dispatch groups the batch by (planner, canonical plan key) and plans
+// each group once, concurrently across groups. It does not wait for the
+// groups: the loop goes straight back to collecting, so slow searches
+// never stall the next batch.
 func (b *planBatcher) dispatch(batch []*batchReq) {
-	groups := map[string][]*batchReq{}
+	type groupKey struct {
+		planner *cache.Planner
+		key     string
+	}
+	groups := map[groupKey][]*batchReq{}
 	for _, r := range batch {
-		groups[r.key] = append(groups[r.key], r)
+		gk := groupKey{r.planner, r.probe.Key}
+		groups[gk] = append(groups[gk], r)
 	}
 	for _, g := range groups {
 		b.groups.Add(1)
@@ -152,13 +154,27 @@ func (b *planBatcher) dispatch(batch []*batchReq) {
 			// race the in-flight computation; delivery below must still
 			// reach every member (buffered channels, no member blocks it).
 			chaos.Hit(chaos.ServerBatch, chaos.Delay)
+			// Warm re-check first: another group (or a peer push) may have
+			// landed the entry between the server's probe and this dispatch.
 			lead := g[0]
-			plan, hit, err := lead.planner.PlanCached(lead.q, lead.cat, lead.k)
+			plan, hit, err := lead.planner.LookupPlan(lead.probe)
+			if !hit {
+				plan, hit, err = lead.planner.ComputePlan(lead.probe)
+			}
 			lead.out <- batchOut{plan: plan, hit: hit, err: err}
-			// Followers share the leader's plan: same query text, same
-			// variable names, and responses only read it.
+			// Followers share the group's canonical entry but need their own
+			// remap: a renamed variant coalesces here, so the leader's plan
+			// speaks the wrong variable names for it. LookupPlan remaps the
+			// cached entry; if a chaos drop evicted the insert, ComputePlan's
+			// singleflight recomputes once for all of them.
 			for _, r := range g[1:] {
-				r.out <- batchOut{plan: plan, hit: true, err: err}
+				fplan, fok, ferr := r.planner.LookupPlan(r.probe)
+				if !fok && err == nil {
+					fplan, _, ferr = r.planner.ComputePlan(r.probe)
+				} else if !fok {
+					ferr = err
+				}
+				r.out <- batchOut{plan: fplan, hit: true, err: ferr}
 			}
 		}(g)
 	}

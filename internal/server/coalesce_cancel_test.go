@@ -56,7 +56,11 @@ func TestBatcherCancelledMemberDoesNotPoisonPeer(t *testing.T) {
 	defer b.close()
 
 	mk := func() *batchReq {
-		return &batchReq{key: "k", planner: planner, q: q, cat: cat, k: 3, out: make(chan batchOut, 1)}
+		probe, err := planner.ProbePlan(q, cat, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &batchReq{planner: planner, probe: probe, out: make(chan batchOut, 1)}
 	}
 	cancelCtx, cancel := context.WithCancel(context.Background())
 	cancelled := make(chan batchOut, 1)

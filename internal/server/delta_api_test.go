@@ -1,0 +1,250 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Tests for PATCH /v1/catalogs/{tenant}: the per-relation delta endpoint
+// and the adaptive invalidation behind it. The contract under test is the
+// one the ISSUE pins: a stats-only delta keeps renamed-variant plan hits
+// warm with zero new computations, and a data delta invalidates only what
+// references the touched relation — unaffected answers keep serving and
+// only the touched relation's columnar state rebuilds.
+
+const uvTriangleCatalog = triangleCatalog + `relation u (d,e)
+1,10
+2,20
+end
+relation v (e,f)
+10,100
+20,200
+end
+`
+
+const uvQuery = "ans(X,Z) :- u(X,Y), v(Y,Z)."
+
+const renamedTriangleQuery = "ans(P,Q) :- r(P,Q), s(Q,R), t(R,P)."
+
+const statsOnlyDelta = `analyze r card 4000
+a 4000
+b 4000
+end
+`
+
+// A stats-only delta leaves every cached structure valid, so the server
+// re-keys hot plan entries in place: a renamed variant of a pre-delta plan
+// must hit the cache at the new catalog version without a single new
+// search, and a pre-delta answer must replay from the result cache under
+// its restatted key.
+func TestCatalogPatchStatsOnlyKeepsRenamedVariantWarm(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+
+	// Warm the plan cache and the result cache at version 1.
+	resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+	ref := decodeAs[PlanResponse](t, resp, http.StatusOK)
+	if ref.CacheHit {
+		t.Fatal("first plan reported a cache hit")
+	}
+	warm := readStream(t, postJSON(t, ts, "/v2/execute", ExecuteRequest{Tenant: "acme", Query: triangleQuery, K: 3}))
+	if warm.trailer.RowCount != 2 {
+		t.Fatalf("warm execute rows = %d, want 2", warm.trailer.RowCount)
+	}
+	base := getStats(t, ts).Planner.Plans.Computations
+
+	ack := patchCatalog(t, ts, "acme", "", statsOnlyDelta)
+	if ack.BaseVersion != 1 || ack.Version != 2 {
+		t.Fatalf("delta versions = %d -> %d, want 1 -> 2", ack.BaseVersion, ack.Version)
+	}
+	if len(ack.DataChanged) != 0 || !reflect.DeepEqual(ack.StatsChanged, []string{"r"}) {
+		t.Fatalf("delta change report = data %v stats %v, want stats [r] only", ack.DataChanged, ack.StatsChanged)
+	}
+	if ack.PlansRekeyed < 1 {
+		t.Fatalf("plansRekeyed = %d, want >= 1", ack.PlansRekeyed)
+	}
+
+	// Renamed variant, post-delta: a plan-cache hit at the new version.
+	resp = postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: renamedTriangleQuery, K: 3})
+	rn := decodeAs[PlanResponse](t, resp, http.StatusOK)
+	if !rn.CacheHit {
+		t.Fatal("renamed variant missed the plan cache after a stats-only delta")
+	}
+	if rn.CatalogVersion != 2 {
+		t.Fatalf("renamed variant served at version %d, want 2", rn.CatalogVersion)
+	}
+	if got := getStats(t, ts).Planner.Plans.Computations; got != base {
+		t.Fatalf("computations went %d -> %d across a stats-only delta; want unchanged", base, got)
+	}
+
+	// The cached answer was carried (restatted) too: the renamed execute
+	// replays it without planning or evaluating.
+	st := readStream(t, postJSON(t, ts, "/v2/execute", ExecuteRequest{Tenant: "acme", Query: renamedTriangleQuery, K: 3}))
+	if !st.header.ResultCached {
+		t.Fatal("renamed execute missed the result cache after a stats-only delta")
+	}
+	if st.header.CatalogVersion != 2 {
+		t.Fatalf("renamed execute at version %d, want 2", st.header.CatalogVersion)
+	}
+	if st.trailer.RowCount != 2 {
+		t.Fatalf("renamed execute rows = %d, want 2", st.trailer.RowCount)
+	}
+}
+
+// A data delta invalidates by reference: answers whose plans touch the
+// changed relation recompute, everything else keeps serving from cache,
+// and the columnar store for the new version carries every untouched
+// relation — only the changed one is re-transposed. The tenant must also
+// hold exactly one resident store version afterwards (no stranded
+// snapshots).
+func TestCatalogPatchDataDeltaAdaptiveInvalidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	uploadCatalog(t, ts, "acme", uvTriangleCatalog)
+
+	tri := readStream(t, postJSON(t, ts, "/v2/execute", ExecuteRequest{Tenant: "acme", Query: triangleQuery, K: 3}))
+	uv := readStream(t, postJSON(t, ts, "/v2/execute", ExecuteRequest{Tenant: "acme", Query: uvQuery, K: 2}))
+	if tri.trailer.RowCount != 2 || uv.trailer.RowCount != 2 {
+		t.Fatalf("warm rows = %d / %d, want 2 / 2", tri.trailer.RowCount, uv.trailer.RowCount)
+	}
+	if got := s.colstores.tenantVersions("acme"); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Fatalf("resident store versions before delta = %v, want [1]", got)
+	}
+
+	// Replace r's data: the triangle loses a closing tuple, u/v untouched.
+	ack := patchCatalog(t, ts, "acme", "", "relation r (a,b)\n1,2\nend\n")
+	if !reflect.DeepEqual(ack.DataChanged, []string{"r"}) || len(ack.StatsChanged) != 0 {
+		t.Fatalf("delta change report = data %v stats %v, want data [r] only", ack.DataChanged, ack.StatsChanged)
+	}
+	if ack.Version != 2 {
+		t.Fatalf("delta version = %d, want 2", ack.Version)
+	}
+
+	// Satellite invariant: the delta advanced the columnar state — old
+	// version dropped, exactly the new one resident.
+	if got := s.colstores.tenantVersions("acme"); !reflect.DeepEqual(got, []uint64{2}) {
+		t.Fatalf("resident store versions after delta = %v, want [2]", got)
+	}
+
+	// u/v answer survived the delta: replayed from cache at version 2.
+	uv2 := readStream(t, postJSON(t, ts, "/v2/execute", ExecuteRequest{Tenant: "acme", Query: uvQuery, K: 2}))
+	if !uv2.header.ResultCached {
+		t.Fatal("u/v answer was dropped by a delta that never touched u or v")
+	}
+	if uv2.header.CatalogVersion != 2 {
+		t.Fatalf("u/v replay at version %d, want 2", uv2.header.CatalogVersion)
+	}
+	if uv2.trailer.RowCount != 2 {
+		t.Fatalf("u/v replay rows = %d, want 2", uv2.trailer.RowCount)
+	}
+
+	// Triangle answer did not survive — it references r — and the fresh
+	// evaluation sees the new data.
+	tri2 := readStream(t, postJSON(t, ts, "/v2/execute", ExecuteRequest{Tenant: "acme", Query: triangleQuery, K: 3}))
+	if tri2.header.ResultCached {
+		t.Fatal("triangle answer replayed across a data change to r")
+	}
+	if tri2.trailer.RowCount != 1 {
+		t.Fatalf("triangle rows after delta = %d, want 1", tri2.trailer.RowCount)
+	}
+	sortRows(tri2.rows)
+	if !reflect.DeepEqual(tri2.rows, [][]int32{{1, 2}}) {
+		t.Fatalf("triangle rows after delta = %v, want [[1 2]]", tri2.rows)
+	}
+
+	// Only r re-transposed: the carried store kept s, t, u, v columnar, so
+	// the post-delta evaluation converted exactly one relation. (The u/v
+	// replay above never touched the store — it came from the result cache.)
+	s.colstores.mu.Lock()
+	cs := s.colstores.byKey["acme\x1f2"]
+	s.colstores.mu.Unlock()
+	if cs == nil {
+		t.Fatal("no resident store for version 2")
+	}
+	if got := cs.Stats().Conversions; got != 1 {
+		t.Fatalf("relations re-transposed after delta = %d, want 1 (only r)", got)
+	}
+}
+
+// ?ifVersion pins the delta's base: a mismatch is a deterministic 409 with
+// the shared error envelope and code "conflict" — no retry loop.
+func TestCatalogPatchConflictEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+
+	resp := doPatchRaw(t, ts.URL+"/v1/catalogs/acme?ifVersion=7", statsOnlyDelta)
+	env := decodeAs[ErrorResponse](t, resp, http.StatusConflict)
+	if env.Error.Code != "conflict" {
+		t.Fatalf("conflict envelope code = %q, want %q", env.Error.Code, "conflict")
+	}
+	if env.Error.Message == "" {
+		t.Fatal("conflict envelope has no message")
+	}
+
+	// Matching pin applies normally.
+	ack := patchCatalog(t, ts, "acme", "1", statsOnlyDelta)
+	if ack.Version != 2 {
+		t.Fatalf("pinned delta version = %d, want 2", ack.Version)
+	}
+}
+
+func TestCatalogPatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	uploadCatalog(t, ts, "acme", triangleCatalog)
+
+	for _, tc := range []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		{name: "unknown tenant", path: "/v1/catalogs/ghost", body: statsOnlyDelta, status: http.StatusNotFound},
+		{name: "empty delta", path: "/v1/catalogs/acme", body: "# nothing here\n", status: http.StatusBadRequest},
+		{name: "analyze unknown relation", path: "/v1/catalogs/acme", body: "analyze nope card 5\nend\n", status: http.StatusBadRequest},
+		{name: "analyze unknown attribute", path: "/v1/catalogs/acme", body: "analyze r card 5\nzz 5\nend\n", status: http.StatusBadRequest},
+		{name: "bad ifVersion", path: "/v1/catalogs/acme?ifVersion=soon", body: statsOnlyDelta, status: http.StatusBadRequest},
+		{name: "malformed delta", path: "/v1/catalogs/acme", body: "relation r (a,b)\n1\nend\n", status: http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := doPatchRaw(t, ts.URL+tc.path, tc.body)
+			env := decodeAs[ErrorResponse](t, resp, tc.status)
+			if env.Error.Message == "" {
+				t.Fatal("error envelope has no message")
+			}
+		})
+	}
+
+	// None of the rejected deltas may have bumped the version.
+	resp := postJSON(t, ts, "/v1/plan", PlanRequest{Tenant: "acme", Query: triangleQuery, K: 3})
+	out := decodeAs[PlanResponse](t, resp, http.StatusOK)
+	if out.CatalogVersion != 1 {
+		t.Fatalf("catalog version after rejected deltas = %d, want 1", out.CatalogVersion)
+	}
+}
+
+// patchCatalog issues a PATCH delta and decodes the 200 acknowledgement.
+// ifVersion of "" leaves the delta unpinned.
+func patchCatalog(t *testing.T, ts *httptest.Server, tenant, ifVersion, delta string) CatalogDeltaResponse {
+	t.Helper()
+	path := ts.URL + "/v1/catalogs/" + tenant
+	if ifVersion != "" {
+		path += "?ifVersion=" + ifVersion
+	}
+	resp := doPatchRaw(t, path, delta)
+	return decodeAs[CatalogDeltaResponse](t, resp, http.StatusOK)
+}
+
+func doPatchRaw(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPatch, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

@@ -18,8 +18,6 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
-	"repro/internal/cq"
-	"repro/internal/db"
 	"repro/internal/store"
 )
 
@@ -232,25 +230,13 @@ func (d *distTier) nodeID() string {
 	return d.self.ID
 }
 
-// plan is the distributed serve flow: local warm lookup, peer warm-fill
-// from the key's owner, then the local cold path (micro-batcher and all)
-// with write-through persistence and an async push to the owner.
-func (d *distTier) plan(s *Server, ctx context.Context, tenant string, version uint64, queryText string, q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
-	probe, err := d.planner.ProbePlan(q, cat, k)
-	if err != nil {
-		if errors.Is(err, cache.ErrUncacheable) {
-			// Uncacheable queries bypass the cache, the ring, and the store.
-			return s.planLocal(ctx, tenant, version, queryText, q, cat, k)
-		}
-		return nil, false, err
-	}
-	if plan, ok, lerr := d.planner.LookupPlan(probe); ok {
-		return plan, true, lerr
-	}
-	if hit, plan, herr := d.peerFill(ctx, probe); hit {
-		return plan, true, herr
-	}
-	plan, hit, err := s.planLocal(ctx, tenant, version, queryText, q, cat, k)
+// afterCold runs the write-through half of the distributed tier after a
+// cold local computation for probe: an infeasibility verdict is persisted
+// and pushed to the key's owners; a successful plan is exported from the
+// cache, persisted, and pushed. The warm flow (local lookup, peer
+// warm-fill) lives in Server.planProbed — the tier only sees probes the
+// server already canonicalized once.
+func (d *distTier) afterCold(probe *cache.PlanProbe, err error) {
 	if err != nil {
 		if errors.Is(err, core.ErrNoDecomposition) {
 			// The cold compute recorded the verdict locally; persist it and
@@ -258,7 +244,7 @@ func (d *distTier) plan(s *Server, ctx context.Context, tenant string, version u
 			d.persist(store.KindNegative, probe.NegKey, nil)
 			d.pushToOwners(probe, nil, true)
 		}
-		return plan, hit, err
+		return
 	}
 	if rec, ok := d.planner.ExportPlan(probe.Key); ok {
 		if raw, jerr := json.Marshal(rec); jerr == nil {
@@ -266,7 +252,6 @@ func (d *distTier) plan(s *Server, ctx context.Context, tenant string, version u
 			d.pushToOwners(probe, raw, false)
 		}
 	}
-	return plan, hit, err
 }
 
 // peerFill tries the key's owners — in ring preference order — before any

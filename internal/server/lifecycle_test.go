@@ -192,7 +192,11 @@ func TestBatcherShutdownDrainsCollectedRequests(t *testing.T) {
 	b := newPlanBatcher(150*time.Millisecond, 32)
 
 	mk := func() *batchReq {
-		return &batchReq{key: "k", planner: planner, q: q, cat: cat, k: 3, out: make(chan batchOut, 1)}
+		probe, err := planner.ProbePlan(q, cat, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &batchReq{planner: planner, probe: probe, out: make(chan batchOut, 1)}
 	}
 	out := make(chan batchOut, 1)
 	go func() { out <- b.submit(context.Background(), mk()) }()

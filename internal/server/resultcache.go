@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/db"
 	"repro/internal/engine"
 )
@@ -147,6 +148,97 @@ func (c *resultCache) purgeTenant(tenant string) {
 	}
 }
 
+// applyDelta is the adaptive-invalidation pass after a catalog delta moved
+// the tenant from oldVer to newVer. An answer depends on the referenced
+// relations' data, never on statistics, so per entry of the tenant:
+//
+//   - plan references a data-changed relation → dropped (answer invalid);
+//   - plan references only stats-changed relations (or none) → carried to
+//     newVer, the plan-key component restatted against cat so the next
+//     probe's key matches;
+//   - entries at versions other than oldVer → dropped (already
+//     unreachable; a carried key must never collide with them).
+//
+// A carried entry that would collide with one already at the target key
+// loses — the resident entry was produced at exactly those coordinates.
+func (c *resultCache) applyDelta(tenant string, oldVer, newVer uint64, cat *db.Catalog, dataChanged, statsChanged []string) {
+	if c == nil {
+		return
+	}
+	dataSet := make(map[string]bool, len(dataChanged))
+	for _, r := range dataChanged {
+		dataSet[r] = true
+	}
+	statsSet := make(map[string]bool, len(statsChanged))
+	for _, r := range statsChanged {
+		statsSet[r] = true
+	}
+	tenantPrefix := tenant + "\x1f"
+	oldPrefix := resultKey(tenant, oldVer, "")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*resultEntry)
+		if !strings.HasPrefix(e.key, tenantPrefix) {
+			el = next
+			continue
+		}
+		if newKey, ok := c.deltaTarget(e.key, oldPrefix, tenant, newVer, cat, dataSet, statsSet); ok {
+			delete(c.byKey, e.key)
+			c.used -= e.size
+			e.key = newKey
+			e.size = entrySize(e.rows, newKey)
+			c.byKey[newKey] = el
+			c.used += e.size
+		} else {
+			c.removeLocked(el)
+		}
+		el = next
+	}
+	// Restatted keys can be longer than the originals; shed from the cold
+	// end if the carry pushed past the budget.
+	for c.used > c.budget {
+		cold := c.lru.Back()
+		if cold == nil {
+			break
+		}
+		c.removeLocked(cold)
+		c.evictions++
+	}
+}
+
+// deltaTarget decides one entry's fate under applyDelta: the key it should
+// carry to, or ok=false to drop it.
+func (c *resultCache) deltaTarget(key, oldPrefix, tenant string, newVer uint64, cat *db.Catalog, dataSet, statsSet map[string]bool) (string, bool) {
+	planKey, atOldVer := strings.CutPrefix(key, oldPrefix)
+	if !atOldVer {
+		return "", false
+	}
+	rels, err := cache.PlanKeyRelations(planKey)
+	if err != nil {
+		return "", false
+	}
+	touchesData, touchesStats := false, false
+	for _, r := range rels {
+		touchesData = touchesData || dataSet[r]
+		touchesStats = touchesStats || statsSet[r]
+	}
+	if touchesData {
+		return "", false
+	}
+	if touchesStats {
+		if planKey, err = cache.RestatPlanKey(planKey, cat); err != nil {
+			return "", false
+		}
+	}
+	newKey := resultKey(tenant, newVer, planKey)
+	if _, exists := c.byKey[newKey]; exists {
+		return "", false
+	}
+	return newKey, true
+}
+
 func (c *resultCache) stats() *ResultCacheStats {
 	if c == nil {
 		return nil
@@ -230,6 +322,63 @@ func (c *colStoreCache) storeFor(tenant string, version uint64, cat *db.Catalog)
 		c.order = c.order[1:]
 	}
 	return cs
+}
+
+// advance moves the tenant's columnar state to a new catalog version after
+// a delta: the most recent resident store is cloned for the new catalog —
+// carrying columns, rowid maps, and hash indexes of relations the delta
+// left alone — and every older store of the tenant is dropped. Dropping is
+// load-bearing, not just tidy: deltas arrive far more often than wholesale
+// PUTs, and without it a tenant patching in a loop would hold cap stores of
+// its own dead versions and evict every other tenant's warm snapshot.
+func (c *colStoreCache) advance(tenant string, newVer uint64, cat *db.Catalog, invalidate []string) {
+	prefix := tenant + "\x1f"
+	newKey := prefix + strconv.FormatUint(newVer, 10)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var carried *engine.ColStore
+	for i := len(c.order) - 1; i >= 0 && carried == nil; i-- {
+		if strings.HasPrefix(c.order[i], prefix) {
+			carried = c.byKey[c.order[i]].CloneFor(cat, invalidate)
+		}
+	}
+	kept := c.order[:0]
+	for _, k := range c.order {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.byKey, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	c.order = kept
+	if carried == nil {
+		return // tenant had no columnar state; first execute builds fresh
+	}
+	c.byKey[newKey] = carried
+	c.order = append(c.order, newKey)
+	if len(c.order) > c.cap {
+		delete(c.byKey, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// tenantVersions reports which catalog versions of the tenant currently
+// hold a resident store, oldest first. Test hook for the delta lifecycle's
+// no-stranded-versions invariant.
+func (c *colStoreCache) tenantVersions(tenant string) []uint64 {
+	prefix := tenant + "\x1f"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []uint64
+	for _, k := range c.order {
+		if v, ok := strings.CutPrefix(k, prefix); ok {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err == nil {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
 }
 
 // purgeTenant drops the tenant's stores (a catalog PUT supersedes them).

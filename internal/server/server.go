@@ -12,7 +12,9 @@
 //	POST /v1/decompose          hypergraph text + k → NF decomposition
 //	POST /v1/execute            buffered execute (deprecated; drains /v2)
 //	POST /v2/execute            streaming execute (NDJSON header/rows/trailer)
-//	PUT  /v1/catalogs/{tenant}  upload a catalog (db wire format)
+//	PUT  /v1/catalogs/{tenant}  upload a catalog wholesale (db wire format)
+//	PATCH /v1/catalogs/{tenant} apply a per-relation delta (data and/or
+//	                            stats-only blocks; adaptive invalidation)
 //	GET  /v1/catalogs/{tenant}  download the catalog (db wire format)
 //	GET  /v1/catalogs           list tenants
 //	GET  /v1/stats              planner + server counters (JSON)
@@ -237,6 +239,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v2/execute", s.instrument("execute_stream", true,
 		s.streamDeadline(http.HandlerFunc(s.handleExecuteStream))))
 	mux.Handle("PUT /v1/catalogs/{tenant}", s.route("catalogs", true, s.handleCatalogPut))
+	mux.Handle("PATCH /v1/catalogs/{tenant}", s.route("catalogs", true, s.handleCatalogPatch))
 	mux.Handle("GET /v1/catalogs/{tenant}", s.route("catalogs", true, s.handleCatalogGet))
 	mux.Handle("GET /v1/catalogs", s.route("catalogs", true, s.handleCatalogList))
 	mux.Handle("GET /v1/stats", s.route("stats", false, s.handleStats))
@@ -405,6 +408,8 @@ func errorCode(status int) string {
 		return "bad_request"
 	case http.StatusNotFound:
 		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
 	case http.StatusUnprocessableEntity:
 		return "infeasible"
 	case http.StatusTooManyRequests:
@@ -479,37 +484,56 @@ func planError(w http.ResponseWriter, err error) {
 	}
 }
 
-func batchKey(tenant string, version uint64, k int, query string) string {
-	return tenant + "\x1f" + strconv.FormatUint(version, 10) + "\x1f" + strconv.Itoa(k) + "\x1f" + query
-}
-
-// plan runs the planning path shared by /v1/plan and /v1/execute. With a
-// distributed tier it is warm-local → peer warm-fill → cold-local (with
-// write-through persistence and owner push); without one it goes straight
-// to the local path.
-func (s *Server) plan(ctx context.Context, tenant string, version uint64, queryText string, q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
-	if s.dist != nil {
-		return s.dist.plan(s, ctx, tenant, version, queryText, q, cat, k)
-	}
-	return s.planLocal(ctx, tenant, version, queryText, q, cat, k)
-}
-
-// planLocal is the in-process planning path: through the micro-batcher
-// when enabled, else straight into the Planner.
-func (s *Server) planLocal(ctx context.Context, tenant string, version uint64, queryText string, q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
+// plan runs the planning path shared by /v1/plan and /v1/execute: the
+// request is canonicalized exactly once into a PlanProbe, and every later
+// stage — warm lookup, peer warm-fill, the micro-batcher, the cold search
+// — works from that probe. Uncacheable queries (unaliased self-joins)
+// bypass probe, batcher, and ring on the planner's direct path.
+func (s *Server) plan(ctx context.Context, tenant string, q *cq.Query, cat *db.Catalog, k int) (*cost.Plan, bool, error) {
 	planner := s.planners.For(tenant)
+	probe, err := planner.ProbePlan(q, cat, k)
+	if err != nil {
+		if errors.Is(err, cache.ErrUncacheable) {
+			return planner.PlanCached(q, cat, k)
+		}
+		return nil, false, err
+	}
+	return s.planProbed(ctx, planner, probe)
+}
+
+// planProbed serves an already-canonicalized request: warm-local → peer
+// warm-fill → cold (micro-batched when enabled), with the distributed
+// tier's write-through persistence and owner push after a cold result.
+func (s *Server) planProbed(ctx context.Context, planner *cache.Planner, probe *cache.PlanProbe) (*cost.Plan, bool, error) {
+	if plan, ok, err := planner.LookupPlan(probe); ok {
+		return plan, true, err
+	}
+	if s.dist != nil {
+		if hit, plan, herr := s.dist.peerFill(ctx, probe); hit {
+			return plan, true, herr
+		}
+	}
+	plan, hit, err := s.planCold(ctx, planner, probe)
+	if s.dist != nil {
+		s.dist.afterCold(probe, err)
+	}
+	return plan, hit, err
+}
+
+// planCold runs the cold half: through the micro-batcher when enabled —
+// which groups concurrent requests by canonical plan key, so renamed and
+// alias-renamed variants of one structure coalesce into a single batch
+// slot — else straight into the Planner's singleflight.
+func (s *Server) planCold(ctx context.Context, planner *cache.Planner, probe *cache.PlanProbe) (*cost.Plan, bool, error) {
 	if s.batcher != nil {
 		o := s.batcher.submit(ctx, &batchReq{
-			key:     batchKey(tenant, version, k, queryText),
 			planner: planner,
-			q:       q,
-			cat:     cat,
-			k:       k,
+			probe:   probe,
 			out:     make(chan batchOut, 1),
 		})
 		return o.plan, o.hit, o.err
 	}
-	return planner.PlanCached(q, cat, k)
+	return planner.ComputePlan(probe)
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -535,7 +559,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nodeHeader(w)
-	plan, hit, err := s.plan(r.Context(), req.Tenant, ver, req.Query, q, cat, k)
+	plan, hit, err := s.plan(r.Context(), req.Tenant, q, cat, k)
 	if err != nil {
 		planError(w, err)
 		return
@@ -692,6 +716,113 @@ func (s *Server) handleCatalogPut(w http.ResponseWriter, r *http.Request) {
 		Tuples:    tuples,
 		Version:   version,
 	})
+}
+
+// handleCatalogPatch is PATCH /v1/catalogs/{tenant}: a per-relation delta
+// in the db wire format — `relation` blocks replace one relation's data,
+// `analyze` blocks override one relation's statistics. Only the touched
+// relations are re-ANALYZEd; the delta is applied to a copy-on-write clone
+// of the published snapshot and swapped in by compare-and-put, so the
+// Registry's publish-immutable contract holds and concurrent readers keep
+// a consistent view. An optional ?ifVersion=N pins the base version:
+// a mismatch answers 409 with the "conflict" envelope instead of
+// retrying. Invalidation is adaptive, not scorched-earth — see
+// applyDeltaInvalidation.
+func (s *Server) handleCatalogPatch(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if tenant == "" {
+		writeError(w, http.StatusBadRequest, "empty tenant")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	delta, err := db.ReadCatalogDelta(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if delta.Empty() {
+		writeError(w, http.StatusBadRequest, "delta has no relation or analyze blocks")
+		return
+	}
+	var ifVersion uint64
+	pinned := false
+	if v := r.URL.Query().Get("ifVersion"); v != "" {
+		ifVersion, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad ifVersion %q", v)
+			return
+		}
+		pinned = true
+	}
+	// Unpinned deltas retry the read-apply-publish sequence on CAS losses;
+	// a bounded number of attempts keeps a PATCH storm from spinning.
+	for attempt := 0; attempt < 8; attempt++ {
+		cat, base, ok := s.catalogs.Get(tenant)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no catalog for tenant %q", tenant)
+			return
+		}
+		if pinned && base != ifVersion {
+			writeError(w, http.StatusConflict, "catalog at version %d, delta pinned to %d", base, ifVersion)
+			return
+		}
+		next := cat.Clone()
+		dataChanged, statsChanged, err := next.ApplyDelta(delta)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Chaos: widen the window between applying the delta and publishing
+		// it, so concurrent PATCHes and PUTs race the compare-and-put.
+		chaos.Hit(chaos.ServerCatalogPut, chaos.Delay)
+		version, err := s.catalogs.CompareAndPut(tenant, base, next)
+		if errors.Is(err, db.ErrVersionConflict) {
+			if pinned {
+				writeError(w, http.StatusConflict, "catalog changed while applying delta (base version %d)", base)
+				return
+			}
+			continue
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rekeyed := s.applyDeltaInvalidation(tenant, base, version, next, dataChanged, statsChanged)
+		writeJSON(w, http.StatusOK, CatalogDeltaResponse{
+			Tenant:       tenant,
+			BaseVersion:  base,
+			Version:      version,
+			DataChanged:  dataChanged,
+			StatsChanged: statsChanged,
+			PlansRekeyed: rekeyed,
+		})
+		return
+	}
+	writeError(w, http.StatusConflict, "catalog for tenant %q kept changing; delta not applied", tenant)
+}
+
+// applyDeltaInvalidation is the adaptive-invalidation half of a delta,
+// run after the new catalog version is published. Where a wholesale PUT
+// nukes every derived artifact, a delta invalidates by relation class:
+//
+//   - Plan cache: stats-only changes leave cached structures valid, so hot
+//     entries are re-keyed in place (renamed-variant hits survive with zero
+//     new computations); entries referencing a data-changed relation age
+//     out and recompute.
+//   - Result cache: answers for plans referencing a data-changed relation
+//     are dropped; every other entry is carried to the new catalog version
+//     (stats-referencing keys are restatted), so unaffected answers keep
+//     serving.
+//   - Column store: the warm store is cloned for the new version carrying
+//     the columnar state and shared hash indexes of untouched relations —
+//     only the touched relation's artifacts rebuild — and every
+//     superseded version of the tenant is dropped so old stores never
+//     strand columnar snapshots.
+func (s *Server) applyDeltaInvalidation(tenant string, base, version uint64, cat *db.Catalog, dataChanged, statsChanged []string) int {
+	rekeyed := s.planners.For(tenant).RekeyPlans(cat, statsChanged, dataChanged)
+	s.results.applyDelta(tenant, base, version, cat, dataChanged, statsChanged)
+	s.colstores.advance(tenant, version, cat, dataChanged)
+	return rekeyed
 }
 
 func (s *Server) handleCatalogGet(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/cache"
 	"repro/internal/cost"
 	"repro/internal/cq"
 	"repro/internal/db"
@@ -64,18 +65,31 @@ func (s *Server) prepareExecute(w http.ResponseWriter, r *http.Request) (*execPr
 		return nil, false
 	}
 	s.nodeHeader(w)
-	// Result-cache probe: same key ⇒ same canonical structure, statistics,
-	// width bound, and catalog version ⇒ same answer, positionally. Probe
-	// errors (including uncacheable self-joins without aliases) just mean
-	// "no result caching for this request".
-	if probe, err := s.planners.For(p.req.Tenant).ProbePlan(q, p.cat, k); err == nil {
+	// One probe serves the whole request: the result-cache key (same key ⇒
+	// same canonical structure, statistics, width bound, and catalog
+	// version ⇒ same answer, positionally) and — on a result miss — the
+	// plan path, which never re-canonicalizes. A probe error other than
+	// ErrUncacheable (unaliased self-joins, which fall to the planner's
+	// direct path with no result caching) fails the request.
+	planner := s.planners.For(p.req.Tenant)
+	probe, perr := planner.ProbePlan(q, p.cat, k)
+	if perr == nil {
 		p.resKey = resultKey(p.req.Tenant, p.version, probe.Key)
 		if e, hit := s.results.get(p.resKey); hit {
 			p.cached = e
 			return p, true
 		}
 	}
-	plan, hit, err := s.plan(r.Context(), p.req.Tenant, p.version, p.req.Query, q, p.cat, k)
+	var plan *cost.Plan
+	var hit bool
+	switch {
+	case perr == nil:
+		plan, hit, err = s.planProbed(r.Context(), planner, probe)
+	case errors.Is(perr, cache.ErrUncacheable):
+		plan, hit, err = planner.PlanCached(q, p.cat, k)
+	default:
+		err = perr
+	}
 	if err != nil {
 		planError(w, err)
 		return nil, false

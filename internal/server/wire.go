@@ -129,6 +129,19 @@ type CatalogResponse struct {
 	Version   uint64 `json:"version"`
 }
 
+// CatalogDeltaResponse acknowledges PATCH /v1/catalogs/{tenant}: the new
+// version, the version the delta was applied against, which relations
+// changed data vs. statistics only, and how many warm plan-cache entries
+// were re-keyed in place rather than invalidated.
+type CatalogDeltaResponse struct {
+	Tenant       string   `json:"tenant"`
+	BaseVersion  uint64   `json:"baseVersion"`
+	Version      uint64   `json:"version"`
+	DataChanged  []string `json:"dataChanged,omitempty"`
+	StatsChanged []string `json:"statsChanged,omitempty"`
+	PlansRekeyed int      `json:"plansRekeyed"`
+}
+
 // CatalogListResponse is GET /v1/catalogs.
 type CatalogListResponse struct {
 	Tenants []string `json:"tenants"`
@@ -218,8 +231,8 @@ type ReadyzResponse struct {
 // rate-limited requests — the advised backoff in whole seconds (mirroring
 // the Retry-After header).
 //
-// Codes: bad_request, not_found, infeasible, rate_limited, timeout,
-// unavailable, internal.
+// Codes: bad_request, not_found, conflict, infeasible, rate_limited,
+// timeout, unavailable, internal.
 type ErrorObject struct {
 	Code       string `json:"code"`
 	Message    string `json:"message"`
